@@ -1,0 +1,45 @@
+//! Bench target running the design-choice ablations called out in
+//! DESIGN.md: MRAI jitter, message processing delay (the paper's §5
+//! footnote-5 mechanism), and routing policy.
+
+use bgpsim_experiments::ablation::{
+    jitter_ablation, policy_ablation, processing_delay_ablation, render_rows,
+};
+use bgpsim_experiments::figures::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (clique_n, gf_clique_n, internet_n, seeds): (usize, usize, usize, Vec<u64>) =
+        match scale {
+            Scale::Quick => (8, 10, 29, vec![1, 2]),
+            Scale::Paper => (15, 20, 48, vec![1, 2, 3]),
+        };
+    eprintln!("[ablation] running at {scale:?} scale…");
+    let t0 = Instant::now();
+    println!(
+        "{}",
+        render_rows(
+            &format!("MRAI jitter ablation (clique-{clique_n} T_down)"),
+            &jitter_ablation(clique_n, &seeds),
+        )
+    );
+    println!(
+        "{}",
+        render_rows(
+            &format!(
+                "Processing-delay ablation (clique-{gf_clique_n} T_down) — \
+                 paper §5 footnote 5"
+            ),
+            &processing_delay_ablation(gf_clique_n, &seeds),
+        )
+    );
+    println!(
+        "{}",
+        render_rows(
+            &format!("Routing-policy ablation (internet-{internet_n} T_down)"),
+            &policy_ablation(internet_n, &seeds),
+        )
+    );
+    println!("[ablation] wall time: {:?}", t0.elapsed());
+}

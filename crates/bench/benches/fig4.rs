@@ -1,0 +1,24 @@
+//! Bench target regenerating the paper's Figure 4 and checking its
+//! claims. Runs at Quick scale by default; set `BGPSIM_SCALE=paper`
+//! for the full parameter ranges.
+
+use bgpsim_experiments::figures::{fig4, render_claims, Scale};
+use std::time::Instant;
+
+fn main() {
+    // Under `cargo bench`, ignore harness flags like `--bench`.
+    let scale = Scale::from_env();
+    eprintln!("[fig4] sweeping at {scale:?} scale (BGPSIM_SCALE overrides)…");
+    let t0 = Instant::now();
+    let fig = fig4::run(scale);
+    let elapsed = t0.elapsed();
+    println!("{}", fig.render());
+    let claims = fig.claims();
+    println!("{}", render_claims(&claims));
+    println!("[fig4] wall time: {elapsed:?}");
+    let failed = claims.iter().filter(|c| !c.pass).count();
+    if failed > 0 {
+        eprintln!("[fig4] {failed} claim check(s) failed");
+        std::process::exit(1);
+    }
+}

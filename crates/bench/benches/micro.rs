@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks for the simulation substrate: event-queue
+//! throughput, AS-path operations, the BGP decision process, the
+//! forwarding-loop scanner, packet replay, and a full small
+//! convergence run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bgpsim_core::prelude::*;
+use bgpsim_core::rib::RibIn;
+use bgpsim_dataplane::prelude::*;
+use bgpsim_netsim::prelude::*;
+use bgpsim_sim::prelude::*;
+use bgpsim_topology::{generators, NodeId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("netsim/event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new();
+            for i in 0..10_000u32 {
+                engine.schedule_at(SimTime::from_nanos(u64::from(i) * 37 % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = engine.pop() {
+                sum += u64::from(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_aspath(c: &mut Criterion) {
+    let base = AsPath::from_ids(0..30);
+    c.bench_function("core/aspath_prepend_and_contains", |b| {
+        b.iter(|| {
+            let p = base.prepend(NodeId::new(99));
+            black_box(p.contains(NodeId::new(15)) && p.contains(NodeId::new(99)))
+        })
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    // A RIB with 29 candidate paths, like a node in a 30-clique.
+    let mut rib = RibIn::new();
+    for i in 1..30u32 {
+        rib.insert(NodeId::new(i), AsPath::from_ids([i, 100 + i % 7, 200]));
+    }
+    c.bench_function("core/decision_process_29_candidates", |b| {
+        b.iter(|| {
+            black_box(bgpsim_core::decision::select_best(
+                &rib,
+                NodeId::new(50),
+                &bgpsim_core::decision::ShortestPath,
+            ))
+        })
+    });
+}
+
+fn bench_loop_scanner(c: &mut Criterion) {
+    // A 110-node functional graph with a tail, a chain and a cycle.
+    let snapshot: Vec<Option<FibEntry>> = (0..110u32)
+        .map(|i| match i {
+            0 => Some(FibEntry::Local),
+            1..=50 => Some(FibEntry::Via(NodeId::new(i - 1))),
+            51..=60 => Some(FibEntry::Via(NodeId::new(51 + (i - 50) % 10))),
+            _ => Some(FibEntry::Via(NodeId::new(i / 2))),
+        })
+        .collect();
+    c.bench_function("dataplane/loop_scan_110_nodes", |b| {
+        b.iter(|| black_box(find_loops(black_box(&snapshot))))
+    });
+}
+
+fn bench_packet_replay(c: &mut Criterion) {
+    // Replay through a 2-node loop: the worst case (full TTL walk).
+    let p = Prefix::new(0);
+    let mut fib = NetworkFib::new(4);
+    fib.record(
+        NodeId::new(1),
+        p,
+        SimTime::ZERO,
+        Some(FibEntry::Via(NodeId::new(2))),
+    );
+    fib.record(
+        NodeId::new(2),
+        p,
+        SimTime::ZERO,
+        Some(FibEntry::Via(NodeId::new(1))),
+    );
+    let pkt = Packet {
+        id: 0,
+        src: NodeId::new(1),
+        prefix: p,
+        ttl: DEFAULT_TTL,
+        sent_at: SimTime::from_secs(1),
+    };
+    c.bench_function("dataplane/replay_128_hop_loop_walk", |b| {
+        b.iter(|| black_box(walk_packet(&fib, &pkt, SimDuration::from_millis(2))))
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    c.bench_function("sim/clique8_tdown_full_convergence", |b| {
+        b.iter_batched(
+            || generators::clique(8),
+            |g| {
+                let exp = ConvergenceExperiment::new(
+                    g,
+                    NodeId::new(0),
+                    FailureEvent::WithdrawPrefix {
+                        origin: NodeId::new(0),
+                        prefix: Prefix::new(0),
+                    },
+                )
+                .with_seed(1);
+                black_box(exp.run().sends.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_aspath,
+    bench_decision,
+    bench_loop_scanner,
+    bench_packet_replay,
+    bench_full_run
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # bgpsim-bench
+//!
+//! Benchmark harness for the `bgpsim` study. The library itself is
+//! empty; the interesting targets live under `benches/`:
+//!
+//! * `fig4` … `fig9` — regenerate each evaluation figure of the paper
+//!   and check its claims (Quick scale by default; set
+//!   `BGPSIM_SCALE=paper` for the full ranges);
+//! * `micro` — Criterion microbenchmarks of the substrate (event
+//!   queue, decision process, loop scanner, packet replay, full runs).
+//!
+//! Run them with `cargo bench -p bgpsim-bench`.

@@ -1,0 +1,335 @@
+//! AS paths — the "vector" in path-vector routing.
+//!
+//! An [`AsPath`] lists the ASes a route traverses, **most recent first**:
+//! the head is the node that advertised the path, the tail is the origin
+//! of the prefix. The full path is what lets a receiver discard any
+//! route that already contains itself — the *path-based poison reverse*
+//! at the heart of the ICDCS'04 study.
+
+use std::fmt;
+
+use bgpsim_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An AS-level route path: `(head … origin)`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_core::AsPath;
+/// use bgpsim_topology::NodeId;
+///
+/// // Node 6's path through 4 to origin 0, as in paper Figure 1.
+/// let p = AsPath::from_ids([6, 4, 0]);
+/// assert_eq!(p.head(), NodeId::new(6));
+/// assert_eq!(p.origin(), NodeId::new(0));
+/// assert!(p.contains(NodeId::new(4)));
+/// assert_eq!(p.to_string(), "(6 4 0)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsPath(Vec<NodeId>);
+
+impl AsPath {
+    /// Creates the trivial path consisting only of the origin — what the
+    /// origin AS itself advertises.
+    pub fn origin_only(origin: NodeId) -> Self {
+        AsPath(vec![origin])
+    }
+
+    /// Creates a path from a head-to-origin node sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        let v: Vec<NodeId> = nodes.into_iter().collect();
+        assert!(!v.is_empty(), "an AS path cannot be empty");
+        AsPath(v)
+    }
+
+    /// Creates a path from raw `u32` ids, head first — convenient in
+    /// tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Self::from_nodes(ids.into_iter().map(NodeId::new))
+    }
+
+    /// The advertising node (first element).
+    pub fn head(&self) -> NodeId {
+        self.0[0]
+    }
+
+    /// The origin AS (last element).
+    pub fn origin(&self) -> NodeId {
+        *self.0.last().expect("paths are non-empty")
+    }
+
+    /// Number of ASes in the path.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `false` — paths are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns `true` if `node` appears anywhere in the path.
+    ///
+    /// This is the *path-based poison reverse* test: a node discards any
+    /// path that contains itself, which detects loops of arbitrary
+    /// length (RIP's poison reverse only catches 2-node loops).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.0.contains(&node)
+    }
+
+    /// Returns a new path with `node` prepended — what a router
+    /// advertises after selecting this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is already in the path: prepending it would
+    /// manufacture a looped path, which a correct router never does.
+    pub fn prepend(&self, node: NodeId) -> AsPath {
+        assert!(
+            !self.contains(node),
+            "prepending {node} onto {self} would create a loop"
+        );
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(node);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// The suffix of the path starting at the first occurrence of
+    /// `node`, or `None` if `node` is not in the path.
+    ///
+    /// The Assertion enhancement compares `suffix_from(u)` of a stored
+    /// backup path against neighbor `u`'s freshly announced path to spot
+    /// obsolete routes.
+    pub fn suffix_from(&self, node: NodeId) -> Option<&[NodeId]> {
+        let pos = self.0.iter().position(|&n| n == node)?;
+        Some(&self.0[pos..])
+    }
+
+    /// The nodes of the path, head first.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.0
+    }
+
+    /// Iterates over the nodes, head first.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Returns `true` if the path visits no AS twice (a well-formed
+    /// path-vector route).
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.0.len());
+        self.0.iter().all(|n| seen.insert(n))
+    }
+}
+
+/// Error returned when parsing an [`AsPath`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsPathError(String);
+
+impl fmt::Display for ParseAsPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AS path: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAsPathError {}
+
+impl std::str::FromStr for AsPath {
+    type Err = ParseAsPathError;
+
+    /// Parses the [`Display`](fmt::Display) format back: `"(5 6 4 0)"`
+    /// (parentheses optional).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseAsPathError`] for empty paths or non-numeric
+    /// node ids.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let inner = s
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')')
+            .trim();
+        if inner.is_empty() {
+            return Err(ParseAsPathError("a path cannot be empty".into()));
+        }
+        let ids: Result<Vec<u32>, _> = inner
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<u32>()
+                    .map_err(|e| ParseAsPathError(format!("bad node id {tok:?}: {e}")))
+            })
+            .collect();
+        Ok(AsPath::from_ids(ids?))
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, n) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", n.as_u32())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<'a> IntoIterator for &'a AsPath {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn origin_only_path() {
+        let p = AsPath::origin_only(n(0));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.head(), n(0));
+        assert_eq!(p.origin(), n(0));
+        assert_eq!(p.to_string(), "(0)");
+    }
+
+    #[test]
+    fn paper_figure_1_paths() {
+        // Node 4 receives (6 4 0) from node 6 and must detect itself.
+        let p = AsPath::from_ids([6, 4, 0]);
+        assert!(p.contains(n(4)));
+        // Node 5's long backup (5 6 4 0) also contains node 4.
+        let q = AsPath::from_ids([5, 6, 4, 0]);
+        assert!(q.contains(n(4)));
+        assert!(!q.contains(n(3)));
+    }
+
+    #[test]
+    fn prepend_builds_advertisement() {
+        let p = AsPath::from_ids([4, 0]);
+        let q = p.prepend(n(6));
+        assert_eq!(q, AsPath::from_ids([6, 4, 0]));
+        assert_eq!(p, AsPath::from_ids([4, 0]), "prepend must not mutate");
+    }
+
+    #[test]
+    #[should_panic(expected = "would create a loop")]
+    fn prepend_rejects_loop() {
+        let p = AsPath::from_ids([6, 4, 0]);
+        let _ = p.prepend(n(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_path_rejected() {
+        let _ = AsPath::from_ids([]);
+    }
+
+    #[test]
+    fn suffix_from_finds_subpath() {
+        let p = AsPath::from_ids([5, 6, 4, 0]);
+        assert_eq!(
+            p.suffix_from(n(6)).unwrap(),
+            &[n(6), n(4), n(0)][..]
+        );
+        assert_eq!(p.suffix_from(n(5)).unwrap(), p.as_slice());
+        assert_eq!(p.suffix_from(n(0)).unwrap(), &[n(0)][..]);
+        assert_eq!(p.suffix_from(n(9)), None);
+    }
+
+    #[test]
+    fn simplicity_check() {
+        assert!(AsPath::from_ids([5, 6, 4, 0]).is_simple());
+        assert!(!AsPath::from_ids([5, 6, 5, 0]).is_simple());
+    }
+
+    #[test]
+    fn iteration_is_head_first() {
+        let p = AsPath::from_ids([2, 1, 0]);
+        let ids: Vec<u32> = p.iter().map(NodeId::as_u32).collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+        let ids2: Vec<u32> = (&p).into_iter().map(NodeId::as_u32).collect();
+        assert_eq!(ids2, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = AsPath::from_ids([5, 6, 4, 0]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: AsPath = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn display_from_str_round_trip() {
+        let p = AsPath::from_ids([5, 6, 4, 0]);
+        let parsed: AsPath = p.to_string().parse().unwrap();
+        assert_eq!(parsed, p);
+        // Parentheses optional; whitespace tolerated.
+        assert_eq!("5 6 4 0".parse::<AsPath>().unwrap(), p);
+        assert_eq!("  ( 5 6 4 0 ) ".parse::<AsPath>().unwrap(), p);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!("()".parse::<AsPath>().is_err());
+        assert!("".parse::<AsPath>().is_err());
+        let err = "(5 x 0)".parse::<AsPath>().unwrap_err();
+        assert!(err.to_string().contains("\"x\""));
+    }
+
+    proptest! {
+        /// Prepending a fresh node preserves the suffix and extends the
+        /// head.
+        #[test]
+        fn prepend_properties(ids in proptest::collection::vec(0u32..100, 1..20), new_id in 100u32..200) {
+            let mut dedup = ids.clone();
+            dedup.dedup();
+            let base = AsPath::from_ids(dedup.iter().copied());
+            let p = base.prepend(n(new_id));
+            prop_assert_eq!(p.len(), base.len() + 1);
+            prop_assert_eq!(p.head(), n(new_id));
+            prop_assert_eq!(p.origin(), base.origin());
+            prop_assert_eq!(&p.as_slice()[1..], base.as_slice());
+        }
+
+        /// `contains` agrees with a linear scan, and `suffix_from`
+        /// returns a suffix anchored at the queried node.
+        #[test]
+        fn contains_and_suffix_agree(ids in proptest::collection::vec(0u32..30, 1..15), probe in 0u32..30) {
+            let p = AsPath::from_ids(ids.iter().copied());
+            let expected = ids.contains(&probe);
+            prop_assert_eq!(p.contains(n(probe)), expected);
+            match p.suffix_from(n(probe)) {
+                Some(suffix) => {
+                    prop_assert!(expected);
+                    prop_assert_eq!(suffix[0], n(probe));
+                    prop_assert!(p.as_slice().ends_with(suffix));
+                }
+                None => prop_assert!(!expected),
+            }
+        }
+    }
+}

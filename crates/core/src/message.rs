@@ -1,0 +1,112 @@
+//! BGP UPDATE messages.
+//!
+//! Only the two message kinds that matter for path-vector dynamics are
+//! modelled: a route **announcement** (an UPDATE carrying a path) and an
+//! explicit **withdrawal**. Session management (OPEN/KEEPALIVE) is
+//! abstracted away — the simulator's links play the role of established
+//! TCP sessions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aspath::AsPath;
+use crate::prefix::Prefix;
+
+/// A BGP routing message for a single prefix.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_core::{AsPath, BgpMessage, Prefix};
+///
+/// let ann = BgpMessage::announce(Prefix::new(0), AsPath::from_ids([4, 0]));
+/// assert!(!ann.is_withdraw());
+/// let wd = BgpMessage::withdraw(Prefix::new(0));
+/// assert!(wd.is_withdraw());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BgpMessage {
+    /// Announce a (new) best path for a prefix.
+    Announce {
+        /// The destination prefix.
+        prefix: Prefix,
+        /// The advertised AS path, sender first.
+        path: AsPath,
+    },
+    /// Withdraw any previously announced route for a prefix.
+    Withdraw {
+        /// The destination prefix.
+        prefix: Prefix,
+    },
+}
+
+impl BgpMessage {
+    /// Creates an announcement.
+    pub fn announce(prefix: Prefix, path: AsPath) -> Self {
+        BgpMessage::Announce { prefix, path }
+    }
+
+    /// Creates a withdrawal.
+    pub fn withdraw(prefix: Prefix) -> Self {
+        BgpMessage::Withdraw { prefix }
+    }
+
+    /// The prefix this message concerns.
+    pub fn prefix(&self) -> Prefix {
+        match self {
+            BgpMessage::Announce { prefix, .. } | BgpMessage::Withdraw { prefix } => *prefix,
+        }
+    }
+
+    /// Returns `true` for withdrawals.
+    pub fn is_withdraw(&self) -> bool {
+        matches!(self, BgpMessage::Withdraw { .. })
+    }
+
+    /// The announced path, if this is an announcement.
+    pub fn path(&self) -> Option<&AsPath> {
+        match self {
+            BgpMessage::Announce { path, .. } => Some(path),
+            BgpMessage::Withdraw { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for BgpMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpMessage::Announce { prefix, path } => write!(f, "ANNOUNCE {prefix} {path}"),
+            BgpMessage::Withdraw { prefix } => write!(f, "WITHDRAW {prefix}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let p = Prefix::new(7);
+        let ann = BgpMessage::announce(p, AsPath::from_ids([1, 0]));
+        assert_eq!(ann.prefix(), p);
+        assert!(!ann.is_withdraw());
+        assert_eq!(ann.path(), Some(&AsPath::from_ids([1, 0])));
+
+        let wd = BgpMessage::withdraw(p);
+        assert_eq!(wd.prefix(), p);
+        assert!(wd.is_withdraw());
+        assert_eq!(wd.path(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ann = BgpMessage::announce(Prefix::new(0), AsPath::from_ids([5, 4, 0]));
+        assert_eq!(ann.to_string(), "ANNOUNCE p0 (5 4 0)");
+        assert_eq!(
+            BgpMessage::withdraw(Prefix::new(0)).to_string(),
+            "WITHDRAW p0"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! MRAI timer bookkeeping.
+//!
+//! BGP's Minimum Route Advertisement Interval spaces consecutive
+//! advertisements for the same destination to the same peer by `M`
+//! seconds (default 30, with jitter). The study identifies this timer as
+//! *the* dominant factor in transient loop duration: a single `m`-node
+//! loop can persist for up to `(m − 1) · M` seconds because each hop of
+//! the resolving update can be held back a full MRAI interval (§3.2).
+//!
+//! Per RFC 1771 the timer applies to announcements only; the WRATE
+//! enhancement (and later specification drafts) extend it to
+//! withdrawals.
+
+use std::collections::BTreeMap;
+
+use bgpsim_netsim::time::SimTime;
+use bgpsim_topology::NodeId;
+
+use crate::prefix::Prefix;
+
+/// Per-`(peer, prefix)` MRAI expiry table for one router.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_core::mrai::MraiTable;
+/// use bgpsim_core::Prefix;
+/// use bgpsim_netsim::time::SimTime;
+/// use bgpsim_topology::NodeId;
+///
+/// let mut t = MraiTable::new();
+/// let (peer, prefix) = (NodeId::new(1), Prefix::new(0));
+/// t.start(peer, prefix, SimTime::from_secs(30));
+/// assert!(t.is_running(peer, prefix, SimTime::from_secs(10)));
+/// assert!(!t.is_running(peer, prefix, SimTime::from_secs(30)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MraiTable {
+    expiry: BTreeMap<(NodeId, Prefix), SimTime>,
+}
+
+impl MraiTable {
+    /// Creates an empty table (all timers idle).
+    pub fn new() -> Self {
+        MraiTable::default()
+    }
+
+    /// Starts (or restarts) the timer for `(peer, prefix)` to expire at
+    /// `at`.
+    pub fn start(&mut self, peer: NodeId, prefix: Prefix, at: SimTime) {
+        self.expiry.insert((peer, prefix), at);
+    }
+
+    /// Returns `true` if the timer is running at `now` (strictly before
+    /// its expiry instant).
+    pub fn is_running(&self, peer: NodeId, prefix: Prefix, now: SimTime) -> bool {
+        match self.expiry.get(&(peer, prefix)) {
+            Some(&at) => now < at,
+            None => false,
+        }
+    }
+
+    /// The pending expiry instant, if the timer has ever been started
+    /// and not cleared.
+    pub fn expiry(&self, peer: NodeId, prefix: Prefix) -> Option<SimTime> {
+        self.expiry.get(&(peer, prefix)).copied()
+    }
+
+    /// Clears the timer for `(peer, prefix)` (expiry processed).
+    pub fn clear(&mut self, peer: NodeId, prefix: Prefix) {
+        self.expiry.remove(&(peer, prefix));
+    }
+
+    /// Clears every timer involving `peer` (session down). Returns how
+    /// many were cleared.
+    pub fn clear_peer(&mut self, peer: NodeId) -> usize {
+        let before = self.expiry.len();
+        self.expiry.retain(|&(p, _), _| p != peer);
+        before - self.expiry.len()
+    }
+
+    /// Number of entries currently tracked.
+    pub fn len(&self) -> usize {
+        self.expiry.len()
+    }
+
+    /// Returns `true` if no timers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.expiry.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> (NodeId, Prefix) {
+        (NodeId::new(3), Prefix::new(0))
+    }
+
+    #[test]
+    fn idle_by_default() {
+        let t = MraiTable::new();
+        let (p, d) = key();
+        assert!(!t.is_running(p, d, SimTime::ZERO));
+        assert_eq!(t.expiry(p, d), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn running_until_expiry_instant() {
+        let mut t = MraiTable::new();
+        let (p, d) = key();
+        t.start(p, d, SimTime::from_secs(30));
+        assert!(t.is_running(p, d, SimTime::from_secs(29)));
+        assert!(!t.is_running(p, d, SimTime::from_secs(30)));
+        assert!(!t.is_running(p, d, SimTime::from_secs(31)));
+        assert_eq!(t.expiry(p, d), Some(SimTime::from_secs(30)));
+    }
+
+    #[test]
+    fn restart_overwrites() {
+        let mut t = MraiTable::new();
+        let (p, d) = key();
+        t.start(p, d, SimTime::from_secs(10));
+        t.start(p, d, SimTime::from_secs(40));
+        assert!(t.is_running(p, d, SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn clear_makes_idle() {
+        let mut t = MraiTable::new();
+        let (p, d) = key();
+        t.start(p, d, SimTime::from_secs(30));
+        t.clear(p, d);
+        assert!(!t.is_running(p, d, SimTime::ZERO));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn timers_are_per_peer_and_prefix() {
+        let mut t = MraiTable::new();
+        let now = SimTime::ZERO;
+        t.start(NodeId::new(1), Prefix::new(0), SimTime::from_secs(30));
+        assert!(t.is_running(NodeId::new(1), Prefix::new(0), now));
+        assert!(!t.is_running(NodeId::new(2), Prefix::new(0), now));
+        assert!(!t.is_running(NodeId::new(1), Prefix::new(1), now));
+    }
+
+    #[test]
+    fn clear_peer_drops_all_prefixes() {
+        let mut t = MraiTable::new();
+        t.start(NodeId::new(1), Prefix::new(0), SimTime::from_secs(30));
+        t.start(NodeId::new(1), Prefix::new(1), SimTime::from_secs(30));
+        t.start(NodeId::new(2), Prefix::new(0), SimTime::from_secs(30));
+        assert_eq!(t.clear_peer(NodeId::new(1)), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_running(NodeId::new(2), Prefix::new(0), SimTime::ZERO));
+    }
+}

@@ -1,0 +1,285 @@
+//! Gao–Rexford policy routing — an extension beyond the paper.
+//!
+//! The ICDCS'04 study uses a shortest-AS-path policy throughout; real
+//! inter-domain routing follows commercial relationships. The
+//! [`GaoRexford`] policy implements the canonical stable-routing rules
+//! (Gao & Rexford, *Stable Internet Routing Without Global
+//! Coordination*):
+//!
+//! * **Preference**: customer routes over peer routes over provider
+//!   routes (a form of local-pref), then shorter paths, then the
+//!   paper's smaller-node-id tie-break;
+//! * **Export**: routes learned from customers go to everyone; routes
+//!   learned from peers or providers go only to customers (no transit
+//!   for free). Locally originated prefixes go to everyone.
+//!
+//! Converged routes under these rules are **valley-free**, which the
+//! workspace's integration tests verify end-to-end.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use bgpsim_topology::relationships::{Relationship, RelationshipMap};
+use bgpsim_topology::NodeId;
+
+use crate::aspath::AsPath;
+use crate::decision::RoutePolicy;
+
+/// The Gao–Rexford route policy for one node.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_core::policy::GaoRexford;
+/// use bgpsim_core::decision::RoutePolicy;
+/// use bgpsim_core::AsPath;
+/// use bgpsim_topology::relationships::{Relationship, RelationshipMap};
+/// use bgpsim_topology::NodeId;
+/// use std::cmp::Ordering;
+///
+/// let mut rels = RelationshipMap::new();
+/// let me = NodeId::new(0);
+/// rels.set(me, NodeId::new(1), Relationship::Customer);
+/// rels.set(me, NodeId::new(2), Relationship::Provider);
+/// let policy = GaoRexford::for_node(me, &rels);
+///
+/// // A longer customer route beats a shorter provider route.
+/// let long = AsPath::from_ids([1, 7, 8, 9]);
+/// let short = AsPath::from_ids([2, 9]);
+/// assert_eq!(
+///     policy.compare((NodeId::new(1), &long), (NodeId::new(2), &short)),
+///     Ordering::Less
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GaoRexford {
+    rels: BTreeMap<NodeId, Relationship>,
+}
+
+impl GaoRexford {
+    /// Builds the policy for `node` from a topology-wide relationship
+    /// map: every annotated neighbor of `node` is included.
+    pub fn for_node(node: NodeId, map: &RelationshipMap) -> Self {
+        GaoRexford {
+            rels: map.neighbors_of(node).collect(),
+        }
+    }
+
+    /// Builds a policy from explicit per-neighbor relationships.
+    pub fn from_neighbors<I>(rels: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, Relationship)>,
+    {
+        GaoRexford {
+            rels: rels.into_iter().collect(),
+        }
+    }
+
+    /// What `peer` is to this node, if known.
+    pub fn relationship(&self, peer: NodeId) -> Option<Relationship> {
+        self.rels.get(&peer).copied()
+    }
+
+    /// Preference class of a route learned from `peer`: lower is
+    /// better. Unknown neighbors rank below providers (class 3) so
+    /// unannotated sessions are only used as a last resort.
+    fn class(&self, peer: NodeId) -> u8 {
+        match self.rels.get(&peer) {
+            Some(Relationship::Customer) => 0,
+            Some(Relationship::Peer) => 1,
+            Some(Relationship::Provider) => 2,
+            None => 3,
+        }
+    }
+}
+
+impl RoutePolicy for GaoRexford {
+    fn compare(&self, a: (NodeId, &AsPath), b: (NodeId, &AsPath)) -> Ordering {
+        self.class(a.0)
+            .cmp(&self.class(b.0))
+            .then_with(|| a.1.len().cmp(&b.1.len()))
+            .then_with(|| a.0.cmp(&b.0))
+    }
+
+    fn export_allowed(&self, learned_from: Option<NodeId>, to: NodeId) -> bool {
+        let Some(from) = learned_from else {
+            return true; // own prefixes go to everyone
+        };
+        // Customer routes are exported to all; peer/provider routes
+        // only down to customers.
+        matches!(self.rels.get(&from), Some(Relationship::Customer))
+            || matches!(self.rels.get(&to), Some(Relationship::Customer))
+    }
+}
+
+/// Checks that a converged AS path is **valley-free** with respect to
+/// the relationship map: read from the origin outward, a path may
+/// climb customer→provider links, cross at most one peer link, and
+/// then only descend provider→customer links.
+///
+/// `path` is head-first (as stored by the router): `path[0]` is the
+/// node itself, the last element the origin. We walk from the origin
+/// toward the head, tracking whether we have started descending.
+pub fn is_valley_free(path: &AsPath, rels: &RelationshipMap) -> bool {
+    // Walk origin → head. For each hop (carrier, receiver), classify
+    // what `receiver` is to `carrier`.
+    let nodes = path.as_slice();
+    let mut descending = false;
+    for w in nodes.windows(2).rev() {
+        let (receiver, carrier) = (w[0], w[1]);
+        // The route flows carrier → receiver. Uphill means the receiver
+        // is the carrier's provider; peer crossing and downhill start
+        // the descent.
+        match rels.get(carrier, receiver) {
+            Some(Relationship::Provider) => {
+                if descending {
+                    return false; // up after down: a valley
+                }
+            }
+            Some(Relationship::Peer) => {
+                if descending {
+                    return false; // peer after descent started
+                }
+                descending = true;
+            }
+            Some(Relationship::Customer) => descending = true,
+            None => return false, // unannotated hop
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// me = 0; 1 is my customer, 2 my peer, 3 my provider.
+    fn policy() -> GaoRexford {
+        GaoRexford::from_neighbors([
+            (n(1), Relationship::Customer),
+            (n(2), Relationship::Peer),
+            (n(3), Relationship::Provider),
+        ])
+    }
+
+    #[test]
+    fn preference_order_is_customer_peer_provider() {
+        let p = policy();
+        let path = AsPath::from_ids([9, 0]); // content irrelevant here
+        let pairs = [(n(1), 0u8), (n(2), 1), (n(3), 2), (n(7), 3)];
+        for (peer, class) in pairs {
+            assert_eq!(p.class(peer), class);
+        }
+        assert_eq!(p.compare((n(1), &path), (n(2), &path)), Ordering::Less);
+        assert_eq!(p.compare((n(2), &path), (n(3), &path)), Ordering::Less);
+    }
+
+    #[test]
+    fn longer_customer_route_beats_shorter_provider_route() {
+        let p = policy();
+        let long = AsPath::from_ids([1, 7, 8, 9]);
+        let short = AsPath::from_ids([3, 9]);
+        assert_eq!(p.compare((n(1), &long), (n(3), &short)), Ordering::Less);
+    }
+
+    #[test]
+    fn same_class_falls_back_to_length_then_id() {
+        let mut p = policy();
+        p.rels.insert(n(4), Relationship::Customer);
+        let a = AsPath::from_ids([1, 9]);
+        let b = AsPath::from_ids([4, 8, 9]);
+        assert_eq!(p.compare((n(1), &a), (n(4), &b)), Ordering::Less);
+        let c = AsPath::from_ids([4, 9]);
+        assert_eq!(
+            p.compare((n(1), &a), (n(4), &c)),
+            Ordering::Less,
+            "equal length ties break on smaller id"
+        );
+    }
+
+    #[test]
+    fn export_rules() {
+        let p = policy();
+        // Own prefix: everyone.
+        assert!(p.export_allowed(None, n(2)));
+        assert!(p.export_allowed(None, n(3)));
+        // Customer route: everyone.
+        assert!(p.export_allowed(Some(n(1)), n(2)));
+        assert!(p.export_allowed(Some(n(1)), n(3)));
+        // Peer route: customers only.
+        assert!(p.export_allowed(Some(n(2)), n(1)));
+        assert!(!p.export_allowed(Some(n(2)), n(3)));
+        assert!(!p.export_allowed(Some(n(2)), n(2)));
+        // Provider route: customers only.
+        assert!(p.export_allowed(Some(n(3)), n(1)));
+        assert!(!p.export_allowed(Some(n(3)), n(2)));
+    }
+
+    #[test]
+    fn for_node_reads_topology_map() {
+        let mut map = RelationshipMap::new();
+        map.set(n(0), n(1), Relationship::Customer);
+        map.set(n(0), n(2), Relationship::Provider);
+        map.set(n(5), n(6), Relationship::Peer); // unrelated
+        let p = GaoRexford::for_node(n(0), &map);
+        assert_eq!(p.relationship(n(1)), Some(Relationship::Customer));
+        assert_eq!(p.relationship(n(2)), Some(Relationship::Provider));
+        assert_eq!(p.relationship(n(6)), None);
+    }
+
+    #[test]
+    fn valley_free_accepts_up_peer_down() {
+        // Path head-first: 5 <- 2 <- 9, i.e. origin 9, then 2, then 5.
+        // 9 is 2's customer (route climbed), 2 and 5 are peers.
+        let mut map = RelationshipMap::new();
+        map.set(n(2), n(9), Relationship::Customer);
+        map.set(n(5), n(2), Relationship::Peer);
+        let path = AsPath::from_ids([5, 2, 9]);
+        assert!(is_valley_free(&path, &map));
+    }
+
+    #[test]
+    fn valley_free_rejects_down_then_up() {
+        // origin 9 → 2: 9 is 2's provider (descent); 2 → 5: 5 is 2's
+        // provider (ascent after descent) = valley.
+        let mut map = RelationshipMap::new();
+        map.set(n(2), n(9), Relationship::Provider);
+        map.set(n(2), n(5), Relationship::Provider);
+        let path = AsPath::from_ids([5, 2, 9]);
+        assert!(!is_valley_free(&path, &map));
+    }
+
+    #[test]
+    fn valley_free_rejects_double_peer() {
+        let mut map = RelationshipMap::new();
+        map.set(n(2), n(9), Relationship::Peer);
+        map.set(n(5), n(2), Relationship::Peer);
+        let path = AsPath::from_ids([5, 2, 9]);
+        assert!(!is_valley_free(&path, &map));
+    }
+
+    #[test]
+    fn valley_free_accepts_pure_climb_and_pure_descent() {
+        let mut map = RelationshipMap::new();
+        // climb: 9 is 2's customer, 2 is 5's customer.
+        map.set(n(2), n(9), Relationship::Customer);
+        map.set(n(5), n(2), Relationship::Customer);
+        assert!(is_valley_free(&AsPath::from_ids([5, 2, 9]), &map));
+        // descent: 9 is 2's provider, 2 is 5's... for pure descent the
+        // route flows down: receiver is the carrier's customer.
+        let mut map2 = RelationshipMap::new();
+        map2.set(n(2), n(9), Relationship::Provider);
+        map2.set(n(2), n(5), Relationship::Customer);
+        assert!(is_valley_free(&AsPath::from_ids([5, 2, 9]), &map2));
+    }
+
+    #[test]
+    fn single_node_path_is_trivially_valley_free() {
+        let map = RelationshipMap::new();
+        assert!(is_valley_free(&AsPath::origin_only(n(3)), &map));
+    }
+}

@@ -1,0 +1,69 @@
+//! Destination prefixes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque destination prefix identifier.
+///
+/// The study advertises a single destination, but the protocol engine is
+/// written per-prefix so multiple destinations can be simulated at once.
+/// Prefixes are plain identifiers — address structure is irrelevant to
+/// path-vector dynamics.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_core::Prefix;
+///
+/// let p = Prefix::new(0);
+/// assert_eq!(p.to_string(), "p0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Prefix(u32);
+
+impl Prefix {
+    /// Creates a prefix with the given identifier.
+    pub const fn new(id: u32) -> Self {
+        Prefix(id)
+    }
+
+    /// The raw identifier.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for Prefix {
+    fn from(v: u32) -> Self {
+        Prefix(v)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let p = Prefix::from(3u32);
+        assert_eq!(p.as_u32(), 3);
+        assert_eq!(p.to_string(), "p3");
+        assert_eq!(p, Prefix::new(3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Prefix::new(1) < Prefix::new(2));
+        assert_eq!(Prefix::default(), Prefix::new(0));
+    }
+}

@@ -1,0 +1,1035 @@
+//! The BGP router state machine.
+//!
+//! [`Router`] implements the path-vector protocol of the ICDCS'04 study:
+//! per-peer Adj-RIB-In, the decision process with path-based poison
+//! reverse, per-`(peer, prefix)` MRAI timers (announcements only, per
+//! RFC 1771), explicit withdrawals, and the four convergence
+//! enhancements (SSLD, WRATE, Assertion, Ghost Flushing) as
+//! configuration flags.
+//!
+//! The router is **simulator-agnostic**: each entry point takes the
+//! current time and returns a [`RouterOutput`] describing messages to
+//! send and timers to schedule. The host (crate `bgpsim-sim`) applies
+//! link delays, models the serialized message-processing queue, and
+//! calls back on timer expiry.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgpsim_netsim::rng::SimRng;
+use bgpsim_netsim::time::SimTime;
+use bgpsim_topology::NodeId;
+
+use crate::aspath::AsPath;
+use crate::config::BgpConfig;
+use crate::damping::{DampingTable, FlapKind};
+use crate::decision::{select_best_where, RoutePolicy, ShortestPath};
+use crate::message::BgpMessage;
+use crate::mrai::MraiTable;
+use crate::output::{FibEntry, LocRoute, MraiTimerRequest, ReuseTimerRequest, RouterOutput};
+use crate::prefix::Prefix;
+use crate::rib::RibIn;
+
+/// Counters describing a router's protocol activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Announcements sent.
+    pub announcements_sent: u64,
+    /// Withdrawals sent (including SSLD conversions and ghost flushes).
+    pub withdrawals_sent: u64,
+    /// Messages processed.
+    pub messages_received: u64,
+    /// Announcements converted to withdrawals by SSLD.
+    pub ssld_conversions: u64,
+    /// Immediate withdrawals emitted by Ghost Flushing.
+    pub ghost_flushes: u64,
+    /// Adj-RIB-In entries purged by the Assertion check.
+    pub assertion_removals: u64,
+    /// Decision-process runs that changed the selected route.
+    pub route_changes: u64,
+    /// Routes suppressed by flap damping (RFC 2439 extension).
+    pub damping_suppressions: u64,
+}
+
+impl RouterStats {
+    /// Total messages sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.announcements_sent + self.withdrawals_sent
+    }
+}
+
+/// A BGP speaker for one AS.
+///
+/// # Examples
+///
+/// Reproducing the 2-node loop setup of the paper's Figure 1: node 4
+/// withdraws, and node 5 — still holding node 6's stale path — switches
+/// to it.
+///
+/// ```
+/// use bgpsim_core::prelude::*;
+/// use bgpsim_netsim::rng::SimRng;
+/// use bgpsim_netsim::time::SimTime;
+/// use bgpsim_topology::NodeId;
+///
+/// let cfg = BgpConfig::default();
+/// let mut rng = SimRng::new(1);
+/// let n = NodeId::new;
+/// let mut r5 = Router::new(n(5), [n(4), n(6)], cfg);
+/// let p = Prefix::new(0);
+/// let t = SimTime::ZERO;
+///
+/// // Node 5 learns the direct path from 4 and the longer one via 6.
+/// r5.handle_message(n(4), &BgpMessage::announce(p, AsPath::from_ids([4, 0])), t, &mut rng);
+/// r5.handle_message(n(6), &BgpMessage::announce(p, AsPath::from_ids([6, 4, 0])), t, &mut rng);
+/// assert_eq!(r5.best(p).unwrap().path, AsPath::from_ids([5, 4, 0]));
+///
+/// // Link [4 0] fails: node 4 withdraws. Node 5 falls back to the
+/// // (now obsolete) path through 6 — the seed of the transient loop.
+/// let out = r5.handle_message(n(4), &BgpMessage::withdraw(p), SimTime::from_secs(1), &mut rng);
+/// assert_eq!(r5.best(p).unwrap().path, AsPath::from_ids([5, 6, 4, 0]));
+/// assert!(!out.fib_changes.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Router<P: RoutePolicy = ShortestPath> {
+    id: NodeId,
+    peers: BTreeSet<NodeId>,
+    config: BgpConfig,
+    policy: P,
+    ribs: BTreeMap<Prefix, RibIn>,
+    originated: BTreeSet<Prefix>,
+    /// Current selection per prefix.
+    loc: BTreeMap<Prefix, LocRoute>,
+    /// Last advertisement sent per (peer, prefix); absent = nothing
+    /// advertised (peer believes we have no route).
+    adj_out: BTreeMap<(NodeId, Prefix), AsPath>,
+    mrai: MraiTable,
+    damping: Option<DampingTable>,
+    stats: RouterStats,
+}
+
+impl<P: RoutePolicy> Router<P> {
+    /// Creates a router with an explicit policy.
+    pub fn with_policy<I>(id: NodeId, peers: I, config: BgpConfig, policy: P) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        config.validate();
+        let peers: BTreeSet<NodeId> = peers.into_iter().collect();
+        assert!(!peers.contains(&id), "router {id} cannot peer with itself");
+        Router {
+            id,
+            peers,
+            config,
+            policy,
+            ribs: BTreeMap::new(),
+            originated: BTreeSet::new(),
+            loc: BTreeMap::new(),
+            adj_out: BTreeMap::new(),
+            mrai: MraiTable::new(),
+            damping: config.damping.map(DampingTable::new),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// This router's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The currently active peers.
+    pub fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.peers.iter().copied()
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &BgpConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// The currently selected route for `prefix`, if any.
+    pub fn best(&self, prefix: Prefix) -> Option<&LocRoute> {
+        self.loc.get(&prefix)
+    }
+
+    /// The Adj-RIB-In for `prefix` (empty table if never touched).
+    pub fn rib_in(&self, prefix: Prefix) -> Option<&RibIn> {
+        self.ribs.get(&prefix)
+    }
+
+    /// The last advertisement sent to `peer` for `prefix`.
+    pub fn advertised_to(&self, peer: NodeId, prefix: Prefix) -> Option<&AsPath> {
+        self.adj_out.get(&(peer, prefix))
+    }
+
+    /// Starts originating `prefix`: install a local route and advertise
+    /// to all peers.
+    pub fn originate(&mut self, prefix: Prefix, now: SimTime, rng: &mut SimRng) -> RouterOutput {
+        self.originated.insert(prefix);
+        let mut out = RouterOutput::empty();
+        self.run_decision(prefix, now, rng, &mut out);
+        out
+    }
+
+    /// Stops originating `prefix` — the `T_down` trigger: the
+    /// destination becomes unreachable and the origin sends
+    /// withdrawals.
+    pub fn withdraw_origin(
+        &mut self,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> RouterOutput {
+        self.originated.remove(&prefix);
+        let mut out = RouterOutput::empty();
+        self.run_decision(prefix, now, rng, &mut out);
+        out
+    }
+
+    /// Processes a BGP message from `from` (already delayed and
+    /// serialized by the host). Messages from unknown or inactive peers
+    /// are ignored.
+    pub fn handle_message(
+        &mut self,
+        from: NodeId,
+        msg: &BgpMessage,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> RouterOutput {
+        if !self.peers.contains(&from) {
+            return RouterOutput::empty();
+        }
+        self.stats.messages_received += 1;
+        let prefix = msg.prefix();
+        let rib = self.ribs.entry(prefix).or_default();
+        // Route flap damping (extension): penalize flaps before the
+        // table is updated, so the previous state defines the flap.
+        let mut reuse_timer: Option<ReuseTimerRequest> = None;
+        if let Some(damping) = &mut self.damping {
+            let flap = match (msg, rib.get(from)) {
+                (BgpMessage::Withdraw { .. }, Some(_)) => Some(FlapKind::Withdrawal),
+                (BgpMessage::Announce { path, .. }, Some(old)) if old != path => {
+                    Some(FlapKind::AttributeChange)
+                }
+                _ => None,
+            };
+            if let Some(kind) = flap {
+                if damping.record_flap(from, prefix, kind, now) {
+                    self.stats.damping_suppressions += 1;
+                    if let Some(at) = damping.reuse_time(from, prefix) {
+                        reuse_timer = Some(ReuseTimerRequest {
+                            peer: from,
+                            prefix,
+                            at: at.max(now),
+                        });
+                    }
+                }
+            }
+        }
+        match msg {
+            BgpMessage::Announce { path, .. } => {
+                rib.insert(from, path.clone());
+                if self.config.enhancements.assertion {
+                    // Assertion check (Pei et al.): any stored backup
+                    // path that routes *through* `from` but disagrees
+                    // with what `from` just announced is obsolete.
+                    let removed = rib.remove_where(|peer, stored| {
+                        peer != from
+                            && stored
+                                .suffix_from(from)
+                                .is_some_and(|suffix| suffix != path.as_slice())
+                    });
+                    self.stats.assertion_removals += removed.len() as u64;
+                }
+            }
+            BgpMessage::Withdraw { .. } => {
+                rib.remove(from);
+                if self.config.enhancements.assertion {
+                    // `from` has no route at all now; every stored path
+                    // through it is obsolete.
+                    let removed =
+                        rib.remove_where(|peer, stored| peer != from && stored.contains(from));
+                    self.stats.assertion_removals += removed.len() as u64;
+                }
+            }
+        }
+        let mut out = RouterOutput::empty();
+        if let Some(req) = reuse_timer {
+            out.reuse_timers.push(req);
+        }
+        self.run_decision(prefix, now, rng, &mut out);
+        out
+    }
+
+    /// Damping reuse callback for `(peer, prefix)`: if the penalty has
+    /// decayed below the reuse threshold, the suppressed route returns
+    /// to the decision process; if further flaps pushed the reuse time
+    /// out, a new callback is requested.
+    pub fn on_damping_reuse(
+        &mut self,
+        peer: NodeId,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> RouterOutput {
+        let mut out = RouterOutput::empty();
+        let Some(damping) = &mut self.damping else {
+            return out;
+        };
+        if damping.try_reuse(peer, prefix, now) {
+            self.run_decision(prefix, now, rng, &mut out);
+        } else if let Some(at) = damping.reuse_time(peer, prefix) {
+            // Still suppressed (penalty grew since the timer was set).
+            // Nudge the retry strictly into the future: at the exact
+            // decay boundary, floating-point equality could otherwise
+            // reschedule the check at `now` forever.
+            let min_at = now + bgpsim_netsim::time::SimDuration::from_millis(1);
+            out.reuse_timers.push(ReuseTimerRequest {
+                peer,
+                prefix,
+                at: at.max(min_at),
+            });
+        }
+        out
+    }
+
+    /// MRAI expiry callback for `(peer, prefix)`. The host must invoke
+    /// this exactly at the instant given in the corresponding
+    /// [`MraiTimerRequest`].
+    pub fn on_mrai_expire(
+        &mut self,
+        peer: NodeId,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> RouterOutput {
+        // A restarted timer supersedes this expiry.
+        if let Some(at) = self.mrai.expiry(peer, prefix) {
+            if at > now {
+                return RouterOutput::empty();
+            }
+        }
+        self.mrai.clear(peer, prefix);
+        if !self.peers.contains(&peer) {
+            return RouterOutput::empty();
+        }
+        let mut out = RouterOutput::empty();
+        self.sync_peer(peer, prefix, now, rng, &mut out);
+        out
+    }
+
+    /// Handles loss of the session to `peer` (link failure): drop its
+    /// routes and rerun the decision process everywhere.
+    pub fn on_peer_down(&mut self, peer: NodeId, now: SimTime, rng: &mut SimRng) -> RouterOutput {
+        if !self.peers.remove(&peer) {
+            return RouterOutput::empty();
+        }
+        self.mrai.clear_peer(peer);
+        if let Some(damping) = &mut self.damping {
+            damping.clear_peer(peer);
+        }
+        let prefixes: Vec<Prefix> = self.ribs.keys().copied().collect();
+        let mut out = RouterOutput::empty();
+        for prefix in prefixes {
+            if let Some(rib) = self.ribs.get_mut(&prefix) {
+                rib.remove(peer);
+            }
+            self.adj_out.remove(&(peer, prefix));
+            self.run_decision(prefix, now, rng, &mut out);
+        }
+        out
+    }
+
+    /// Handles a new (or restored) session to `peer`: advertise all
+    /// current routes to it.
+    pub fn on_peer_up(&mut self, peer: NodeId, now: SimTime, rng: &mut SimRng) -> RouterOutput {
+        assert!(peer != self.id, "router {peer} cannot peer with itself");
+        let mut out = RouterOutput::empty();
+        if !self.peers.insert(peer) {
+            return out;
+        }
+        let prefixes: Vec<Prefix> = self
+            .loc
+            .keys()
+            .copied()
+            .collect();
+        for prefix in prefixes {
+            self.sync_peer(peer, prefix, now, rng, &mut out);
+        }
+        out
+    }
+
+    /// Runs the decision process for `prefix`; on change, updates the
+    /// FIB and synchronizes every peer.
+    fn run_decision(
+        &mut self,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut SimRng,
+        out: &mut RouterOutput,
+    ) {
+        let new: Option<LocRoute> = if self.originated.contains(&prefix) {
+            Some(LocRoute {
+                fib: FibEntry::Local,
+                path: AsPath::origin_only(self.id),
+            })
+        } else {
+            let damping = &self.damping;
+            self.ribs.get(&prefix).and_then(|rib| {
+                select_best_where(rib, self.id, &self.policy, |peer| {
+                    damping
+                        .as_ref()
+                        .is_none_or(|d| !d.is_suppressed(peer, prefix, now))
+                })
+                .map(|sel| LocRoute {
+                    fib: FibEntry::Via(sel.next_hop),
+                    path: sel.path,
+                })
+            })
+        };
+
+        if self.loc.get(&prefix) == new.as_ref() {
+            return;
+        }
+        self.stats.route_changes += 1;
+        match &new {
+            Some(route) => {
+                out.fib_changes.push((prefix, Some(route.fib)));
+                self.loc.insert(prefix, route.clone());
+            }
+            None => {
+                out.fib_changes.push((prefix, None));
+                self.loc.remove(&prefix);
+            }
+        }
+        let peers: Vec<NodeId> = self.peers.iter().copied().collect();
+        for peer in peers {
+            self.sync_peer(peer, prefix, now, rng, out);
+        }
+    }
+
+    /// Brings `peer`'s view of `prefix` in line with the current
+    /// selection, respecting MRAI and the configured enhancements.
+    fn sync_peer(
+        &mut self,
+        peer: NodeId,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut SimRng,
+        out: &mut RouterOutput,
+    ) {
+        let enh = self.config.enhancements;
+        let mut desired: Option<AsPath> = self
+            .loc
+            .get(&prefix)
+            .filter(|route| self.policy.export_allowed(route.fib.via(), peer))
+            .map(|r| r.path.clone());
+        let mut via_ssld = false;
+
+        // SSLD: the receiver would discard a path containing itself, so
+        // send the (MRAI-exempt) withdrawal instead of the (MRAI-gated)
+        // poison-reverse announcement.
+        if enh.ssld {
+            if let Some(path) = &desired {
+                if path.contains(peer) {
+                    desired = None;
+                    via_ssld = true;
+                }
+            }
+        }
+
+        let current = self.adj_out.get(&(peer, prefix));
+        let timer_running = self.mrai.is_running(peer, prefix, now);
+
+        match desired {
+            None => {
+                if current.is_none() {
+                    return; // peer already believes we have no route
+                }
+                if enh.wrate && timer_running {
+                    // WRATE holds the withdrawal until the timer fires;
+                    // `on_mrai_expire` re-syncs from current state.
+                    return;
+                }
+                self.adj_out.remove(&(peer, prefix));
+                out.sends.push((peer, BgpMessage::withdraw(prefix)));
+                self.stats.withdrawals_sent += 1;
+                if via_ssld {
+                    self.stats.ssld_conversions += 1;
+                }
+                if enh.wrate {
+                    self.start_mrai(peer, prefix, now, rng, out);
+                }
+            }
+            Some(path) => {
+                if current == Some(&path) {
+                    return; // already advertised
+                }
+                if timer_running {
+                    if enh.ghost_flushing {
+                        // Ghost Flushing: the route got worse and the
+                        // announcement is stuck behind MRAI — flush the
+                        // peer's stale knowledge with an immediate
+                        // withdrawal.
+                        if let Some(old) = current {
+                            if path.len() > old.len() {
+                                self.adj_out.remove(&(peer, prefix));
+                                out.sends.push((peer, BgpMessage::withdraw(prefix)));
+                                self.stats.withdrawals_sent += 1;
+                                self.stats.ghost_flushes += 1;
+                            }
+                        }
+                    }
+                    // The announcement itself waits; expiry re-syncs.
+                    return;
+                }
+                self.adj_out.insert((peer, prefix), path.clone());
+                out.sends
+                    .push((peer, BgpMessage::announce(prefix, path)));
+                self.stats.announcements_sent += 1;
+                self.start_mrai(peer, prefix, now, rng, out);
+            }
+        }
+    }
+
+    fn start_mrai(
+        &mut self,
+        peer: NodeId,
+        prefix: Prefix,
+        now: SimTime,
+        rng: &mut SimRng,
+        out: &mut RouterOutput,
+    ) {
+        if self.config.mrai.is_zero() {
+            return;
+        }
+        let j = self.config.mrai_jitter;
+        let interval = rng.jittered(self.config.mrai, j.lo, j.hi);
+        let at = now + interval;
+        self.mrai.start(peer, prefix, at);
+        out.timers.push(MraiTimerRequest { peer, prefix, at });
+    }
+}
+
+impl Router<ShortestPath> {
+    /// Creates a router with the paper's shortest-path policy.
+    pub fn new<I>(id: NodeId, peers: I, config: BgpConfig) -> Self
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        Router::with_policy(id, peers, config, ShortestPath)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Enhancements, Jitter};
+    use bgpsim_netsim::time::SimDuration;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn p() -> Prefix {
+        Prefix::new(0)
+    }
+
+    /// Deterministic config: no jitter, 30 s MRAI.
+    fn cfg() -> BgpConfig {
+        BgpConfig::default().with_jitter(Jitter::NONE)
+    }
+
+    fn cfg_enh(enh: Enhancements) -> BgpConfig {
+        cfg().with_enhancements(enh)
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(7)
+    }
+
+    fn announce(path: &[u32]) -> BgpMessage {
+        BgpMessage::announce(p(), AsPath::from_ids(path.iter().copied()))
+    }
+
+    #[test]
+    fn origin_advertises_to_all_peers() {
+        let mut r = Router::new(n(0), [n(1), n(2)], cfg());
+        let out = r.originate(p(), SimTime::ZERO, &mut rng());
+        assert_eq!(out.sends.len(), 2);
+        for (_, msg) in &out.sends {
+            assert_eq!(msg.path(), Some(&AsPath::from_ids([0])));
+        }
+        assert_eq!(out.fib_changes, vec![(p(), Some(FibEntry::Local))]);
+        assert_eq!(out.timers.len(), 2, "MRAI timers start on announce");
+        assert_eq!(r.best(p()).unwrap().fib, FibEntry::Local);
+    }
+
+    #[test]
+    fn learns_and_propagates_best_path() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg());
+        let mut rg = rng();
+        let out = r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        assert_eq!(r.best(p()).unwrap().path, AsPath::from_ids([5, 4, 0]));
+        assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(4)));
+        // Advertises (5 4 0) to both peers — including back to 4
+        // (path-based poison reverse information).
+        assert_eq!(out.sends.len(), 2);
+        let to_4 = out.sends.iter().find(|(to, _)| *to == n(4)).unwrap();
+        assert_eq!(to_4.1.path(), Some(&AsPath::from_ids([5, 4, 0])));
+    }
+
+    #[test]
+    fn poison_reverse_discards_looped_paths() {
+        let mut r = Router::new(n(4), [n(5), n(6)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        assert_eq!(r.best(p()), None, "path containing self is unusable");
+    }
+
+    #[test]
+    fn withdrawal_falls_back_to_stale_path() {
+        // The Figure 1 transition: this is how the 2-node loop seeds.
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        let best = r.best(p()).unwrap();
+        assert_eq!(best.path, AsPath::from_ids([5, 6, 4, 0]));
+        assert_eq!(best.fib, FibEntry::Via(n(6)));
+        assert_eq!(out.fib_changes, vec![(p(), Some(FibEntry::Via(n(6))))]);
+    }
+
+    #[test]
+    fn no_route_sends_withdrawals_immediately_despite_mrai() {
+        let mut r = Router::new(n(5), [n(4)], cfg());
+        let mut rg = rng();
+        // Learn and advertise: MRAI timer now running toward peer 4.
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        // Withdrawal arrives 1 s later — our own withdrawal to peers
+        // must go out immediately (RFC 1771: MRAI gates announcements
+        // only).
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.sends[0].1.is_withdraw());
+    }
+
+    #[test]
+    fn mrai_delays_second_announcement() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 9, 0]), SimTime::ZERO, &mut rg);
+        // One second later node 6 offers a *shorter* path (6 0):
+        // decision changes, but the announcement to each peer is gated
+        // by the running MRAI timers.
+        let out = r.handle_message(n(6), &announce(&[6, 0]), SimTime::from_secs(1), &mut rg);
+        assert_eq!(
+            r.best(p()).unwrap().path,
+            AsPath::from_ids([5, 6, 0]),
+            "decision itself is immediate"
+        );
+        assert!(
+            out.sends.is_empty(),
+            "announcements must wait for MRAI expiry"
+        );
+        // At expiry the pending change goes out.
+        let out = r.on_mrai_expire(n(4), p(), SimTime::from_secs(30), &mut rg);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(
+            out.sends[0].1.path(),
+            Some(&AsPath::from_ids([5, 6, 0]))
+        );
+        assert_eq!(out.timers.len(), 1, "timer restarts after send");
+    }
+
+    #[test]
+    fn mrai_expiry_with_no_change_is_silent() {
+        let mut r = Router::new(n(5), [n(4)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        let out = r.on_mrai_expire(n(4), p(), SimTime::from_secs(30), &mut rg);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stale_mrai_expiry_is_ignored_after_restart() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 9, 0]), SimTime::ZERO, &mut rg);
+        // Change arrives during the first interval…
+        r.handle_message(n(6), &announce(&[6, 0]), SimTime::from_secs(1), &mut rg);
+        // …expiry at t=30 sends and restarts the timer to t=60.
+        let out = r.on_mrai_expire(n(4), p(), SimTime::from_secs(30), &mut rg);
+        assert_eq!(out.sends.len(), 1);
+        // A stale duplicate expiry callback (e.g. the host delivered an
+        // old event) must be a no-op while the new timer runs.
+        let out2 = r.on_mrai_expire(n(4), p(), SimTime::from_secs(31), &mut rg);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn no_resend_of_identical_route() {
+        let mut r = Router::new(n(5), [n(4)], cfg());
+        let mut rg = rng();
+        let out1 = r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        assert_eq!(out1.sends.len(), 1);
+        // The same announcement again: nothing changes, nothing sent.
+        let out2 = r.handle_message(n(4), &announce(&[4, 0]), SimTime::from_secs(40), &mut rg);
+        assert!(out2.sends.is_empty());
+        assert!(out2.fib_changes.is_empty());
+    }
+
+    #[test]
+    fn peer_down_drops_routes_and_finds_alternative() {
+        let mut r = Router::new(n(6), [n(3), n(5)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(5), &announce(&[5, 4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(3), &announce(&[3, 2, 1, 0]), SimTime::ZERO, &mut rg);
+        assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(5)));
+        let out = r.on_peer_down(n(5), SimTime::from_secs(1), &mut rg);
+        assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(3)));
+        assert_eq!(
+            r.best(p()).unwrap().path,
+            AsPath::from_ids([6, 3, 2, 1, 0])
+        );
+        assert!(out
+            .fib_changes
+            .contains(&(p(), Some(FibEntry::Via(n(3))))));
+        // No message goes to the dead peer.
+        assert!(out.sends.iter().all(|(to, _)| *to != n(5)));
+    }
+
+    #[test]
+    fn peer_down_twice_is_noop() {
+        let mut r = Router::new(n(6), [n(5)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(5), &announce(&[5, 0]), SimTime::ZERO, &mut rg);
+        let _ = r.on_peer_down(n(5), SimTime::from_secs(1), &mut rg);
+        let out = r.on_peer_down(n(5), SimTime::from_secs(2), &mut rg);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn messages_from_unknown_peers_ignored() {
+        let mut r = Router::new(n(6), [n(5)], cfg());
+        let mut rg = rng();
+        let out = r.handle_message(n(9), &announce(&[9, 0]), SimTime::ZERO, &mut rg);
+        assert!(out.is_empty());
+        assert_eq!(r.best(p()), None);
+    }
+
+    #[test]
+    fn peer_up_advertises_current_routes() {
+        let mut r = Router::new(n(5), [n(4)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        let out = r.on_peer_up(n(7), SimTime::from_secs(1), &mut rg);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, n(7));
+        assert_eq!(
+            out.sends[0].1.path(),
+            Some(&AsPath::from_ids([5, 4, 0]))
+        );
+    }
+
+    #[test]
+    fn withdraw_origin_floods_withdrawals() {
+        let mut r = Router::new(n(0), [n(1), n(2), n(3)], cfg());
+        let mut rg = rng();
+        r.originate(p(), SimTime::ZERO, &mut rg);
+        let out = r.withdraw_origin(p(), SimTime::from_secs(100), &mut rg);
+        assert_eq!(out.sends.len(), 3);
+        assert!(out.sends.iter().all(|(_, m)| m.is_withdraw()));
+        assert_eq!(out.fib_changes, vec![(p(), None)]);
+        assert_eq!(r.best(p()), None);
+    }
+
+    // ---------- Enhancement: SSLD ----------
+
+    #[test]
+    fn ssld_converts_looped_announcement_to_withdrawal() {
+        // Figure 1(b) with SSLD: node 5's new path (5 6 4 0) contains
+        // node 6, so instead of announcing it to 6, node 5 sends an
+        // immediate withdrawal.
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::ssld()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        // New best is (5 6 4 0); to node 6 that becomes a withdrawal.
+        let to_6: Vec<_> = out.sends.iter().filter(|(to, _)| *to == n(6)).collect();
+        assert_eq!(to_6.len(), 1);
+        assert!(to_6[0].1.is_withdraw());
+        assert_eq!(r.stats().ssld_conversions, 1);
+        // Nothing was ever advertised to node 4 (the very first route
+        // (5 4 0) already contained node 4, so SSLD suppressed it), so
+        // no withdrawal is owed to node 4 either.
+        let to_4: Vec<_> = out.sends.iter().filter(|(to, _)| *to == n(4)).collect();
+        assert!(to_4.is_empty());
+    }
+
+    #[test]
+    fn ssld_withdrawal_bypasses_running_mrai() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::ssld()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        // MRAI timers to both peers are running (started at t=0).
+        // Withdrawal from 4 at t=1: SSLD withdrawal to 6 must go NOW.
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        assert!(out.sends.iter().any(|(to, m)| *to == n(6) && m.is_withdraw()));
+    }
+
+    #[test]
+    fn ssld_suppresses_when_nothing_advertised() {
+        let mut r = Router::new(n(5), [n(6)], cfg_enh(Enhancements::ssld()));
+        let mut rg = rng();
+        // First route learned already contains peer 6: nothing was ever
+        // advertised to 6, so SSLD sends nothing at all.
+        let out = r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        assert!(out.sends.is_empty());
+    }
+
+    // ---------- Enhancement: WRATE ----------
+
+    #[test]
+    fn wrate_delays_withdrawal_until_expiry() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::wrate()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        // Lose the route at t=1 while the MRAI timer (started at t=0)
+        // still runs: under WRATE the withdrawal is held back.
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        assert!(out.sends.is_empty(), "WRATE gates withdrawals too");
+        // Expiry releases it.
+        let out = r.on_mrai_expire(n(6), p(), SimTime::from_secs(30), &mut rg);
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.sends[0].1.is_withdraw());
+        assert_eq!(out.timers.len(), 1, "WRATE restarts the timer on withdraw");
+    }
+
+    #[test]
+    fn wrate_sends_withdrawal_when_timer_idle() {
+        let mut r = Router::new(n(5), [n(4)], cfg_enh(Enhancements::wrate()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        // After the timer has long expired, a withdrawal flows freely.
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(60),
+            &mut rg,
+        );
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.sends[0].1.is_withdraw());
+    }
+
+    // ---------- Enhancement: Assertion ----------
+
+    #[test]
+    fn assertion_purges_paths_through_withdrawing_peer() {
+        // Paper §5: "when node 5 receives a withdrawal message from
+        // node 4, it will also remove the backup path (5 6 4 0) since
+        // the path goes through node 4."
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::assertion()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        assert_eq!(r.best(p()), None, "obsolete backup must not be used");
+        assert_eq!(r.stats().assertion_removals, 1);
+        // And we tell everyone we have no route.
+        assert!(out.sends.iter().any(|(_, m)| m.is_withdraw()));
+    }
+
+    #[test]
+    fn assertion_purges_disagreeing_backups_on_announce() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::assertion()));
+        let mut rg = rng();
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        // Node 4 announces a *different* path than the (4 0) subpath
+        // stored inside 6's route: 6's route is obsolete.
+        r.handle_message(n(4), &announce(&[4, 7, 0]), SimTime::from_secs(1), &mut rg);
+        assert_eq!(r.rib_in(p()).unwrap().get(n(6)), None);
+        assert_eq!(r.stats().assertion_removals, 1);
+        assert_eq!(
+            r.best(p()).unwrap().path,
+            AsPath::from_ids([5, 4, 7, 0])
+        );
+    }
+
+    #[test]
+    fn assertion_keeps_agreeing_backups() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::assertion()));
+        let mut rg = rng();
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        // Node 4 announces exactly the subpath that 6's route embeds:
+        // consistent, keep it.
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::from_secs(1), &mut rg);
+        assert!(r.rib_in(p()).unwrap().get(n(6)).is_some());
+        assert_eq!(r.stats().assertion_removals, 0);
+    }
+
+    #[test]
+    fn assertion_ignores_paths_not_through_peer() {
+        let mut r = Router::new(n(5), [n(3), n(4)], cfg_enh(Enhancements::assertion()));
+        let mut rg = rng();
+        r.handle_message(n(3), &announce(&[3, 2, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        assert!(r.rib_in(p()).unwrap().get(n(3)).is_some());
+        assert_eq!(r.stats().assertion_removals, 0);
+    }
+
+    // ---------- Enhancement: Ghost Flushing ----------
+
+    #[test]
+    fn ghost_flushing_withdraws_when_path_worsens_under_mrai() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::ghost_flushing()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 9, 8, 0]), SimTime::ZERO, &mut rg);
+        // Lose the short path at t=1: the new best (5 6 9 8 0) is
+        // longer than the advertised (5 4 0) and MRAI is running —
+        // ghost-flush both peers with immediate withdrawals.
+        let out = r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        let withdrawals: Vec<_> = out.sends.iter().filter(|(_, m)| m.is_withdraw()).collect();
+        assert_eq!(withdrawals.len(), 2);
+        assert_eq!(r.stats().ghost_flushes, 2);
+        // The better-path announcement still waits for the timer; at
+        // expiry it goes out (adj-out was flushed to "nothing").
+        let out = r.on_mrai_expire(n(6), p(), SimTime::from_secs(30), &mut rg);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(
+            out.sends[0].1.path(),
+            Some(&AsPath::from_ids([5, 6, 9, 8, 0]))
+        );
+    }
+
+    #[test]
+    fn ghost_flushing_silent_when_path_improves() {
+        let mut r = Router::new(n(5), [n(4), n(6)], cfg_enh(Enhancements::ghost_flushing()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 9, 0]), SimTime::ZERO, &mut rg);
+        // A better (shorter) path arrives during MRAI: no flushing —
+        // the stale-but-valid longer route at the peers is harmless.
+        let out = r.handle_message(n(6), &announce(&[6, 0]), SimTime::from_secs(1), &mut rg);
+        assert!(out.sends.is_empty());
+        assert_eq!(r.stats().ghost_flushes, 0);
+    }
+
+    #[test]
+    fn ghost_flushing_flushes_once_per_degradation() {
+        let mut r = Router::new(n(5), [n(4), n(6), n(7)], cfg_enh(Enhancements::ghost_flushing()));
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 9, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(7), &announce(&[7, 9, 8, 0]), SimTime::ZERO, &mut rg);
+        let before = r.stats().withdrawals_sent;
+        r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        let flushed = r.stats().withdrawals_sent - before;
+        assert_eq!(flushed, 3, "one flush per peer");
+        // Degrading again (6 withdraws, fall to path via 7): adj-out is
+        // already flushed, so no second flush for the same peers.
+        let before = r.stats().ghost_flushes;
+        r.handle_message(
+            n(6),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(2),
+            &mut rg,
+        );
+        assert_eq!(r.stats().ghost_flushes, before);
+    }
+
+    // ---------- misc ----------
+
+    #[test]
+    fn zero_mrai_never_starts_timers() {
+        let mut r = Router::new(
+            n(5),
+            [n(4)],
+            cfg().with_mrai(SimDuration::ZERO),
+        );
+        let mut rg = rng();
+        let out = r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        assert_eq!(out.sends.len(), 1);
+        assert!(out.timers.is_empty());
+        // Immediate subsequent change also flows immediately.
+        let out = r.handle_message(n(4), &announce(&[4, 9, 0]), SimTime::from_millis(1), &mut rg);
+        assert_eq!(out.sends.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot peer with itself")]
+    fn self_peering_rejected() {
+        let _ = Router::new(n(1), [n(1)], cfg());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut r = Router::new(n(5), [n(4)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(
+            n(4),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(1),
+            &mut rg,
+        );
+        let s = r.stats();
+        assert_eq!(s.messages_received, 2);
+        assert_eq!(s.announcements_sent, 1);
+        assert_eq!(s.withdrawals_sent, 1);
+        assert_eq!(s.messages_sent(), 2);
+        assert_eq!(s.route_changes, 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Semantics of enhancement *combinations* — the paper studies them
+//! one at a time; these tests pin down how the implementation composes
+//! them, so future refactors keep the interactions deliberate.
+
+use bgpsim_core::prelude::*;
+use bgpsim_netsim::rng::SimRng;
+use bgpsim_netsim::time::SimTime;
+use bgpsim_topology::NodeId;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn p() -> Prefix {
+    Prefix::new(0)
+}
+
+fn cfg(enh: Enhancements) -> BgpConfig {
+    BgpConfig::default()
+        .with_jitter(Jitter::NONE)
+        .with_enhancements(enh)
+}
+
+fn announce(path: &[u32]) -> BgpMessage {
+    BgpMessage::announce(p(), AsPath::from_ids(path.iter().copied()))
+}
+
+/// SSLD + WRATE: the SSLD conversion produces a withdrawal, and WRATE
+/// gates it behind the running MRAI timer (the draft-spec reading:
+/// *all* withdrawals are rate-limited).
+#[test]
+fn ssld_conversion_is_gated_by_wrate() {
+    let enh = Enhancements {
+        ssld: true,
+        wrate: true,
+        ..Default::default()
+    };
+    let mut r = Router::new(n(5), [n(4), n(6)], cfg(enh));
+    let mut rng = SimRng::new(1);
+    r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rng);
+    r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rng);
+    // Timer toward 6 is running (announcement at t=0). The withdrawal
+    // from 4 flips the best path to (5 6 4 0); SSLD wants to withdraw
+    // toward 6, but WRATE holds it.
+    let out = r.handle_message(
+        n(4),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(1),
+        &mut rng,
+    );
+    assert!(
+        out.sends.iter().all(|(to, _)| *to != n(6)),
+        "WRATE must gate the SSLD withdrawal: {:?}",
+        out.sends
+    );
+    // At expiry the (still looped) route resolves to a withdrawal.
+    let out = r.on_mrai_expire(n(6), p(), SimTime::from_secs(30), &mut rng);
+    assert_eq!(out.sends.len(), 1);
+    assert!(out.sends[0].1.is_withdraw());
+    assert_eq!(r.stats().ssld_conversions, 1);
+}
+
+/// Assertion + Ghost Flushing: assertion purges the stale backup, so
+/// there is nothing worse to fall back to — the node withdraws
+/// directly and ghost flushing never needs to fire.
+#[test]
+fn assertion_preempts_ghost_flushing() {
+    let enh = Enhancements {
+        assertion: true,
+        ghost_flushing: true,
+        ..Default::default()
+    };
+    let mut r = Router::new(n(5), [n(4), n(6)], cfg(enh));
+    let mut rng = SimRng::new(2);
+    r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rng);
+    r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rng);
+    let out = r.handle_message(
+        n(4),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(1),
+        &mut rng,
+    );
+    assert_eq!(r.best(p()), None, "assertion purged the stale backup");
+    assert_eq!(r.stats().assertion_removals, 1);
+    assert_eq!(r.stats().ghost_flushes, 0, "nothing left to flush");
+    // The withdrawals to peers go out immediately (not ghost flushes —
+    // ordinary no-route withdrawals).
+    assert!(out.sends.iter().any(|(_, m)| m.is_withdraw()));
+}
+
+/// All four enhancements at once: the router still converges to the
+/// correct final state on a message sequence that exercises every
+/// mechanism.
+#[test]
+fn all_four_together_stay_correct() {
+    let enh = Enhancements {
+        ssld: true,
+        wrate: true,
+        assertion: true,
+        ghost_flushing: true,
+    };
+    let mut r = Router::new(n(5), [n(3), n(4), n(6)], cfg(enh));
+    let mut rng = SimRng::new(3);
+    let mut t = SimTime::ZERO;
+    let mut step = || {
+        t += bgpsim_netsim::time::SimDuration::from_secs(1);
+        t
+    };
+    r.handle_message(n(4), &announce(&[4, 0]), step(), &mut rng);
+    r.handle_message(n(6), &announce(&[6, 4, 0]), step(), &mut rng);
+    r.handle_message(n(3), &announce(&[3, 2, 1, 0]), step(), &mut rng);
+    assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(4)));
+    // Withdrawal from 4: assertion purges (6 4 0); best falls to the
+    // long stable path via 3.
+    r.handle_message(n(4), &BgpMessage::withdraw(p()), step(), &mut rng);
+    assert_eq!(
+        r.best(p()).unwrap().path,
+        AsPath::from_ids([5, 3, 2, 1, 0])
+    );
+    // 6 re-announces a fresh (valid) path through 3's side; shorter
+    // path wins again.
+    r.handle_message(n(6), &announce(&[6, 1, 0]), step(), &mut rng);
+    assert_eq!(
+        r.best(p()).unwrap().path,
+        AsPath::from_ids([5, 6, 1, 0])
+    );
+    // Selected routes never contain the router itself.
+    assert!(r.best(p()).unwrap().path.is_simple());
+}
+
+/// Ghost Flushing + WRATE: the flush withdrawal is exempted from
+/// WRATE in our composition? No — our implementation routes ghost
+/// flushes through the same immediate-send path (they exist precisely
+/// to bypass the MRAI delay), so they fire even with WRATE on. Pin
+/// that choice.
+#[test]
+fn ghost_flush_fires_despite_wrate() {
+    let enh = Enhancements {
+        wrate: true,
+        ghost_flushing: true,
+        ..Default::default()
+    };
+    let mut r = Router::new(n(5), [n(4), n(6)], cfg(enh));
+    let mut rng = SimRng::new(4);
+    r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rng);
+    r.handle_message(n(6), &announce(&[6, 9, 8, 0]), SimTime::ZERO, &mut rng);
+    let out = r.handle_message(
+        n(4),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(1),
+        &mut rng,
+    );
+    assert!(
+        out.sends.iter().any(|(_, m)| m.is_withdraw()),
+        "ghost flush must bypass WRATE's gating"
+    );
+    assert!(r.stats().ghost_flushes > 0);
+}

@@ -1,0 +1,184 @@
+//! Router-level behavior of route flap damping (RFC 2439 extension):
+//! suppression hides flapping routes from the decision process, reuse
+//! timers bring them back, and stable routes are never penalized.
+
+use bgpsim_core::damping::DampingConfig;
+use bgpsim_core::prelude::*;
+use bgpsim_netsim::rng::SimRng;
+use bgpsim_netsim::time::{SimDuration, SimTime};
+use bgpsim_topology::NodeId;
+
+fn n(i: u32) -> NodeId {
+    NodeId::new(i)
+}
+
+fn p() -> Prefix {
+    Prefix::new(0)
+}
+
+fn damped_config() -> BgpConfig {
+    BgpConfig::default()
+        .with_jitter(Jitter::NONE)
+        .with_damping(DampingConfig::default())
+}
+
+fn announce(path: &[u32]) -> BgpMessage {
+    BgpMessage::announce(p(), AsPath::from_ids(path.iter().copied()))
+}
+
+/// Two withdrawal flaps suppress the route; the router then ignores a
+/// fresh announcement from the flapping peer and prefers a stable
+/// (longer) alternative.
+#[test]
+fn flapping_route_is_suppressed() {
+    let mut r = Router::new(n(9), [n(1), n(2)], damped_config());
+    let mut rng = SimRng::new(1);
+    let mut t = SimTime::ZERO;
+    let mut step = || {
+        t += SimDuration::from_secs(1);
+        t
+    };
+
+    // Stable long path via 2; flapping short path via 1.
+    r.handle_message(n(2), &announce(&[2, 3, 4, 0]), step(), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), step(), &mut rng);
+    assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(1)));
+
+    // Flap 1: withdraw + re-announce.
+    r.handle_message(n(1), &BgpMessage::withdraw(p()), step(), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), step(), &mut rng);
+    assert_eq!(
+        r.best(p()).unwrap().fib,
+        FibEntry::Via(n(1)),
+        "one flap (penalty 1000) does not suppress"
+    );
+
+    // Flap 2: decay leaves the penalty a hair under 2000 — still up.
+    r.handle_message(n(1), &BgpMessage::withdraw(p()), step(), &mut rng);
+    assert_eq!(r.stats().damping_suppressions, 0);
+    r.handle_message(n(1), &announce(&[1, 0]), step(), &mut rng);
+
+    // Flap 3: well past the suppress threshold.
+    let out = r.handle_message(n(1), &BgpMessage::withdraw(p()), step(), &mut rng);
+    assert_eq!(r.stats().damping_suppressions, 1);
+    assert_eq!(
+        out.reuse_timers.len(),
+        1,
+        "suppression schedules a reuse check"
+    );
+    // Re-announcement arrives but the route stays hidden.
+    r.handle_message(n(1), &announce(&[1, 0]), step(), &mut rng);
+    assert_eq!(
+        r.best(p()).unwrap().fib,
+        FibEntry::Via(n(2)),
+        "suppressed route must not be selected"
+    );
+}
+
+/// After the reuse timer fires (penalty decayed), the suppressed route
+/// returns to service.
+#[test]
+fn reuse_restores_suppressed_route() {
+    let mut r = Router::new(n(9), [n(1), n(2)], damped_config());
+    let mut rng = SimRng::new(2);
+    r.handle_message(n(2), &announce(&[2, 3, 4, 0]), SimTime::from_secs(1), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(2), &mut rng);
+    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(3), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(4), &mut rng);
+    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(5), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(6), &mut rng);
+    let out = r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(7), &mut rng);
+    let reuse = out.reuse_timers[0];
+    // Final state of the flapper: announced again, but suppressed.
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(8), &mut rng);
+    assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(2)));
+
+    // Reuse fires (≈ 15 min × log2(2000/750) later): route comes back.
+    let out = r.on_damping_reuse(n(1), p(), reuse.at, &mut rng);
+    assert!(!out.fib_changes.is_empty(), "reuse re-runs the decision");
+    assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(1)));
+}
+
+/// A reuse check that fires while the penalty is still above the
+/// threshold (more flaps happened) reschedules itself.
+#[test]
+fn early_reuse_check_reschedules() {
+    let mut r = Router::new(n(9), [n(1)], damped_config());
+    let mut rng = SimRng::new(3);
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(1), &mut rng);
+    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(2), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(3), &mut rng);
+    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(4), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_millis(4500), &mut rng);
+    let out = r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_millis(4800), &mut rng);
+    let first_reuse = out.reuse_timers[0].at;
+    // More flaps push the penalty (and thus the reuse time) up.
+    for s in 5..9 {
+        r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(s), &mut rng);
+        r.handle_message(
+            n(1),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(s) + SimDuration::from_millis(500),
+            &mut rng,
+        );
+    }
+    let out = r.on_damping_reuse(n(1), p(), first_reuse, &mut rng);
+    assert_eq!(out.reuse_timers.len(), 1, "must reschedule");
+    assert!(out.reuse_timers[0].at > first_reuse);
+}
+
+/// Stable routes never accumulate penalty: identical re-announcements
+/// are not flaps.
+#[test]
+fn stable_routes_are_not_penalized() {
+    let mut r = Router::new(n(9), [n(1)], damped_config());
+    let mut rng = SimRng::new(4);
+    for s in 1..20 {
+        r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(s), &mut rng);
+    }
+    assert_eq!(r.stats().damping_suppressions, 0);
+    assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(1)));
+}
+
+/// Attribute changes (different path) accumulate penalty more slowly
+/// than withdrawals, and session loss clears damping state.
+#[test]
+fn attribute_changes_and_peer_reset() {
+    let mut r = Router::new(n(9), [n(1)], damped_config());
+    let mut rng = SimRng::new(5);
+    // Three path changes: 500 × 3 = 1500 < 2000 → no suppression.
+    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(1), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 5, 0]), SimTime::from_secs(2), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 6, 0]), SimTime::from_secs(3), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 7, 0]), SimTime::from_secs(4), &mut rng);
+    assert_eq!(r.stats().damping_suppressions, 0);
+    // One more change would cross the threshold, but the session
+    // resets first (clears penalties), so a change after recovery is
+    // penalty-free.
+    r.on_peer_down(n(1), SimTime::from_secs(5), &mut rng);
+    r.on_peer_up(n(1), SimTime::from_secs(6), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 8, 0]), SimTime::from_secs(7), &mut rng);
+    r.handle_message(n(1), &announce(&[1, 5, 0]), SimTime::from_secs(8), &mut rng);
+    assert_eq!(r.stats().damping_suppressions, 0);
+    assert!(r.best(p()).is_some());
+}
+
+/// Without damping configured, nothing is ever suppressed and
+/// `on_damping_reuse` is a no-op.
+#[test]
+fn damping_disabled_by_default() {
+    let mut r = Router::new(n(9), [n(1)], BgpConfig::default().with_jitter(Jitter::NONE));
+    let mut rng = SimRng::new(6);
+    for s in 1..10 {
+        r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(2 * s), &mut rng);
+        r.handle_message(
+            n(1),
+            &BgpMessage::withdraw(p()),
+            SimTime::from_secs(2 * s + 1),
+            &mut rng,
+        );
+    }
+    assert_eq!(r.stats().damping_suppressions, 0);
+    let out = r.on_damping_reuse(n(1), p(), SimTime::from_secs(100), &mut rng);
+    assert!(out.is_empty());
+}

@@ -1,0 +1,62 @@
+//! # bgpsim-dataplane
+//!
+//! The packet-forwarding plane for the `bgpsim` BGP route-looping study
+//! (ICDCS 2004 reproduction): CBR traffic sources, time-indexed
+//! forwarding tables, a hop-by-hop packet replay engine with TTL
+//! accounting, and a forwarding-loop scanner.
+//!
+//! ## Design
+//!
+//! The study runs the data plane at a rate low enough that congestion
+//! never occurs (§4.2), so packets never influence routing. That makes
+//! the coupling one-directional: the control-plane simulation records
+//! each node's FIB changes as a piecewise-constant history
+//! ([`fib::NetworkFib`]), and packets are *replayed* against it
+//! ([`replay::walk_packet`]) — hop timings, in-flight table changes and
+//! TTL exhaustion all behave exactly as in a fully interleaved
+//! simulation, at a fraction of the cost. The `bgpsim-sim` crate
+//! contains an event-driven forwarder used to cross-validate the
+//! equivalence.
+//!
+//! ## Example
+//!
+//! ```
+//! use bgpsim_dataplane::prelude::*;
+//! use bgpsim_core::{FibEntry, Prefix};
+//! use bgpsim_netsim::time::{SimDuration, SimTime};
+//! use bgpsim_topology::NodeId;
+//!
+//! // A two-node forwarding loop (paper Figure 1(b)).
+//! let p = Prefix::new(0);
+//! let mut fib = NetworkFib::new(2);
+//! fib.record(NodeId::new(0), p, SimTime::ZERO, Some(FibEntry::Via(NodeId::new(1))));
+//! fib.record(NodeId::new(1), p, SimTime::ZERO, Some(FibEntry::Via(NodeId::new(0))));
+//!
+//! let pkt = Packet { id: 0, src: NodeId::new(0), prefix: p, ttl: DEFAULT_TTL, sent_at: SimTime::ZERO };
+//! let fate = walk_packet(&fib, &pkt, SimDuration::from_millis(2));
+//! assert!(fate.is_ttl_exhausted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fib;
+pub mod loopscan;
+pub mod packet;
+pub mod replay;
+pub mod source;
+
+pub use fib::{FibHistory, NetworkFib};
+pub use loopscan::{find_loops, loop_census, LoopRecord};
+pub use packet::{Packet, PacketFate, DEFAULT_TTL};
+pub use replay::{generate_packets, walk_all, walk_packet, walk_packet_traced};
+pub use source::{paper_sources, CbrSource};
+
+/// Commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::fib::{FibHistory, NetworkFib};
+    pub use crate::loopscan::{find_loops, loop_census, LoopRecord};
+    pub use crate::packet::{Packet, PacketFate, DEFAULT_TTL};
+    pub use crate::replay::{generate_packets, walk_all, walk_packet, walk_packet_traced};
+    pub use crate::source::{paper_sources, CbrSource};
+}

@@ -1,0 +1,343 @@
+//! Forwarding-loop detection.
+//!
+//! For one prefix, the next-hop entries of all nodes form a *functional
+//! graph* (out-degree ≤ 1), so every forwarding loop is a simple cycle
+//! and can be found in `O(n)` by walking with visit colors.
+//!
+//! [`loop_census`] goes further and tracks loop **lifetimes** across the
+//! recorded FIB history — the per-loop size/duration statistics the
+//! paper lists as future work (§6), provided here as an extension.
+
+use bgpsim_core::{FibEntry, Prefix};
+use bgpsim_netsim::time::SimTime;
+use bgpsim_topology::NodeId;
+use std::collections::BTreeMap;
+
+use crate::fib::NetworkFib;
+
+/// Finds all forwarding loops in a next-hop snapshot.
+///
+/// Each loop is returned in canonical form: the cycle's nodes in
+/// traversal order, rotated so the smallest id comes first. Loops are
+/// sorted by their smallest member.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_dataplane::loopscan::find_loops;
+/// use bgpsim_core::FibEntry;
+/// use bgpsim_topology::NodeId;
+///
+/// // 5 → 6 → 5 (the paper's Figure 1(b) loop), 0 local, others empty.
+/// let n = NodeId::new;
+/// let snapshot = vec![
+///     Some(FibEntry::Local),              // 0
+///     None,                               // 1
+///     None,                               // 2
+///     None,                               // 3
+///     None,                               // 4
+///     Some(FibEntry::Via(n(6))),          // 5
+///     Some(FibEntry::Via(n(5))),          // 6
+/// ];
+/// let loops = find_loops(&snapshot);
+/// assert_eq!(loops, vec![vec![n(5), n(6)]]);
+/// ```
+pub fn find_loops(snapshot: &[Option<FibEntry>]) -> Vec<Vec<NodeId>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        InProgress(u32), // walk id
+        Done,
+    }
+    let n = snapshot.len();
+    let next = |i: usize| -> Option<usize> {
+        match snapshot[i] {
+            Some(FibEntry::Via(v)) => Some(v.index()),
+            _ => None,
+        }
+    };
+    let mut color = vec![Color::White; n];
+    let mut loops = Vec::new();
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let walk_id = start as u32;
+        let mut trail: Vec<usize> = Vec::new();
+        let mut cur = start;
+        loop {
+            match color[cur] {
+                Color::Done => break,
+                Color::InProgress(w) if w == walk_id => {
+                    // Found a new cycle: the suffix of the trail from
+                    // `cur`.
+                    let pos = trail
+                        .iter()
+                        .position(|&x| x == cur)
+                        .expect("cycle node must be on the current trail");
+                    let cycle: Vec<usize> = trail[pos..].to_vec();
+                    loops.push(canonicalize(&cycle));
+                    break;
+                }
+                Color::InProgress(_) => break, // joined an older walk
+                Color::White => {
+                    color[cur] = Color::InProgress(walk_id);
+                    trail.push(cur);
+                    match next(cur) {
+                        Some(nx) if nx < n => cur = nx,
+                        _ => break, // sink (local, no route, or dangling)
+                    }
+                }
+            }
+        }
+        for &i in &trail {
+            color[i] = Color::Done;
+        }
+    }
+    loops.sort_by_key(|c| c[0]);
+    loops
+}
+
+fn canonicalize(cycle: &[usize]) -> Vec<NodeId> {
+    let min_pos = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &v)| v)
+        .map(|(i, _)| i)
+        .expect("cycles are non-empty");
+    cycle[min_pos..]
+        .iter()
+        .chain(cycle[..min_pos].iter())
+        .map(|&i| NodeId::new(i as u32))
+        .collect()
+}
+
+/// One observed forwarding loop with its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopRecord {
+    /// The cycle in canonical order (smallest id first).
+    pub nodes: Vec<NodeId>,
+    /// When the loop appeared in the forwarding graph.
+    pub formed_at: SimTime,
+    /// When it disappeared (`None` if still present at the end of the
+    /// history).
+    pub resolved_at: Option<SimTime>,
+}
+
+impl LoopRecord {
+    /// Number of nodes in the loop.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The loop's lifetime, if it resolved.
+    pub fn duration(&self) -> Option<bgpsim_netsim::time::SimDuration> {
+        self.resolved_at.map(|r| r - self.formed_at)
+    }
+}
+
+/// Scans a FIB history and reports every loop's birth and death — the
+/// per-loop census the paper proposes as future work.
+///
+/// A loop is identified by its canonical node cycle; if the same cycle
+/// disappears and later re-forms, two records are produced.
+pub fn loop_census(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
+    let mut live: BTreeMap<Vec<NodeId>, SimTime> = BTreeMap::new();
+    let mut records = Vec::new();
+    for t in fib.change_times(prefix) {
+        let snapshot = fib.snapshot(prefix, t);
+        let current: Vec<Vec<NodeId>> = find_loops(&snapshot);
+        let current_set: std::collections::BTreeSet<&Vec<NodeId>> = current.iter().collect();
+        // Deaths: live loops absent from the current snapshot.
+        let dead: Vec<Vec<NodeId>> = live
+            .keys()
+            .filter(|k| !current_set.contains(*k))
+            .cloned()
+            .collect();
+        for k in dead {
+            let formed_at = live.remove(&k).expect("key just observed");
+            records.push(LoopRecord {
+                nodes: k,
+                formed_at,
+                resolved_at: Some(t),
+            });
+        }
+        // Births.
+        for c in current {
+            live.entry(c).or_insert(t);
+        }
+    }
+    for (nodes, formed_at) in live {
+        records.push(LoopRecord {
+            nodes,
+            formed_at,
+            resolved_at: None,
+        });
+    }
+    records.sort_by_key(|r| (r.formed_at, r.nodes.clone()));
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn via(i: u32) -> Option<FibEntry> {
+        Some(FibEntry::Via(n(i)))
+    }
+
+    #[test]
+    fn no_loops_in_a_tree() {
+        let snapshot = vec![Some(FibEntry::Local), via(0), via(0), via(1)];
+        assert!(find_loops(&snapshot).is_empty());
+    }
+
+    #[test]
+    fn detects_two_node_loop() {
+        let snapshot = vec![None, via(2), via(1)];
+        assert_eq!(find_loops(&snapshot), vec![vec![n(1), n(2)]]);
+    }
+
+    #[test]
+    fn detects_long_loop_in_order() {
+        // 3 → 1 → 4 → 2 → 3.
+        let snapshot = vec![None, via(4), via(3), via(1), via(2)];
+        assert_eq!(find_loops(&snapshot), vec![vec![n(1), n(4), n(2), n(3)]]);
+    }
+
+    #[test]
+    fn detects_multiple_disjoint_loops() {
+        let snapshot = vec![via(1), via(0), via(3), via(2), None];
+        let loops = find_loops(&snapshot);
+        assert_eq!(loops, vec![vec![n(0), n(1)], vec![n(2), n(3)]]);
+    }
+
+    #[test]
+    fn tail_into_loop_is_not_part_of_it() {
+        // 0 → 1 → 2 → 1: only {1, 2} loop.
+        let snapshot = vec![via(1), via(2), via(1)];
+        assert_eq!(find_loops(&snapshot), vec![vec![n(1), n(2)]]);
+    }
+
+    #[test]
+    fn self_loop_cannot_exist_but_dangling_is_safe() {
+        // FIB pointing out of range is treated as a sink, not a crash.
+        let snapshot = vec![via(9)];
+        assert!(find_loops(&snapshot).is_empty());
+    }
+
+    #[test]
+    fn census_tracks_birth_and_death() {
+        use bgpsim_core::Prefix;
+        let p = Prefix::new(0);
+        let mut fib = NetworkFib::new(3);
+        fib.record(n(0), p, SimTime::ZERO, Some(FibEntry::Local));
+        // Loop 1↔2 forms at t=1.
+        fib.record(n(1), p, SimTime::from_secs(1), via(2));
+        fib.record(n(2), p, SimTime::from_secs(1), via(1));
+        // Resolves at t=5 when node 2 switches to 0.
+        fib.record(n(2), p, SimTime::from_secs(5), via(0));
+        let census = loop_census(&fib, p);
+        assert_eq!(census.len(), 1);
+        let rec = &census[0];
+        assert_eq!(rec.nodes, vec![n(1), n(2)]);
+        assert_eq!(rec.formed_at, SimTime::from_secs(1));
+        assert_eq!(rec.resolved_at, Some(SimTime::from_secs(5)));
+        assert_eq!(
+            rec.duration(),
+            Some(bgpsim_netsim::time::SimDuration::from_secs(4))
+        );
+        assert_eq!(rec.size(), 2);
+    }
+
+    #[test]
+    fn census_reports_unresolved_loop() {
+        use bgpsim_core::Prefix;
+        let p = Prefix::new(0);
+        let mut fib = NetworkFib::new(2);
+        fib.record(n(0), p, SimTime::ZERO, via(1));
+        fib.record(n(1), p, SimTime::ZERO, via(0));
+        let census = loop_census(&fib, p);
+        assert_eq!(census.len(), 1);
+        assert_eq!(census[0].resolved_at, None);
+        assert_eq!(census[0].duration(), None);
+    }
+
+    #[test]
+    fn census_counts_reformation_twice() {
+        use bgpsim_core::Prefix;
+        let p = Prefix::new(0);
+        let mut fib = NetworkFib::new(3);
+        fib.record(n(1), p, SimTime::ZERO, via(2));
+        fib.record(n(2), p, SimTime::ZERO, via(1));
+        fib.record(n(2), p, SimTime::from_secs(2), None); // resolve
+        fib.record(n(2), p, SimTime::from_secs(4), via(1)); // re-form
+        let census = loop_census(&fib, p);
+        assert_eq!(census.len(), 2);
+        assert_eq!(census[0].resolved_at, Some(SimTime::from_secs(2)));
+        assert_eq!(census[1].formed_at, SimTime::from_secs(4));
+    }
+
+    /// Brute-force reference: a node is on a loop iff walking from it
+    /// returns to it within n steps.
+    fn on_loop_brute(snapshot: &[Option<FibEntry>], start: usize) -> bool {
+        let mut cur = start;
+        for _ in 0..=snapshot.len() {
+            match snapshot[cur] {
+                Some(FibEntry::Via(v)) if v.index() < snapshot.len() => {
+                    cur = v.index();
+                    if cur == start {
+                        return true;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    proptest! {
+        /// The fast scanner agrees with the brute-force definition on
+        /// random functional graphs.
+        #[test]
+        fn matches_brute_force(entries in proptest::collection::vec(
+            proptest::option::of(0u32..12), 1..12
+        )) {
+            let m = entries.len() as u32;
+            // Map raw values into in-range next hops, dropping
+            // accidental self-loops (impossible in BGP FIBs).
+            let snapshot: Vec<Option<FibEntry>> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| match e.map(|v| v % m) {
+                    Some(v) if v as usize != i => Some(FibEntry::Via(NodeId::new(v))),
+                    _ => None,
+                })
+                .collect();
+            let loops = find_loops(&snapshot);
+            let mut on_loop = vec![false; snapshot.len()];
+            for c in &loops {
+                for node in c {
+                    on_loop[node.index()] = true;
+                }
+            }
+            for i in 0..snapshot.len() {
+                prop_assert_eq!(
+                    on_loop[i],
+                    on_loop_brute(&snapshot, i),
+                    "node {} disagreement", i
+                );
+            }
+            // Loops are disjoint (functional graph invariant).
+            let total: usize = loops.iter().map(|c| c.len()).sum();
+            let distinct: std::collections::HashSet<_> =
+                loops.iter().flatten().collect();
+            prop_assert_eq!(total, distinct.len());
+        }
+    }
+}

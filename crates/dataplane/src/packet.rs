@@ -1,0 +1,110 @@
+//! Data packets and their fates.
+
+use bgpsim_netsim::time::SimTime;
+use bgpsim_topology::NodeId;
+
+use bgpsim_core::Prefix;
+
+/// The default initial TTL, as in the study (§4.2): with a 2 ms link
+/// delay a packet lives `128 × 2 ms = 256 ms` before TTL exhaustion.
+pub const DEFAULT_TTL: u32 = 128;
+
+/// A data packet injected at a source AS toward a destination prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Sequence number (unique per run).
+    pub id: u64,
+    /// The AS that sent the packet.
+    pub src: NodeId,
+    /// The destination prefix.
+    pub prefix: Prefix,
+    /// Initial TTL (decremented once per AS hop).
+    pub ttl: u32,
+    /// When the packet left the source.
+    pub sent_at: SimTime,
+}
+
+/// What finally happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Reached the AS originating its destination prefix.
+    Delivered {
+        /// Arrival time.
+        at: SimTime,
+        /// Number of AS hops taken.
+        hops: u32,
+    },
+    /// Dropped because the TTL reached zero — the study's indicator
+    /// that the packet was caught in a forwarding loop.
+    TtlExhausted {
+        /// Drop time.
+        at: SimTime,
+        /// The AS at which the packet died.
+        node: NodeId,
+    },
+    /// Dropped at an AS with no route to the destination.
+    NoRoute {
+        /// Drop time.
+        at: SimTime,
+        /// The AS that had no route.
+        node: NodeId,
+    },
+}
+
+impl PacketFate {
+    /// The time the fate was sealed.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            PacketFate::Delivered { at, .. }
+            | PacketFate::TtlExhausted { at, .. }
+            | PacketFate::NoRoute { at, .. } => at,
+        }
+    }
+
+    /// Returns `true` for delivered packets.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PacketFate::Delivered { .. })
+    }
+
+    /// Returns `true` for TTL-exhaustion drops.
+    pub fn is_ttl_exhausted(&self) -> bool {
+        matches!(self, PacketFate::TtlExhausted { .. })
+    }
+
+    /// Returns `true` for no-route drops.
+    pub fn is_no_route(&self) -> bool {
+        matches!(self, PacketFate::NoRoute { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_predicates() {
+        let t = SimTime::from_secs(1);
+        let d = PacketFate::Delivered { at: t, hops: 3 };
+        let x = PacketFate::TtlExhausted {
+            at: t,
+            node: NodeId::new(2),
+        };
+        let n = PacketFate::NoRoute {
+            at: t,
+            node: NodeId::new(2),
+        };
+        assert!(d.is_delivered() && !d.is_ttl_exhausted() && !d.is_no_route());
+        assert!(x.is_ttl_exhausted() && !x.is_delivered());
+        assert!(n.is_no_route() && !n.is_delivered());
+        assert_eq!(d.at(), t);
+        assert_eq!(x.at(), t);
+        assert_eq!(n.at(), t);
+    }
+
+    #[test]
+    fn default_ttl_gives_256ms_lifetime() {
+        // Documented invariant from the paper's §4.2.
+        let lifetime_ms = DEFAULT_TTL as u64 * 2;
+        assert_eq!(lifetime_ms, 256);
+    }
+}

@@ -1,0 +1,254 @@
+//! Ablation studies of the design choices the paper's results rest on.
+//!
+//! Three ablations, each isolating one modelling ingredient:
+//!
+//! * **MRAI jitter** ([`jitter_ablation`]) — SSFNet draws each MRAI
+//!   interval from `[0.75 M, M]`; without jitter the clique's update
+//!   rounds synchronize into lock-step waves.
+//! * **Message processing delay** ([`processing_delay_ablation`]) —
+//!   the paper sets processing two orders of magnitude above the link
+//!   delay and notes (§5 fn. 5) that Ghost Flushing's advantage erodes
+//!   on large cliques *because* flushing withdrawals clog the serial
+//!   processors. Shrinking the processing delay restores Ghost
+//!   Flushing's full advantage.
+//! * **Routing policy** ([`policy_ablation`]) — replacing the paper's
+//!   shortest-path policy with Gao–Rexford export filtering removes
+//!   most alternative-path knowledge, collapsing `T_down` path
+//!   exploration (and with it, looping) on hierarchical topologies.
+
+use bgpsim_core::policy::GaoRexford;
+use bgpsim_core::{BgpConfig, Enhancements, Jitter, Prefix};
+use bgpsim_metrics::{measure_run, PaperMetrics};
+use bgpsim_netsim::time::SimDuration;
+use bgpsim_sim::{FailureEvent, SimNetwork, SimParams};
+use bgpsim_topology::generators::internet_like_tiered;
+use bgpsim_topology::relationships::derive_relationships;
+use bgpsim_topology::{algo, NodeId};
+
+use crate::scenario::{EventKind, Scenario, TopologySpec};
+
+/// One ablation comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// The configuration being compared.
+    pub label: String,
+    /// Mean convergence time (s).
+    pub convergence_secs: f64,
+    /// Mean TTL exhaustions.
+    pub ttl_exhaustions: f64,
+    /// Mean messages after the failure.
+    pub messages: f64,
+}
+
+impl AblationRow {
+    fn from_metrics(label: impl Into<String>, ms: &[PaperMetrics]) -> Self {
+        let n = ms.len() as f64;
+        AblationRow {
+            label: label.into(),
+            convergence_secs: ms.iter().map(|m| m.convergence_secs()).sum::<f64>() / n,
+            ttl_exhaustions: ms.iter().map(|m| m.ttl_exhaustions as f64).sum::<f64>() / n,
+            messages: ms
+                .iter()
+                .map(|m| m.messages_after_failure as f64)
+                .sum::<f64>()
+                / n,
+        }
+    }
+}
+
+/// Renders ablation rows as an aligned table.
+pub fn render_rows(title: &str, rows: &[AblationRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("## {title}\n");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>12} {:>14} {:>10}",
+        "configuration", "conv_s", "exhaustions", "messages"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>12.1} {:>14.0} {:>10.0}",
+            r.label, r.convergence_secs, r.ttl_exhaustions, r.messages
+        );
+    }
+    out
+}
+
+fn run_scenario(spec: TopologySpec, cfg: BgpConfig, seeds: &[u64]) -> Vec<PaperMetrics> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            Scenario::new(spec.clone(), EventKind::TDown)
+                .with_config(cfg)
+                .with_seed(seed)
+                .run()
+                .measurement
+                .metrics
+        })
+        .collect()
+}
+
+/// MRAI jitter on vs off, clique `T_down`.
+pub fn jitter_ablation(clique_n: usize, seeds: &[u64]) -> Vec<AblationRow> {
+    [("jitter [0.75M, M] (SSFNet)", Jitter::SSFNET), ("no jitter", Jitter::NONE)]
+        .into_iter()
+        .map(|(label, jitter)| {
+            let cfg = BgpConfig::default().with_jitter(jitter);
+            AblationRow::from_metrics(
+                label,
+                &run_scenario(TopologySpec::Clique(clique_n), cfg, seeds),
+            )
+        })
+        .collect()
+}
+
+/// Ghost Flushing vs standard BGP under the paper's heavy processing
+/// delay and under a near-zero one, on a clique large enough for the
+/// §5 footnote-5 effect.
+pub fn processing_delay_ablation(clique_n: usize, seeds: &[u64]) -> Vec<AblationRow> {
+    let heavy = SimParams::default(); // U[0.1 s, 0.5 s]
+    let light = SimParams {
+        proc_delay_lo: SimDuration::from_millis(1),
+        proc_delay_hi: SimDuration::from_millis(5),
+        ..SimParams::default()
+    };
+    let mut rows = Vec::new();
+    for (p_label, params) in [("heavy proc U[0.1,0.5]s", heavy), ("light proc U[1,5]ms", light)] {
+        for (e_label, enh) in [
+            ("BGP", Enhancements::standard()),
+            ("GhostFlush", Enhancements::ghost_flushing()),
+        ] {
+            let ms: Vec<PaperMetrics> = seeds
+                .iter()
+                .map(|&seed| {
+                    let mut scenario =
+                        Scenario::new(TopologySpec::Clique(clique_n), EventKind::TDown)
+                            .with_config(BgpConfig::default().with_enhancements(enh))
+                            .with_seed(seed);
+                    scenario.params = params;
+                    scenario.run().measurement.metrics
+                })
+                .collect();
+            rows.push(AblationRow::from_metrics(
+                format!("{e_label:<11} {p_label}"),
+                &ms,
+            ));
+        }
+    }
+    rows
+}
+
+/// Shortest-path (the paper's policy) vs Gao–Rexford on the same
+/// Internet-like graphs, `T_down`.
+pub fn policy_ablation(n: usize, seeds: &[u64]) -> Vec<AblationRow> {
+    let mut shortest = Vec::new();
+    let mut gao = Vec::new();
+    for &seed in seeds {
+        let (graph, tiers) = internet_like_tiered(n, seed);
+        let rels = derive_relationships(&graph, &tiers);
+        let dest = *algo::lowest_degree_nodes(&graph)
+            .first()
+            .expect("nonempty graph");
+        let prefix = Prefix::new(0);
+
+        fn run<P: bgpsim_core::decision::RoutePolicy>(
+            mut net: SimNetwork<P>,
+            dest: NodeId,
+            prefix: Prefix,
+            seed: u64,
+        ) -> PaperMetrics {
+            net.originate(dest, prefix);
+            net.run_to_quiescence(200_000_000);
+            net.schedule_failure(
+                SimDuration::from_secs(1),
+                FailureEvent::WithdrawPrefix {
+                    origin: dest,
+                    prefix,
+                },
+            );
+            net.run_to_quiescence(200_000_000);
+            let record = net.into_record();
+            measure_run(&record, dest, prefix, seed).metrics
+        }
+
+        shortest.push(run(SimNetwork::new(
+            &graph,
+            BgpConfig::default(),
+            SimParams::default(),
+            seed,
+        ), dest, prefix, seed));
+        let rels2 = rels.clone();
+        gao.push(run(SimNetwork::with_policies(
+            &graph,
+            BgpConfig::default(),
+            SimParams::default(),
+            seed,
+            move |node: NodeId| GaoRexford::for_node(node, &rels2),
+        ), dest, prefix, seed));
+    }
+    vec![
+        AblationRow::from_metrics("shortest-path (paper)", &shortest),
+        AblationRow::from_metrics("Gao-Rexford policy", &gao),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_rows_have_both_configs() {
+        let rows = jitter_ablation(5, &[1]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.convergence_secs > 0.0));
+    }
+
+    #[test]
+    fn processing_delay_restores_ghost_flushing() {
+        // Under light processing delay, Ghost Flushing's loop count
+        // should be a small fraction of BGP's; under heavy delay on a
+        // mid-size clique the advantage remains but the absolute
+        // convergence of GhostFlush grows with queue pressure.
+        let rows = processing_delay_ablation(10, &[1]);
+        assert_eq!(rows.len(), 4);
+        let get = |label_part: &str, heavy: bool| {
+            rows.iter()
+                .find(|r| {
+                    r.label.contains(label_part)
+                        && r.label.contains(if heavy { "heavy" } else { "light" })
+                })
+                .expect("row present")
+        };
+        let bgp_heavy = get("BGP", true);
+        let gf_heavy = get("GhostFlush", true);
+        assert!(gf_heavy.ttl_exhaustions < 0.3 * bgp_heavy.ttl_exhaustions);
+        let bgp_light = get("BGP", false);
+        let gf_light = get("GhostFlush", false);
+        assert!(gf_light.convergence_secs < 0.3 * bgp_light.convergence_secs);
+    }
+
+    #[test]
+    fn policy_ablation_collapses_exploration() {
+        let rows = policy_ablation(29, &[1]);
+        assert_eq!(rows.len(), 2);
+        let shortest = &rows[0];
+        let gao = &rows[1];
+        assert!(gao.convergence_secs < 0.3 * shortest.convergence_secs);
+        assert!(gao.ttl_exhaustions <= shortest.ttl_exhaustions);
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let rows = vec![AblationRow {
+            label: "x".into(),
+            convergence_secs: 1.0,
+            ttl_exhaustions: 2.0,
+            messages: 3.0,
+        }];
+        let s = render_rows("demo", &rows);
+        assert!(s.contains("demo"));
+        assert!(s.contains("conv_s"));
+    }
+}

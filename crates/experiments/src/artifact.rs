@@ -1,0 +1,128 @@
+//! CSV artifacts for figure data.
+//!
+//! Every figure can dump its aggregated series as CSV so the terminal
+//! tables can be re-plotted with external tooling. The figure binaries
+//! write `<BGPSIM_CSV_DIR>/figN.csv` when that environment variable is
+//! set.
+
+use std::fmt::Write as _;
+
+use crate::sweep::{AggregatedPoint, Series};
+
+/// The CSV header for aggregated-point rows.
+pub const CSV_HEADER: &str = "series,x,runs,convergence_secs,looping_secs,\
+                              ttl_exhaustions,packets_during_convergence,\
+                              looping_ratio,messages";
+
+/// Renders one aggregated point as a CSV line under `label`.
+pub fn point_csv_line(label: &str, p: &AggregatedPoint) -> String {
+    format!(
+        "{label},{},{},{:.6},{:.6},{:.3},{:.3},{:.6},{:.3}",
+        p.x,
+        p.runs,
+        p.convergence_secs,
+        p.looping_secs,
+        p.ttl_exhaustions,
+        p.packets_during_convergence,
+        p.looping_ratio,
+        p.messages
+    )
+}
+
+/// Renders labelled point groups as a CSV document with header.
+pub fn points_csv(groups: &[(&str, &[AggregatedPoint])]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for (label, points) in groups {
+        for p in *points {
+            let _ = writeln!(out, "{}", point_csv_line(label, p));
+        }
+    }
+    out
+}
+
+/// Renders series (one label per series, prefixed) as CSV.
+pub fn series_csv(prefix: &str, series: &[Series]) -> String {
+    let groups: Vec<(String, &[AggregatedPoint])> = series
+        .iter()
+        .map(|s| (format!("{prefix}-{}", s.label), s.points.as_slice()))
+        .collect();
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for (label, points) in &groups {
+        for p in *points {
+            let _ = writeln!(out, "{}", point_csv_line(label, p));
+        }
+    }
+    out
+}
+
+/// If `BGPSIM_CSV_DIR` is set, writes `content` to `<dir>/<name>` and
+/// returns the path written to.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating the directory or writing.
+pub fn maybe_write_csv(name: &str, content: &str) -> std::io::Result<Option<std::path::PathBuf>> {
+    let Ok(dir) = std::env::var("BGPSIM_CSV_DIR") else {
+        return Ok(None);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: f64) -> AggregatedPoint {
+        AggregatedPoint {
+            x,
+            runs: 2,
+            convergence_secs: 10.0,
+            looping_secs: 9.0,
+            ttl_exhaustions: 100.0,
+            packets_during_convergence: 500.0,
+            looping_ratio: 0.2,
+            messages: 42.0,
+        }
+    }
+
+    #[test]
+    fn csv_lines_match_header_arity() {
+        let line = point_csv_line("fig4a", &point(5.0));
+        assert_eq!(
+            line.split(',').count(),
+            CSV_HEADER.split(',').count(),
+            "line arity must match header"
+        );
+        assert!(line.starts_with("fig4a,5,2,"));
+    }
+
+    #[test]
+    fn points_csv_covers_all_groups() {
+        let a = [point(1.0), point(2.0)];
+        let b = [point(3.0)];
+        let doc = points_csv(&[("a", &a), ("b", &b)]);
+        assert_eq!(doc.lines().count(), 4);
+        assert!(doc.lines().nth(3).unwrap().starts_with("b,3"));
+    }
+
+    #[test]
+    fn series_csv_prefixes_labels() {
+        let mut s = Series::new("BGP");
+        s.points = vec![point(1.0)];
+        let doc = series_csv("fig8-clique", &[s]);
+        assert!(doc.contains("fig8-clique-BGP,1"));
+    }
+
+    #[test]
+    fn maybe_write_respects_env() {
+        // Without the env var: no write.
+        std::env::remove_var("BGPSIM_CSV_DIR");
+        assert_eq!(maybe_write_csv("x.csv", "data").unwrap(), None);
+    }
+}

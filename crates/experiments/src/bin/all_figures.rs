@@ -1,0 +1,41 @@
+//! Regenerates every evaluation figure of the paper (Figures 4–9).
+//! Usage: `all_figures [quick|paper]` (default: paper scale).
+
+use bgpsim_experiments::figures::{
+    fig4, fig5, fig6, fig7, fig8, fig9, render_claims, Scale,
+};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| Scale::parse(&a))
+        .unwrap_or_else(|| {
+            std::env::var("BGPSIM_SCALE")
+                .ok()
+                .and_then(|v| Scale::parse(&v))
+                .unwrap_or(Scale::Paper)
+        });
+    eprintln!("running all figure sweeps at {scale:?} scale…");
+    let mut failures = 0usize;
+    macro_rules! figure {
+        ($m:ident, $name:expr) => {{
+            eprintln!("== {} ==", $name);
+            let fig = $m::run(scale);
+            println!("{}", fig.render());
+            let claims = fig.claims();
+            println!("{}", render_claims(&claims));
+            failures += claims.iter().filter(|c| !c.pass).count();
+        }};
+    }
+    figure!(fig4, "Figure 4");
+    figure!(fig5, "Figure 5");
+    figure!(fig6, "Figure 6");
+    figure!(fig7, "Figure 7");
+    figure!(fig8, "Figure 8");
+    figure!(fig9, "Figure 9");
+    if failures > 0 {
+        eprintln!("{failures} claim check(s) did not pass — see output above");
+        std::process::exit(1);
+    }
+    eprintln!("all claim checks passed");
+}

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Figure 5. Usage: `fig5 [quick|paper]`
+//! (default: paper scale; set BGPSIM_SCALE to override).
+
+use bgpsim_experiments::figures::{fig5, render_claims, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| Scale::parse(&a))
+        .unwrap_or_else(|| {
+            std::env::var("BGPSIM_SCALE")
+                .ok()
+                .and_then(|v| Scale::parse(&v))
+                .unwrap_or(Scale::Paper)
+        });
+    eprintln!("running Figure 5 sweeps at {scale:?} scale…");
+    let fig = fig5::run(scale);
+    println!("{}", fig.render());
+    println!("{}", render_claims(&fig.claims()));
+    match bgpsim_experiments::artifact::maybe_write_csv("fig5.csv", &fig.csv()) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(err) => eprintln!("csv write failed: {err}"),
+    }
+}

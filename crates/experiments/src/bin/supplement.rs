@@ -1,0 +1,25 @@
+//! Supplementary experiment: MRAI (in)sensitivity per enhancement.
+//! Usage: `supplement [quick|paper]` (default: paper scale).
+
+use bgpsim_experiments::figures::{render_claims, supplement, Scale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| Scale::parse(&a))
+        .unwrap_or_else(|| {
+            std::env::var("BGPSIM_SCALE")
+                .ok()
+                .and_then(|v| Scale::parse(&v))
+                .unwrap_or(Scale::Paper)
+        });
+    eprintln!("running supplementary MRAI sweep at {scale:?} scale…");
+    let sup = supplement::run(scale);
+    println!("{}", sup.render());
+    println!("{}", render_claims(&sup.claims()));
+    match bgpsim_experiments::artifact::maybe_write_csv("supplement.csv", &sup.csv()) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(err) => eprintln!("csv write failed: {err}"),
+    }
+}

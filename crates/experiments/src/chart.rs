@@ -1,0 +1,220 @@
+//! Terminal rendering of figure data: aligned tables and a simple
+//! ASCII scatter chart, so `cargo run --bin fig4` output is readable
+//! without any plotting stack.
+
+use std::fmt::Write as _;
+
+use crate::sweep::Series;
+
+/// Renders an aligned table: first column is x, then one column per
+/// series, values extracted by `metric`.
+pub fn render_table<F>(
+    title: &str,
+    x_label: &str,
+    series: &[Series],
+    metric: F,
+    precision: usize,
+) -> String
+where
+    F: Fn(&crate::sweep::AggregatedPoint) -> f64,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let mut header = format!("{x_label:>10}");
+    for s in series {
+        let _ = write!(header, " {:>14}", s.label);
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    // Collect the union of x values across series, sorted.
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    for x in xs {
+        let mut line = format!("{x:>10}");
+        for s in series {
+            match s.at(x) {
+                Some(p) => {
+                    let _ = write!(line, " {:>14.precision$}", metric(p));
+                }
+                None => {
+                    let _ = write!(line, " {:>14}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a table of several metric columns over one sweep's points:
+/// first column is x, then one column per `(label, selector)` pair.
+pub fn render_columns(
+    title: &str,
+    x_label: &str,
+    points: &[crate::sweep::AggregatedPoint],
+    cols: &[(&str, &dyn Fn(&crate::sweep::AggregatedPoint) -> f64)],
+    precision: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let mut header = format!("{x_label:>10}");
+    for (label, _) in cols {
+        let _ = write!(header, " {label:>16}");
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "{}", "-".repeat(header.len()));
+    for p in points {
+        let mut line = format!("{:>10}", p.x);
+        for (_, f) in cols {
+            let _ = write!(line, " {:>16.precision$}", f(p));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Renders a crude ASCII scatter plot of one metric for several series.
+/// Each series is drawn with its own symbol; axes are linear.
+pub fn render_chart<F>(
+    title: &str,
+    series: &[Series],
+    metric: F,
+    width: usize,
+    height: usize,
+) -> String
+where
+    F: Fn(&crate::sweep::AggregatedPoint) -> f64,
+{
+    const SYMBOLS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let points: Vec<(usize, f64, f64)> = series
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| {
+            let metric = &metric;
+            s.points.iter().map(move |p| (si, p.x, metric(p)))
+        })
+        .collect();
+    if points.is_empty() || width < 2 || height < 2 {
+        return format!("## {title}\n(no data)\n");
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+    for &(_, x, y) in &points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < 1e-12 {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < 1e-12 {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for &(si, x, y) in &points {
+        let cx = (((x - xmin) / (xmax - xmin)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - cy;
+        grid[row][cx] = SYMBOLS[si % SYMBOLS.len()];
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{}={}", SYMBOLS[i % SYMBOLS.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "   [{}]  y: {:.2}..{:.2}", legend.join("  "), ymin, ymax);
+    for row in grid {
+        let _ = writeln!(out, "  |{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(width));
+    let _ = writeln!(out, "   x: {xmin:.1}..{xmax:.1}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::AggregatedPoint;
+
+    fn point(x: f64, conv: f64) -> AggregatedPoint {
+        AggregatedPoint {
+            x,
+            runs: 1,
+            convergence_secs: conv,
+            looping_secs: conv * 0.9,
+            ttl_exhaustions: 10.0,
+            packets_during_convergence: 100.0,
+            looping_ratio: 0.1,
+            messages: 5.0,
+        }
+    }
+
+    fn sample_series() -> Vec<Series> {
+        let mut a = Series::new("BGP");
+        a.points = vec![point(5.0, 50.0), point(10.0, 100.0)];
+        let mut b = Series::new("SSLD");
+        b.points = vec![point(5.0, 40.0)];
+        vec![a, b]
+    }
+
+    #[test]
+    fn table_lists_all_x_and_fills_gaps() {
+        let t = render_table("demo", "n", &sample_series(), |p| p.convergence_secs, 1);
+        assert!(t.contains("demo"));
+        assert!(t.contains("BGP"));
+        assert!(t.contains("SSLD"));
+        assert!(t.contains("50.0"));
+        // SSLD has no point at x=10: rendered as '-'.
+        let last_line = t.lines().last().unwrap();
+        assert!(last_line.contains('-'));
+    }
+
+    #[test]
+    fn chart_renders_symbols_and_bounds() {
+        let c = render_chart("demo chart", &sample_series(), |p| p.convergence_secs, 40, 10);
+        assert!(c.contains("*=BGP"));
+        assert!(c.contains("o=SSLD"));
+        assert!(c.contains('*'));
+        assert!(c.contains("x: 5.0..10.0"));
+    }
+
+    #[test]
+    fn chart_handles_empty_series() {
+        let c = render_chart("empty", &[], |p| p.x, 40, 10);
+        assert!(c.contains("(no data)"));
+    }
+
+    #[test]
+    fn columns_table_renders_metrics_side_by_side() {
+        let pts = vec![point(5.0, 50.0), point(10.0, 100.0)];
+        let t = render_columns(
+            "cols",
+            "n",
+            &pts,
+            &[
+                ("conv_s", &|p: &AggregatedPoint| p.convergence_secs),
+                ("loop_s", &|p: &AggregatedPoint| p.looping_secs),
+            ],
+            1,
+        );
+        assert!(t.contains("conv_s"));
+        assert!(t.contains("loop_s"));
+        assert!(t.contains("100.0"));
+        assert!(t.contains("90.0"));
+    }
+
+    #[test]
+    fn chart_handles_single_point() {
+        let mut s = Series::new("one");
+        s.points = vec![point(3.0, 7.0)];
+        let c = render_chart("single", &[s], |p| p.convergence_secs, 20, 5);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,206 @@
+//! **Figure 4** — Overall looping duration and convergence time vs
+//! network size, for (a) `T_down` in Cliques, (b) `T_long` in
+//! B-Cliques, (c) `T_down` in Internet-derived topologies.
+//!
+//! Paper findings the reproduction must show:
+//! * `T_down`: looping duration is only a few seconds shorter than
+//!   convergence time — looping persists through convergence;
+//! * `T_long`: looping duration is roughly one MRAI (paper: 30–45 s)
+//!   shorter than convergence time (the final MRAI-delayed update no
+//!   longer changes any route).
+
+use crate::chart::render_columns;
+use crate::figures::common::{config_with_mrai, size_sweep};
+use crate::figures::{ClaimCheck, Scale};
+use crate::scenario::{EventKind, TopologySpec};
+use crate::sweep::AggregatedPoint;
+use bgpsim_core::Enhancements;
+
+/// The three subfigures' sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// (a) `T_down`, Clique sizes.
+    pub a: Vec<AggregatedPoint>,
+    /// (b) `T_long`, B-Clique sizes (x = size parameter n; 2n nodes).
+    pub b: Vec<AggregatedPoint>,
+    /// (c) `T_down`, Internet-like sizes.
+    pub c: Vec<AggregatedPoint>,
+    scale: Scale,
+}
+
+/// Runs the Figure 4 sweeps at the given scale.
+pub fn run(scale: Scale) -> Fig4 {
+    let seeds = scale.seeds();
+    let cfg = config_with_mrai(30, Enhancements::standard());
+    Fig4 {
+        a: size_sweep(
+            &scale.clique_sizes(),
+            TopologySpec::Clique,
+            EventKind::TDown,
+            cfg,
+            &seeds,
+        ),
+        b: size_sweep(
+            &scale.bclique_sizes(),
+            TopologySpec::BClique,
+            EventKind::TLong,
+            cfg,
+            &seeds,
+        ),
+        c: size_sweep(
+            &scale.internet_sizes(),
+            |n| TopologySpec::InternetLike { n, topo_seed: 0 },
+            EventKind::TDown,
+            cfg,
+            &seeds,
+        ),
+        scale,
+    }
+}
+
+impl Fig4 {
+    /// Renders the three subfigure tables.
+    pub fn render(&self) -> String {
+        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+            ("convergence_s", &|p: &AggregatedPoint| p.convergence_secs),
+            ("looping_s", &|p: &AggregatedPoint| p.looping_secs),
+            ("gap_s", &|p: &AggregatedPoint| {
+                p.convergence_secs - p.looping_secs
+            }),
+        ];
+        let mut out = String::new();
+        out.push_str(&render_columns(
+            "Fig 4(a): T_down, Clique — duration vs size",
+            "clique_n",
+            &self.a,
+            cols,
+            1,
+        ));
+        out.push('\n');
+        out.push_str(&render_columns(
+            "Fig 4(b): T_long, B-Clique — duration vs size",
+            "bclique_n",
+            &self.b,
+            cols,
+            1,
+        ));
+        out.push('\n');
+        out.push_str(&render_columns(
+            "Fig 4(c): T_down, Internet-derived — duration vs size",
+            "nodes",
+            &self.c,
+            cols,
+            1,
+        ));
+        out
+    }
+
+    /// Renders the sweep data as a CSV document.
+    pub fn csv(&self) -> String {
+        crate::artifact::points_csv(&[
+            ("fig4a-clique-tdown", &self.a),
+            ("fig4b-bclique-tlong", &self.b),
+            ("fig4c-internet-tdown", &self.c),
+        ])
+    }
+
+    /// Checks the paper's claims for this figure.
+    pub fn claims(&self) -> Vec<ClaimCheck> {
+        let mut checks = Vec::new();
+
+        // Claim 1: T_down looping duration tracks convergence closely
+        // (gap of a few seconds; we allow 10% of convergence + 5 s).
+        for (label, points) in [("Clique", &self.a), ("Internet", &self.c)] {
+            let worst = points
+                .iter()
+                .map(|p| p.convergence_secs - p.looping_secs)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let max_conv = points
+                .iter()
+                .map(|p| p.convergence_secs)
+                .fold(0.0, f64::max);
+            let tolerance = 0.10 * max_conv + 5.0;
+            checks.push(ClaimCheck {
+                claim: format!(
+                    "T_down {label}: looping persists through convergence \
+                     (gap of only a few seconds)"
+                ),
+                measured: format!("max gap {worst:.1}s of conv {max_conv:.1}s"),
+                pass: worst <= tolerance,
+            });
+        }
+
+        // Claim 2: T_long gap is roughly one MRAI (paper: 30–45 s).
+        // Small B-Cliques converge in few rounds, so check only sizes
+        // large enough for the effect; tolerate 10–70 s.
+        let big: Vec<&AggregatedPoint> =
+            self.b.iter().filter(|p| p.x >= 5.0).collect();
+        if !big.is_empty() {
+            let gaps: Vec<f64> = big
+                .iter()
+                .map(|p| p.convergence_secs - p.looping_secs)
+                .collect();
+            let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            checks.push(ClaimCheck {
+                claim: "T_long B-Clique: convergence exceeds looping by \
+                        roughly one MRAI (paper: 30–45 s)"
+                    .into(),
+                measured: format!("mean gap {mean_gap:.1}s"),
+                pass: (10.0..=70.0).contains(&mean_gap),
+            });
+        }
+
+        // Claim 3: convergence grows with network size in cliques.
+        let growing = self
+            .a
+            .windows(2)
+            .all(|w| w[1].convergence_secs >= w[0].convergence_secs * 0.8);
+        checks.push(ClaimCheck {
+            claim: "T_down Clique: convergence time grows with clique size".into(),
+            measured: format!(
+                "convergence {:?}",
+                self.a
+                    .iter()
+                    .map(|p| p.convergence_secs.round())
+                    .collect::<Vec<_>>()
+            ),
+            pass: growing
+                && self.a.last().expect("nonempty").convergence_secs
+                    > self.a.first().expect("nonempty").convergence_secs,
+        });
+
+        // Claim 4 (headline, paper-scale only): the 110-node topology
+        // shows convergence on the order of hundreds of seconds.
+        if self.scale == Scale::Paper {
+            if let Some(p110) = self.c.iter().find(|p| p.x == 110.0) {
+                checks.push(ClaimCheck {
+                    claim: "110-node Internet-derived T_down: convergence of \
+                            hundreds of seconds (paper: 527 s)"
+                        .into(),
+                    measured: format!("{:.0}s", p110.convergence_secs),
+                    pass: (100.0..=1200.0).contains(&p110.convergence_secs),
+                });
+            }
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_reproduces_fig4_claims() {
+        let fig = run(Scale::Quick);
+        assert_eq!(fig.a.len(), Scale::Quick.clique_sizes().len());
+        assert_eq!(fig.b.len(), Scale::Quick.bclique_sizes().len());
+        assert_eq!(fig.c.len(), Scale::Quick.internet_sizes().len());
+        let rendered = fig.render();
+        assert!(rendered.contains("Fig 4(a)"));
+        assert!(rendered.contains("Fig 4(c)"));
+        for check in fig.claims() {
+            assert!(check.pass, "{}", check.render());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! **Figure 5** — Overall looping duration and convergence time vs the
+//! MRAI timer value, for (a) `T_down` in a Clique and (b) `T_long` in a
+//! B-Clique.
+//!
+//! Paper finding (Observation 1): both convergence time and overall
+//! looping duration are **linearly proportional** to the MRAI value
+//! (for MRAI above the topology-specific optimum, per Griffin &
+//! Premore).
+
+use crate::chart::{render_chart, render_columns};
+use crate::sweep::Series;
+use crate::figures::common::mrai_sweep;
+use crate::figures::{ClaimCheck, Scale};
+use crate::scenario::{EventKind, TopologySpec};
+use crate::sweep::{linear_fit, AggregatedPoint};
+use bgpsim_core::Enhancements;
+
+/// The two subfigures' sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// (a) `T_down` in a fixed-size Clique, x = MRAI seconds.
+    pub a: Vec<AggregatedPoint>,
+    /// (b) `T_long` in a fixed-size B-Clique, x = MRAI seconds.
+    pub b: Vec<AggregatedPoint>,
+    /// The clique size used.
+    pub clique_n: usize,
+    /// The B-Clique size parameter used.
+    pub bclique_n: usize,
+}
+
+/// Runs the Figure 5 sweeps at the given scale.
+pub fn run(scale: Scale) -> Fig5 {
+    let seeds = scale.seeds();
+    let mrai = scale.mrai_values();
+    let clique_n = scale.fixed_clique();
+    let bclique_n = scale.fixed_bclique();
+    Fig5 {
+        a: mrai_sweep(
+            &mrai,
+            &TopologySpec::Clique(clique_n),
+            EventKind::TDown,
+            Enhancements::standard(),
+            &seeds,
+        ),
+        b: mrai_sweep(
+            &mrai,
+            &TopologySpec::BClique(bclique_n),
+            EventKind::TLong,
+            Enhancements::standard(),
+            &seeds,
+        ),
+        clique_n,
+        bclique_n,
+    }
+}
+
+impl Fig5 {
+    /// Renders the two subfigure tables.
+    pub fn render(&self) -> String {
+        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+            ("convergence_s", &|p: &AggregatedPoint| p.convergence_secs),
+            ("looping_s", &|p: &AggregatedPoint| p.looping_secs),
+        ];
+        let mut out = String::new();
+        out.push_str(&render_columns(
+            &format!(
+                "Fig 5(a): T_down, Clique-{} — duration vs MRAI",
+                self.clique_n
+            ),
+            "mrai_s",
+            &self.a,
+            cols,
+            1,
+        ));
+        out.push('\n');
+        out.push_str(&render_columns(
+            &format!(
+                "Fig 5(b): T_long, B-Clique-{} — duration vs MRAI",
+                self.bclique_n
+            ),
+            "mrai_s",
+            &self.b,
+            cols,
+            1,
+        ));
+        // A scatter chart makes the linearity visible at a glance.
+        let mut conv = Series::new("conv_Tdown_clique");
+        conv.points = self.a.clone();
+        let mut conv_b = Series::new("conv_Tlong_bclique");
+        conv_b.points = self.b.clone();
+        out.push('\n');
+        out.push_str(&render_chart(
+            "Convergence vs MRAI (both sweeps) — linear",
+            &[conv, conv_b],
+            |p| p.convergence_secs,
+            60,
+            14,
+        ));
+        out
+    }
+
+    /// Renders the sweep data as a CSV document.
+    pub fn csv(&self) -> String {
+        crate::artifact::points_csv(&[
+            ("fig5a-clique-tdown-mrai", &self.a),
+            ("fig5b-bclique-tlong-mrai", &self.b),
+        ])
+    }
+
+    /// Checks the linearity claims.
+    pub fn claims(&self) -> Vec<ClaimCheck> {
+        let mut checks = Vec::new();
+        for (label, points) in [("T_down Clique", &self.a), ("T_long B-Clique", &self.b)] {
+            let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+            for (metric_label, ys) in [
+                (
+                    "convergence time",
+                    points
+                        .iter()
+                        .map(|p| p.convergence_secs)
+                        .collect::<Vec<f64>>(),
+                ),
+                (
+                    "looping duration",
+                    points.iter().map(|p| p.looping_secs).collect::<Vec<f64>>(),
+                ),
+            ] {
+                let fit = linear_fit(&xs, &ys);
+                let (pass, measured) = match fit {
+                    Some(f) => (
+                        f.r > 0.95 && f.slope > 0.0,
+                        format!("slope {:.2} s/s, r = {:.3}", f.slope, f.r),
+                    ),
+                    None => (false, "fit failed".into()),
+                };
+                checks.push(ClaimCheck {
+                    claim: format!("{label}: {metric_label} linear in MRAI"),
+                    measured,
+                    pass,
+                });
+            }
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_reproduces_fig5_linearity() {
+        let fig = run(Scale::Quick);
+        assert_eq!(fig.a.len(), Scale::Quick.mrai_values().len());
+        assert!(fig.render().contains("Fig 5(a)"));
+        for check in fig.claims() {
+            assert!(check.pass, "{}", check.render());
+        }
+    }
+}

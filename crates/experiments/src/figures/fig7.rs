@@ -1,0 +1,140 @@
+//! **Figure 7** — Number of TTL exhaustions and looping ratio vs the
+//! MRAI timer value (same sweeps as Figure 5).
+//!
+//! Paper finding (Observation 2): the number of TTL exhaustions is
+//! linearly proportional to the MRAI value while the looping ratio
+//! stays almost constant — individual loop durations scale with MRAI,
+//! and so does convergence time, so the ratio cancels out.
+
+use crate::chart::render_columns;
+use crate::figures::common::mrai_sweep;
+use crate::figures::{ClaimCheck, Scale};
+use crate::scenario::{EventKind, TopologySpec};
+use crate::sweep::{linear_fit, AggregatedPoint};
+use bgpsim_core::Enhancements;
+
+/// The two subfigures' sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// (a) `T_down` in a fixed Clique, x = MRAI seconds.
+    pub a: Vec<AggregatedPoint>,
+    /// (b) `T_long` in a fixed B-Clique, x = MRAI seconds.
+    pub b: Vec<AggregatedPoint>,
+    /// The clique size used.
+    pub clique_n: usize,
+    /// The B-Clique size parameter used.
+    pub bclique_n: usize,
+}
+
+/// Runs the Figure 7 sweeps at the given scale.
+pub fn run(scale: Scale) -> Fig7 {
+    let seeds = scale.seeds();
+    let mrai = scale.mrai_values();
+    let clique_n = scale.fixed_clique();
+    let bclique_n = scale.fixed_bclique();
+    Fig7 {
+        a: mrai_sweep(
+            &mrai,
+            &TopologySpec::Clique(clique_n),
+            EventKind::TDown,
+            Enhancements::standard(),
+            &seeds,
+        ),
+        b: mrai_sweep(
+            &mrai,
+            &TopologySpec::BClique(bclique_n),
+            EventKind::TLong,
+            Enhancements::standard(),
+            &seeds,
+        ),
+        clique_n,
+        bclique_n,
+    }
+}
+
+impl Fig7 {
+    /// Renders the two subfigure tables.
+    pub fn render(&self) -> String {
+        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+            ("ttl_exhaustions", &|p: &AggregatedPoint| p.ttl_exhaustions),
+            ("looping_ratio", &|p: &AggregatedPoint| p.looping_ratio),
+        ];
+        let mut out = String::new();
+        out.push_str(&render_columns(
+            &format!(
+                "Fig 7(a): T_down, Clique-{} — exhaustions & ratio vs MRAI",
+                self.clique_n
+            ),
+            "mrai_s",
+            &self.a,
+            cols,
+            3,
+        ));
+        out.push('\n');
+        out.push_str(&render_columns(
+            &format!(
+                "Fig 7(b): T_long, B-Clique-{} — exhaustions & ratio vs MRAI",
+                self.bclique_n
+            ),
+            "mrai_s",
+            &self.b,
+            cols,
+            3,
+        ));
+        out
+    }
+
+    /// Renders the sweep data as a CSV document.
+    pub fn csv(&self) -> String {
+        crate::artifact::points_csv(&[
+            ("fig7a-clique-tdown-mrai", &self.a),
+            ("fig7b-bclique-tlong-mrai", &self.b),
+        ])
+    }
+
+    /// Checks linear-exhaustions and constant-ratio claims.
+    pub fn claims(&self) -> Vec<ClaimCheck> {
+        let mut checks = Vec::new();
+        for (label, points) in [("T_down Clique", &self.a), ("T_long B-Clique", &self.b)] {
+            let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+            let ys: Vec<f64> = points.iter().map(|p| p.ttl_exhaustions).collect();
+            let (pass, measured) = match linear_fit(&xs, &ys) {
+                Some(f) => (
+                    f.r > 0.95 && f.slope > 0.0,
+                    format!("slope {:.1} exh/s, r = {:.3}", f.slope, f.r),
+                ),
+                None => (false, "fit failed".into()),
+            };
+            checks.push(ClaimCheck {
+                claim: format!("{label}: TTL exhaustions linear in MRAI"),
+                measured,
+                pass,
+            });
+
+            let ratios: Vec<f64> = points.iter().map(|p| p.looping_ratio).collect();
+            let max = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+            let spread_ok = min > 0.0 && max / min < 2.0;
+            checks.push(ClaimCheck {
+                claim: format!("{label}: looping ratio almost constant across MRAI"),
+                measured: format!("ratio range [{min:.2}, {max:.2}]"),
+                pass: spread_ok,
+            });
+        }
+        checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_reproduces_fig7_claims() {
+        let fig = run(Scale::Quick);
+        assert!(fig.render().contains("Fig 7(a)"));
+        for check in fig.claims() {
+            assert!(check.pass, "{}", check.render());
+        }
+    }
+}

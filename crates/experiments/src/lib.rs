@@ -1,0 +1,37 @@
+//! # bgpsim-experiments
+//!
+//! The experiment harness of the `bgpsim` reproduction of *"A Study of
+//! BGP Path Vector Route Looping Behavior"* (ICDCS 2004): declarative
+//! scenarios, multi-seed sweeps, terminal charts, and one module per
+//! evaluation figure (4–9) that regenerates the paper's series and
+//! checks its qualitative claims.
+//!
+//! Binaries: `fig4` … `fig9` print one figure each; `all_figures` runs
+//! the whole evaluation. Pass `quick` (default) or `paper` as the
+//! first argument to select the sweep scale.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use bgpsim_experiments::figures::{fig5, Scale};
+//!
+//! let fig = fig5::run(Scale::Quick);
+//! println!("{}", fig.render());
+//! for claim in fig.claims() {
+//!     println!("{}", claim.render());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod artifact;
+pub mod chart;
+pub mod figures;
+pub mod scenario;
+pub mod sweep;
+
+pub use figures::{ClaimCheck, Scale};
+pub use scenario::{EventKind, Scenario, ScenarioResult, TopologySpec};
+pub use sweep::{aggregate, linear_fit, AggregatedPoint, LinearFit, Series};

@@ -1,0 +1,207 @@
+//! Multi-seed sweeps and aggregation.
+//!
+//! The paper repeats every configuration "a number of times with
+//! different destination ASes and failed links" and reports the
+//! averages; [`aggregate`] does the averaging, and [`Series`] collects
+//! the points of one curve.
+
+use bgpsim_metrics::PaperMetrics;
+
+/// Mean metrics over the runs of one `(x, variant)` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregatedPoint {
+    /// The x-axis value (network size, MRAI seconds, …).
+    pub x: f64,
+    /// Number of runs averaged.
+    pub runs: usize,
+    /// Mean convergence time, seconds.
+    pub convergence_secs: f64,
+    /// Mean overall looping duration, seconds.
+    pub looping_secs: f64,
+    /// Mean TTL exhaustion count.
+    pub ttl_exhaustions: f64,
+    /// Mean packets sent during convergence.
+    pub packets_during_convergence: f64,
+    /// Mean looping ratio.
+    pub looping_ratio: f64,
+    /// Mean BGP messages after the failure.
+    pub messages: f64,
+}
+
+/// Averages per-run metrics into one point at `x`.
+///
+/// # Panics
+///
+/// Panics if `metrics` is empty.
+pub fn aggregate(x: f64, metrics: &[PaperMetrics]) -> AggregatedPoint {
+    assert!(!metrics.is_empty(), "cannot aggregate zero runs");
+    let n = metrics.len() as f64;
+    AggregatedPoint {
+        x,
+        runs: metrics.len(),
+        convergence_secs: metrics.iter().map(|m| m.convergence_secs()).sum::<f64>() / n,
+        looping_secs: metrics.iter().map(|m| m.looping_secs()).sum::<f64>() / n,
+        ttl_exhaustions: metrics.iter().map(|m| m.ttl_exhaustions as f64).sum::<f64>() / n,
+        packets_during_convergence: metrics
+            .iter()
+            .map(|m| m.packets_during_convergence as f64)
+            .sum::<f64>()
+            / n,
+        looping_ratio: metrics.iter().map(|m| m.looping_ratio).sum::<f64>() / n,
+        messages: metrics
+            .iter()
+            .map(|m| m.messages_after_failure as f64)
+            .sum::<f64>()
+            / n,
+    }
+}
+
+/// One labelled curve of aggregated points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label ("BGP", "GhostFlush", "convergence", …).
+    pub label: String,
+    /// Points in ascending x order.
+    pub points: Vec<AggregatedPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The y values of a metric across the series, via `f`.
+    pub fn column<F: Fn(&AggregatedPoint) -> f64>(&self, f: F) -> Vec<f64> {
+        self.points.iter().map(f).collect()
+    }
+
+    /// The point with the given x, if present.
+    pub fn at(&self, x: f64) -> Option<&AggregatedPoint> {
+        self.points.iter().find(|p| (p.x - x).abs() < 1e-9)
+    }
+}
+
+/// Least-squares linear fit `y = a·x + b` plus the Pearson correlation
+/// coefficient — used to check the paper's "linearly proportional to
+/// MRAI" observations.
+///
+/// Returns `None` for fewer than two points or zero x-variance.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r = if syy == 0.0 {
+        1.0 // constant y is perfectly "linear"
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r,
+    })
+}
+
+/// Result of [`linear_fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope `a`.
+    pub slope: f64,
+    /// Intercept `b`.
+    pub intercept: f64,
+    /// Pearson correlation coefficient.
+    pub r: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(conv: f64, exh: u64, pkts: u64) -> PaperMetrics {
+        use bgpsim_netsim::time::SimDuration;
+        PaperMetrics {
+            convergence_time: Some(SimDuration::from_secs_f64(conv)),
+            overall_looping_duration: Some(SimDuration::from_secs_f64(conv * 0.9)),
+            ttl_exhaustions: exh,
+            packets_during_convergence: pkts,
+            looping_ratio: exh as f64 / pkts.max(1) as f64,
+            delivered: 0,
+            no_route: 0,
+            packets_total: pkts,
+            messages_after_failure: 10,
+        }
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let ms = [metrics(10.0, 100, 1000), metrics(20.0, 300, 1000)];
+        let p = aggregate(15.0, &ms);
+        assert_eq!(p.runs, 2);
+        assert!((p.convergence_secs - 15.0).abs() < 1e-9);
+        assert!((p.ttl_exhaustions - 200.0).abs() < 1e-9);
+        assert!((p.looping_ratio - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn aggregate_rejects_empty() {
+        let _ = aggregate(1.0, &[]);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("BGP");
+        s.points.push(aggregate(5.0, &[metrics(1.0, 1, 10)]));
+        s.points.push(aggregate(10.0, &[metrics(2.0, 2, 10)]));
+        assert_eq!(s.at(10.0).unwrap().runs, 1);
+        assert!(s.at(7.0).is_none());
+        let col = s.column(|p| p.convergence_secs);
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0]; // y = 2x + 1
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        let flat = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(flat.slope, 0.0);
+        assert_eq!(flat.r, 1.0);
+    }
+
+    #[test]
+    fn linear_fit_detects_noise() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, -1.0, 1.0, -1.0, 1.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r.abs() < 0.5, "oscillation is not linear: r={}", fit.r);
+    }
+}

@@ -1,0 +1,240 @@
+//! Packet-delivery time series during convergence.
+//!
+//! The paper's companion study (Pei et al., DSN 2003 — cited as \[12\])
+//! measures *packet delivery performance* during routing convergence;
+//! this module provides that view: the fraction of packets delivered,
+//! looped away, or dropped route-less, bucketed over time. It makes
+//! the transient visible as a curve rather than a single aggregate.
+
+use bgpsim_dataplane::{Packet, PacketFate};
+use bgpsim_netsim::time::{SimDuration, SimTime};
+
+/// Packet-fate counts within one time bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryBucket {
+    /// Bucket start time.
+    pub start: SimTime,
+    /// Packets sent in this bucket.
+    pub sent: u64,
+    /// … of which delivered.
+    pub delivered: u64,
+    /// … of which dropped by TTL exhaustion (looped).
+    pub ttl_exhausted: u64,
+    /// … of which dropped route-less.
+    pub no_route: u64,
+}
+
+impl DeliveryBucket {
+    /// Delivered fraction (0 if the bucket is empty).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Looped fraction (0 if the bucket is empty).
+    pub fn loop_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.ttl_exhausted as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Buckets packet fates by **send time** into intervals of `width`,
+/// starting at `start`. Packets sent before `start` are ignored.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or the slices differ in length.
+pub fn delivery_timeseries(
+    packets: &[Packet],
+    fates: &[PacketFate],
+    start: SimTime,
+    width: SimDuration,
+) -> Vec<DeliveryBucket> {
+    assert!(!width.is_zero(), "bucket width must be positive");
+    assert_eq!(packets.len(), fates.len(), "parallel slices required");
+    let mut buckets: Vec<DeliveryBucket> = Vec::new();
+    for (pkt, fate) in packets.iter().zip(fates) {
+        let Some(offset) = pkt.sent_at.checked_duration_since(start) else {
+            continue;
+        };
+        let idx = (offset.as_nanos() / width.as_nanos()) as usize;
+        if buckets.len() <= idx {
+            buckets.resize_with(idx + 1, DeliveryBucket::default);
+        }
+        let b = &mut buckets[idx];
+        b.sent += 1;
+        match fate {
+            PacketFate::Delivered { .. } => b.delivered += 1,
+            PacketFate::TtlExhausted { .. } => b.ttl_exhausted += 1,
+            PacketFate::NoRoute { .. } => b.no_route += 1,
+        }
+    }
+    for (i, b) in buckets.iter_mut().enumerate() {
+        b.start = start + width * i as u64;
+    }
+    buckets
+}
+
+/// Renders a delivery time series as an aligned table with a crude
+/// loop-ratio bar.
+pub fn render_timeseries(buckets: &[DeliveryBucket]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>7} {:>10} {:>8} {:>9}  loop%",
+        "t_start", "sent", "delivered", "looped", "no_route"
+    );
+    for b in buckets {
+        let bar_len = (b.loop_ratio() * 20.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:>12} {:>7} {:>10} {:>8} {:>9}  {}",
+            b.start.to_string(),
+            b.sent,
+            b.delivered,
+            b.ttl_exhausted,
+            b.no_route,
+            "#".repeat(bar_len),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_core::Prefix;
+    use bgpsim_topology::NodeId;
+
+    fn pkt(sent_ms: u64) -> Packet {
+        Packet {
+            id: 0,
+            src: NodeId::new(1),
+            prefix: Prefix::new(0),
+            ttl: 128,
+            sent_at: SimTime::from_millis(sent_ms),
+        }
+    }
+
+    fn delivered() -> PacketFate {
+        PacketFate::Delivered {
+            at: SimTime::ZERO,
+            hops: 1,
+        }
+    }
+
+    fn looped() -> PacketFate {
+        PacketFate::TtlExhausted {
+            at: SimTime::ZERO,
+            node: NodeId::new(1),
+        }
+    }
+
+    fn no_route() -> PacketFate {
+        PacketFate::NoRoute {
+            at: SimTime::ZERO,
+            node: NodeId::new(1),
+        }
+    }
+
+    #[test]
+    fn buckets_by_send_time() {
+        let packets = vec![pkt(0), pkt(500), pkt(1000), pkt(1500), pkt(2500)];
+        let fates = vec![delivered(), looped(), looped(), no_route(), delivered()];
+        let ts = delivery_timeseries(&packets, &fates, SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].sent, 2);
+        assert_eq!(ts[0].delivered, 1);
+        assert_eq!(ts[0].ttl_exhausted, 1);
+        assert_eq!(ts[1].sent, 2);
+        assert_eq!(ts[1].no_route, 1);
+        assert_eq!(ts[2].sent, 1);
+        assert_eq!(ts[2].start, SimTime::from_secs(2));
+        assert!((ts[0].delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!((ts[0].loop_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packets_before_start_are_ignored() {
+        let packets = vec![pkt(100), pkt(5000)];
+        let fates = vec![delivered(), delivered()];
+        let ts = delivery_timeseries(
+            &packets,
+            &fates,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].sent, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ts = delivery_timeseries(&[], &[], SimTime::ZERO, SimDuration::from_secs(1));
+        assert!(ts.is_empty());
+        let b = DeliveryBucket::default();
+        assert_eq!(b.delivery_ratio(), 0.0);
+        assert_eq!(b.loop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn render_has_header_and_rows() {
+        let packets = vec![pkt(0), pkt(100)];
+        let fates = vec![looped(), looped()];
+        let ts = delivery_timeseries(&packets, &fates, SimTime::ZERO, SimDuration::from_secs(1));
+        let text = render_timeseries(&ts);
+        assert!(text.contains("delivered"));
+        assert!(text.contains("####################"), "full loop bar");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        let _ = delivery_timeseries(&[], &[], SimTime::ZERO, SimDuration::ZERO);
+    }
+
+    /// End-to-end: during a clique T_down, early buckets loop heavily
+    /// and late buckets (post-convergence) are pure no-route drops.
+    #[test]
+    fn clique_tdown_delivery_curve() {
+        use bgpsim_dataplane::{generate_packets, paper_sources, walk_all, DEFAULT_TTL};
+        use bgpsim_netsim::rng::SimRng;
+        use bgpsim_sim::{ConvergenceExperiment, FailureEvent};
+        use bgpsim_topology::generators;
+
+        let g = generators::clique(8);
+        let dest = NodeId::new(0);
+        let prefix = Prefix::new(0);
+        let record = ConvergenceExperiment::new(
+            g,
+            dest,
+            FailureEvent::WithdrawPrefix {
+                origin: dest,
+                prefix,
+            },
+        )
+        .with_seed(2)
+        .run();
+        let fail = record.failure_at.unwrap();
+        let end = record.convergence_end().unwrap() + SimDuration::from_secs(10);
+        let mut rng = SimRng::new(2).fork(1);
+        let sources = paper_sources(record.node_count, dest, &mut rng);
+        let packets = generate_packets(&sources, prefix, DEFAULT_TTL, fail, end);
+        let fates = walk_all(&record.fib, &packets, SimDuration::from_millis(2));
+        let ts = delivery_timeseries(&packets, &fates, fail, SimDuration::from_secs(10));
+        assert!(ts.len() >= 3);
+        let early_loop = ts[0].loop_ratio();
+        let last = ts.last().unwrap();
+        assert!(early_loop > 0.3, "early convergence loops heavily");
+        assert_eq!(last.ttl_exhausted, 0, "after convergence, no loops");
+        assert_eq!(last.delivered, 0, "destination is gone");
+        assert_eq!(last.no_route, last.sent, "pure no-route drops");
+    }
+}

@@ -1,0 +1,135 @@
+//! Path-exploration analysis over route change traces.
+//!
+//! The paper closes by proposing to "examine route change traces" —
+//! this module does exactly that: it digests the per-node sequence of
+//! selected routes after a failure into exploration statistics
+//! (Labovitz et al. showed this path exploration is what makes BGP
+//! convergence slow; here it is also what creates stale paths for
+//! loops to form from).
+
+use std::collections::BTreeMap;
+
+use bgpsim_netsim::time::SimTime;
+use bgpsim_sim::RunRecord;
+use bgpsim_topology::NodeId;
+
+/// Exploration statistics for one convergence episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorationStats {
+    /// Route-selection changes per node (including the final loss),
+    /// keyed by node.
+    pub changes_per_node: BTreeMap<NodeId, usize>,
+    /// Total route changes across all nodes.
+    pub total_changes: usize,
+    /// Largest number of changes at any single node.
+    pub max_changes: usize,
+    /// Mean changes over the nodes that changed at all.
+    pub mean_changes: f64,
+    /// Longest AS path ever selected during the episode.
+    pub longest_path: usize,
+}
+
+/// Analyzes the route changes at or after `since` (typically the
+/// failure instant).
+pub fn exploration_stats(record: &RunRecord, since: SimTime) -> ExplorationStats {
+    let mut changes_per_node: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut longest_path = 0;
+    for change in record.path_changes.iter().filter(|c| c.at >= since) {
+        *changes_per_node.entry(change.node).or_insert(0) += 1;
+        if let Some(path) = &change.path {
+            longest_path = longest_path.max(path.len());
+        }
+    }
+    let total_changes: usize = changes_per_node.values().sum();
+    let max_changes = changes_per_node.values().copied().max().unwrap_or(0);
+    let mean_changes = if changes_per_node.is_empty() {
+        0.0
+    } else {
+        total_changes as f64 / changes_per_node.len() as f64
+    };
+    ExplorationStats {
+        changes_per_node,
+        total_changes,
+        max_changes,
+        mean_changes,
+        longest_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_core::{AsPath, Prefix};
+    use bgpsim_sim::record::PathChange;
+
+    fn change(at_s: u64, node: u32, path: Option<&[u32]>) -> PathChange {
+        PathChange {
+            at: SimTime::from_secs(at_s),
+            node: NodeId::new(node),
+            prefix: Prefix::new(0),
+            path: path.map(|ids| AsPath::from_ids(ids.iter().copied())),
+        }
+    }
+
+    #[test]
+    fn counts_changes_after_cutoff() {
+        let record = RunRecord {
+            path_changes: vec![
+                change(1, 1, Some(&[1, 0])),    // before cutoff: ignored
+                change(10, 1, Some(&[1, 2, 0])),
+                change(11, 1, Some(&[1, 2, 3, 0])),
+                change(12, 2, None),
+            ],
+            ..Default::default()
+        };
+        let stats = exploration_stats(&record, SimTime::from_secs(5));
+        assert_eq!(stats.total_changes, 3);
+        assert_eq!(stats.changes_per_node[&NodeId::new(1)], 2);
+        assert_eq!(stats.changes_per_node[&NodeId::new(2)], 1);
+        assert_eq!(stats.max_changes, 2);
+        assert!((stats.mean_changes - 1.5).abs() < 1e-12);
+        assert_eq!(stats.longest_path, 4);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = exploration_stats(&RunRecord::default(), SimTime::ZERO);
+        assert_eq!(stats.total_changes, 0);
+        assert_eq!(stats.max_changes, 0);
+        assert_eq!(stats.mean_changes, 0.0);
+        assert_eq!(stats.longest_path, 0);
+    }
+
+    /// End-to-end: clique T_down explores many paths per node — the
+    /// mechanism behind the paper's long convergence — and the longest
+    /// explored path approaches the clique size.
+    #[test]
+    fn clique_tdown_explores_many_paths() {
+        use bgpsim_sim::{ConvergenceExperiment, FailureEvent};
+        use bgpsim_topology::generators;
+        let n = 8;
+        let g = generators::clique(n);
+        let record = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(3)
+        .run();
+        let fail = record.failure_at.expect("failure");
+        let stats = exploration_stats(&record, fail);
+        assert!(
+            stats.mean_changes > 3.0,
+            "clique T_down must explore multiple paths per node, got {}",
+            stats.mean_changes
+        );
+        assert!(
+            stats.longest_path >= n / 2,
+            "exploration should reach long paths, got {}",
+            stats.longest_path
+        );
+    }
+}

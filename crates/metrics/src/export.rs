@@ -1,0 +1,150 @@
+//! Machine-readable export of experiment results.
+//!
+//! [`MetricsRow`] is a flat, serializable snapshot of one run's metrics
+//! (durations in seconds as `f64`), suitable for JSON lines or CSV.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::PaperMetrics;
+
+/// A flat, serializable record of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRow {
+    /// Experiment label (e.g. "fig4a").
+    pub experiment: String,
+    /// Topology label (e.g. "clique-15").
+    pub topology: String,
+    /// Protocol variant label (e.g. "BGP", "SSLD").
+    pub variant: String,
+    /// The x-axis value of the series point (network size, MRAI, …).
+    pub x: f64,
+    /// Seed used for this run.
+    pub seed: u64,
+    /// Convergence time in seconds.
+    pub convergence_secs: f64,
+    /// Overall looping duration in seconds.
+    pub looping_secs: f64,
+    /// TTL exhaustion count.
+    pub ttl_exhaustions: u64,
+    /// Packets sent during convergence.
+    pub packets_during_convergence: u64,
+    /// Looping ratio.
+    pub looping_ratio: f64,
+    /// BGP messages sent after the failure.
+    pub messages_after_failure: u64,
+}
+
+impl MetricsRow {
+    /// Builds a row from computed metrics and its experimental
+    /// coordinates.
+    pub fn from_metrics(
+        experiment: impl Into<String>,
+        topology: impl Into<String>,
+        variant: impl Into<String>,
+        x: f64,
+        seed: u64,
+        m: &PaperMetrics,
+    ) -> Self {
+        MetricsRow {
+            experiment: experiment.into(),
+            topology: topology.into(),
+            variant: variant.into(),
+            x,
+            seed,
+            convergence_secs: m.convergence_secs(),
+            looping_secs: m.looping_secs(),
+            ttl_exhaustions: m.ttl_exhaustions,
+            packets_during_convergence: m.packets_during_convergence,
+            looping_ratio: m.looping_ratio,
+            messages_after_failure: m.messages_after_failure,
+        }
+    }
+
+    /// The CSV header matching [`to_csv_line`](Self::to_csv_line).
+    pub fn csv_header() -> &'static str {
+        "experiment,topology,variant,x,seed,convergence_secs,looping_secs,\
+         ttl_exhaustions,packets_during_convergence,looping_ratio,messages_after_failure"
+    }
+
+    /// Renders the row as one CSV line (no trailing newline).
+    pub fn to_csv_line(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.6},{:.6},{},{},{:.6},{}",
+            self.experiment,
+            self.topology,
+            self.variant,
+            self.x,
+            self.seed,
+            self.convergence_secs,
+            self.looping_secs,
+            self.ttl_exhaustions,
+            self.packets_during_convergence,
+            self.looping_ratio,
+            self.messages_after_failure,
+        )
+    }
+}
+
+/// Renders rows as a JSON array string.
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialization fails (practically
+/// impossible for this type).
+pub fn to_json(rows: &[MetricsRow]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(rows)
+}
+
+/// Renders rows as a CSV document with header.
+pub fn to_csv(rows: &[MetricsRow]) -> String {
+    let mut out = String::from(MetricsRow::csv_header());
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.to_csv_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsRow {
+        MetricsRow {
+            experiment: "fig4a".into(),
+            topology: "clique-15".into(),
+            variant: "BGP".into(),
+            x: 15.0,
+            seed: 3,
+            convergence_secs: 123.4,
+            looping_secs: 120.0,
+            ttl_exhaustions: 4242,
+            packets_during_convergence: 6000,
+            looping_ratio: 0.707,
+            messages_after_failure: 999,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rows = vec![sample()];
+        let json = to_json(&rows).unwrap();
+        let back: Vec<MetricsRow> = serde_json::from_str(&json).unwrap();
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let doc = to_csv(&[sample(), sample()]);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("experiment,"));
+        assert!(lines[1].contains("clique-15"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "header and rows must have the same arity"
+        );
+    }
+}

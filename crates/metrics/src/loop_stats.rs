@@ -1,0 +1,116 @@
+//! Per-loop statistics — the paper's stated next step (§6): "examine
+//! route change traces to measure the statistics of individual loops
+//! such as the loop size and duration."
+
+use bgpsim_dataplane::LoopRecord;
+use bgpsim_netsim::time::SimDuration;
+
+/// Aggregate statistics over a set of observed forwarding loops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopCensusSummary {
+    /// Number of distinct loop episodes observed.
+    pub count: usize,
+    /// Loops that never resolved within the observation window.
+    pub unresolved: usize,
+    /// Smallest loop size (nodes), 0 if none.
+    pub min_size: usize,
+    /// Largest loop size (nodes), 0 if none.
+    pub max_size: usize,
+    /// Mean loop size, 0 if none.
+    pub mean_size: f64,
+    /// Share of loops involving exactly two nodes (Hengartner et al.
+    /// observed that more than half of real loops are 2-node).
+    pub two_node_fraction: f64,
+    /// Mean lifetime of the resolved loops.
+    pub mean_duration: SimDuration,
+    /// Longest lifetime among resolved loops.
+    pub max_duration: SimDuration,
+}
+
+/// Summarizes a loop census.
+pub fn summarize(census: &[LoopRecord]) -> LoopCensusSummary {
+    if census.is_empty() {
+        return LoopCensusSummary {
+            count: 0,
+            unresolved: 0,
+            min_size: 0,
+            max_size: 0,
+            mean_size: 0.0,
+            two_node_fraction: 0.0,
+            mean_duration: SimDuration::ZERO,
+            max_duration: SimDuration::ZERO,
+        };
+    }
+    let sizes: Vec<usize> = census.iter().map(|r| r.size()).collect();
+    let durations: Vec<SimDuration> = census.iter().filter_map(|r| r.duration()).collect();
+    let two_node = census.iter().filter(|r| r.size() == 2).count();
+    let mean_duration = if durations.is_empty() {
+        SimDuration::ZERO
+    } else {
+        durations.iter().copied().sum::<SimDuration>() / durations.len() as u64
+    };
+    LoopCensusSummary {
+        count: census.len(),
+        unresolved: census.iter().filter(|r| r.resolved_at.is_none()).count(),
+        min_size: *sizes.iter().min().expect("nonempty"),
+        max_size: *sizes.iter().max().expect("nonempty"),
+        mean_size: sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+        two_node_fraction: two_node as f64 / census.len() as f64,
+        mean_duration,
+        max_duration: durations
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_netsim::time::SimTime;
+    use bgpsim_topology::NodeId;
+
+    fn rec(nodes: &[u32], formed_s: u64, resolved_s: Option<u64>) -> LoopRecord {
+        LoopRecord {
+            nodes: nodes.iter().map(|&i| NodeId::new(i)).collect(),
+            formed_at: SimTime::from_secs(formed_s),
+            resolved_at: resolved_s.map(SimTime::from_secs),
+        }
+    }
+
+    #[test]
+    fn empty_census() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_size, 0.0);
+        assert_eq!(s.mean_duration, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mixed_census() {
+        let census = vec![
+            rec(&[1, 2], 0, Some(10)),
+            rec(&[3, 4, 5, 6], 5, Some(25)),
+            rec(&[7, 8], 7, None),
+        ];
+        let s = summarize(&census);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.unresolved, 1);
+        assert_eq!(s.min_size, 2);
+        assert_eq!(s.max_size, 4);
+        assert!((s.mean_size - 8.0 / 3.0).abs() < 1e-12);
+        assert!((s.two_node_fraction - 2.0 / 3.0).abs() < 1e-12);
+        // Resolved durations: 10 s and 20 s.
+        assert_eq!(s.mean_duration, SimDuration::from_secs(15));
+        assert_eq!(s.max_duration, SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn all_unresolved() {
+        let census = vec![rec(&[1, 2], 0, None)];
+        let s = summarize(&census);
+        assert_eq!(s.unresolved, 1);
+        assert_eq!(s.mean_duration, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,144 @@
+//! One-call measurement pipeline.
+//!
+//! Runs the study's full measurement procedure on a completed
+//! control-plane run: build the traffic fleet, generate the packets
+//! sent during convergence, replay them against the recorded FIB
+//! history, and compute the paper metrics (plus the loop census
+//! extension).
+
+use bgpsim_core::Prefix;
+use bgpsim_dataplane::{
+    generate_packets, loop_census, paper_sources, walk_all, LoopRecord, DEFAULT_TTL,
+};
+use bgpsim_netsim::rng::SimRng;
+use bgpsim_netsim::time::{SimDuration, SimTime};
+use bgpsim_sim::RunRecord;
+use bgpsim_topology::NodeId;
+
+use crate::loop_stats::{summarize, LoopCensusSummary};
+use crate::report::{compute_metrics, PaperMetrics};
+
+/// Everything measured about one run.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// The paper's four metrics (plus supporting counts).
+    pub metrics: PaperMetrics,
+    /// Every loop episode observed in the forwarding history.
+    pub census: Vec<LoopRecord>,
+    /// Aggregate loop statistics.
+    pub census_summary: LoopCensusSummary,
+}
+
+/// Measures a completed run.
+///
+/// Traffic follows the paper's setup: every node except `destination`
+/// sends 10 packets/s with a random phase (seeded by `traffic_seed`),
+/// from the failure instant until convergence ends (window extended by
+/// one packet lifetime so late loops are still sampled, and used as-is
+/// if the failure triggered no visible convergence).
+pub fn measure_run(
+    record: &RunRecord,
+    destination: NodeId,
+    prefix: Prefix,
+    traffic_seed: u64,
+) -> RunMeasurement {
+    let mut traffic_rng = SimRng::new(traffic_seed).fork(0xDA7A);
+    let sources = paper_sources(record.node_count, destination, &mut traffic_rng);
+    let (start, end) = traffic_window(record);
+    let packets = generate_packets(&sources, prefix, DEFAULT_TTL, start, end);
+    let link_delay = SimDuration::from_millis(2);
+    let fates = walk_all(&record.fib, &packets, link_delay);
+    let metrics = compute_metrics(record, &packets, &fates);
+    let census = loop_census(&record.fib, prefix);
+    let census_summary = summarize(&census);
+    RunMeasurement {
+        metrics,
+        census,
+        census_summary,
+    }
+}
+
+/// The traffic window for a run: from the failure to the end of
+/// convergence plus one packet lifetime.
+fn traffic_window(record: &RunRecord) -> (SimTime, SimTime) {
+    let start = record.failure_at.unwrap_or(SimTime::ZERO);
+    let lifetime = SimDuration::from_millis(2) * u64::from(DEFAULT_TTL);
+    let end = record.convergence_end().unwrap_or(start) + lifetime;
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_core::{BgpConfig, Jitter};
+    use bgpsim_sim::{ConvergenceExperiment, FailureEvent};
+    use bgpsim_topology::generators;
+
+    fn run_tdown_clique(n: usize, seed: u64) -> (RunRecord, RunMeasurement) {
+        let g = generators::clique(n);
+        let dest = NodeId::new(0);
+        let prefix = Prefix::new(0);
+        let record = ConvergenceExperiment::new(
+            g,
+            dest,
+            FailureEvent::WithdrawPrefix {
+                origin: dest,
+                prefix,
+            },
+        )
+        .with_config(BgpConfig::default().with_jitter(Jitter::SSFNET))
+        .with_seed(seed)
+        .run();
+        let m = measure_run(&record, dest, prefix, seed);
+        (record, m)
+    }
+
+    #[test]
+    fn tdown_clique_shows_transient_loops() {
+        // The paper's headline phenomenon: path-vector routing loops
+        // during T_down convergence in a clique.
+        let (record, m) = run_tdown_clique(8, 1);
+        assert!(
+            m.metrics.ttl_exhaustions > 0,
+            "no loops observed in clique T_down"
+        );
+        assert!(m.metrics.packets_during_convergence > 0);
+        assert!(m.metrics.looping_ratio > 0.0 && m.metrics.looping_ratio <= 1.0);
+        let conv = record.convergence_time().unwrap();
+        let looping = m.metrics.overall_looping_duration.unwrap();
+        assert!(
+            looping <= conv + SimDuration::from_secs(1),
+            "looping duration {looping} cannot much exceed convergence {conv}"
+        );
+        // Loop census must agree that loops existed.
+        assert!(m.census_summary.count > 0);
+        assert!(m.census_summary.min_size >= 2);
+        // After convergence, no loops remain (T_down: all routes gone).
+        assert_eq!(m.census_summary.unresolved, 0);
+    }
+
+    #[test]
+    fn no_loops_before_any_failure() {
+        // A run with no failure: nothing to measure, nothing looping.
+        let g = generators::clique(5);
+        let mut net =
+            bgpsim_sim::SimNetwork::new(&g, BgpConfig::default(), bgpsim_sim::SimParams::default(), 2);
+        net.originate(NodeId::new(0), Prefix::new(0));
+        net.run_to_quiescence(10_000_000);
+        let record = net.into_record();
+        let m = measure_run(&record, NodeId::new(0), Prefix::new(0), 2);
+        assert_eq!(m.metrics.ttl_exhaustions, 0);
+        assert_eq!(m.metrics.packets_during_convergence, 0);
+        // Initial convergence of a clique creates no forwarding loops:
+        // routes only ever improve from nothing.
+        assert_eq!(m.census_summary.count, 0);
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let (_, a) = run_tdown_clique(6, 5);
+        let (_, b) = run_tdown_clique(6, 5);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.census, b.census);
+    }
+}

@@ -1,0 +1,238 @@
+//! Merged event timelines.
+//!
+//! Combines a run's BGP message sends, route-selection changes and
+//! forwarding-loop births/deaths into one chronological, typed event
+//! stream — the raw material for the CLI's `--trace` output and for
+//! eyeballing convergence episodes.
+
+use bgpsim_core::{AsPath, Prefix};
+use bgpsim_dataplane::LoopRecord;
+use bgpsim_netsim::time::SimTime;
+use bgpsim_sim::RunRecord;
+use bgpsim_topology::NodeId;
+
+/// One event in a merged timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineEvent {
+    /// The failure was injected.
+    Failure,
+    /// A BGP message left a router.
+    Send {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The message content.
+        message: bgpsim_core::BgpMessage,
+    },
+    /// A router's selected route changed.
+    RouteChange {
+        /// The router.
+        node: NodeId,
+        /// The prefix.
+        prefix: Prefix,
+        /// The new path (`None` = route lost).
+        path: Option<AsPath>,
+    },
+    /// A forwarding loop appeared.
+    LoopFormed {
+        /// The loop's nodes (canonical order).
+        nodes: Vec<NodeId>,
+    },
+    /// A forwarding loop disappeared.
+    LoopResolved {
+        /// The loop's nodes (canonical order).
+        nodes: Vec<NodeId>,
+    },
+}
+
+impl TimelineEvent {
+    /// One-line human-readable rendering.
+    pub fn describe(&self) -> String {
+        match self {
+            TimelineEvent::Failure => "*** failure injected ***".to_string(),
+            TimelineEvent::Send { from, to, message } => {
+                format!("{from} -> {to}  {message}")
+            }
+            TimelineEvent::RouteChange { node, prefix, path } => match path {
+                Some(p) => format!("{node} selects {p} for {prefix}"),
+                None => format!("{node} loses its route for {prefix}"),
+            },
+            TimelineEvent::LoopFormed { nodes } => {
+                format!("LOOP FORMED [{}]", join_nodes(nodes))
+            }
+            TimelineEvent::LoopResolved { nodes } => {
+                format!("loop resolved [{}]", join_nodes(nodes))
+            }
+        }
+    }
+}
+
+fn join_nodes(nodes: &[NodeId]) -> String {
+    nodes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Builds the merged timeline of everything at or after `since`.
+/// Events are ordered by time; ties keep the category order
+/// failure → sends → route changes → loop events.
+pub fn build_timeline(
+    record: &RunRecord,
+    census: &[LoopRecord],
+    since: SimTime,
+) -> Vec<(SimTime, TimelineEvent)> {
+    let mut events: Vec<(SimTime, u8, TimelineEvent)> = Vec::new();
+    if let Some(t) = record.failure_at {
+        if t >= since {
+            events.push((t, 0, TimelineEvent::Failure));
+        }
+    }
+    for s in record.sends.iter().filter(|s| s.at >= since) {
+        events.push((
+            s.at,
+            1,
+            TimelineEvent::Send {
+                from: s.from,
+                to: s.to,
+                message: s.message.clone(),
+            },
+        ));
+    }
+    for c in record.path_changes.iter().filter(|c| c.at >= since) {
+        events.push((
+            c.at,
+            2,
+            TimelineEvent::RouteChange {
+                node: c.node,
+                prefix: c.prefix,
+                path: c.path.clone(),
+            },
+        ));
+    }
+    for l in census {
+        if l.formed_at >= since {
+            events.push((
+                l.formed_at,
+                3,
+                TimelineEvent::LoopFormed {
+                    nodes: l.nodes.clone(),
+                },
+            ));
+        }
+        if let Some(r) = l.resolved_at {
+            if r >= since {
+                events.push((
+                    r,
+                    3,
+                    TimelineEvent::LoopResolved {
+                        nodes: l.nodes.clone(),
+                    },
+                ));
+            }
+        }
+    }
+    events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    events.into_iter().map(|(t, _, e)| (t, e)).collect()
+}
+
+/// Renders a timeline as indented text, one event per line.
+pub fn render_timeline(timeline: &[(SimTime, TimelineEvent)]) -> String {
+    let mut out = String::new();
+    for (t, ev) in timeline {
+        out.push_str(&format!("  {:>14}  {}\n", t.to_string(), ev.describe()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_sim::record::PathChange;
+    use bgpsim_sim::UpdateSend;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample_record() -> RunRecord {
+        RunRecord {
+            failure_at: Some(SimTime::from_secs(10)),
+            sends: vec![
+                UpdateSend {
+                    at: SimTime::from_secs(5),
+                    from: n(0),
+                    to: n(1),
+                    withdraw: false,
+                    message: bgpsim_core::BgpMessage::announce(
+                        Prefix::new(0),
+                        AsPath::from_ids([0, 9]),
+                    ),
+                },
+                UpdateSend {
+                    at: SimTime::from_secs(10),
+                    from: n(0),
+                    to: n(1),
+                    withdraw: true,
+                    message: bgpsim_core::BgpMessage::withdraw(Prefix::new(0)),
+                },
+            ],
+            path_changes: vec![PathChange {
+                at: SimTime::from_secs(11),
+                node: n(1),
+                prefix: Prefix::new(0),
+                path: None,
+            }],
+            ..Default::default()
+        }
+    }
+
+    fn sample_census() -> Vec<LoopRecord> {
+        vec![LoopRecord {
+            nodes: vec![n(1), n(2)],
+            formed_at: SimTime::from_secs(12),
+            resolved_at: Some(SimTime::from_secs(15)),
+        }]
+    }
+
+    #[test]
+    fn timeline_is_chronological_and_filtered() {
+        let tl = build_timeline(&sample_record(), &sample_census(), SimTime::from_secs(10));
+        // The t=5 send is filtered out; failure first, then the t=10
+        // withdrawal, route change, loop formed, loop resolved.
+        let kinds: Vec<String> = tl.iter().map(|(_, e)| e.describe()).collect();
+        assert_eq!(tl.len(), 5);
+        assert!(kinds[0].contains("failure"));
+        assert!(kinds[1].contains("WITHDRAW"));
+        assert!(kinds[2].contains("loses its route"));
+        assert!(kinds[3].contains("LOOP FORMED [AS1 AS2]"));
+        assert!(kinds[4].contains("loop resolved"));
+        assert!(tl.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn unfiltered_timeline_keeps_everything() {
+        let tl = build_timeline(&sample_record(), &sample_census(), SimTime::ZERO);
+        assert_eq!(tl.len(), 6);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_event() {
+        let tl = build_timeline(&sample_record(), &sample_census(), SimTime::ZERO);
+        let text = render_timeline(&tl);
+        assert_eq!(text.lines().count(), tl.len());
+        assert!(text.contains("AS0 -> AS1  ANNOUNCE p0 (0 9)"));
+    }
+
+    #[test]
+    fn describe_route_selection() {
+        let ev = TimelineEvent::RouteChange {
+            node: n(5),
+            prefix: Prefix::new(0),
+            path: Some(AsPath::from_ids([5, 6, 4, 0])),
+        };
+        assert_eq!(ev.describe(), "AS5 selects (5 6 4 0) for p0");
+    }
+}

@@ -1,0 +1,294 @@
+//! Deterministic pending-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties on time are broken by
+//! scheduling order, so two events scheduled for the same instant are
+//! delivered in the order they were scheduled. This makes every run with
+//! the same seed bit-for-bit reproducible.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] records the id and the
+//! entry is discarded when it reaches the head of the heap, which keeps
+//! both operations `O(log n)`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifier for a scheduled event, usable to cancel it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Returns the raw id value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (time, seq) at the top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of future events ordered by `(time, insertion seq)`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_netsim::queue::EventQueue;
+/// use bgpsim_netsim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// let (t, _, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_secs(1), "sooner"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time` and returns an id that
+    /// can be passed to [`cancel`](Self::cancel).
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// had not yet been delivered or cancelled.
+    ///
+    /// Cancelling an id that was never issued is a no-op returning `false`
+    /// only if the id is in the future sequence space; callers should only
+    /// pass ids obtained from [`schedule`](Self::schedule).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            return Some((entry.time, EventId(entry.seq), entry.payload));
+        }
+        None
+    }
+
+    /// Returns the delivery time of the earliest live event without
+    /// removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the head so the answer is live.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of entries in the heap, *including* not-yet-skipped
+    /// cancelled entries.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no live events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "dead");
+        q.schedule(SimTime::from_secs(2), "alive");
+        assert!(q.cancel(id));
+        assert_eq!(q.len(), 1);
+        let (_, _, ev) = q.pop().unwrap();
+        assert_eq!(ev, "alive");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), ());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn cancel_unissued_id_is_false() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(5), 2);
+        q.cancel(id);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::<u8>::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        let id = q.schedule(SimTime::from_secs(2), 2);
+        q.cancel(id);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest! {
+        /// The queue must agree with a reference model: a stable sort of
+        /// the scheduled (time, seq) pairs.
+        #[test]
+        fn matches_stable_sort_model(times in proptest::collection::vec(0u64..100, 1..200)) {
+            let mut q = EventQueue::new();
+            let mut model: Vec<(u64, usize)> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_nanos(t), i);
+                model.push((t, i));
+            }
+            model.sort_by_key(|&(t, _)| t); // stable sort keeps insertion order on ties
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, _, e)| (t.as_nanos(), e))).collect();
+            prop_assert_eq!(got, model);
+        }
+
+        /// Cancelling an arbitrary subset never delivers a cancelled event
+        /// and delivers everything else in model order.
+        #[test]
+        fn cancellation_model(
+            times in proptest::collection::vec(0u64..50, 1..100),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            let mut ids = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                ids.push(q.schedule(SimTime::from_nanos(t), i));
+            }
+            let mut expected: Vec<(u64, usize)> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                let dead = cancel_mask.get(i).copied().unwrap_or(false);
+                if dead {
+                    q.cancel(ids[i]);
+                } else {
+                    expected.push((t, i));
+                }
+            }
+            expected.sort_by_key(|&(t, _)| t);
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, _, e)| (t.as_nanos(), e))).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Failure injection.
+//!
+//! The study triggers routing convergence with two event classes
+//! (§4.1):
+//!
+//! * **T_down** — the destination AS becomes unreachable from the rest
+//!   of the network. Modelled as the origin withdrawing the prefix
+//!   ([`FailureEvent::WithdrawPrefix`]) or as the destination node
+//!   losing all its links ([`FailureEvent::NodeDown`]).
+//! * **T_long** — a link fails without disconnecting the destination,
+//!   forcing the network onto longer paths
+//!   ([`FailureEvent::LinkDown`]).
+
+use bgpsim_core::Prefix;
+use bgpsim_topology::NodeId;
+
+/// A topology or policy change injected into a running simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// The origin withdraws `prefix` — the canonical `T_down` trigger
+    /// (Labovitz et al.'s "route withdrawn" event).
+    WithdrawPrefix {
+        /// The originating AS.
+        origin: NodeId,
+        /// The withdrawn prefix.
+        prefix: Prefix,
+    },
+    /// The link between two ASes fails; both ends lose the session —
+    /// the `T_long` trigger when the graph stays connected.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Every link of `node` fails — an alternative `T_down` trigger
+    /// that physically isolates the destination AS.
+    NodeDown {
+        /// The failing AS.
+        node: NodeId,
+    },
+    /// A previously failed link comes back up; both ends re-establish
+    /// the session and re-advertise their routes — the recovery
+    /// (`T_up`-style) event studied in the convergence literature.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+}
+
+impl FailureEvent {
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            FailureEvent::WithdrawPrefix { origin, prefix } => {
+                format!("T_down: {origin} withdraws {prefix}")
+            }
+            FailureEvent::LinkDown { a, b } => format!("link [{a} {b}] fails"),
+            FailureEvent::NodeDown { node } => format!("node {node} fails"),
+            FailureEvent::LinkUp { a, b } => format!("link [{a} {b}] recovers"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptions_are_informative() {
+        let w = FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        };
+        assert!(w.describe().contains("T_down"));
+        let l = FailureEvent::LinkDown {
+            a: NodeId::new(0),
+            b: NodeId::new(5),
+        };
+        assert!(l.describe().contains("[AS0 AS5]"));
+        let n = FailureEvent::NodeDown { node: NodeId::new(3) };
+        assert!(n.describe().contains("AS3"));
+    }
+}

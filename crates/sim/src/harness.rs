@@ -1,0 +1,178 @@
+//! The standard two-phase convergence experiment.
+//!
+//! Every run in the study has the same shape:
+//!
+//! 1. **Warm-up** — the destination AS originates the prefix; the
+//!    network converges to its steady state and the event queue drains
+//!    (all MRAI timers have fired idle).
+//! 2. **Failure** — a `T_down` or `T_long` event is injected; the
+//!    resulting path exploration is recorded until the network is
+//!    quiescent again.
+//!
+//! [`ConvergenceExperiment`] packages those steps and returns the raw
+//! [`RunRecord`] for analysis.
+
+use bgpsim_core::{BgpConfig, Prefix};
+use bgpsim_netsim::time::SimDuration;
+use bgpsim_topology::{Graph, NodeId};
+
+use crate::failure::FailureEvent;
+use crate::network::{RunOutcome, SimNetwork};
+use crate::params::SimParams;
+use crate::record::RunRecord;
+
+/// Default per-phase event budget — far above any legitimate
+/// convergence at the paper's scales, so hitting it means divergence.
+pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
+
+/// A declarative two-phase convergence run.
+#[derive(Debug, Clone)]
+pub struct ConvergenceExperiment {
+    /// The topology.
+    pub graph: Graph,
+    /// The destination AS originating the prefix.
+    pub origin: NodeId,
+    /// The prefix under study.
+    pub prefix: Prefix,
+    /// The failure to inject after warm-up.
+    pub failure: FailureEvent,
+    /// Router configuration (MRAI, jitter, enhancements).
+    pub config: BgpConfig,
+    /// Physical parameters (link & processing delays).
+    pub params: SimParams,
+    /// Seed for all randomness in the run.
+    pub seed: u64,
+    /// Per-phase event budget.
+    pub event_budget: u64,
+}
+
+impl ConvergenceExperiment {
+    /// Creates an experiment with paper-default config and parameters.
+    pub fn new(graph: Graph, origin: NodeId, failure: FailureEvent) -> Self {
+        ConvergenceExperiment {
+            graph,
+            origin,
+            prefix: Prefix::new(0),
+            failure,
+            config: BgpConfig::default(),
+            params: SimParams::default(),
+            seed: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Sets the router configuration.
+    pub fn with_config(mut self, config: BgpConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the physical parameters.
+    pub fn with_params(mut self, params: SimParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Runs warm-up then failure, returning the recorded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either phase exhausts the event budget (which would
+    /// indicate protocol divergence — BGP with shortest-path policy
+    /// always converges) or if `origin` is not in the graph.
+    pub fn run(&self) -> RunRecord {
+        assert!(
+            self.graph.contains(self.origin),
+            "origin {} not in graph",
+            self.origin
+        );
+        let mut net = SimNetwork::new(&self.graph, self.config, self.params, self.seed);
+        net.originate(self.origin, self.prefix);
+        let warmup = net.run_to_quiescence(self.event_budget);
+        assert_eq!(
+            warmup,
+            RunOutcome::Quiescent,
+            "warm-up exhausted the event budget"
+        );
+        // A short beat between quiescence and the failure keeps the
+        // failure time strictly after the last warm-up activity.
+        net.schedule_failure(SimDuration::from_secs(1), self.failure);
+        let converge = net.run_to_quiescence(self.event_budget);
+        assert_eq!(
+            converge,
+            RunOutcome::Quiescent,
+            "post-failure convergence exhausted the event budget"
+        );
+        net.into_record()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_core::Jitter;
+    use bgpsim_topology::generators;
+
+    #[test]
+    fn tdown_experiment_produces_convergence_metrics() {
+        let g = generators::clique(5);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_config(BgpConfig::default().with_jitter(Jitter::NONE))
+        .with_seed(3);
+        let rec = exp.run();
+        assert!(rec.failure_at.is_some());
+        let conv = rec.convergence_time().expect("convergence happened");
+        assert!(
+            conv > SimDuration::ZERO && conv < SimDuration::from_secs(3600),
+            "unreasonable convergence time {conv}"
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let make = || {
+            let (g, layout) = generators::bclique(3);
+            ConvergenceExperiment::new(
+                g,
+                layout.destination,
+                FailureEvent::LinkDown {
+                    a: layout.destination,
+                    b: layout.core_gateway,
+                },
+            )
+            .with_seed(8)
+        };
+        let a = make().run();
+        let b = make().run();
+        assert_eq!(a.sends, b.sends);
+        assert_eq!(a.failure_at, b.failure_at);
+        assert_eq!(a.quiescent_at, b.quiescent_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn origin_must_exist() {
+        let g = generators::clique(3);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(99),
+            FailureEvent::NodeDown {
+                node: NodeId::new(99),
+            },
+        );
+        let _ = exp.run();
+    }
+}

@@ -1,0 +1,55 @@
+//! # bgpsim-sim
+//!
+//! The integration harness of the `bgpsim` study: it assembles
+//! `bgpsim-core` routers, `bgpsim-netsim` links/processors and the
+//! `bgpsim-dataplane` forwarding history into one deterministic
+//! network simulation, with failure injection for the paper's `T_down`
+//! and `T_long` events.
+//!
+//! * [`network::SimNetwork`] — the live simulation object;
+//! * [`harness::ConvergenceExperiment`] — the standard two-phase
+//!   (warm-up → failure) run used by every experiment;
+//! * [`record::RunRecord`] — the raw observations handed to
+//!   `bgpsim-metrics`.
+//!
+//! ## Example
+//!
+//! ```
+//! use bgpsim_sim::prelude::*;
+//! use bgpsim_core::Prefix;
+//! use bgpsim_topology::{generators, NodeId};
+//!
+//! let g = generators::clique(5);
+//! let exp = ConvergenceExperiment::new(
+//!     g,
+//!     NodeId::new(0),
+//!     FailureEvent::WithdrawPrefix { origin: NodeId::new(0), prefix: Prefix::new(0) },
+//! ).with_seed(1);
+//! let record = exp.run();
+//! assert!(record.convergence_time().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod failure;
+pub mod harness;
+pub mod network;
+pub mod params;
+pub mod record;
+
+pub use failure::FailureEvent;
+pub use harness::ConvergenceExperiment;
+pub use network::{RunOutcome, SimNetwork};
+pub use params::SimParams;
+pub use record::{RunRecord, UpdateSend};
+
+/// Commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::failure::FailureEvent;
+    pub use crate::harness::{ConvergenceExperiment, DEFAULT_EVENT_BUDGET};
+    pub use crate::network::{RunOutcome, SimNetwork};
+    pub use crate::params::SimParams;
+    pub use crate::record::{RunRecord, UpdateSend};
+}

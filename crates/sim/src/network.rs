@@ -1,0 +1,666 @@
+//! The assembled network simulation.
+//!
+//! [`SimNetwork`] owns one BGP [`Router`] per AS, a pair of directed
+//! [`Link`]s per topology edge, and a serial message [`Processor`] per
+//! node, and drives them all from a single deterministic event loop.
+//! Every forwarding-table change is recorded into a time-indexed
+//! [`NetworkFib`] so the data plane can be replayed exactly (see
+//! `bgpsim-dataplane`); live event-driven packets are also supported
+//! for cross-validation.
+
+use std::collections::BTreeMap;
+
+use bgpsim_core::decision::{RoutePolicy, ShortestPath};
+use bgpsim_core::{BgpConfig, FibEntry, Prefix, Router, RouterOutput};
+use bgpsim_dataplane::{NetworkFib, Packet, PacketFate};
+use bgpsim_netsim::engine::Engine;
+use bgpsim_netsim::link::Link;
+use bgpsim_netsim::process::Processor;
+use bgpsim_netsim::rng::SimRng;
+use bgpsim_netsim::time::{SimDuration, SimTime};
+use bgpsim_topology::{Graph, NodeId};
+
+use crate::event::NetEvent;
+use crate::failure::FailureEvent;
+use crate::params::SimParams;
+use crate::record::{RunRecord, UpdateSend};
+
+/// Why [`SimNetwork::run_to_quiescence`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All events drained; the network is quiescent.
+    Quiescent,
+    /// The event budget was exhausted first (likely a protocol
+    /// divergence or a budget set too low).
+    BudgetExhausted,
+}
+
+/// A complete network simulation: topology + routers + links +
+/// processors + event loop.
+///
+/// # Examples
+///
+/// Two ASes, one prefix:
+///
+/// ```
+/// use bgpsim_sim::prelude::*;
+/// use bgpsim_core::{BgpConfig, Prefix};
+/// use bgpsim_topology::{Graph, NodeId};
+///
+/// let g = Graph::from_edges([(0, 1)]);
+/// let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 42);
+/// net.originate(NodeId::new(0), Prefix::new(0));
+/// assert_eq!(net.run_to_quiescence(1_000_000), RunOutcome::Quiescent);
+/// let rec = net.into_record();
+/// assert!(rec.fib.current(NodeId::new(1), Prefix::new(0)).is_some());
+/// ```
+#[derive(Debug)]
+pub struct SimNetwork<P: RoutePolicy = ShortestPath> {
+    engine: Engine<NetEvent>,
+    routers: Vec<Router<P>>,
+    links: BTreeMap<(NodeId, NodeId), Link>,
+    processors: Vec<Processor>,
+    rng: SimRng,
+    params: SimParams,
+    fib: NetworkFib,
+    sends: Vec<UpdateSend>,
+    path_changes: Vec<crate::record::PathChange>,
+    live_fates: Vec<(u64, PacketFate)>,
+    failure_at: Option<SimTime>,
+    events_dispatched: u64,
+}
+
+impl SimNetwork<ShortestPath> {
+    /// Builds a simulation over `graph` with uniform router `config`,
+    /// physical `params`, a deterministic `seed`, and the paper's
+    /// shortest-path policy at every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or parameters are invalid.
+    pub fn new(graph: &Graph, config: BgpConfig, params: SimParams, seed: u64) -> Self {
+        SimNetwork::with_policies(graph, config, params, seed, |_| ShortestPath)
+    }
+}
+
+impl<P: RoutePolicy> SimNetwork<P> {
+    /// Builds a simulation with a per-node routing policy — e.g.
+    /// [`GaoRexford`](bgpsim_core::policy::GaoRexford) built from a
+    /// relationship map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration or parameters are invalid.
+    pub fn with_policies<F>(
+        graph: &Graph,
+        config: BgpConfig,
+        params: SimParams,
+        seed: u64,
+        mut policy_for: F,
+    ) -> Self
+    where
+        F: FnMut(NodeId) -> P,
+    {
+        config.validate();
+        params.validate();
+        let n = graph.node_count();
+        let routers: Vec<Router<P>> = graph
+            .nodes()
+            .map(|id| Router::with_policy(id, graph.neighbors(id), config, policy_for(id)))
+            .collect();
+        let mut links = BTreeMap::new();
+        for e in graph.edges() {
+            links.insert((e.lo(), e.hi()), Link::new(params.link_delay));
+            links.insert((e.hi(), e.lo()), Link::new(params.link_delay));
+        }
+        SimNetwork {
+            engine: Engine::new(),
+            routers,
+            links,
+            processors: vec![Processor::new(); n],
+            rng: SimRng::new(seed),
+            params,
+            fib: NetworkFib::new(n),
+            sends: Vec::new(),
+            path_changes: Vec::new(),
+            live_fates: Vec::new(),
+            failure_at: None,
+            events_dispatched: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Read access to a router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn router(&self, id: NodeId) -> &Router<P> {
+        &self.routers[id.index()]
+    }
+
+    /// Read access to the recorded FIB history so far.
+    pub fn fib(&self) -> &NetworkFib {
+        &self.fib
+    }
+
+    /// BGP message sends recorded so far.
+    pub fn sends(&self) -> &[UpdateSend] {
+        &self.sends
+    }
+
+    /// When the (first) failure was injected, if any.
+    pub fn failure_at(&self) -> Option<SimTime> {
+        self.failure_at
+    }
+
+    /// Makes `origin` start originating `prefix` at the current time.
+    pub fn originate(&mut self, origin: NodeId, prefix: Prefix) {
+        let now = self.engine.now();
+        let out = self.routers[origin.index()].originate(prefix, now, &mut self.rng);
+        self.apply_output(origin, out, now);
+    }
+
+    /// Schedules `failure` to fire `delay` after the current time.
+    pub fn schedule_failure(&mut self, delay: SimDuration, failure: FailureEvent) {
+        self.engine
+            .schedule_after(delay, NetEvent::Failure(failure));
+    }
+
+    /// Injects `failure` at the current time.
+    pub fn inject_failure(&mut self, failure: FailureEvent) {
+        let now = self.engine.now();
+        self.apply_failure(failure, now);
+    }
+
+    /// Injects a live, event-driven data packet (for cross-validating
+    /// the replay data plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's send time is in the past.
+    pub fn inject_packet(&mut self, packet: Packet) {
+        self.engine.schedule_at(
+            packet.sent_at,
+            NetEvent::PacketHop {
+                id: packet.id,
+                node: packet.src,
+                prefix: packet.prefix,
+                ttl: packet.ttl,
+                hops: 0,
+            },
+        );
+    }
+
+    /// Runs the event loop until no events remain, or until `budget`
+    /// events have been dispatched.
+    pub fn run_to_quiescence(&mut self, budget: u64) -> RunOutcome {
+        let mut remaining = budget;
+        while let Some((now, ev)) = self.engine.pop() {
+            self.events_dispatched += 1;
+            self.dispatch(ev, now);
+            remaining -= 1;
+            if remaining == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+        }
+        RunOutcome::Quiescent
+    }
+
+    /// Runs the event loop for `duration` of simulated time (or until
+    /// `budget` events), leaving later events pending. The clock ends
+    /// exactly at the horizon unless a pending event forbids it — use
+    /// this to observe transient state (e.g. damping suppression
+    /// windows) that [`run_to_quiescence`](Self::run_to_quiescence)
+    /// would fast-forward through.
+    pub fn run_for(&mut self, duration: SimDuration, budget: u64) -> RunOutcome {
+        let horizon = self.engine.now() + duration;
+        let mut remaining = budget;
+        while let Some((now, ev)) = self.engine.pop_until(horizon) {
+            self.events_dispatched += 1;
+            self.dispatch(ev, now);
+            remaining -= 1;
+            if remaining == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+        }
+        if self
+            .engine
+            .next_event_time()
+            .is_none_or(|t| t >= horizon)
+        {
+            self.engine.advance_to(horizon);
+        }
+        RunOutcome::Quiescent
+    }
+
+    /// Consumes the simulation and returns the recorded observations.
+    pub fn into_record(self) -> RunRecord {
+        RunRecord {
+            node_count: self.routers.len(),
+            failure_at: self.failure_at,
+            quiescent_at: self.engine.now(),
+            sends: self.sends,
+            fib: self.fib,
+            path_changes: self.path_changes,
+            live_fates: self.live_fates,
+            router_stats: self.routers.iter().map(|r| r.stats()).collect(),
+        }
+    }
+
+    fn dispatch(&mut self, ev: NetEvent, now: SimTime) {
+        match ev {
+            NetEvent::MessageArrival { to, from, msg } => {
+                let service = self
+                    .rng
+                    .uniform_duration(self.params.proc_delay_lo, self.params.proc_delay_hi);
+                let done = self.processors[to.index()].admit(now, service);
+                self.engine
+                    .schedule_at(done, NetEvent::MessageProcessed { to, from, msg });
+            }
+            NetEvent::MessageProcessed { to, from, msg } => {
+                let out = self.routers[to.index()].handle_message(from, &msg, now, &mut self.rng);
+                self.apply_output(to, out, now);
+            }
+            NetEvent::MraiExpiry { node, peer, prefix } => {
+                let out = self.routers[node.index()].on_mrai_expire(peer, prefix, now, &mut self.rng);
+                self.apply_output(node, out, now);
+            }
+            NetEvent::DampingReuse { node, peer, prefix } => {
+                let out =
+                    self.routers[node.index()].on_damping_reuse(peer, prefix, now, &mut self.rng);
+                self.apply_output(node, out, now);
+            }
+            NetEvent::Failure(f) => self.apply_failure(f, now),
+            NetEvent::PacketHop {
+                id,
+                node,
+                prefix,
+                ttl,
+                hops,
+            } => self.packet_hop(id, node, prefix, ttl, hops, now),
+        }
+    }
+
+    fn apply_failure(&mut self, failure: FailureEvent, now: SimTime) {
+        if self.failure_at.is_none() {
+            self.failure_at = Some(now);
+        }
+        match failure {
+            FailureEvent::WithdrawPrefix { origin, prefix } => {
+                let out = self.routers[origin.index()].withdraw_origin(prefix, now, &mut self.rng);
+                self.apply_output(origin, out, now);
+            }
+            FailureEvent::LinkDown { a, b } => self.fail_link(a, b, now),
+            FailureEvent::NodeDown { node } => {
+                let neighbors: Vec<NodeId> = self.routers[node.index()].peers().collect();
+                for m in neighbors {
+                    self.fail_link(node, m, now);
+                }
+            }
+            FailureEvent::LinkUp { a, b } => self.restore_link(a, b, now),
+        }
+    }
+
+    fn fail_link(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.fail();
+            }
+        }
+        let out_a = self.routers[a.index()].on_peer_down(b, now, &mut self.rng);
+        self.apply_output(a, out_a, now);
+        let out_b = self.routers[b.index()].on_peer_down(a, now, &mut self.rng);
+        self.apply_output(b, out_b, now);
+    }
+
+    fn restore_link(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.restore();
+            }
+        }
+        let out_a = self.routers[a.index()].on_peer_up(b, now, &mut self.rng);
+        self.apply_output(a, out_a, now);
+        let out_b = self.routers[b.index()].on_peer_up(a, now, &mut self.rng);
+        self.apply_output(b, out_b, now);
+    }
+
+    fn apply_output(&mut self, node: NodeId, out: RouterOutput, now: SimTime) {
+        for (prefix, entry) in out.fib_changes {
+            self.fib.record(node, prefix, now, entry);
+            self.path_changes.push(crate::record::PathChange {
+                at: now,
+                node,
+                prefix,
+                path: self.routers[node.index()].best(prefix).map(|r| r.path.clone()),
+            });
+        }
+        for (to, msg) in out.sends {
+            self.sends.push(UpdateSend {
+                at: now,
+                from: node,
+                to,
+                withdraw: msg.is_withdraw(),
+                message: msg.clone(),
+            });
+            let link = self
+                .links
+                .get_mut(&(node, to))
+                .unwrap_or_else(|| panic!("no link {node} -> {to}"));
+            if let Some(arrival) = link.transmit(now) {
+                self.engine
+                    .schedule_at(arrival, NetEvent::MessageArrival { to, from: node, msg });
+            }
+        }
+        for timer in out.timers {
+            self.engine.schedule_at(
+                timer.at,
+                NetEvent::MraiExpiry {
+                    node,
+                    peer: timer.peer,
+                    prefix: timer.prefix,
+                },
+            );
+        }
+        for timer in out.reuse_timers {
+            self.engine.schedule_at(
+                timer.at,
+                NetEvent::DampingReuse {
+                    node,
+                    peer: timer.peer,
+                    prefix: timer.prefix,
+                },
+            );
+        }
+    }
+
+    fn packet_hop(
+        &mut self,
+        id: u64,
+        node: NodeId,
+        prefix: Prefix,
+        ttl: u32,
+        hops: u32,
+        now: SimTime,
+    ) {
+        match self.fib.current(node, prefix) {
+            Some(FibEntry::Local) => {
+                self.live_fates
+                    .push((id, PacketFate::Delivered { at: now, hops }));
+            }
+            None => {
+                self.live_fates
+                    .push((id, PacketFate::NoRoute { at: now, node }));
+            }
+            Some(FibEntry::Via(next)) => {
+                if ttl == 0 {
+                    self.live_fates
+                        .push((id, PacketFate::TtlExhausted { at: now, node }));
+                    return;
+                }
+                self.engine.schedule_after(
+                    self.params.link_delay,
+                    NetEvent::PacketHop {
+                        id,
+                        node: next,
+                        prefix,
+                        ttl: ttl - 1,
+                        hops: hops + 1,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Convenience message types re-exported for host code.
+pub use bgpsim_core::BgpMessage as Message;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_core::Jitter;
+    use bgpsim_topology::generators;
+
+    fn cfg() -> BgpConfig {
+        BgpConfig::default().with_jitter(Jitter::NONE)
+    }
+
+    fn p() -> Prefix {
+        Prefix::new(0)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn line_converges_to_shortest_paths() {
+        let g = generators::chain(4);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 1);
+        net.originate(n(0), p());
+        assert_eq!(net.run_to_quiescence(1_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        assert_eq!(rec.fib.current(n(0), p()), Some(FibEntry::Local));
+        assert_eq!(rec.fib.current(n(1), p()), Some(FibEntry::Via(n(0))));
+        assert_eq!(rec.fib.current(n(2), p()), Some(FibEntry::Via(n(1))));
+        assert_eq!(rec.fib.current(n(3), p()), Some(FibEntry::Via(n(2))));
+    }
+
+    #[test]
+    fn clique_initial_convergence_points_at_origin() {
+        let g = generators::clique(6);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 3);
+        net.originate(n(0), p());
+        assert_eq!(net.run_to_quiescence(10_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        for i in 1..6 {
+            assert_eq!(
+                rec.fib.current(n(i), p()),
+                Some(FibEntry::Via(n(0))),
+                "node {i} must use the direct path"
+            );
+        }
+    }
+
+    #[test]
+    fn converged_routes_match_bfs_oracle() {
+        // After quiescence, every node's next hop must match the
+        // BFS shortest-path oracle with smaller-id tie-breaks.
+        let g = generators::internet_like(29, 7);
+        let dest = n(28);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 7);
+        net.originate(dest, p());
+        assert_eq!(net.run_to_quiescence(50_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        let oracle = bgpsim_topology::algo::shortest_path_next_hops(&g, dest);
+        for v in g.nodes() {
+            if v == dest {
+                assert_eq!(rec.fib.current(v, p()), Some(FibEntry::Local));
+                continue;
+            }
+            let got = rec.fib.current(v, p()).and_then(|e| e.via());
+            assert_eq!(got, oracle[v.index()], "next hop mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn tdown_withdrawal_reaches_everyone() {
+        let g = generators::clique(5);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 5);
+        net.originate(n(0), p());
+        net.run_to_quiescence(10_000_000);
+        net.inject_failure(FailureEvent::WithdrawPrefix {
+            origin: n(0),
+            prefix: p(),
+        });
+        assert_eq!(net.run_to_quiescence(10_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        assert!(rec.failure_at.is_some());
+        for i in 0..5 {
+            assert_eq!(
+                rec.fib.current(n(i), p()),
+                None,
+                "node {i} must end with no route after T_down"
+            );
+        }
+        assert!(
+            rec.convergence_time().is_some(),
+            "withdrawal must trigger sends"
+        );
+    }
+
+    #[test]
+    fn tlong_reroutes_over_backup() {
+        let (g, layout) = generators::bclique(4);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 9);
+        net.originate(layout.destination, p());
+        net.run_to_quiescence(10_000_000);
+        net.inject_failure(FailureEvent::LinkDown {
+            a: layout.destination,
+            b: layout.core_gateway,
+        });
+        assert_eq!(net.run_to_quiescence(50_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        // Everyone still has a route; the core gateway now goes through
+        // the clique toward the chain.
+        for v in g.nodes() {
+            if v == layout.destination {
+                continue;
+            }
+            assert!(
+                rec.fib.current(v, p()).is_some(),
+                "node {v} lost the destination after T_long"
+            );
+        }
+        // Final state matches BFS on the post-failure graph.
+        let mut g2 = g.clone();
+        g2.remove_edge(layout.destination, layout.core_gateway);
+        let oracle = bgpsim_topology::algo::shortest_path_next_hops(&g2, layout.destination);
+        for v in g2.nodes() {
+            if v == layout.destination {
+                continue;
+            }
+            let got = rec.fib.current(v, p()).and_then(|e| e.via());
+            assert_eq!(got, oracle[v.index()], "next hop mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed: u64| {
+            let g = generators::clique(5);
+            let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), seed);
+            net.originate(n(0), p());
+            net.run_to_quiescence(10_000_000);
+            net.inject_failure(FailureEvent::WithdrawPrefix {
+                origin: n(0),
+                prefix: p(),
+            });
+            net.run_to_quiescence(10_000_000);
+            let rec = net.into_record();
+            (rec.sends.clone(), rec.quiescent_at)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = generators::clique(8);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 2);
+        net.originate(n(0), p());
+        assert_eq!(net.run_to_quiescence(3), RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn live_packets_are_delivered_on_converged_network() {
+        let g = generators::chain(3);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 4);
+        net.originate(n(0), p());
+        net.run_to_quiescence(1_000_000);
+        let t = net.now() + SimDuration::from_secs(1);
+        net.inject_packet(Packet {
+            id: 77,
+            src: n(2),
+            prefix: p(),
+            ttl: 128,
+            sent_at: t,
+        });
+        net.run_to_quiescence(1_000_000);
+        let rec = net.into_record();
+        assert_eq!(rec.live_fates.len(), 1);
+        assert_eq!(rec.live_fates[0].0, 77);
+        assert!(rec.live_fates[0].1.is_delivered());
+    }
+
+    #[test]
+    fn run_for_bounds_time_and_preserves_later_events() {
+        let g = generators::clique(5);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 8);
+        net.originate(n(0), p());
+        // One second of simulated time: the clock lands exactly on the
+        // horizon; MRAI timers (≈30 s out) remain pending.
+        assert_eq!(
+            net.run_for(SimDuration::from_secs(1), 10_000_000),
+            RunOutcome::Quiescent
+        );
+        assert_eq!(net.now(), SimTime::from_secs(1));
+        let sends_so_far = net.sends().len();
+        assert!(sends_so_far > 0, "initial flooding happened");
+        // Draining afterwards completes convergence without losing the
+        // pending timers.
+        assert_eq!(net.run_to_quiescence(10_000_000), RunOutcome::Quiescent);
+        for i in 1..5 {
+            assert_eq!(net.fib().current(n(i), p()), Some(FibEntry::Via(n(0))));
+        }
+    }
+
+    #[test]
+    fn run_for_matches_full_run_prefix() {
+        // Chopping a run into run_for slices yields the identical send
+        // log as one run_to_quiescence (determinism across pacing).
+        let run_sliced = || {
+            let g = generators::clique(5);
+            let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 9);
+            net.originate(n(0), p());
+            for _ in 0..50 {
+                net.run_for(SimDuration::from_secs(2), 10_000_000);
+            }
+            net.run_to_quiescence(10_000_000);
+            net.into_record().sends
+        };
+        let run_whole = || {
+            let g = generators::clique(5);
+            let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 9);
+            net.originate(n(0), p());
+            net.run_to_quiescence(10_000_000);
+            net.into_record().sends
+        };
+        assert_eq!(run_sliced(), run_whole());
+    }
+
+    #[test]
+    fn node_down_isolates_destination() {
+        let g = generators::clique(4);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 6);
+        net.originate(n(0), p());
+        net.run_to_quiescence(10_000_000);
+        net.inject_failure(FailureEvent::NodeDown { node: n(0) });
+        assert_eq!(net.run_to_quiescence(10_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        for i in 1..4 {
+            assert_eq!(rec.fib.current(n(i), p()), None, "node {i}");
+        }
+    }
+}

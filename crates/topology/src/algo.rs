@@ -1,0 +1,375 @@
+//! Graph algorithms used by the study.
+//!
+//! Everything here is deterministic: BFS visits neighbors in ascending
+//! id order (the graph stores sorted adjacency), matching the paper's
+//! "smaller node ID wins ties" policy.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Edge, Graph};
+use crate::node::NodeId;
+
+/// BFS distances (in hops) from `source` to every node.
+///
+/// Unreachable nodes get `None`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{Graph, NodeId, algo};
+///
+/// let g = Graph::from_edges([(0, 1), (1, 2)]);
+/// let d = algo::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d[2], Some(2));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    assert!(g.contains(source), "unknown node {source}");
+    let mut dist = vec![None; g.node_count()];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued node has distance");
+        for v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The BFS shortest-path tree toward `dest`, with the paper's
+/// tie-breaking: among equal-distance parents, the smallest node id wins.
+///
+/// Returns for every node the next hop on its best path to `dest`
+/// (`None` for `dest` itself and for unreachable nodes).
+///
+/// This is exactly the stable routing state BGP converges to under the
+/// study's shortest-path policy, so it doubles as a convergence oracle
+/// in tests.
+///
+/// # Panics
+///
+/// Panics if `dest` is not a node of `g`.
+pub fn shortest_path_next_hops(g: &Graph, dest: NodeId) -> Vec<Option<NodeId>> {
+    let dist = bfs_distances(g, dest);
+    let mut next = vec![None; g.node_count()];
+    for u in g.nodes() {
+        if u == dest {
+            continue;
+        }
+        let Some(du) = dist[u.index()] else { continue };
+        // Sorted neighbor order means the first qualifying neighbor is
+        // the smallest id.
+        next[u.index()] = g
+            .neighbors(u)
+            .find(|v| dist[v.index()] == Some(du - 1));
+    }
+    next
+}
+
+/// Returns `true` if the graph is connected (or has at most one node).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.node_count() <= 1 {
+        return true;
+    }
+    let d = bfs_distances(g, NodeId::new(0));
+    d.iter().all(|x| x.is_some())
+}
+
+/// The connected components, each a sorted list of node ids; components
+/// are ordered by their smallest member.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.node_count()];
+    let mut out = Vec::new();
+    for s in g.nodes() {
+        if seen[s.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = VecDeque::from([s]);
+        seen[s.index()] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for v in g.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort();
+        out.push(comp);
+    }
+    out
+}
+
+/// The diameter (longest shortest path) of a connected graph, or `None`
+/// if the graph is disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for s in g.nodes() {
+        let d = bfs_distances(g, s);
+        for x in &d {
+            match x {
+                Some(v) => best = best.max(*v),
+                None => return None,
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Summary statistics of the degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// Computes degree statistics, or `None` for an empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let degs: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+    let min = *degs.iter().min().expect("nonempty");
+    let max = *degs.iter().max().expect("nonempty");
+    let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+    Some(DegreeStats { min, max, mean })
+}
+
+/// The nodes of minimum degree, sorted ascending — the paper picks the
+/// destination AS "randomly chosen among the nodes with the lowest
+/// degrees".
+pub fn lowest_degree_nodes(g: &Graph) -> Vec<NodeId> {
+    let Some(stats) = degree_stats(g) else {
+        return Vec::new();
+    };
+    g.nodes().filter(|&n| g.degree(n) == stats.min).collect()
+}
+
+/// The bridges (cut edges) of the graph, via Tarjan's low-link
+/// algorithm in `O(V + E)`.
+///
+/// A `T_long` event must fail a **non-bridge** link, otherwise the
+/// destination is disconnected and the event degenerates to `T_down`;
+/// this is the fast primitive behind that choice.
+///
+/// Returned edges are in ascending `(lo, hi)` order.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{algo, Graph};
+///
+/// // Two triangles joined by one link: only the joining link is a
+/// // bridge.
+/// let g = Graph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+/// let bridges = algo::bridges(&g);
+/// assert_eq!(bridges.len(), 1);
+/// assert_eq!((bridges[0].lo().as_u32(), bridges[0].hi().as_u32()), (2, 3));
+/// ```
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n]; // discovery order
+    let mut low = vec![usize::MAX; n];
+    let mut counter = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative DFS to avoid recursion-depth limits on long chains.
+    // Frame: (node, parent, neighbor iterator position).
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(usize, Option<usize>, Vec<usize>, usize)> = Vec::new();
+        disc[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        let root_neighbors: Vec<usize> = g
+            .neighbors(NodeId::new(root as u32))
+            .map(|m| m.index())
+            .collect();
+        stack.push((root, None, root_neighbors, 0));
+        while !stack.is_empty() {
+            enum Step {
+                Descend(usize, usize), // (child, parent)
+                BackEdge(usize, usize), // (u, v)
+                Finish,
+            }
+            let step = {
+                let frame = stack.last_mut().expect("stack nonempty");
+                let (u, parent) = (frame.0, frame.1);
+                if frame.3 < frame.2.len() {
+                    let v = frame.2[frame.3];
+                    frame.3 += 1;
+                    if disc[v] == usize::MAX {
+                        Step::Descend(v, u)
+                    } else if Some(v) != parent {
+                        Step::BackEdge(u, v)
+                    } else {
+                        continue;
+                    }
+                } else {
+                    Step::Finish
+                }
+            };
+            match step {
+                Step::Descend(v, u) => {
+                    disc[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    let v_neighbors: Vec<usize> = g
+                        .neighbors(NodeId::new(v as u32))
+                        .map(|m| m.index())
+                        .collect();
+                    stack.push((v, Some(u), v_neighbors, 0));
+                }
+                Step::BackEdge(u, v) => low[u] = low[u].min(disc[v]),
+                Step::Finish => {
+                    let (u, parent, _, _) = stack.pop().expect("frame exists");
+                    if let Some(p) = parent {
+                        low[p] = low[p].min(low[u]);
+                        if low[u] > disc[p] {
+                            out.push(Edge::new(
+                                NodeId::new(p as u32),
+                                NodeId::new(u as u32),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|e| (e.lo(), e.hi()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn bfs_on_a_path() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(n(0), n(1));
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn next_hops_tie_break_on_smaller_id() {
+        // 3 reaches 0 via 1 or 2, both distance 2; must pick 1.
+        let g = Graph::from_edges([(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let next = shortest_path_next_hops(&g, n(0));
+        assert_eq!(next[3], Some(n(1)));
+        assert_eq!(next[1], Some(n(0)));
+        assert_eq!(next[2], Some(n(0)));
+        assert_eq!(next[0], None);
+    }
+
+    #[test]
+    fn next_hops_unreachable_is_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(n(0), n(1));
+        let next = shortest_path_next_hops(&g, n(0));
+        assert_eq!(next[2], None);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = Graph::from_edges([(0, 1), (1, 2)]);
+        assert!(is_connected(&g));
+        let mut g2 = Graph::with_nodes(4);
+        g2.add_edge(n(0), n(1));
+        g2.add_edge(n(2), n(3));
+        assert!(!is_connected(&g2));
+        assert!(is_connected(&Graph::with_nodes(1)));
+        assert!(is_connected(&Graph::new()));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(3), n(4));
+        let comps = components(&g);
+        assert_eq!(
+            comps,
+            vec![vec![n(0), n(1)], vec![n(2)], vec![n(3), n(4)]]
+        );
+    }
+
+    #[test]
+    fn diameter_of_shapes() {
+        let path = Graph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(diameter(&path), Some(3));
+        let triangle = Graph::from_edges([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(diameter(&triangle), Some(1));
+        let mut disconnected = Graph::with_nodes(3);
+        disconnected.add_edge(n(0), n(1));
+        assert_eq!(diameter(&disconnected), None);
+        assert_eq!(diameter(&Graph::new()), None);
+    }
+
+    #[test]
+    fn bridges_of_basic_shapes() {
+        use crate::generators;
+        // Every chain edge is a bridge.
+        let chain = generators::chain(5);
+        assert_eq!(bridges(&chain).len(), 4);
+        // Rings and cliques have none.
+        assert!(bridges(&generators::ring(6)).is_empty());
+        assert!(bridges(&generators::clique(5)).is_empty());
+        // A star's spokes are all bridges.
+        assert_eq!(bridges(&generators::star(6)).len(), 5);
+        // Empty and single-node graphs.
+        assert!(bridges(&Graph::new()).is_empty());
+        assert!(bridges(&Graph::with_nodes(3)).is_empty());
+    }
+
+    #[test]
+    fn bridge_in_barbell() {
+        // Two triangles joined by an edge (the doc example).
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let bs = bridges(&g);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0], crate::graph::Edge::new(n(2), n(3)));
+    }
+
+    #[test]
+    fn degree_stats_and_lowest_degree() {
+        let g = Graph::from_edges([(0, 1), (0, 2), (0, 3)]); // star
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(lowest_degree_nodes(&g), vec![n(1), n(2), n(3)]);
+        assert!(degree_stats(&Graph::new()).is_none());
+        assert!(lowest_degree_nodes(&Graph::new()).is_empty());
+    }
+}

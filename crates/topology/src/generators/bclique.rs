@@ -1,0 +1,130 @@
+//! The B-Clique ("Backup-Clique") topology of the ICDCS'04 study.
+
+use crate::graph::{Edge, Graph};
+use crate::node::NodeId;
+
+/// The roles of the distinguished nodes in a B-Clique, as used by the
+/// paper's `T_long` experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BCliqueLayout {
+    /// Size parameter `n`; the graph has `2n` nodes.
+    pub n: usize,
+    /// The destination AS (node `0`, head of the chain).
+    pub destination: NodeId,
+    /// The clique node directly connected to the destination (node `n`).
+    pub core_gateway: NodeId,
+    /// The link `[0, n]` whose failure triggers the `T_long` event.
+    pub failure_link: Edge,
+    /// The chain tail (node `n-1`), connected into the clique at `2n-1`.
+    pub chain_tail: NodeId,
+    /// The clique node connected to the chain tail (node `2n-1`).
+    pub backup_gateway: NodeId,
+}
+
+/// Builds a B-Clique of size `n` (2n nodes total), returning the graph
+/// and the layout of its distinguished nodes.
+///
+/// Per the paper (§4.1): nodes `0 … n-1` form a chain, nodes `n … 2n-1`
+/// form a clique, node `0` connects to node `n`, and node `n-1` connects
+/// to node `2n-1`. The topology models an edge network (node 0) with a
+/// direct link to the core (the clique) and a long backup path (the
+/// chain). Failing link `[0, n]` forces the whole clique onto the chain
+/// — the `T_long` event.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::generators::bclique;
+///
+/// let (g, layout) = bclique(4);
+/// assert_eq!(g.node_count(), 8);
+/// assert!(g.has_edge(layout.destination, layout.core_gateway));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bclique(n: usize) -> (Graph, BCliqueLayout) {
+    assert!(n >= 2, "B-Clique needs n >= 2, got {n}");
+    let mut g = Graph::with_nodes(2 * n);
+    // Chain 0 .. n-1.
+    for i in 1..n {
+        g.add_edge(NodeId::new((i - 1) as u32), NodeId::new(i as u32));
+    }
+    // Clique n .. 2n-1.
+    for a in n..2 * n {
+        for b in (a + 1)..2 * n {
+            g.add_edge(NodeId::new(a as u32), NodeId::new(b as u32));
+        }
+    }
+    let destination = NodeId::new(0);
+    let core_gateway = NodeId::new(n as u32);
+    let chain_tail = NodeId::new((n - 1) as u32);
+    let backup_gateway = NodeId::new((2 * n - 1) as u32);
+    g.add_edge(destination, core_gateway);
+    g.add_edge(chain_tail, backup_gateway);
+    let layout = BCliqueLayout {
+        n,
+        destination,
+        core_gateway,
+        failure_link: Edge::new(destination, core_gateway),
+        chain_tail,
+        backup_gateway,
+    };
+    (g, layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn node_and_edge_counts() {
+        for n in 2..10 {
+            let (g, _) = bclique(n);
+            assert_eq!(g.node_count(), 2 * n);
+            // chain: n-1, clique: n(n-1)/2, plus 2 connector links
+            assert_eq!(g.edge_count(), (n - 1) + n * (n - 1) / 2 + 2);
+            assert!(algo::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn layout_links_exist() {
+        let (g, l) = bclique(5);
+        assert!(g.has_edge(l.destination, l.core_gateway));
+        assert!(g.has_edge(l.chain_tail, l.backup_gateway));
+        assert_eq!(l.destination, NodeId::new(0));
+        assert_eq!(l.core_gateway, NodeId::new(5));
+        assert_eq!(l.chain_tail, NodeId::new(4));
+        assert_eq!(l.backup_gateway, NodeId::new(9));
+    }
+
+    #[test]
+    fn failing_the_direct_link_leaves_backup_path() {
+        let (mut g, l) = bclique(5);
+        g.remove_edge(l.destination, l.core_gateway);
+        assert!(algo::is_connected(&g), "backup path must survive");
+        // The backup route from the core gateway now runs through the
+        // whole chain: n (clique hop to 2n-1) + 1 + (n-1) chain hops.
+        let d = algo::bfs_distances(&g, l.destination);
+        assert_eq!(d[l.core_gateway.index()], Some(6)); // 5 chain hops + 1 into clique... via 9: 0-1-2-3-4-9-5
+    }
+
+    #[test]
+    fn clique_part_is_complete() {
+        let (g, l) = bclique(4);
+        for a in l.n..2 * l.n {
+            for b in (a + 1)..2 * l.n {
+                assert!(g.has_edge(NodeId::new(a as u32), NodeId::new(b as u32)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn too_small_rejected() {
+        let _ = bclique(1);
+    }
+}

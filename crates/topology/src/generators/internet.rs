@@ -1,0 +1,313 @@
+//! Internet-like hierarchical AS topologies.
+//!
+//! The ICDCS'04 study used 29/48/75/110-node topologies derived from
+//! real BGP routing tables (Premore's AS-graph samples, no longer
+//! available). This module substitutes a hierarchical generator that
+//! reproduces the structural properties the paper's results depend on:
+//!
+//! * a small, densely meshed **core** (tier-1 full mesh);
+//! * a **middle tier** multi-homed into the core and each other,
+//!   providing path diversity and longer backup paths;
+//! * a large fringe of low-degree **stub** ASes (the paper picks the
+//!   destination among the lowest-degree nodes);
+//! * modest average degree (≈ 3–4), like small AS-graph samples — the
+//!   paper notes (§4.1 fn. 1) that power-law generators are unsuitable
+//!   at these sizes, hence the hierarchical construction.
+//!
+//! Attachment is degree-preferential, giving the mild degree skew real
+//! AS graphs show. Generated graphs are connected by construction.
+
+use bgpsim_netsim::rng::SimRng;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Tuning knobs for [`internet_like`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InternetConfig {
+    /// Fraction of nodes in the full-mesh core (clamped to `[3, 8]`
+    /// nodes).
+    pub core_fraction: f64,
+    /// Fraction of nodes in the middle tier.
+    pub mid_fraction: f64,
+    /// Probability that a stub AS is multi-homed (two providers rather
+    /// than one).
+    pub stub_multihome_prob: f64,
+    /// Number of extra lateral (peer–peer) links among middle-tier
+    /// nodes, as a fraction of the middle-tier size.
+    pub mid_peering_fraction: f64,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            core_fraction: 0.08,
+            mid_fraction: 0.27,
+            stub_multihome_prob: 0.45,
+            mid_peering_fraction: 0.35,
+        }
+    }
+}
+
+/// Generates an Internet-like hierarchical AS topology with `n` nodes,
+/// using the default [`InternetConfig`].
+///
+/// Node ids are assigned core-first, then middle tier, then stubs, so
+/// high ids are predominantly stubs. Deterministic for a given
+/// `(n, seed)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::generators::internet_like;
+/// use bgpsim_topology::algo;
+///
+/// let g = internet_like(110, 7);
+/// assert_eq!(g.node_count(), 110);
+/// assert!(algo::is_connected(&g));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 5`.
+pub fn internet_like(n: usize, seed: u64) -> Graph {
+    internet_like_with(n, InternetConfig::default(), &mut SimRng::new(seed))
+}
+
+/// Like [`internet_like`], but also returns the tier structure (core /
+/// middle / stub ranges) so Gao–Rexford relationships can be derived
+/// with [`derive_relationships`].
+///
+/// [`derive_relationships`]: crate::relationships::derive_relationships
+pub fn internet_like_tiered(n: usize, seed: u64) -> (Graph, crate::relationships::Tiers) {
+    internet_like_with_tiers(n, InternetConfig::default(), &mut SimRng::new(seed))
+}
+
+/// Generates an Internet-like topology with explicit configuration and
+/// RNG.
+///
+/// # Panics
+///
+/// Panics if `n < 5` or the configuration fractions are not in `[0, 1]`.
+pub fn internet_like_with(n: usize, cfg: InternetConfig, rng: &mut SimRng) -> Graph {
+    internet_like_with_tiers(n, cfg, rng).0
+}
+
+/// Full-control variant returning the graph and its tier structure.
+///
+/// # Panics
+///
+/// Panics if `n < 5` or the configuration fractions are not in `[0, 1]`.
+pub fn internet_like_with_tiers(
+    n: usize,
+    cfg: InternetConfig,
+    rng: &mut SimRng,
+) -> (Graph, crate::relationships::Tiers) {
+    assert!(n >= 5, "internet_like needs at least 5 nodes, got {n}");
+    for (name, v) in [
+        ("core_fraction", cfg.core_fraction),
+        ("mid_fraction", cfg.mid_fraction),
+        ("stub_multihome_prob", cfg.stub_multihome_prob),
+    ] {
+        assert!(
+            (0.0..=1.0).contains(&v),
+            "{name} must be in [0, 1], got {v}"
+        );
+    }
+    assert!(
+        cfg.mid_peering_fraction >= 0.0 && cfg.mid_peering_fraction.is_finite(),
+        "mid_peering_fraction must be non-negative"
+    );
+
+    let core = ((n as f64 * cfg.core_fraction).round() as usize).clamp(3, 8.min(n));
+    let mid = ((n as f64 * cfg.mid_fraction).round() as usize).min(n - core);
+    let mut g = Graph::with_nodes(n);
+
+    // Core: full mesh.
+    for a in 0..core {
+        for b in (a + 1)..core {
+            g.add_edge(NodeId::new(a as u32), NodeId::new(b as u32));
+        }
+    }
+
+    // Middle tier: two providers among already-attached nodes, chosen
+    // degree-preferentially.
+    for v in core..core + mid {
+        let node = NodeId::new(v as u32);
+        for _ in 0..2 {
+            if let Some(p) = preferential_pick(&g, v, rng, &node) {
+                g.add_edge(node, p);
+            }
+        }
+    }
+
+    // Lateral peerings among the middle tier for path diversity.
+    let peer_links = (mid as f64 * cfg.mid_peering_fraction).round() as usize;
+    let mut attempts = 0;
+    let mut added = 0;
+    while added < peer_links && attempts < peer_links * 20 && mid >= 2 {
+        attempts += 1;
+        let a = core + rng.index(mid);
+        let b = core + rng.index(mid);
+        let (a, b) = (NodeId::new(a as u32), NodeId::new(b as u32));
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b);
+            added += 1;
+        }
+    }
+
+    // Stubs: one provider, or two with probability `stub_multihome_prob`,
+    // drawn from the core + middle tier only (stubs do not transit).
+    let provider_pool = core + mid;
+    for v in core + mid..n {
+        let node = NodeId::new(v as u32);
+        let homes = if rng.unit_f64() < cfg.stub_multihome_prob {
+            2
+        } else {
+            1
+        };
+        for _ in 0..homes {
+            if let Some(p) = preferential_pick_bounded(&g, provider_pool, rng, &node) {
+                g.add_edge(node, p);
+            }
+        }
+    }
+
+    debug_assert!(crate::algo::is_connected(&g));
+    (g, crate::relationships::Tiers { core, mid })
+}
+
+/// Degree-preferential pick among nodes `0..bound`, excluding `node`
+/// itself and its existing neighbors. Returns `None` only if no
+/// candidate exists.
+fn preferential_pick_bounded(
+    g: &Graph,
+    bound: usize,
+    rng: &mut SimRng,
+    node: &NodeId,
+) -> Option<NodeId> {
+    // Weight each candidate by degree + 1 so isolated candidates remain
+    // reachable.
+    let candidates: Vec<(NodeId, usize)> = (0..bound as u32)
+        .map(NodeId::new)
+        .filter(|c| c != node && !g.has_edge(*node, *c))
+        .map(|c| (c, g.degree(c) + 1))
+        .collect();
+    let total: usize = candidates.iter().map(|&(_, w)| w).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut pick = rng.index(total);
+    for (c, w) in candidates {
+        if pick < w {
+            return Some(c);
+        }
+        pick -= w;
+    }
+    unreachable!("weighted pick fell off the end")
+}
+
+fn preferential_pick(g: &Graph, bound: usize, rng: &mut SimRng, node: &NodeId) -> Option<NodeId> {
+    preferential_pick_bounded(g, bound, rng, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn paper_sizes_are_connected_and_sized() {
+        for &n in &[29usize, 48, 75, 110] {
+            let g = internet_like(n, 1);
+            assert_eq!(g.node_count(), n);
+            assert!(algo::is_connected(&g), "n={n} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(internet_like(48, 9), internet_like(48, 9));
+        assert_ne!(internet_like(48, 9), internet_like(48, 10));
+    }
+
+    #[test]
+    fn average_degree_is_as_graph_like() {
+        for &n in &[29usize, 110] {
+            let g = internet_like(n, 3);
+            let stats = algo::degree_stats(&g).unwrap();
+            assert!(
+                (2.0..=6.0).contains(&stats.mean),
+                "n={n}: mean degree {} outside AS-like range",
+                stats.mean
+            );
+        }
+    }
+
+    #[test]
+    fn has_low_degree_stubs() {
+        let g = internet_like(75, 5);
+        let lows = algo::lowest_degree_nodes(&g);
+        assert!(!lows.is_empty());
+        let min_deg = g.degree(lows[0]);
+        assert!(min_deg <= 2, "no stub-like nodes: min degree {min_deg}");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Core nodes should end up far better connected than stubs.
+        let g = internet_like(110, 11);
+        let stats = algo::degree_stats(&g).unwrap();
+        assert!(
+            stats.max >= 3 * stats.min.max(1),
+            "no skew: min={} max={}",
+            stats.min,
+            stats.max
+        );
+    }
+
+    #[test]
+    fn core_is_meshed() {
+        let g = internet_like(50, 2);
+        // With default fractions, 50 nodes -> core of 4.
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                assert!(g.has_edge(NodeId::new(a), NodeId::new(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn small_n_works() {
+        let g = internet_like(5, 1);
+        assert_eq!(g.node_count(), 5);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5")]
+    fn too_small_rejected() {
+        let _ = internet_like(4, 1);
+    }
+
+    #[test]
+    fn tiered_variant_matches_plain_and_partitions_nodes() {
+        let (g, tiers) = internet_like_tiered(48, 2);
+        assert_eq!(g, internet_like(48, 2));
+        assert!(tiers.core >= 3);
+        assert!(tiers.core + tiers.mid < 48);
+        // Relationships derived from the tiers cover every edge.
+        let rels = crate::relationships::derive_relationships(&g, &tiers);
+        assert!(rels.covers(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_config_rejected() {
+        let cfg = InternetConfig {
+            core_fraction: 2.0,
+            ..InternetConfig::default()
+        };
+        let _ = internet_like_with(10, cfg, &mut SimRng::new(1));
+    }
+}

@@ -1,0 +1,28 @@
+//! Topology generators.
+//!
+//! The ICDCS'04 study uses three families of topologies:
+//!
+//! * **Clique** (full mesh) — the classic worst case for BGP path
+//!   exploration, used for `T_down` experiments
+//!   ([`clique`]).
+//! * **B-Clique** — a clique core with a chain of edge ASes attached at
+//!   both ends, modelling an edge network with a direct link and a long
+//!   backup path to the core; used for `T_long` experiments
+//!   ([`bclique()`]).
+//! * **Internet-derived** graphs — the paper used Premore's AS graphs
+//!   sampled from real BGP tables; we substitute a hierarchical
+//!   generator with the same structural properties
+//!   ([`internet_like`]).
+//!
+//! A few extra standard shapes (chain, ring, star, tree, grid, random)
+//! are provided for testing and exploration.
+
+pub mod bclique;
+pub mod internet;
+pub mod random;
+pub mod regular;
+
+pub use bclique::{bclique, BCliqueLayout};
+pub use internet::{internet_like, internet_like_tiered, internet_like_with, internet_like_with_tiers, InternetConfig};
+pub use random::random_gnp;
+pub use regular::{binary_tree, chain, clique, grid, ring, star};

@@ -1,0 +1,87 @@
+//! Erdős–Rényi random graphs.
+
+use bgpsim_netsim::rng::SimRng;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A G(n, p) random graph: each of the `n(n-1)/2` possible edges is
+/// present independently with probability `p`.
+///
+/// The result may be disconnected; callers that need connectivity should
+/// retry with another seed or check [`algo::is_connected`].
+///
+/// [`algo::is_connected`]: crate::algo::is_connected
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::generators::random_gnp;
+/// use bgpsim_netsim::rng::SimRng;
+///
+/// let g = random_gnp(20, 0.3, &mut SimRng::new(1));
+/// assert_eq!(g.node_count(), 20);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn random_gnp(n: usize, p: f64, rng: &mut SimRng) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut g = Graph::with_nodes(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.unit_f64() < p {
+                g.add_edge(NodeId::new(a as u32), NodeId::new(b as u32));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn p_zero_and_one_are_extremes() {
+        let mut rng = SimRng::new(3);
+        let empty = random_gnp(10, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = random_gnp(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_gnp(30, 0.2, &mut SimRng::new(7));
+        let b = random_gnp(30, 0.2, &mut SimRng::new(7));
+        assert_eq!(a, b);
+        let c = random_gnp(30, 0.2, &mut SimRng::new(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let g = random_gnp(100, 0.1, &mut SimRng::new(42));
+        let expected = 4950.0 * 0.1;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.3,
+            "edge count {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn dense_gnp_is_connected() {
+        let g = random_gnp(30, 0.5, &mut SimRng::new(5));
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn invalid_p_rejected() {
+        let _ = random_gnp(5, 1.5, &mut SimRng::new(1));
+    }
+}

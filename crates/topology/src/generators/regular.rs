@@ -1,0 +1,184 @@
+//! Regular (non-random) topology shapes.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A full mesh (clique) of `n` nodes.
+///
+/// Used throughout the BGP convergence literature (Labovitz et al.,
+/// Griffin & Premore, Bremler-Barr et al.) as the canonical worst case
+/// for `T_down` path exploration: after the origin withdraws, every node
+/// has `n - 2` obsolete alternative paths to explore.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::generators::clique;
+///
+/// let g = clique(5);
+/// assert_eq!(g.edge_count(), 10);
+/// ```
+pub fn clique(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_edge(NodeId::new(a as u32), NodeId::new(b as u32));
+        }
+    }
+    g
+}
+
+/// A chain (path graph) `0 - 1 - … - n-1`.
+pub fn chain(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::new((i - 1) as u32), NodeId::new(i as u32));
+    }
+    g
+}
+
+/// A ring (cycle) of `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes, got {n}");
+    let mut g = chain(n);
+    g.add_edge(NodeId::new(0), NodeId::new((n - 1) as u32));
+    g
+}
+
+/// A star: node `0` at the hub, nodes `1..n` as spokes.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "a star needs at least 2 nodes, got {n}");
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::new(0), NodeId::new(i as u32));
+    }
+    g
+}
+
+/// A complete binary tree with `n` nodes in heap order (node `i` has
+/// children `2i+1` and `2i+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        let parent = (i - 1) / 2;
+        g.add_edge(NodeId::new(parent as u32), NodeId::new(i as u32));
+    }
+    g
+}
+
+/// A `rows × cols` grid.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::with_nodes(rows * cols);
+    let id = |r: usize, c: usize| NodeId::new((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn clique_edge_count() {
+        for n in 0..10 {
+            let g = clique(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n * n.saturating_sub(1) / 2);
+        }
+    }
+
+    #[test]
+    fn clique_every_degree_is_n_minus_1() {
+        let g = clique(7);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 6);
+        }
+        assert_eq!(algo::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(algo::diameter(&g), Some(4));
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.edge_count(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(algo::diameter(&g), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.degree(NodeId::new(0)), 4);
+        for i in 1..5 {
+            assert_eq!(g.degree(NodeId::new(i)), 1);
+        }
+        assert_eq!(algo::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.edge_count(), 6);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.degree(NodeId::new(0)), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 3);
+        assert_eq!(g.degree(NodeId::new(6)), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3*(4-1) horizontal + 4*(3-1) vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn single_node_and_empty_shapes() {
+        assert_eq!(chain(1).edge_count(), 0);
+        assert_eq!(chain(0).node_count(), 0);
+        assert_eq!(binary_tree(1).edge_count(), 0);
+        assert_eq!(clique(1).edge_count(), 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Undirected AS-level topology graph.
+//!
+//! The graph is simple (no self-loops, no parallel edges) and undirected:
+//! a BGP peering session runs in both directions. Adjacency sets are
+//! ordered (`BTreeSet`) so that every iteration order is deterministic —
+//! a requirement for reproducible simulation runs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// An undirected edge, stored with endpoints in ascending order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge between `a` and `b`, normalizing endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loops are not allowed).
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        assert!(a != b, "self-loop at {a}");
+        if a < b {
+            Edge { a, b }
+        } else {
+            Edge { a: b, b: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn lo(self) -> NodeId {
+        self.a
+    }
+
+    /// The larger endpoint.
+    pub fn hi(self) -> NodeId {
+        self.b
+    }
+
+    /// Returns the endpoint opposite `n`, or `None` if `n` is not an
+    /// endpoint.
+    pub fn other(self, n: NodeId) -> Option<NodeId> {
+        if n == self.a {
+            Some(self.b)
+        } else if n == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `n` is one of the endpoints.
+    pub fn touches(self, n: NodeId) -> bool {
+        n == self.a || n == self.b
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}]", self.a.as_u32(), self.b.as_u32())
+    }
+}
+
+/// An undirected simple graph over dense node ids `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::{Graph, NodeId};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(1), NodeId::new(2));
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<BTreeSet<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with no nodes.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes, ids `0..n`.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list; the node count is one past the
+    /// largest endpoint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bgpsim_topology::Graph;
+    ///
+    /// let g = Graph::from_edges([(0, 1), (1, 2), (2, 0)]);
+    /// assert_eq!(g.node_count(), 3);
+    /// assert_eq!(g.edge_count(), 3);
+    /// ```
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut g = Graph::new();
+        for (a, b) in edges {
+            let max = a.max(b) as usize;
+            if g.adj.len() <= max {
+                g.adj.resize(max + 1, BTreeSet::new());
+            }
+            g.add_edge(NodeId::new(a), NodeId::new(b));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.adj.len() as u32);
+        self.adj.push(BTreeSet::new());
+        id
+    }
+
+    /// Returns `true` if `n` is a valid node id in this graph.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n.index() < self.adj.len()
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `true` if the edge was
+    /// new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph, or if
+    /// `a == b`.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(a != b, "self-loop at {a}");
+        assert!(self.contains(a), "unknown node {a}");
+        assert!(self.contains(b), "unknown node {b}");
+        let new = self.adj[a.index()].insert(b);
+        if new {
+            self.adj[b.index()].insert(a);
+            self.edge_count += 1;
+        }
+        new
+    }
+
+    /// Removes the undirected edge `{a, b}`. Returns `true` if it
+    /// existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if !self.contains(a) || !self.contains(b) {
+            return false;
+        }
+        let removed = self.adj[a.index()].remove(&b);
+        if removed {
+            self.adj[b.index()].remove(&a);
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.contains(a) && self.adj[a.index()].contains(&b)
+    }
+
+    /// The degree of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    pub fn degree(&self, n: NodeId) -> usize {
+        assert!(self.contains(n), "unknown node {n}");
+        self.adj[n.index()].len()
+    }
+
+    /// Iterates over the neighbors of `n` in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        assert!(self.contains(n), "unknown node {n}");
+        self.adj[n.index()].iter().copied()
+    }
+
+    /// Iterates over all node ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId::new)
+    }
+
+    /// Iterates over all edges, each reported once with `lo() < hi()`,
+    /// in ascending `(lo, hi)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.adj[a.index()]
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| Edge::new(a, b))
+        })
+    }
+
+    /// Removes every edge incident to `n`, isolating it. Returns the
+    /// removed edges.
+    pub fn isolate(&mut self, n: NodeId) -> Vec<Edge> {
+        assert!(self.contains(n), "unknown node {n}");
+        let neighbors: Vec<NodeId> = self.adj[n.index()].iter().copied().collect();
+        let mut removed = Vec::with_capacity(neighbors.len());
+        for m in neighbors {
+            self.remove_edge(n, m);
+            removed.push(Edge::new(n, m));
+        }
+        removed
+    }
+}
+
+impl FromIterator<(u32, u32)> for Graph {
+    fn from_iter<I: IntoIterator<Item = (u32, u32)>>(iter: I) -> Self {
+        Graph::from_edges(iter)
+    }
+}
+
+impl Extend<(u32, u32)> for Graph {
+    fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            let max = a.max(b) as usize;
+            if self.adj.len() <= max {
+                self.adj.resize(max + 1, BTreeSet::new());
+            }
+            self.add_edge(NodeId::new(a), NodeId::new(b));
+        }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Graph::with_nodes(4);
+        assert!(g.add_edge(n(0), n(1)));
+        assert!(!g.add_edge(n(1), n(0)), "duplicate edge must be rejected");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(g.has_edge(n(1), n(0)));
+        assert!(g.remove_edge(n(0), n(1)));
+        assert!(!g.remove_edge(n(0), n(1)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(n(1), n(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn edge_to_unknown_node_rejected() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(n(0), n(5));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(n(2), n(4));
+        g.add_edge(n(2), n(0));
+        g.add_edge(n(2), n(3));
+        let ns: Vec<NodeId> = g.neighbors(n(2)).collect();
+        assert_eq!(ns, vec![n(0), n(3), n(4)]);
+        assert_eq!(g.degree(n(2)), 3);
+    }
+
+    #[test]
+    fn edges_reported_once_in_order() {
+        let g = Graph::from_edges([(2, 1), (0, 2), (0, 1)]);
+        let es: Vec<(u32, u32)> = g
+            .edges()
+            .map(|e| (e.lo().as_u32(), e.hi().as_u32()))
+            .collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn from_edges_sizes_graph() {
+        let g = Graph::from_edges([(0, 9)]);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn isolate_removes_all_incident_edges() {
+        let mut g = Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let removed = g.isolate(n(0));
+        assert_eq!(removed.len(), 3);
+        assert_eq!(g.degree(n(0)), 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(n(1), n(2)));
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = Graph::with_nodes(2);
+        let id = g.add_node();
+        assert_eq!(id, n(2));
+        assert_eq!(g.node_count(), 3);
+        g.add_edge(n(0), id);
+        assert!(g.has_edge(id, n(0)));
+    }
+
+    #[test]
+    fn edge_normalizes_and_answers_queries() {
+        let e = Edge::new(n(5), n(2));
+        assert_eq!(e.lo(), n(2));
+        assert_eq!(e.hi(), n(5));
+        assert_eq!(e.other(n(2)), Some(n(5)));
+        assert_eq!(e.other(n(5)), Some(n(2)));
+        assert_eq!(e.other(n(7)), None);
+        assert!(e.touches(n(2)) && e.touches(n(5)) && !e.touches(n(0)));
+        assert_eq!(e.to_string(), "[2 5]");
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut g: Graph = [(0u32, 1u32), (1, 2)].into_iter().collect();
+        g.extend([(2, 3)]);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 0)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,349 @@
+//! Plain-text topology interchange.
+//!
+//! The format is one edge per line, `"<a> <b>"`, with `#` comments and
+//! blank lines ignored — the same shape as common AS-graph dumps, so
+//! real edge lists can be dropped in directly.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Error returned when parsing an edge list fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGraphError {
+    line: usize,
+    message: String,
+}
+
+impl ParseGraphError {
+    /// The 1-based line number of the offending line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseGraphError {}
+
+/// Parses an edge-list document into a [`Graph`].
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] if a line is not two integers, contains a
+/// self-loop, or repeats an edge.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::io::parse_edge_list;
+///
+/// let g = parse_edge_list("# triangle\n0 1\n1 2\n2 0\n")?;
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), bgpsim_topology::io::ParseGraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut edges = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let a = parse_endpoint(parts.next(), line_no)?;
+        let b = parse_endpoint(parts.next(), line_no)?;
+        if parts.next().is_some() {
+            return Err(ParseGraphError {
+                line: line_no,
+                message: "expected exactly two endpoints".into(),
+            });
+        }
+        if a == b {
+            return Err(ParseGraphError {
+                line: line_no,
+                message: format!("self-loop at node {a}"),
+            });
+        }
+        edges.push((a, b));
+    }
+    let mut g = Graph::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        if !seen.insert((a.min(b), a.max(b))) {
+            return Err(ParseGraphError {
+                line: 0,
+                message: format!("duplicate edge ({a}, {b}) at entry {}", i + 1),
+            });
+        }
+    }
+    g.extend(edges);
+    Ok(g)
+}
+
+/// Renders a [`Graph`] as an edge-list document, one `"a b"` line per
+/// edge in ascending order, with a header comment.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    );
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {}", e.lo().as_u32(), e.hi().as_u32());
+    }
+    out
+}
+
+/// An AS-level topology parsed from a CAIDA-style relationship file,
+/// with original AS numbers preserved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsGraph {
+    /// The topology over dense node ids `0..n`.
+    pub graph: Graph,
+    /// Gao–Rexford relationship annotations for every edge.
+    pub relationships: crate::relationships::RelationshipMap,
+    /// `asn_of[i]` is the original AS number of node `i`.
+    pub asn_of: Vec<u32>,
+}
+
+impl AsGraph {
+    /// The dense node id of an original AS number, if present.
+    pub fn node_of(&self, asn: u32) -> Option<crate::node::NodeId> {
+        self.asn_of
+            .iter()
+            .position(|&a| a == asn)
+            .map(|i| crate::node::NodeId::new(i as u32))
+    }
+}
+
+/// Parses a CAIDA AS-relationship document (serial-1 format):
+/// one `"<as1>|<as2>|<rel>"` line per link, where `rel` is `-1`
+/// (as2 is a customer of as1) or `0` (peers). Lines starting with `#`
+/// are comments; extra `|`-separated fields (serial-2) are ignored.
+///
+/// AS numbers are remapped to dense node ids in first-seen order; the
+/// mapping is returned in [`AsGraph::asn_of`]. This makes real
+/// AS-relationship dumps directly loadable as simulation topologies.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed lines, self-loops, or
+/// duplicate links.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::io::parse_caida_relationships;
+/// use bgpsim_topology::relationships::Relationship;
+///
+/// let doc = "# example\n701|7018|0\n701|64512|-1\n";
+/// let asg = parse_caida_relationships(doc)?;
+/// assert_eq!(asg.graph.node_count(), 3);
+/// let n701 = asg.node_of(701).unwrap();
+/// let n64512 = asg.node_of(64512).unwrap();
+/// assert_eq!(
+///     asg.relationships.get(n701, n64512),
+///     Some(Relationship::Customer)
+/// );
+/// # Ok::<(), bgpsim_topology::io::ParseGraphError>(())
+/// ```
+pub fn parse_caida_relationships(text: &str) -> Result<AsGraph, ParseGraphError> {
+    use crate::node::NodeId;
+    use crate::relationships::{Relationship, RelationshipMap};
+    use std::collections::HashMap;
+
+    let mut graph = Graph::new();
+    let mut relationships = RelationshipMap::new();
+    let mut asn_of: Vec<u32> = Vec::new();
+    let mut id_of: HashMap<u32, NodeId> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() < 3 {
+            return Err(ParseGraphError {
+                line: line_no,
+                message: format!("expected \"as1|as2|rel\", got {line:?}"),
+            });
+        }
+        let parse_asn = |tok: &str| -> Result<u32, ParseGraphError> {
+            tok.trim().parse::<u32>().map_err(|e| ParseGraphError {
+                line: line_no,
+                message: format!("bad AS number {tok:?}: {e}"),
+            })
+        };
+        let a_asn = parse_asn(fields[0])?;
+        let b_asn = parse_asn(fields[1])?;
+        if a_asn == b_asn {
+            return Err(ParseGraphError {
+                line: line_no,
+                message: format!("self-loop at AS{a_asn}"),
+            });
+        }
+        let rel: i32 = fields[2].trim().parse().map_err(|e| ParseGraphError {
+            line: line_no,
+            message: format!("bad relationship {:?}: {e}", fields[2]),
+        })?;
+        let mut intern = |asn: u32, graph: &mut Graph, asn_of: &mut Vec<u32>| {
+            *id_of.entry(asn).or_insert_with(|| {
+                asn_of.push(asn);
+                graph.add_node()
+            })
+        };
+        let a = intern(a_asn, &mut graph, &mut asn_of);
+        let b = intern(b_asn, &mut graph, &mut asn_of);
+        if !graph.add_edge(a, b) {
+            return Err(ParseGraphError {
+                line: line_no,
+                message: format!("duplicate link AS{a_asn}|AS{b_asn}"),
+            });
+        }
+        // rel answers: what is b to a?
+        let rel = match rel {
+            -1 => Relationship::Customer, // a is b's provider
+            0 => Relationship::Peer,
+            other => {
+                return Err(ParseGraphError {
+                    line: line_no,
+                    message: format!("unknown relationship code {other} (want -1 or 0)"),
+                })
+            }
+        };
+        relationships.set(a, b, rel);
+    }
+    Ok(AsGraph {
+        graph,
+        relationships,
+        asn_of,
+    })
+}
+
+fn parse_endpoint(tok: Option<&str>, line: usize) -> Result<u32, ParseGraphError> {
+    let tok = tok.ok_or_else(|| ParseGraphError {
+        line,
+        message: "expected two endpoints".into(),
+    })?;
+    tok.parse::<u32>().map_err(|e| ParseGraphError {
+        line,
+        message: format!("bad endpoint {tok:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::clique;
+
+    #[test]
+    fn round_trip() {
+        let g = clique(6);
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_edge_list("\n# header\n0 1 # inline\n\n1 2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_edge_list("0 1\nbogus 2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn missing_endpoint_rejected() {
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("0 1 2\n").is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = parse_edge_list("3 3\n").unwrap_err();
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        assert!(parse_edge_list("0 1\n1 0\n").is_err());
+    }
+
+    mod caida {
+        use super::super::*;
+        use crate::relationships::Relationship;
+
+        #[test]
+        fn parses_relationships_and_remaps_asns() {
+            let doc = "# CAIDA-style sample\n\
+                       174|3356|0\n\
+                       174|64496|-1\n\
+                       3356|64497|-1\n";
+            let asg = parse_caida_relationships(doc).unwrap();
+            assert_eq!(asg.graph.node_count(), 4);
+            assert_eq!(asg.graph.edge_count(), 3);
+            assert_eq!(asg.asn_of, vec![174, 3356, 64496, 64497]);
+            let n174 = asg.node_of(174).unwrap();
+            let n3356 = asg.node_of(3356).unwrap();
+            let stub = asg.node_of(64496).unwrap();
+            assert_eq!(
+                asg.relationships.get(n174, n3356),
+                Some(Relationship::Peer)
+            );
+            assert_eq!(
+                asg.relationships.get(n174, stub),
+                Some(Relationship::Customer)
+            );
+            assert_eq!(
+                asg.relationships.get(stub, n174),
+                Some(Relationship::Provider)
+            );
+            assert!(asg.relationships.covers(&asg.graph));
+            assert_eq!(asg.node_of(9999), None);
+        }
+
+        #[test]
+        fn serial2_extra_fields_ignored() {
+            let asg = parse_caida_relationships("1|2|0|bgp\n").unwrap();
+            assert_eq!(asg.graph.edge_count(), 1);
+        }
+
+        #[test]
+        fn malformed_lines_rejected() {
+            assert!(parse_caida_relationships("1|2\n").is_err());
+            assert!(parse_caida_relationships("1|x|0\n").is_err());
+            assert!(parse_caida_relationships("1|2|5\n").is_err());
+            assert!(parse_caida_relationships("1|1|0\n").is_err());
+            let err = parse_caida_relationships("1|2|0\n2|1|0\n").unwrap_err();
+            assert!(err.to_string().contains("duplicate"));
+            assert_eq!(err.line(), 2);
+        }
+
+        #[test]
+        fn parsed_graph_runs_a_policy_simulation() {
+            // The parsed relationships plug straight into GaoRexford —
+            // checked here only structurally (the policy lives in
+            // bgpsim-core, which depends on this crate).
+            let doc = "10|20|0\n10|30|-1\n20|40|-1\n30|40|0\n";
+            let asg = parse_caida_relationships(doc).unwrap();
+            assert!(crate::algo::is_connected(&asg.graph));
+            assert!(asg.relationships.covers(&asg.graph));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Node identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (an Autonomous System) in a topology.
+///
+/// The study models one BGP router per AS, so a `NodeId` doubles as the
+/// AS number. Ids are dense indices starting at zero, which lets the
+/// simulator use them directly as vector indices.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::NodeId;
+///
+/// let n = NodeId::new(4);
+/// assert_eq!(n.index(), 4);
+/// assert_eq!(n.to_string(), "AS4");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index as `usize`, for vector indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(n: NodeId) -> u32 {
+        n.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let n = NodeId::from(7u32);
+        assert_eq!(u32::from(n), 7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n, NodeId::new(7));
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn display_formats_as_asn() {
+        assert_eq!(NodeId::new(110).to_string(), "AS110");
+    }
+}

@@ -1,0 +1,259 @@
+//! AS business relationships (customer–provider / peer–peer).
+//!
+//! The study itself uses a shortest-path policy, but real inter-domain
+//! routing is governed by Gao–Rexford-style commercial relationships.
+//! This module annotates a topology's edges with relationships so the
+//! policy extension in `bgpsim-core` can evaluate how policy routing
+//! changes transient-loop behavior.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// The relationship of a neighbor, from the local node's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The neighbor pays us for transit (we are its provider).
+    Customer,
+    /// Settlement-free peering.
+    Peer,
+    /// We pay the neighbor for transit (it is our provider).
+    Provider,
+}
+
+impl Relationship {
+    /// The same edge seen from the other end.
+    pub fn reverse(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Provider => Relationship::Customer,
+        }
+    }
+}
+
+/// Per-edge relationship annotations for a topology.
+///
+/// Stored directionally: `get(a, b)` answers "what is `b` to `a`?".
+/// Setting one direction automatically sets the reverse.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_topology::relationships::{Relationship, RelationshipMap};
+/// use bgpsim_topology::NodeId;
+///
+/// let mut rels = RelationshipMap::new();
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// rels.set(a, b, Relationship::Customer); // b is a's customer
+/// assert_eq!(rels.get(b, a), Some(Relationship::Provider));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(
+    from = "Vec<(NodeId, NodeId, Relationship)>",
+    into = "Vec<(NodeId, NodeId, Relationship)>"
+)]
+pub struct RelationshipMap {
+    rels: BTreeMap<(NodeId, NodeId), Relationship>,
+}
+
+impl From<Vec<(NodeId, NodeId, Relationship)>> for RelationshipMap {
+    fn from(entries: Vec<(NodeId, NodeId, Relationship)>) -> Self {
+        let mut map = RelationshipMap::new();
+        for (a, b, rel) in entries {
+            map.set(a, b, rel);
+        }
+        map
+    }
+}
+
+impl From<RelationshipMap> for Vec<(NodeId, NodeId, Relationship)> {
+    fn from(map: RelationshipMap) -> Self {
+        map.rels
+            .into_iter()
+            .filter(|&((a, b), _)| a < b) // one entry per edge
+            .map(|((a, b), rel)| (a, b, rel))
+            .collect()
+    }
+}
+
+impl RelationshipMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        RelationshipMap::default()
+    }
+
+    /// Declares what `neighbor` is to `node` (and the reverse).
+    pub fn set(&mut self, node: NodeId, neighbor: NodeId, rel: Relationship) {
+        self.rels.insert((node, neighbor), rel);
+        self.rels.insert((neighbor, node), rel.reverse());
+    }
+
+    /// What `neighbor` is to `node`, if annotated.
+    pub fn get(&self, node: NodeId, neighbor: NodeId) -> Option<Relationship> {
+        self.rels.get(&(node, neighbor)).copied()
+    }
+
+    /// All annotated neighbors of `node` with their relationships.
+    pub fn neighbors_of(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Relationship)> + '_ {
+        self.rels
+            .range((node, NodeId::new(0))..=(node, NodeId::new(u32::MAX)))
+            .map(|(&(_, nb), &rel)| (nb, rel))
+    }
+
+    /// Number of directed annotations (twice the number of edges).
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Returns `true` if nothing is annotated.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Checks that every edge of `g` is annotated (both directions).
+    pub fn covers(&self, g: &Graph) -> bool {
+        g.edges().all(|e| {
+            self.get(e.lo(), e.hi()).is_some() && self.get(e.hi(), e.lo()).is_some()
+        })
+    }
+}
+
+/// The tier structure of an [`internet_like_tiered`] graph.
+///
+/// [`internet_like_tiered`]: crate::generators::internet::internet_like_tiered
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tiers {
+    /// Number of core (tier-1) nodes: ids `0..core`.
+    pub core: usize,
+    /// Number of middle-tier nodes: ids `core..core + mid`.
+    pub mid: usize,
+}
+
+impl Tiers {
+    /// The tier of a node: 0 = core, 1 = mid, 2 = stub.
+    pub fn tier_of(&self, n: NodeId) -> usize {
+        let i = n.index();
+        if i < self.core {
+            0
+        } else if i < self.core + self.mid {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// Derives Gao–Rexford relationships for a tiered Internet-like graph:
+/// same-tier links are peerings, cross-tier links make the lower-tier
+/// node the customer of the higher-tier node.
+pub fn derive_relationships(g: &Graph, tiers: &Tiers) -> RelationshipMap {
+    let mut rels = RelationshipMap::new();
+    for e in g.edges() {
+        let (a, b) = (e.lo(), e.hi());
+        let (ta, tb) = (tiers.tier_of(a), tiers.tier_of(b));
+        let rel = match ta.cmp(&tb) {
+            std::cmp::Ordering::Equal => Relationship::Peer,
+            // b is in a *lower* tier number = higher in the hierarchy.
+            std::cmp::Ordering::Greater => Relationship::Provider, // b is a's...
+            std::cmp::Ordering::Less => Relationship::Customer,
+        };
+        // `rel` answers: what is `b` to `a`?
+        // ta < tb  → a is more central → b is a's customer.
+        // ta > tb  → b is more central → b is a's provider.
+        rels.set(a, b, rel);
+    }
+    rels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        for rel in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
+            assert_eq!(rel.reverse().reverse(), rel);
+        }
+        assert_eq!(Relationship::Peer.reverse(), Relationship::Peer);
+    }
+
+    #[test]
+    fn set_annotates_both_directions() {
+        let mut rels = RelationshipMap::new();
+        rels.set(n(0), n(1), Relationship::Customer);
+        assert_eq!(rels.get(n(0), n(1)), Some(Relationship::Customer));
+        assert_eq!(rels.get(n(1), n(0)), Some(Relationship::Provider));
+        assert_eq!(rels.get(n(0), n(2)), None);
+        assert_eq!(rels.len(), 2);
+    }
+
+    #[test]
+    fn neighbors_of_lists_annotations() {
+        let mut rels = RelationshipMap::new();
+        rels.set(n(5), n(1), Relationship::Provider);
+        rels.set(n(5), n(9), Relationship::Peer);
+        rels.set(n(2), n(3), Relationship::Customer);
+        let of5: Vec<_> = rels.neighbors_of(n(5)).collect();
+        assert_eq!(
+            of5,
+            vec![(n(1), Relationship::Provider), (n(9), Relationship::Peer)]
+        );
+    }
+
+    #[test]
+    fn tiers_classify_nodes() {
+        let t = Tiers { core: 3, mid: 4 };
+        assert_eq!(t.tier_of(n(0)), 0);
+        assert_eq!(t.tier_of(n(2)), 0);
+        assert_eq!(t.tier_of(n(3)), 1);
+        assert_eq!(t.tier_of(n(6)), 1);
+        assert_eq!(t.tier_of(n(7)), 2);
+    }
+
+    #[test]
+    fn derive_relationships_by_tier() {
+        // core = {0,1}, mid = {2}, stub = {3}.
+        let g = Graph::from_edges([(0, 1), (0, 2), (2, 3)]);
+        let tiers = Tiers { core: 2, mid: 1 };
+        let rels = derive_relationships(&g, &tiers);
+        assert!(rels.covers(&g));
+        // 0–1: both core → peers.
+        assert_eq!(rels.get(n(0), n(1)), Some(Relationship::Peer));
+        // 0–2: 2 is in a lower tier → 2 is 0's customer.
+        assert_eq!(rels.get(n(0), n(2)), Some(Relationship::Customer));
+        assert_eq!(rels.get(n(2), n(0)), Some(Relationship::Provider));
+        // 2–3: 3 is the stub → 3 is 2's customer.
+        assert_eq!(rels.get(n(2), n(3)), Some(Relationship::Customer));
+    }
+
+    #[test]
+    fn covers_detects_missing_edges() {
+        let g = Graph::from_edges([(0, 1), (1, 2)]);
+        let mut rels = RelationshipMap::new();
+        rels.set(n(0), n(1), Relationship::Peer);
+        assert!(!rels.covers(&g));
+        rels.set(n(1), n(2), Relationship::Customer);
+        assert!(rels.covers(&g));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rels = RelationshipMap::new();
+        rels.set(n(0), n(1), Relationship::Customer);
+        let json = serde_json::to_string(&rels).unwrap();
+        let back: RelationshipMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(rels, back);
+    }
+}

@@ -1,0 +1,89 @@
+//! Failure *and* recovery: fail the B-Clique's direct link (`T_long`),
+//! watch the network limp onto the backup chain with transient loops,
+//! then restore the link and watch routes snap back — fast and
+//! loop-free, because good news needs no path exploration.
+//!
+//! Run with: `cargo run --release --example failure_and_recovery`
+
+use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
+
+fn main() {
+    let (g, layout) = generators::bclique(8);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 11);
+
+    net.originate(layout.destination, prefix);
+    net.run_to_quiescence(100_000_000);
+    println!("warm-up converged at {}", net.now());
+
+    // --- failure ---
+    let fail_at = net.now();
+    net.inject_failure(FailureEvent::LinkDown {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(100_000_000);
+    let fail_sends = net.sends().iter().filter(|s| s.at >= fail_at).count();
+    let fail_conv = net
+        .sends()
+        .iter()
+        .filter(|s| s.at >= fail_at)
+        .map(|s| s.at)
+        .next_back()
+        .map(|t| t - fail_at)
+        .unwrap_or(SimDuration::ZERO);
+    println!(
+        "\nT_long: link {} failed — {} messages, convergence {}",
+        layout.failure_link, fail_sends, fail_conv
+    );
+
+    // --- recovery ---
+    let up_at = net.now();
+    net.inject_failure(FailureEvent::LinkUp {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(100_000_000);
+    let up_sends = net.sends().iter().filter(|s| s.at >= up_at).count();
+    let up_conv = net
+        .sends()
+        .iter()
+        .filter(|s| s.at >= up_at)
+        .map(|s| s.at)
+        .next_back()
+        .map(|t| t - up_at)
+        .unwrap_or(SimDuration::ZERO);
+    println!(
+        "recovery: link restored — {} messages, convergence {}",
+        up_sends, up_conv
+    );
+
+    let record = net.into_record();
+    let census = loop_census(&record.fib, prefix);
+    let (during_failure, during_recovery): (Vec<_>, Vec<_>) = census
+        .iter()
+        .partition(|l| l.formed_at < up_at);
+    println!(
+        "\nloops during failure convergence : {}",
+        during_failure.len()
+    );
+    println!(
+        "loops during recovery convergence: {}",
+        during_recovery.len()
+    );
+    assert!(during_recovery.is_empty(), "recovery should be loop-free");
+
+    // Final state equals the pre-failure shortest-path tree.
+    let oracle = algo::shortest_path_next_hops(&g, layout.destination);
+    for v in g.nodes() {
+        if v == layout.destination {
+            continue;
+        }
+        assert_eq!(
+            record.fib.current(v, prefix).and_then(|e| e.via()),
+            oracle[v.index()]
+        );
+    }
+    println!("\nfinal routes match the original shortest-path tree.");
+}

@@ -1,0 +1,110 @@
+//! Gao–Rexford policy routing (extension beyond the paper): run the
+//! same `T_down` event under the paper's shortest-path policy and
+//! under commercial relationship policies, and compare transient
+//! looping.
+//!
+//! Run with: `cargo run --release --example policy_routing [n] [seed]`
+
+use bgpsim::bgp::policy::{is_valley_free, GaoRexford};
+use bgpsim::bgp::BgpConfig;
+use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
+use bgpsim::topology::generators::internet_like_tiered;
+use bgpsim::topology::relationships::derive_relationships;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(48);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+
+    let (graph, tiers) = internet_like_tiered(n, seed);
+    let rels = derive_relationships(&graph, &tiers);
+    let dest = *algo::lowest_degree_nodes(&graph).first().expect("nonempty");
+    let prefix = Prefix::new(0);
+    println!(
+        "internet-{n} (core {}, mid {}, stubs {}), destination {dest}\n",
+        tiers.core,
+        tiers.mid,
+        n - tiers.core - tiers.mid
+    );
+
+    // --- shortest path (the paper's policy) ---
+    let mut plain = SimNetwork::new(&graph, BgpConfig::default(), SimParams::default(), seed);
+    plain.originate(dest, prefix);
+    plain.run_to_quiescence(200_000_000);
+    plain.schedule_failure(
+        SimDuration::from_secs(1),
+        FailureEvent::WithdrawPrefix { origin: dest, prefix },
+    );
+    plain.run_to_quiescence(200_000_000);
+    let plain_record = plain.into_record();
+    let plain_m = measure_run(&plain_record, dest, prefix, seed);
+
+    // --- Gao–Rexford ---
+    let rels2 = rels.clone();
+    let mut gao = SimNetwork::with_policies(
+        &graph,
+        BgpConfig::default(),
+        SimParams::default(),
+        seed,
+        move |node| GaoRexford::for_node(node, &rels2),
+    );
+    gao.originate(dest, prefix);
+    gao.run_to_quiescence(200_000_000);
+
+    // Check the steady state is valley-free before failing it.
+    let mut valley_free_routes = 0;
+    for v in graph.nodes() {
+        if v == dest {
+            continue;
+        }
+        if let Some(route) = gao.router(v).best(prefix) {
+            assert!(is_valley_free(&route.path, &rels), "{}", route.path);
+            valley_free_routes += 1;
+        }
+    }
+    gao.schedule_failure(
+        SimDuration::from_secs(1),
+        FailureEvent::WithdrawPrefix { origin: dest, prefix },
+    );
+    gao.run_to_quiescence(200_000_000);
+    let gao_record = gao.into_record();
+    let gao_m = measure_run(&gao_record, dest, prefix, seed);
+
+    println!("{:<24} {:>14} {:>14}", "", "shortest-path", "Gao-Rexford");
+    for (label, a, b) in [
+        (
+            "convergence (s)",
+            plain_m.metrics.convergence_secs(),
+            gao_m.metrics.convergence_secs(),
+        ),
+        (
+            "TTL exhaustions",
+            plain_m.metrics.ttl_exhaustions as f64,
+            gao_m.metrics.ttl_exhaustions as f64,
+        ),
+        (
+            "messages",
+            plain_m.metrics.messages_after_failure as f64,
+            gao_m.metrics.messages_after_failure as f64,
+        ),
+        (
+            "loop episodes",
+            plain_m.census_summary.count as f64,
+            gao_m.census_summary.count as f64,
+        ),
+    ] {
+        println!("{label:<24} {a:>14.1} {b:>14.1}");
+    }
+    println!(
+        "\n{valley_free_routes} valley-free steady-state routes; policy export \
+         filtering removes the\nstale-backup knowledge that fuels the paper's \
+         T_down path exploration,\ncollapsing both convergence time and \
+         transient looping."
+    );
+}

@@ -1,0 +1,90 @@
+//! The `bgpsim` command-line runner: one convergence experiment per
+//! invocation, with human or JSON output.
+//!
+//! ```text
+//! bgpsim --topology clique:15 --event tdown --enhancement ghost-flushing
+//! ```
+
+use bgpsim::bgp::BgpConfig;
+use bgpsim::cli::{parse_args, CliOptions};
+use bgpsim::metrics::MetricsRow;
+use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
+    run(&opts);
+}
+
+fn run(opts: &CliOptions) {
+    let config = BgpConfig::default()
+        .with_mrai(SimDuration::from_secs(opts.mrai_secs))
+        .with_jitter(opts.jitter)
+        .with_enhancements(opts.enhancements);
+    let scenario = Scenario::new(opts.topology.clone(), opts.event)
+        .with_config(config)
+        .with_seed(opts.seed);
+    let result = scenario.run();
+    let m = &result.measurement.metrics;
+
+    if opts.json {
+        let row = MetricsRow::from_metrics(
+            "cli",
+            opts.topology.label(),
+            opts.enhancements.label(),
+            result.record.node_count as f64,
+            opts.seed,
+            m,
+        );
+        match bgpsim::metrics::to_json(std::slice::from_ref(&row)) {
+            Ok(json) => println!("{json}"),
+            Err(err) => {
+                eprintln!("serialization failed: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "{} under {} — variant {}, MRAI {}s, seed {}",
+        opts.topology.label(),
+        opts.event.label(),
+        opts.enhancements.label(),
+        opts.mrai_secs,
+        opts.seed
+    );
+    println!("  destination              : {}", result.destination);
+    println!("  failure                  : {}", result.failure.describe());
+    println!("  convergence time         : {:>10.2} s", m.convergence_secs());
+    println!("  overall looping duration : {:>10.2} s", m.looping_secs());
+    println!("  TTL exhaustions          : {:>10}", m.ttl_exhaustions);
+    println!("  packets during converg.  : {:>10}", m.packets_during_convergence);
+    println!("  looping ratio            : {:>10.3}", m.looping_ratio);
+    println!("  messages after failure   : {:>10}", m.messages_after_failure);
+    let c = &result.measurement.census_summary;
+    println!(
+        "  loops observed           : {:>10}  (sizes {}–{}, 2-node share {:.0}%)",
+        c.count,
+        c.min_size,
+        c.max_size,
+        c.two_node_fraction * 100.0
+    );
+
+    if opts.trace {
+        println!("\npost-failure timeline (sends, route changes, loops):");
+        let fail = result.record.failure_at.expect("scenario injects a failure");
+        let timeline = bgpsim::metrics::build_timeline(
+            &result.record,
+            &result.measurement.census,
+            fail,
+        );
+        print!("{}", bgpsim::metrics::render_timeline(&timeline));
+    }
+}

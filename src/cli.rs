@@ -1,0 +1,252 @@
+//! Command-line argument handling for the `bgpsim` binary.
+//!
+//! Kept dependency-free: the grammar is small and a hand-rolled parser
+//! keeps the CLI testable without pulling an argument-parsing crate
+//! into the library's dependency tree.
+
+use std::error::Error;
+use std::fmt;
+
+use bgpsim_core::{Enhancements, Jitter};
+use bgpsim_experiments::scenario::{EventKind, TopologySpec};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Topology specification.
+    pub topology: TopologySpec,
+    /// Failure event class.
+    pub event: EventKind,
+    /// MRAI in seconds.
+    pub mrai_secs: u64,
+    /// MRAI jitter.
+    pub jitter: Jitter,
+    /// Enhancement set.
+    pub enhancements: Enhancements,
+    /// Seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON instead of the human report.
+    pub json: bool,
+    /// Print the post-failure route-change timeline.
+    pub trace: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            topology: TopologySpec::Clique(10),
+            event: EventKind::TDown,
+            mrai_secs: 30,
+            jitter: Jitter::SSFNET,
+            enhancements: Enhancements::standard(),
+            seed: 0,
+            json: false,
+            trace: false,
+        }
+    }
+}
+
+/// Error produced by [`parse_args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+bgpsim — simulate BGP transient route looping (ICDCS 2004 reproduction)
+
+USAGE:
+  bgpsim [OPTIONS]
+
+OPTIONS:
+  --topology <SPEC>     clique:<n> | bclique:<n> | internet:<n>[:<topo-seed>]
+                        (default clique:10)
+  --event <KIND>        tdown | tlong            (default tdown)
+  --mrai <SECS>         MRAI timer value          (default 30)
+  --no-jitter           disable MRAI jitter
+  --enhancement <E>     none | ssld | wrate | assertion | ghost-flushing
+                        (default none)
+  --seed <N>            RNG seed                  (default 0)
+  --json                emit metrics as JSON
+  --trace               print the post-failure route-change timeline
+  --help                show this text
+";
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the offending argument.
+pub fn parse_args<I, S>(args: I) -> Result<CliOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut opts = CliOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        match arg {
+            "--topology" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.topology = parse_topology(v.as_ref())?;
+            }
+            "--event" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.event = match v.as_ref() {
+                    "tdown" => EventKind::TDown,
+                    "tlong" => EventKind::TLong,
+                    other => return Err(CliError(format!("unknown event {other:?}"))),
+                };
+            }
+            "--mrai" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.mrai_secs = parse_num(v.as_ref(), "--mrai")?;
+            }
+            "--no-jitter" => opts.jitter = Jitter::NONE,
+            "--enhancement" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.enhancements = match v.as_ref() {
+                    "none" => Enhancements::standard(),
+                    "ssld" => Enhancements::ssld(),
+                    "wrate" => Enhancements::wrate(),
+                    "assertion" => Enhancements::assertion(),
+                    "ghost-flushing" | "ghost" => Enhancements::ghost_flushing(),
+                    other => {
+                        return Err(CliError(format!("unknown enhancement {other:?}")))
+                    }
+                };
+            }
+            "--seed" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.seed = parse_num(v.as_ref(), "--seed")?;
+            }
+            "--json" => opts.json = true,
+            "--trace" => opts.trace = true,
+            "--help" | "-h" => return Err(CliError(USAGE.to_string())),
+            other => return Err(CliError(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(opts)
+}
+
+fn expect_value<I, S>(iter: &mut I, flag: &str) -> Result<S, CliError>
+where
+    I: Iterator<Item = S>,
+    S: AsRef<str>,
+{
+    iter.next()
+        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+}
+
+fn parse_num(v: &str, flag: &str) -> Result<u64, CliError> {
+    v.parse()
+        .map_err(|e| CliError(format!("{flag}: bad number {v:?}: {e}")))
+}
+
+fn parse_topology(spec: &str) -> Result<TopologySpec, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = || CliError(format!("bad topology spec {spec:?}"));
+    match parts.as_slice() {
+        ["clique", n] => Ok(TopologySpec::Clique(n.parse().map_err(|_| bad())?)),
+        ["bclique", n] => Ok(TopologySpec::BClique(n.parse().map_err(|_| bad())?)),
+        ["internet", n] => Ok(TopologySpec::InternetLike {
+            n: n.parse().map_err(|_| bad())?,
+            topo_seed: 0,
+        }),
+        ["internet", n, ts] => Ok(TopologySpec::InternetLike {
+            n: n.parse().map_err(|_| bad())?,
+            topo_seed: ts.parse().map_err(|_| bad())?,
+        }),
+        _ => Err(bad()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_when_empty() {
+        let opts = parse_args(Vec::<&str>::new()).unwrap();
+        assert_eq!(opts, CliOptions::default());
+    }
+
+    #[test]
+    fn full_invocation() {
+        let opts = parse_args([
+            "--topology",
+            "bclique:10",
+            "--event",
+            "tlong",
+            "--mrai",
+            "15",
+            "--no-jitter",
+            "--enhancement",
+            "ghost-flushing",
+            "--seed",
+            "9",
+            "--json",
+            "--trace",
+        ])
+        .unwrap();
+        assert_eq!(opts.topology, TopologySpec::BClique(10));
+        assert_eq!(opts.event, EventKind::TLong);
+        assert_eq!(opts.mrai_secs, 15);
+        assert_eq!(opts.jitter, Jitter::NONE);
+        assert!(opts.enhancements.ghost_flushing);
+        assert_eq!(opts.seed, 9);
+        assert!(opts.json);
+        assert!(opts.trace);
+    }
+
+    #[test]
+    fn topology_specs() {
+        assert_eq!(
+            parse_topology("clique:30").unwrap(),
+            TopologySpec::Clique(30)
+        );
+        assert_eq!(
+            parse_topology("internet:110").unwrap(),
+            TopologySpec::InternetLike {
+                n: 110,
+                topo_seed: 0
+            }
+        );
+        assert_eq!(
+            parse_topology("internet:48:7").unwrap(),
+            TopologySpec::InternetLike {
+                n: 48,
+                topo_seed: 7
+            }
+        );
+        assert!(parse_topology("mesh:3").is_err());
+        assert!(parse_topology("clique").is_err());
+        assert!(parse_topology("clique:x").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = parse_args(["--bogus"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+        let err = parse_args(["--mrai"]).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+        let err = parse_args(["--mrai", "abc"]).unwrap_err();
+        assert!(err.to_string().contains("bad number"));
+        let err = parse_args(["--event", "boom"]).unwrap_err();
+        assert!(err.to_string().contains("unknown event"));
+    }
+
+    #[test]
+    fn help_surfaces_usage() {
+        let err = parse_args(["--help"]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end invariants of the reproduction, checked across topology
+//! families and seeds:
+//!
+//! * BGP with the paper's shortest-path policy converges to exactly
+//!   the BFS shortest-path tree (with smaller-id tie-breaks);
+//! * after convergence no forwarding loops remain;
+//! * the overall looping duration never (materially) exceeds the
+//!   convergence time;
+//! * `T_down` leaves every node route-less, `T_long` leaves every node
+//!   routed.
+
+use bgpsim::prelude::*;
+use bgpsim::netsim::time::SimDuration;
+
+fn tdown(g: Graph, dest: NodeId, seed: u64) -> ScenarioResult {
+    Scenario::new(
+        TopologySpec::Custom {
+            graph: g,
+            destination: dest,
+        },
+        EventKind::TDown,
+    )
+    .with_seed(seed)
+    .run()
+}
+
+#[test]
+fn tdown_removes_every_route() {
+    for seed in 1..=3 {
+        let g = generators::internet_like(29, seed);
+        let dest = bgpsim::topology::algo::lowest_degree_nodes(&g)[0];
+        let result = tdown(g.clone(), dest, seed);
+        for v in g.nodes() {
+            assert_eq!(
+                result.record.fib.current(v, Prefix::new(0)),
+                None,
+                "node {v} kept a route after T_down (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn tlong_final_routes_match_bfs_oracle() {
+    for n in [3usize, 5, 7] {
+        let result = Scenario::new(TopologySpec::BClique(n), EventKind::TLong)
+            .with_seed(n as u64)
+            .run();
+        let (g, layout) = generators::bclique(n);
+        let mut g2 = g;
+        g2.remove_edge(layout.destination, layout.core_gateway);
+        let oracle = algo::shortest_path_next_hops(&g2, layout.destination);
+        for v in g2.nodes() {
+            if v == layout.destination {
+                continue;
+            }
+            let got = result
+                .record
+                .fib
+                .current(v, Prefix::new(0))
+                .and_then(|e| e.via());
+            assert_eq!(got, oracle[v.index()], "next hop mismatch at {v} (n={n})");
+        }
+    }
+}
+
+#[test]
+fn no_loops_remain_after_convergence() {
+    for seed in 1..=4 {
+        let result = Scenario::new(
+            TopologySpec::InternetLike {
+                n: 48,
+                topo_seed: seed,
+            },
+            EventKind::TDown,
+        )
+        .with_seed(seed)
+        .run();
+        for rec in &result.measurement.census {
+            assert!(
+                rec.resolved_at.is_some(),
+                "loop {:?} never resolved (seed {seed})",
+                rec.nodes
+            );
+        }
+        // The forwarding graph at quiescence is loop-free.
+        let snapshot = result
+            .record
+            .fib
+            .snapshot(Prefix::new(0), result.record.quiescent_at);
+        assert!(find_loops(&snapshot).is_empty());
+    }
+}
+
+#[test]
+fn looping_window_within_convergence_window() {
+    for (spec, event) in [
+        (TopologySpec::Clique(10), EventKind::TDown),
+        (TopologySpec::BClique(6), EventKind::TLong),
+    ] {
+        let result = Scenario::new(spec, event).with_seed(5).run();
+        let m = &result.measurement.metrics;
+        let conv = m.convergence_secs();
+        let lop = m.looping_secs();
+        // A packet sent at the very end of convergence can exhaust its
+        // TTL one lifetime (256 ms) later; allow that margin.
+        assert!(
+            lop <= conv + 0.3,
+            "looping {lop}s exceeds convergence {conv}s"
+        );
+    }
+}
+
+#[test]
+fn withdrawal_counts_are_consistent() {
+    let result = Scenario::new(TopologySpec::Clique(8), EventKind::TDown)
+        .with_seed(3)
+        .run();
+    let total = result.record.total_stats();
+    let send_count = result.record.sends.len() as u64;
+    assert_eq!(total.messages_sent(), send_count);
+    let withdraw_count = result
+        .record
+        .sends
+        .iter()
+        .filter(|s| s.withdraw)
+        .count() as u64;
+    assert_eq!(total.withdrawals_sent, withdraw_count);
+    assert!(withdraw_count > 0, "T_down must produce withdrawals");
+}
+
+#[test]
+fn tdown_last_message_is_a_withdrawal() {
+    // Paper footnote 2: the final update in T_down is a withdrawal
+    // (not delayed by MRAI), which is why the looping/convergence gap
+    // is tiny for T_down.
+    let result = Scenario::new(TopologySpec::Clique(10), EventKind::TDown)
+        .with_seed(9)
+        .run();
+    let fail = result.record.failure_at.expect("failure");
+    let last = result
+        .record
+        .sends
+        .iter()
+        .filter(|s| s.at >= fail)
+        .next_back()
+        .expect("messages after failure");
+    assert!(last.withdraw, "T_down must end with a withdrawal");
+}
+
+#[test]
+fn longer_mrai_slows_convergence() {
+    let run = |mrai: u64| {
+        let cfg = BgpConfig::default().with_mrai(SimDuration::from_secs(mrai));
+        Scenario::new(TopologySpec::Clique(8), EventKind::TDown)
+            .with_config(cfg)
+            .with_seed(4)
+            .run()
+            .measurement
+            .metrics
+            .convergence_secs()
+    };
+    let fast = run(5);
+    let slow = run(45);
+    assert!(
+        slow > fast * 2.0,
+        "convergence must scale with MRAI ({fast}s vs {slow}s)"
+    );
+}
+
+#[test]
+fn mrai_suppresses_update_messages() {
+    // Griffin & Premore (cited as [5]): the MRAI timer is necessary to
+    // suppress the large message volume of convergence — without it the
+    // clique explores far more paths. (Their result also shows that
+    // *convergence time* is not monotone in MRAI below the optimum, so
+    // we deliberately do not compare times here.)
+    let run = |mrai: u64| {
+        let cfg = BgpConfig::default().with_mrai(SimDuration::from_secs(mrai));
+        let r = Scenario::new(TopologySpec::Clique(8), EventKind::TDown)
+            .with_config(cfg)
+            .with_seed(4)
+            .run();
+        r.measurement.metrics.messages_after_failure
+    };
+    let msgs0 = run(0);
+    let msgs30 = run(30);
+    assert!(
+        msgs0 > 2 * msgs30,
+        "the MRAI timer suppresses updates (Griffin & Premore): {msgs0} vs {msgs30}"
+    );
+}

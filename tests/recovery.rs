@@ -1,0 +1,143 @@
+//! Link-recovery (`T_up`-style) behavior: when a failed link returns,
+//! sessions re-establish, routes re-converge to the original
+//! shortest-path tree, and — unlike failure convergence — recovery is
+//! fast and loop-light (good news travels well in path-vector
+//! protocols; Labovitz et al.'s `T_up`).
+
+use bgpsim::prelude::*;
+
+/// Fail the B-Clique's direct link, let the network settle on the
+/// backup, then restore the link: everyone must return to the
+/// original routes.
+#[test]
+fn link_recovery_restores_original_routes() {
+    let (g, layout) = generators::bclique(5);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 3);
+    net.originate(layout.destination, prefix);
+    net.run_to_quiescence(50_000_000);
+
+    // Snapshot the pre-failure forwarding state.
+    let before: Vec<Option<FibEntry>> = g
+        .nodes()
+        .map(|v| net.fib().current(v, prefix))
+        .collect();
+
+    net.inject_failure(FailureEvent::LinkDown {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(50_000_000);
+    // The core gateway must now route over the backup chain.
+    assert_ne!(
+        net.fib().current(layout.core_gateway, prefix),
+        before[layout.core_gateway.index()]
+    );
+
+    net.inject_failure(FailureEvent::LinkUp {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(50_000_000);
+    let after: Vec<Option<FibEntry>> = g
+        .nodes()
+        .map(|v| net.fib().current(v, prefix))
+        .collect();
+    assert_eq!(before, after, "recovery must restore the original tree");
+}
+
+/// Recovery convergence is far faster than failure convergence on the
+/// same topology: announcing a better path is a one-shot improvement
+/// wave, not an exploration.
+#[test]
+fn recovery_is_faster_than_failure() {
+    let (g, layout) = generators::bclique(6);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 5);
+    net.originate(layout.destination, prefix);
+    net.run_to_quiescence(50_000_000);
+
+    let fail_start = net.now();
+    net.inject_failure(FailureEvent::LinkDown {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(50_000_000);
+    let fail_sends: Vec<_> = net
+        .sends()
+        .iter()
+        .filter(|s| s.at >= fail_start)
+        .map(|s| s.at)
+        .collect();
+    let failure_conv = *fail_sends.last().expect("failure causes updates") - fail_start;
+
+    let up_start = net.now();
+    net.inject_failure(FailureEvent::LinkUp {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(50_000_000);
+    let up_sends: Vec<_> = net
+        .sends()
+        .iter()
+        .filter(|s| s.at >= up_start)
+        .map(|s| s.at)
+        .collect();
+    let recovery_conv = *up_sends.last().expect("recovery causes updates") - up_start;
+
+    assert!(
+        recovery_conv < failure_conv / 2,
+        "recovery ({recovery_conv}) should be much faster than failure ({failure_conv})"
+    );
+}
+
+/// Recovery produces no forwarding loops on the B-Clique: routes only
+/// ever improve toward the restored shortest paths.
+#[test]
+fn recovery_is_loop_free_on_bclique() {
+    let (g, layout) = generators::bclique(5);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 7);
+    net.originate(layout.destination, prefix);
+    net.run_to_quiescence(50_000_000);
+    net.inject_failure(FailureEvent::LinkDown {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(50_000_000);
+    let recovery_at = net.now();
+    net.inject_failure(FailureEvent::LinkUp {
+        a: layout.destination,
+        b: layout.core_gateway,
+    });
+    net.run_to_quiescence(50_000_000);
+    let record = net.into_record();
+    let census = loop_census(&record.fib, prefix);
+    let recovery_loops: Vec<_> = census
+        .iter()
+        .filter(|l| l.formed_at >= recovery_at)
+        .collect();
+    assert!(
+        recovery_loops.is_empty(),
+        "recovery formed loops: {recovery_loops:?}"
+    );
+}
+
+/// A repaired session re-advertises: a brand-new node attached via
+/// LinkUp learns the prefix.
+#[test]
+fn link_up_on_never_failed_link_is_harmless() {
+    let g = generators::chain(3);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 1);
+    net.originate(NodeId::new(0), prefix);
+    net.run_to_quiescence(10_000_000);
+    let before = net.sends().len();
+    // LinkUp on a live link: both ends already peer; nothing changes.
+    net.inject_failure(FailureEvent::LinkUp {
+        a: NodeId::new(0),
+        b: NodeId::new(1),
+    });
+    net.run_to_quiescence(10_000_000);
+    assert_eq!(net.sends().len(), before, "no-op recovery must be silent");
+}

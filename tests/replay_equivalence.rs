@@ -1,0 +1,164 @@
+//! Cross-validation of the two data planes: the post-hoc replay engine
+//! (`bgpsim-dataplane`) must produce byte-identical packet fates to the
+//! live, event-driven forwarder inside the simulation loop
+//! (`bgpsim-sim`). This justifies the replay design used by all
+//! experiments.
+
+use bgpsim::prelude::*;
+use bgpsim::netsim::rng::SimRng;
+use bgpsim::netsim::time::SimDuration;
+
+fn equivalence_case(graph: Graph, dest: NodeId, failure: FailureEvent, seed: u64) {
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&graph, BgpConfig::default(), SimParams::default(), seed);
+    net.originate(dest, prefix);
+    assert_eq!(net.run_to_quiescence(50_000_000), RunOutcome::Quiescent);
+
+    // Schedule the failure and build the packet fleet for a fixed
+    // window starting at the failure instant.
+    let fail_at = net.now() + SimDuration::from_secs(1);
+    net.schedule_failure(SimDuration::from_secs(1), failure);
+    let mut rng = SimRng::new(seed).fork(0xBEEF);
+    let sources = paper_sources(graph.node_count(), dest, &mut rng);
+    let window_end = fail_at + SimDuration::from_secs(90);
+    let packets = generate_packets(&sources, prefix, DEFAULT_TTL, fail_at, window_end);
+    assert!(!packets.is_empty());
+    for p in &packets {
+        net.inject_packet(*p);
+    }
+    assert_eq!(net.run_to_quiescence(100_000_000), RunOutcome::Quiescent);
+    let record = net.into_record();
+
+    // Live fates, in packet-id order.
+    let mut live = record.live_fates.clone();
+    live.sort_by_key(|&(id, _)| id);
+    assert_eq!(live.len(), packets.len(), "every packet gets a fate");
+
+    // Replay the same packets against the recorded FIB history.
+    let replayed = walk_all(&record.fib, &packets, SimDuration::from_millis(2));
+
+    let mut mismatches = 0;
+    for (pkt, (live_fate, replay_fate)) in packets
+        .iter()
+        .zip(live.iter().map(|&(_, f)| f).zip(replayed.iter().copied()))
+    {
+        if live_fate != replay_fate {
+            mismatches += 1;
+            eprintln!(
+                "packet {} from {} at {}: live {:?} vs replay {:?}",
+                pkt.id, pkt.src, pkt.sent_at, live_fate, replay_fate
+            );
+        }
+    }
+    assert_eq!(mismatches, 0, "replay must match the live data plane");
+}
+
+#[test]
+fn replay_matches_live_on_clique_tdown() {
+    let g = generators::clique(8);
+    equivalence_case(
+        g,
+        NodeId::new(0),
+        FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        },
+        11,
+    );
+}
+
+#[test]
+fn replay_matches_live_on_bclique_tlong() {
+    let (g, layout) = generators::bclique(5);
+    equivalence_case(
+        g,
+        layout.destination,
+        FailureEvent::LinkDown {
+            a: layout.destination,
+            b: layout.core_gateway,
+        },
+        12,
+    );
+}
+
+#[test]
+fn replay_matches_live_on_internet_tdown() {
+    let g = generators::internet_like(29, 5);
+    let dest = *bgpsim::topology::algo::lowest_degree_nodes(&g)
+        .first()
+        .expect("nonempty");
+    equivalence_case(
+        g,
+        dest,
+        FailureEvent::WithdrawPrefix {
+            origin: dest,
+            prefix: Prefix::new(0),
+        },
+        13,
+    );
+}
+
+#[test]
+fn replay_matches_live_with_node_failure() {
+    let g = generators::clique(6);
+    equivalence_case(g, NodeId::new(0), FailureEvent::NodeDown { node: NodeId::new(0) }, 14);
+}
+
+/// A converged network forwards every packet to the destination with
+/// no TTL exhaustions — in both data planes.
+#[test]
+fn converged_network_delivers_everything() {
+    let g = generators::internet_like(48, 9);
+    let dest = NodeId::new(0);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 9);
+    net.originate(dest, prefix);
+    net.run_to_quiescence(50_000_000);
+    let start = net.now() + SimDuration::from_secs(1);
+    let mut rng = SimRng::new(9).fork(1);
+    let sources = paper_sources(g.node_count(), dest, &mut rng);
+    let packets = generate_packets(
+        &sources,
+        prefix,
+        DEFAULT_TTL,
+        start,
+        start + SimDuration::from_secs(5),
+    );
+    for p in &packets {
+        net.inject_packet(*p);
+    }
+    net.run_to_quiescence(50_000_000);
+    let record = net.into_record();
+    assert!(record
+        .live_fates
+        .iter()
+        .all(|(_, f)| f.is_delivered()));
+    let replayed = walk_all(&record.fib, &packets, SimDuration::from_millis(2));
+    assert!(replayed.iter().all(|f| f.is_delivered()));
+}
+
+/// The walk time of a delivered packet equals hops × link delay.
+#[test]
+fn replay_timing_is_exact() {
+    let g = generators::chain(5);
+    let prefix = Prefix::new(0);
+    let mut net = SimNetwork::new(&g, BgpConfig::default(), SimParams::default(), 3);
+    net.originate(NodeId::new(0), prefix);
+    net.run_to_quiescence(10_000_000);
+    let record = net.into_record();
+    let sent_at = record.quiescent_at + SimDuration::from_secs(1);
+    let pkt = Packet {
+        id: 0,
+        src: NodeId::new(4),
+        prefix,
+        ttl: DEFAULT_TTL,
+        sent_at,
+    };
+    match walk_packet(&record.fib, &pkt, SimDuration::from_millis(2)) {
+        PacketFate::Delivered { at, hops } => {
+            assert_eq!(hops, 4);
+            assert_eq!(at, sent_at + SimDuration::from_millis(8));
+        }
+        other => panic!("expected delivery, got {other:?}"),
+    }
+}
