@@ -10,11 +10,10 @@ use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
-    let (clique_n, gf_clique_n, internet_n, seeds): (usize, usize, usize, Vec<u64>) =
-        match scale {
-            Scale::Quick => (8, 10, 29, vec![1, 2]),
-            Scale::Paper => (15, 20, 48, vec![1, 2, 3]),
-        };
+    let (clique_n, gf_clique_n, internet_n, seeds): (usize, usize, usize, Vec<u64>) = match scale {
+        Scale::Quick => (8, 10, 29, vec![1, 2]),
+        Scale::Paper => (15, 20, 48, vec![1, 2, 3]),
+    };
     eprintln!("[ablation] running at {scale:?} scale…");
     let t0 = Instant::now();
     println!(
@@ -42,4 +41,5 @@ fn main() {
         )
     );
     println!("[ablation] wall time: {:?}", t0.elapsed());
+    eprintln!("{}", bgpsim_experiments::runner::global().render_stats());
 }

@@ -16,6 +16,7 @@ fn main() {
     let claims = fig.claims();
     println!("{}", render_claims(&claims));
     println!("[fig9] wall time: {elapsed:?}");
+    eprintln!("{}", bgpsim_experiments::runner::global().render_stats());
     let failed = claims.iter().filter(|c| !c.pass).count();
     if failed > 0 {
         eprintln!("[fig9] {failed} claim check(s) failed");

@@ -250,10 +250,7 @@ mod tests {
     #[test]
     fn suffix_from_finds_subpath() {
         let p = AsPath::from_ids([5, 6, 4, 0]);
-        assert_eq!(
-            p.suffix_from(n(6)).unwrap(),
-            &[n(6), n(4), n(0)][..]
-        );
+        assert_eq!(p.suffix_from(n(6)).unwrap(), &[n(6), n(4), n(0)][..]);
         assert_eq!(p.suffix_from(n(5)).unwrap(), p.as_slice());
         assert_eq!(p.suffix_from(n(0)).unwrap(), &[n(0)][..]);
         assert_eq!(p.suffix_from(n(9)), None);

@@ -148,14 +148,11 @@ impl DampingTable {
             FlapKind::Withdrawal => self.config.withdrawal_penalty,
             FlapKind::AttributeChange => self.config.attribute_change_penalty,
         };
-        let entry = self
-            .entries
-            .entry((peer, prefix))
-            .or_insert(Entry {
-                penalty: 0.0,
-                updated_at: now,
-                suppressed: false,
-            });
+        let entry = self.entries.entry((peer, prefix)).or_insert(Entry {
+            penalty: 0.0,
+            updated_at: now,
+            suppressed: false,
+        });
         let current = decay(entry.penalty, entry.updated_at, now, self.config.half_life);
         entry.penalty = (current + add).min(self.config.max_penalty);
         entry.updated_at = now;

@@ -62,9 +62,7 @@ pub struct ShortestPath;
 
 impl RoutePolicy for ShortestPath {
     fn compare(&self, a: (NodeId, &AsPath), b: (NodeId, &AsPath)) -> Ordering {
-        a.1.len()
-            .cmp(&b.1.len())
-            .then_with(|| a.0.cmp(&b.0))
+        a.1.len().cmp(&b.1.len()).then_with(|| a.0.cmp(&b.0))
     }
 }
 

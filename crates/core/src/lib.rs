@@ -64,10 +64,12 @@ pub use router::{Router, RouterStats};
 pub mod prelude {
     pub use crate::aspath::AsPath;
     pub use crate::config::{BgpConfig, Enhancements, Jitter};
+    pub use crate::damping::{DampingConfig, DampingTable, FlapKind};
     pub use crate::decision::{RoutePolicy, ShortestPath};
     pub use crate::message::BgpMessage;
-    pub use crate::damping::{DampingConfig, DampingTable, FlapKind};
-    pub use crate::output::{FibEntry, LocRoute, MraiTimerRequest, ReuseTimerRequest, RouterOutput};
+    pub use crate::output::{
+        FibEntry, LocRoute, MraiTimerRequest, ReuseTimerRequest, RouterOutput,
+    };
     pub use crate::policy::GaoRexford;
     pub use crate::prefix::Prefix;
     pub use crate::router::{Router, RouterStats};

@@ -352,11 +352,7 @@ impl<P: RoutePolicy> Router<P> {
         if !self.peers.insert(peer) {
             return out;
         }
-        let prefixes: Vec<Prefix> = self
-            .loc
-            .keys()
-            .copied()
-            .collect();
+        let prefixes: Vec<Prefix> = self.loc.keys().copied().collect();
         for prefix in prefixes {
             self.sync_peer(peer, prefix, now, rng, &mut out);
         }
@@ -488,8 +484,7 @@ impl<P: RoutePolicy> Router<P> {
                     return;
                 }
                 self.adj_out.insert((peer, prefix), path.clone());
-                out.sends
-                    .push((peer, BgpMessage::announce(prefix, path)));
+                out.sends.push((peer, BgpMessage::announce(prefix, path)));
                 self.stats.announcements_sent += 1;
                 self.start_mrai(peer, prefix, now, rng, out);
             }
@@ -650,10 +645,7 @@ mod tests {
         // At expiry the pending change goes out.
         let out = r.on_mrai_expire(n(4), p(), SimTime::from_secs(30), &mut rg);
         assert_eq!(out.sends.len(), 1);
-        assert_eq!(
-            out.sends[0].1.path(),
-            Some(&AsPath::from_ids([5, 6, 0]))
-        );
+        assert_eq!(out.sends[0].1.path(), Some(&AsPath::from_ids([5, 6, 0])));
         assert_eq!(out.timers.len(), 1, "timer restarts after send");
     }
 
@@ -703,13 +695,8 @@ mod tests {
         assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(5)));
         let out = r.on_peer_down(n(5), SimTime::from_secs(1), &mut rg);
         assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(3)));
-        assert_eq!(
-            r.best(p()).unwrap().path,
-            AsPath::from_ids([6, 3, 2, 1, 0])
-        );
-        assert!(out
-            .fib_changes
-            .contains(&(p(), Some(FibEntry::Via(n(3))))));
+        assert_eq!(r.best(p()).unwrap().path, AsPath::from_ids([6, 3, 2, 1, 0]));
+        assert!(out.fib_changes.contains(&(p(), Some(FibEntry::Via(n(3))))));
         // No message goes to the dead peer.
         assert!(out.sends.iter().all(|(to, _)| *to != n(5)));
     }
@@ -741,10 +728,7 @@ mod tests {
         let out = r.on_peer_up(n(7), SimTime::from_secs(1), &mut rg);
         assert_eq!(out.sends.len(), 1);
         assert_eq!(out.sends[0].0, n(7));
-        assert_eq!(
-            out.sends[0].1.path(),
-            Some(&AsPath::from_ids([5, 4, 0]))
-        );
+        assert_eq!(out.sends[0].1.path(), Some(&AsPath::from_ids([5, 4, 0])));
     }
 
     #[test]
@@ -802,7 +786,10 @@ mod tests {
             SimTime::from_secs(1),
             &mut rg,
         );
-        assert!(out.sends.iter().any(|(to, m)| *to == n(6) && m.is_withdraw()));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| *to == n(6) && m.is_withdraw()));
     }
 
     #[test]
@@ -887,10 +874,7 @@ mod tests {
         r.handle_message(n(4), &announce(&[4, 7, 0]), SimTime::from_secs(1), &mut rg);
         assert_eq!(r.rib_in(p()).unwrap().get(n(6)), None);
         assert_eq!(r.stats().assertion_removals, 1);
-        assert_eq!(
-            r.best(p()).unwrap().path,
-            AsPath::from_ids([5, 4, 7, 0])
-        );
+        assert_eq!(r.best(p()).unwrap().path, AsPath::from_ids([5, 4, 7, 0]));
     }
 
     #[test]
@@ -964,7 +948,11 @@ mod tests {
 
     #[test]
     fn ghost_flushing_flushes_once_per_degradation() {
-        let mut r = Router::new(n(5), [n(4), n(6), n(7)], cfg_enh(Enhancements::ghost_flushing()));
+        let mut r = Router::new(
+            n(5),
+            [n(4), n(6), n(7)],
+            cfg_enh(Enhancements::ghost_flushing()),
+        );
         let mut rg = rng();
         r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
         r.handle_message(n(6), &announce(&[6, 9, 0]), SimTime::ZERO, &mut rg);
@@ -994,17 +982,18 @@ mod tests {
 
     #[test]
     fn zero_mrai_never_starts_timers() {
-        let mut r = Router::new(
-            n(5),
-            [n(4)],
-            cfg().with_mrai(SimDuration::ZERO),
-        );
+        let mut r = Router::new(n(5), [n(4)], cfg().with_mrai(SimDuration::ZERO));
         let mut rg = rng();
         let out = r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
         assert_eq!(out.sends.len(), 1);
         assert!(out.timers.is_empty());
         // Immediate subsequent change also flows immediately.
-        let out = r.handle_message(n(4), &announce(&[4, 9, 0]), SimTime::from_millis(1), &mut rg);
+        let out = r.handle_message(
+            n(4),
+            &announce(&[4, 9, 0]),
+            SimTime::from_millis(1),
+            &mut rg,
+        );
         assert_eq!(out.sends.len(), 1);
     }
 

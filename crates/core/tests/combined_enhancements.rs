@@ -113,17 +113,11 @@ fn all_four_together_stay_correct() {
     // Withdrawal from 4: assertion purges (6 4 0); best falls to the
     // long stable path via 3.
     r.handle_message(n(4), &BgpMessage::withdraw(p()), step(), &mut rng);
-    assert_eq!(
-        r.best(p()).unwrap().path,
-        AsPath::from_ids([5, 3, 2, 1, 0])
-    );
+    assert_eq!(r.best(p()).unwrap().path, AsPath::from_ids([5, 3, 2, 1, 0]));
     // 6 re-announces a fresh (valid) path through 3's side; shorter
     // path wins again.
     r.handle_message(n(6), &announce(&[6, 1, 0]), step(), &mut rng);
-    assert_eq!(
-        r.best(p()).unwrap().path,
-        AsPath::from_ids([5, 6, 1, 0])
-    );
+    assert_eq!(r.best(p()).unwrap().path, AsPath::from_ids([5, 6, 1, 0]));
     // Selected routes never contain the router itself.
     assert!(r.best(p()).unwrap().path.is_simple());
 }

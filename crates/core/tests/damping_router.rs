@@ -81,13 +81,33 @@ fn flapping_route_is_suppressed() {
 fn reuse_restores_suppressed_route() {
     let mut r = Router::new(n(9), [n(1), n(2)], damped_config());
     let mut rng = SimRng::new(2);
-    r.handle_message(n(2), &announce(&[2, 3, 4, 0]), SimTime::from_secs(1), &mut rng);
+    r.handle_message(
+        n(2),
+        &announce(&[2, 3, 4, 0]),
+        SimTime::from_secs(1),
+        &mut rng,
+    );
     r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(2), &mut rng);
-    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(3), &mut rng);
+    r.handle_message(
+        n(1),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(3),
+        &mut rng,
+    );
     r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(4), &mut rng);
-    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(5), &mut rng);
+    r.handle_message(
+        n(1),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(5),
+        &mut rng,
+    );
     r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(6), &mut rng);
-    let out = r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(7), &mut rng);
+    let out = r.handle_message(
+        n(1),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(7),
+        &mut rng,
+    );
     let reuse = out.reuse_timers[0];
     // Final state of the flapper: announced again, but suppressed.
     r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(8), &mut rng);
@@ -106,11 +126,31 @@ fn early_reuse_check_reschedules() {
     let mut r = Router::new(n(9), [n(1)], damped_config());
     let mut rng = SimRng::new(3);
     r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(1), &mut rng);
-    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(2), &mut rng);
+    r.handle_message(
+        n(1),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(2),
+        &mut rng,
+    );
     r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(3), &mut rng);
-    r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_secs(4), &mut rng);
-    r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_millis(4500), &mut rng);
-    let out = r.handle_message(n(1), &BgpMessage::withdraw(p()), SimTime::from_millis(4800), &mut rng);
+    r.handle_message(
+        n(1),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_secs(4),
+        &mut rng,
+    );
+    r.handle_message(
+        n(1),
+        &announce(&[1, 0]),
+        SimTime::from_millis(4500),
+        &mut rng,
+    );
+    let out = r.handle_message(
+        n(1),
+        &BgpMessage::withdraw(p()),
+        SimTime::from_millis(4800),
+        &mut rng,
+    );
     let first_reuse = out.reuse_timers[0].at;
     // More flaps push the penalty (and thus the reuse time) up.
     for s in 5..9 {
@@ -170,7 +210,12 @@ fn damping_disabled_by_default() {
     let mut r = Router::new(n(9), [n(1)], BgpConfig::default().with_jitter(Jitter::NONE));
     let mut rng = SimRng::new(6);
     for s in 1..10 {
-        r.handle_message(n(1), &announce(&[1, 0]), SimTime::from_secs(2 * s), &mut rng);
+        r.handle_message(
+            n(1),
+            &announce(&[1, 0]),
+            SimTime::from_secs(2 * s),
+            &mut rng,
+        );
         r.handle_message(
             n(1),
             &BgpMessage::withdraw(p()),

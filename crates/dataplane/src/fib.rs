@@ -46,10 +46,7 @@ impl FibHistory {
     /// `time`), or `None` if no route was installed yet.
     pub fn at(&self, time: SimTime) -> Option<FibEntry> {
         // Find the last change with change-time <= time.
-        match self
-            .changes
-            .partition_point(|&(t, _)| t <= time)
-        {
+        match self.changes.partition_point(|&(t, _)| t <= time) {
             0 => None,
             i => self.changes[i - 1].1,
         }

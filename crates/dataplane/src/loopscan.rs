@@ -326,9 +326,9 @@ mod tests {
                     on_loop[node.index()] = true;
                 }
             }
-            for i in 0..snapshot.len() {
+            for (i, &looped) in on_loop.iter().enumerate() {
                 prop_assert_eq!(
-                    on_loop[i],
+                    looped,
                     on_loop_brute(&snapshot, i),
                     "node {} disagreement", i
                 );

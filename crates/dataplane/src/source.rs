@@ -105,11 +105,7 @@ impl Iterator for SendTimes {
 
 /// Builds the study's standard source fleet: one 10 pkt/s source per
 /// node except the destination, each with a random phase.
-pub fn paper_sources(
-    node_count: usize,
-    destination: NodeId,
-    rng: &mut SimRng,
-) -> Vec<CbrSource> {
+pub fn paper_sources(node_count: usize, destination: NodeId, rng: &mut SimRng) -> Vec<CbrSource> {
     let interval = SimDuration::from_millis(100);
     (0..node_count as u32)
         .map(NodeId::new)
@@ -145,7 +141,8 @@ mod tests {
         );
         assert_eq!(s.send_times(SimTime::ZERO, SimTime::ZERO).count(), 0);
         assert_eq!(
-            s.send_times(SimTime::ZERO, SimTime::from_millis(50)).count(),
+            s.send_times(SimTime::ZERO, SimTime::from_millis(50))
+                .count(),
             0,
             "phase pushes first packet past the window"
         );
@@ -158,9 +155,7 @@ mod tests {
             SimDuration::from_millis(100),
             SimDuration::from_millis(7),
         );
-        let count = s
-            .send_times(SimTime::ZERO, SimTime::from_secs(10))
-            .count();
+        let count = s.send_times(SimTime::ZERO, SimTime::from_secs(10)).count();
         assert_eq!(count, 100, "10 pkt/s for 10 s");
     }
 

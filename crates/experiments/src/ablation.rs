@@ -76,31 +76,36 @@ pub fn render_rows(title: &str, rows: &[AblationRow]) -> String {
     out
 }
 
-fn run_scenario(spec: TopologySpec, cfg: BgpConfig, seeds: &[u64]) -> Vec<PaperMetrics> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            Scenario::new(spec.clone(), EventKind::TDown)
-                .with_config(cfg)
-                .with_seed(seed)
-                .run()
-                .measurement
-                .metrics
-        })
-        .collect()
+/// Runs a batch of scenarios through the global runner (parallel,
+/// cached) and returns the metrics in submission order.
+fn run_scenarios(scenarios: Vec<Scenario>) -> Vec<PaperMetrics> {
+    bgpsim_runner::global().run_jobs(scenarios.into_iter().map(Scenario::into_job).collect())
 }
 
-/// MRAI jitter on vs off, clique `T_down`.
+/// MRAI jitter on vs off, clique `T_down`. Both configurations run as
+/// one batch.
 pub fn jitter_ablation(clique_n: usize, seeds: &[u64]) -> Vec<AblationRow> {
-    [("jitter [0.75M, M] (SSFNet)", Jitter::SSFNET), ("no jitter", Jitter::NONE)]
-        .into_iter()
-        .map(|(label, jitter)| {
+    assert!(!seeds.is_empty(), "ablation needs at least one seed");
+    let configs = [
+        ("jitter [0.75M, M] (SSFNet)", Jitter::SSFNET),
+        ("no jitter", Jitter::NONE),
+    ];
+    let scenarios: Vec<Scenario> = configs
+        .iter()
+        .flat_map(|&(_, jitter)| {
             let cfg = BgpConfig::default().with_jitter(jitter);
-            AblationRow::from_metrics(
-                label,
-                &run_scenario(TopologySpec::Clique(clique_n), cfg, seeds),
-            )
+            seeds.iter().map(move |&seed| {
+                Scenario::new(TopologySpec::Clique(clique_n), EventKind::TDown)
+                    .with_config(cfg)
+                    .with_seed(seed)
+            })
         })
+        .collect();
+    let ms = run_scenarios(scenarios);
+    configs
+        .iter()
+        .zip(ms.chunks(seeds.len()))
+        .map(|(&(label, _), chunk)| AblationRow::from_metrics(label, chunk))
         .collect()
 }
 
@@ -108,43 +113,75 @@ pub fn jitter_ablation(clique_n: usize, seeds: &[u64]) -> Vec<AblationRow> {
 /// delay and under a near-zero one, on a clique large enough for the
 /// §5 footnote-5 effect.
 pub fn processing_delay_ablation(clique_n: usize, seeds: &[u64]) -> Vec<AblationRow> {
+    assert!(!seeds.is_empty(), "ablation needs at least one seed");
     let heavy = SimParams::default(); // U[0.1 s, 0.5 s]
     let light = SimParams {
         proc_delay_lo: SimDuration::from_millis(1),
         proc_delay_hi: SimDuration::from_millis(5),
         ..SimParams::default()
     };
-    let mut rows = Vec::new();
-    for (p_label, params) in [("heavy proc U[0.1,0.5]s", heavy), ("light proc U[1,5]ms", light)] {
+    let mut combos = Vec::new();
+    for (p_label, params) in [
+        ("heavy proc U[0.1,0.5]s", heavy),
+        ("light proc U[1,5]ms", light),
+    ] {
         for (e_label, enh) in [
             ("BGP", Enhancements::standard()),
             ("GhostFlush", Enhancements::ghost_flushing()),
         ] {
-            let ms: Vec<PaperMetrics> = seeds
-                .iter()
-                .map(|&seed| {
-                    let mut scenario =
-                        Scenario::new(TopologySpec::Clique(clique_n), EventKind::TDown)
-                            .with_config(BgpConfig::default().with_enhancements(enh))
-                            .with_seed(seed);
-                    scenario.params = params;
-                    scenario.run().measurement.metrics
-                })
-                .collect();
-            rows.push(AblationRow::from_metrics(
-                format!("{e_label:<11} {p_label}"),
-                &ms,
-            ));
+            combos.push((format!("{e_label:<11} {p_label}"), params, enh));
         }
     }
-    rows
+    // The whole combos × seeds grid is one runner batch; `params` is
+    // part of the scenario (and its cache fingerprint).
+    let scenarios: Vec<Scenario> = combos
+        .iter()
+        .flat_map(|&(_, params, enh)| {
+            seeds.iter().map(move |&seed| {
+                let mut scenario = Scenario::new(TopologySpec::Clique(clique_n), EventKind::TDown)
+                    .with_config(BgpConfig::default().with_enhancements(enh))
+                    .with_seed(seed);
+                scenario.params = params;
+                scenario
+            })
+        })
+        .collect();
+    let ms = run_scenarios(scenarios);
+    combos
+        .iter()
+        .zip(ms.chunks(seeds.len()))
+        .map(|((label, _, _), chunk)| AblationRow::from_metrics(label.clone(), chunk))
+        .collect()
 }
 
 /// Shortest-path (the paper's policy) vs Gao–Rexford on the same
 /// Internet-like graphs, `T_down`.
 pub fn policy_ablation(n: usize, seeds: &[u64]) -> Vec<AblationRow> {
-    let mut shortest = Vec::new();
-    let mut gao = Vec::new();
+    assert!(!seeds.is_empty(), "ablation needs at least one seed");
+    fn run_policy<P: bgpsim_core::decision::RoutePolicy>(
+        mut net: SimNetwork<P>,
+        dest: NodeId,
+        prefix: Prefix,
+        seed: u64,
+    ) -> PaperMetrics {
+        net.originate(dest, prefix);
+        net.run_to_quiescence(200_000_000);
+        net.schedule_failure(
+            SimDuration::from_secs(1),
+            FailureEvent::WithdrawPrefix {
+                origin: dest,
+                prefix,
+            },
+        );
+        net.run_to_quiescence(200_000_000);
+        let record = net.into_record();
+        measure_run(&record, dest, prefix, seed).metrics
+    }
+
+    // These runs do not go through `Scenario`, so they carry hand-made
+    // fingerprints (deterministic in `(n, seed, policy)`), making them
+    // just as cacheable as the figure sweeps.
+    let mut jobs = Vec::new();
     for &seed in seeds {
         let (graph, tiers) = internet_like_tiered(n, seed);
         let rels = derive_relationships(&graph, &tiers);
@@ -153,41 +190,42 @@ pub fn policy_ablation(n: usize, seeds: &[u64]) -> Vec<AblationRow> {
             .expect("nonempty graph");
         let prefix = Prefix::new(0);
 
-        fn run<P: bgpsim_core::decision::RoutePolicy>(
-            mut net: SimNetwork<P>,
-            dest: NodeId,
-            prefix: Prefix,
-            seed: u64,
-        ) -> PaperMetrics {
-            net.originate(dest, prefix);
-            net.run_to_quiescence(200_000_000);
-            net.schedule_failure(
-                SimDuration::from_secs(1),
-                FailureEvent::WithdrawPrefix {
-                    origin: dest,
+        let shortest_graph = graph.clone();
+        jobs.push(bgpsim_runner::Job::new(
+            format!("policy shortest internet-{n} seed {seed}"),
+            Some(format!("ablation/policy/v1|shortest|n={n}|seed={seed}")),
+            move || {
+                run_policy(
+                    SimNetwork::new(
+                        &shortest_graph,
+                        BgpConfig::default(),
+                        SimParams::default(),
+                        seed,
+                    ),
+                    dest,
                     prefix,
-                },
-            );
-            net.run_to_quiescence(200_000_000);
-            let record = net.into_record();
-            measure_run(&record, dest, prefix, seed).metrics
-        }
-
-        shortest.push(run(SimNetwork::new(
-            &graph,
-            BgpConfig::default(),
-            SimParams::default(),
-            seed,
-        ), dest, prefix, seed));
-        let rels2 = rels.clone();
-        gao.push(run(SimNetwork::with_policies(
-            &graph,
-            BgpConfig::default(),
-            SimParams::default(),
-            seed,
-            move |node: NodeId| GaoRexford::for_node(node, &rels2),
-        ), dest, prefix, seed));
+                    seed,
+                )
+            },
+        ));
+        jobs.push(bgpsim_runner::Job::new(
+            format!("policy gao-rexford internet-{n} seed {seed}"),
+            Some(format!("ablation/policy/v1|gao-rexford|n={n}|seed={seed}")),
+            move || {
+                let net = SimNetwork::with_policies(
+                    &graph,
+                    BgpConfig::default(),
+                    SimParams::default(),
+                    seed,
+                    move |node: NodeId| GaoRexford::for_node(node, &rels),
+                );
+                run_policy(net, dest, prefix, seed)
+            },
+        ));
     }
+    let ms = bgpsim_runner::global().run_jobs(jobs);
+    let shortest: Vec<PaperMetrics> = ms.iter().copied().step_by(2).collect();
+    let gao: Vec<PaperMetrics> = ms.iter().copied().skip(1).step_by(2).collect();
     vec![
         AblationRow::from_metrics("shortest-path (paper)", &shortest),
         AblationRow::from_metrics("Gao-Rexford policy", &gao),

@@ -1,9 +1,13 @@
 //! Regenerates every evaluation figure of the paper (Figures 4–9).
 //! Usage: `all_figures [quick|paper]` (default: paper scale).
+//!
+//! All sweeps execute on the `bgpsim-runner` subsystem: set
+//! `BGPSIM_JOBS` to parallelize across runs (output is identical for
+//! any worker count) and `BGPSIM_CACHE_DIR` to reuse results across
+//! invocations.
 
-use bgpsim_experiments::figures::{
-    fig4, fig5, fig6, fig7, fig8, fig9, render_claims, Scale,
-};
+use bgpsim_experiments::figures::{fig4, fig5, fig6, fig7, fig8, fig9, render_claims, Scale};
+use bgpsim_experiments::runner;
 
 fn main() {
     let scale = std::env::args()
@@ -33,6 +37,7 @@ fn main() {
     figure!(fig7, "Figure 7");
     figure!(fig8, "Figure 8");
     figure!(fig9, "Figure 9");
+    eprintln!("{}", runner::global().render_stats());
     if failures > 0 {
         eprintln!("{failures} claim check(s) did not pass — see output above");
         std::process::exit(1);

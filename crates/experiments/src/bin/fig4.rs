@@ -17,6 +17,7 @@ fn main() {
     let fig = fig4::run(scale);
     println!("{}", fig.render());
     println!("{}", render_claims(&fig.claims()));
+    eprintln!("{}", bgpsim_experiments::runner::global().render_stats());
     match bgpsim_experiments::artifact::maybe_write_csv("fig4.csv", &fig.csv()) {
         Ok(Some(path)) => eprintln!("wrote {}", path.display()),
         Ok(None) => {}

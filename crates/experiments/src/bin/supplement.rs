@@ -17,6 +17,7 @@ fn main() {
     let sup = supplement::run(scale);
     println!("{}", sup.render());
     println!("{}", render_claims(&sup.claims()));
+    eprintln!("{}", bgpsim_experiments::runner::global().render_stats());
     match bgpsim_experiments::artifact::maybe_write_csv("supplement.csv", &sup.csv()) {
         Ok(Some(path)) => eprintln!("wrote {}", path.display()),
         Ok(None) => {}

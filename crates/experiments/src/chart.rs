@@ -50,13 +50,17 @@ where
     out
 }
 
+/// One labelled metric column of [`render_columns`]: a header and the
+/// selector extracting the value from an aggregated point.
+pub type Column<'a> = (&'a str, &'a dyn Fn(&crate::sweep::AggregatedPoint) -> f64);
+
 /// Renders a table of several metric columns over one sweep's points:
 /// first column is x, then one column per `(label, selector)` pair.
 pub fn render_columns(
     title: &str,
     x_label: &str,
     points: &[crate::sweep::AggregatedPoint],
-    cols: &[(&str, &dyn Fn(&crate::sweep::AggregatedPoint) -> f64)],
+    cols: &[Column<'_>],
     precision: usize,
 ) -> String {
     let mut out = String::new();
@@ -129,7 +133,13 @@ where
         .enumerate()
         .map(|(i, s)| format!("{}={}", SYMBOLS[i % SYMBOLS.len()], s.label))
         .collect();
-    let _ = writeln!(out, "   [{}]  y: {:.2}..{:.2}", legend.join("  "), ymin, ymax);
+    let _ = writeln!(
+        out,
+        "   [{}]  y: {:.2}..{:.2}",
+        legend.join("  "),
+        ymin,
+        ymax
+    );
     for row in grid {
         let _ = writeln!(out, "  |{}", row.into_iter().collect::<String>());
     }
@@ -178,7 +188,13 @@ mod tests {
 
     #[test]
     fn chart_renders_symbols_and_bounds() {
-        let c = render_chart("demo chart", &sample_series(), |p| p.convergence_secs, 40, 10);
+        let c = render_chart(
+            "demo chart",
+            &sample_series(),
+            |p| p.convergence_secs,
+            40,
+            10,
+        );
         assert!(c.contains("*=BGP"));
         assert!(c.contains("o=SSLD"));
         assert!(c.contains('*'));

@@ -1,4 +1,11 @@
 //! Shared sweep runners for the figure modules.
+//!
+//! All sweeps are expressed as batches of [`Cell`]s: the full
+//! `cells × seeds` job list is handed to the global
+//! [`bgpsim-runner`](bgpsim_runner) executor in one call, so the runs
+//! execute in parallel (and hit the run cache) while the results come
+//! back in canonical `(cell, seed)` order — aggregation is therefore
+//! bit-identical no matter how many workers ran.
 
 use bgpsim_core::{BgpConfig, Enhancements};
 use bgpsim_metrics::PaperMetrics;
@@ -7,35 +14,89 @@ use bgpsim_netsim::time::SimDuration;
 use crate::scenario::{EventKind, Scenario, TopologySpec};
 use crate::sweep::{aggregate, AggregatedPoint, Series};
 
+/// One sweep cell: the x-coordinate of an aggregated point plus the
+/// `(topology, event, config)` triple that produces it (run once per
+/// seed).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The x-axis value the cell aggregates to (size, MRAI seconds, …).
+    pub x: f64,
+    /// The topology family and size.
+    pub spec: TopologySpec,
+    /// `T_down` or `T_long`.
+    pub event: EventKind,
+    /// Protocol configuration.
+    pub config: BgpConfig,
+}
+
+impl Cell {
+    /// The scenario of this cell at one seed. For Internet-like
+    /// topologies the topology seed follows the run seed, so the
+    /// topology (and with it the destination and failed link) varies
+    /// per repetition, as in the paper's runs over "different
+    /// destination ASes and failed links".
+    pub fn scenario(&self, seed: u64) -> Scenario {
+        let spec = match &self.spec {
+            TopologySpec::InternetLike { n, .. } => TopologySpec::InternetLike {
+                n: *n,
+                topo_seed: seed,
+            },
+            other => other.clone(),
+        };
+        Scenario::new(spec, self.event)
+            .with_config(self.config)
+            .with_seed(seed)
+    }
+}
+
+/// Runs every `(cell, seed)` pair as **one batch** on the global
+/// runner and returns the per-cell metrics (`result[i][j]` = cell `i`,
+/// seed `j`). This is the single point where experiment sweeps meet
+/// the execution subsystem.
+pub fn run_cells(cells: &[Cell], seeds: &[u64]) -> Vec<Vec<PaperMetrics>> {
+    if seeds.is_empty() {
+        return vec![Vec::new(); cells.len()];
+    }
+    let jobs = cells
+        .iter()
+        .flat_map(|cell| seeds.iter().map(|&seed| cell.scenario(seed).into_job()))
+        .collect();
+    let flat = bgpsim_runner::global().run_jobs(jobs);
+    flat.chunks(seeds.len())
+        .map(<[PaperMetrics]>::to_vec)
+        .collect()
+}
+
+/// Aggregates each cell of a batch into one point at its `x`.
+pub fn sweep_points(cells: &[Cell], seeds: &[u64]) -> Vec<AggregatedPoint> {
+    run_cells(cells, seeds)
+        .iter()
+        .zip(cells)
+        .map(|(metrics, cell)| {
+            aggregate(cell.x, metrics).expect("at least one seed per sweep cell")
+        })
+        .collect()
+}
+
 /// Runs one `(topology, event, config)` cell once per seed and returns
-/// the per-run metrics. For Internet-like topologies, the topology (and
-/// with it the destination and failed link) varies with the seed, as in
-/// the paper's repetitions over "different destination ASes and failed
-/// links".
+/// the per-run metrics (a single-cell [`run_cells`] batch).
 pub fn run_cell(
     spec: &TopologySpec,
     event: EventKind,
     config: BgpConfig,
     seeds: &[u64],
 ) -> Vec<PaperMetrics> {
-    seeds
-        .iter()
-        .map(|&seed| {
-            let spec = match spec {
-                TopologySpec::InternetLike { n, .. } => TopologySpec::InternetLike {
-                    n: *n,
-                    topo_seed: seed,
-                },
-                other => other.clone(),
-            };
-            Scenario::new(spec, event)
-                .with_config(config)
-                .with_seed(seed)
-                .run()
-                .measurement
-                .metrics
-        })
-        .collect()
+    run_cells(
+        &[Cell {
+            x: 0.0,
+            spec: spec.clone(),
+            event,
+            config,
+        }],
+        seeds,
+    )
+    .pop()
+    .expect("one result row per cell")
 }
 
 /// The paper's baseline config with a given MRAI (seconds).
@@ -46,7 +107,7 @@ pub fn config_with_mrai(mrai_secs: u64, enh: Enhancements) -> BgpConfig {
 }
 
 /// Sweeps `sizes` for one topology family, producing one aggregated
-/// point per size.
+/// point per size. All `sizes × seeds` runs go out as one batch.
 pub fn size_sweep<F>(
     sizes: &[usize],
     make_spec: F,
@@ -57,16 +118,20 @@ pub fn size_sweep<F>(
 where
     F: Fn(usize) -> TopologySpec,
 {
-    sizes
+    let cells: Vec<Cell> = sizes
         .iter()
-        .map(|&n| {
-            let metrics = run_cell(&make_spec(n), event, config, seeds);
-            aggregate(n as f64, &metrics)
+        .map(|&n| Cell {
+            x: n as f64,
+            spec: make_spec(n),
+            event,
+            config,
         })
-        .collect()
+        .collect();
+    sweep_points(&cells, seeds)
 }
 
-/// Sweeps MRAI values for one fixed topology.
+/// Sweeps MRAI values for one fixed topology. All `values × seeds`
+/// runs go out as one batch.
 pub fn mrai_sweep(
     mrai_values: &[u64],
     spec: &TopologySpec,
@@ -74,17 +139,21 @@ pub fn mrai_sweep(
     enh: Enhancements,
     seeds: &[u64],
 ) -> Vec<AggregatedPoint> {
-    mrai_values
+    let cells: Vec<Cell> = mrai_values
         .iter()
-        .map(|&m| {
-            let metrics = run_cell(spec, event, config_with_mrai(m, enh), seeds);
-            aggregate(m as f64, &metrics)
+        .map(|&m| Cell {
+            x: m as f64,
+            spec: spec.clone(),
+            event,
+            config: config_with_mrai(m, enh),
         })
-        .collect()
+        .collect();
+    sweep_points(&cells, seeds)
 }
 
 /// Runs the five §5 protocol variants over `sizes`, returning one
-/// Series per variant (points carry all metrics).
+/// Series per variant (points carry all metrics). The whole
+/// `variants × sizes × seeds` cube goes out as one batch.
 pub fn variant_size_sweep<F>(
     sizes: &[usize],
     make_spec: F,
@@ -95,17 +164,26 @@ pub fn variant_size_sweep<F>(
 where
     F: Fn(usize) -> TopologySpec,
 {
-    Enhancements::paper_variants()
+    let variants = Enhancements::paper_variants();
+    let make_spec = &make_spec;
+    let cells: Vec<Cell> = variants
         .iter()
-        .map(|&enh| {
-            let mut s = Series::new(enh.label());
-            s.points = size_sweep(
-                sizes,
-                &make_spec,
+        .flat_map(|&enh| {
+            sizes.iter().map(move |&n| Cell {
+                x: n as f64,
+                spec: make_spec(n),
                 event,
-                config_with_mrai(mrai_secs, enh),
-                seeds,
-            );
+                config: config_with_mrai(mrai_secs, enh),
+            })
+        })
+        .collect();
+    let points = sweep_points(&cells, seeds);
+    variants
+        .iter()
+        .enumerate()
+        .map(|(i, enh)| {
+            let mut s = Series::new(enh.label());
+            s.points = points[i * sizes.len()..(i + 1) * sizes.len()].to_vec();
             s
         })
         .collect()
@@ -159,7 +237,10 @@ mod tests {
 
     #[test]
     fn internet_cells_vary_topology_with_seed() {
-        let spec = TopologySpec::InternetLike { n: 29, topo_seed: 0 };
+        let spec = TopologySpec::InternetLike {
+            n: 29,
+            topo_seed: 0,
+        };
         let cfg = config_with_mrai(5, Enhancements::standard());
         let ms = run_cell(&spec, EventKind::TDown, cfg, &[1, 2]);
         assert_eq!(ms.len(), 2);

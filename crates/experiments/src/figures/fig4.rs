@@ -61,7 +61,7 @@ pub fn run(scale: Scale) -> Fig4 {
 impl Fig4 {
     /// Renders the three subfigure tables.
     pub fn render(&self) -> String {
-        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+        let cols: &[crate::chart::Column<'_>] = &[
             ("convergence_s", &|p: &AggregatedPoint| p.convergence_secs),
             ("looping_s", &|p: &AggregatedPoint| p.looping_secs),
             ("gap_s", &|p: &AggregatedPoint| {
@@ -133,8 +133,7 @@ impl Fig4 {
         // Claim 2: T_long gap is roughly one MRAI (paper: 30–45 s).
         // Small B-Cliques converge in few rounds, so check only sizes
         // large enough for the effect; tolerate 10–70 s.
-        let big: Vec<&AggregatedPoint> =
-            self.b.iter().filter(|p| p.x >= 5.0).collect();
+        let big: Vec<&AggregatedPoint> = self.b.iter().filter(|p| p.x >= 5.0).collect();
         if !big.is_empty() {
             let gaps: Vec<f64> = big
                 .iter()

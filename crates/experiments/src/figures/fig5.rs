@@ -8,10 +8,10 @@
 //! Premore).
 
 use crate::chart::{render_chart, render_columns};
-use crate::sweep::Series;
 use crate::figures::common::mrai_sweep;
 use crate::figures::{ClaimCheck, Scale};
 use crate::scenario::{EventKind, TopologySpec};
+use crate::sweep::Series;
 use crate::sweep::{linear_fit, AggregatedPoint};
 use bgpsim_core::Enhancements;
 
@@ -57,7 +57,7 @@ pub fn run(scale: Scale) -> Fig5 {
 impl Fig5 {
     /// Renders the two subfigure tables.
     pub fn render(&self) -> String {
-        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+        let cols: &[crate::chart::Column<'_>] = &[
             ("convergence_s", &|p: &AggregatedPoint| p.convergence_secs),
             ("looping_s", &|p: &AggregatedPoint| p.looping_secs),
         ];

@@ -58,7 +58,7 @@ pub fn run(scale: Scale) -> Fig6 {
 impl Fig6 {
     /// Renders the three subfigure tables.
     pub fn render(&self) -> String {
-        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+        let cols: &[crate::chart::Column<'_>] = &[
             ("ttl_exhaustions", &|p: &AggregatedPoint| p.ttl_exhaustions),
             ("looping_ratio", &|p: &AggregatedPoint| p.looping_ratio),
             ("packets", &|p: &AggregatedPoint| {
@@ -104,14 +104,13 @@ impl Fig6 {
 
         // At paper scale, the exact thresholds of §4.3; at quick scale,
         // scaled-down sanity thresholds on the largest sizes available.
-        let (clique_cutoff, clique_thresh, bclique_cutoff, bclique_thresh) =
-            match self.scale {
-                Scale::Paper => (15.0, 0.65, 15.0, 0.35),
-                // Below ~size 5 a B-Clique is outside the regime the
-                // paper's threshold describes (too few backup rounds to
-                // form loops reliably), so the quick check starts at 5.
-                Scale::Quick => (8.0, 0.45, 5.0, 0.10),
-            };
+        let (clique_cutoff, clique_thresh, bclique_cutoff, bclique_thresh) = match self.scale {
+            Scale::Paper => (15.0, 0.65, 15.0, 0.35),
+            // Below ~size 5 a B-Clique is outside the regime the
+            // paper's threshold describes (too few backup rounds to
+            // form loops reliably), so the quick check starts at 5.
+            Scale::Quick => (8.0, 0.45, 5.0, 0.10),
+        };
         let clique_big: Vec<&AggregatedPoint> =
             self.a.iter().filter(|p| p.x >= clique_cutoff).collect();
         if !clique_big.is_empty() {

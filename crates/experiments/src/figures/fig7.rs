@@ -55,7 +55,7 @@ pub fn run(scale: Scale) -> Fig7 {
 impl Fig7 {
     /// Renders the two subfigure tables.
     pub fn render(&self) -> String {
-        let cols: &[(&str, &dyn Fn(&AggregatedPoint) -> f64)] = &[
+        let cols: &[crate::chart::Column<'_>] = &[
             ("ttl_exhaustions", &|p: &AggregatedPoint| p.ttl_exhaustions),
             ("looping_ratio", &|p: &AggregatedPoint| p.looping_ratio),
         ];

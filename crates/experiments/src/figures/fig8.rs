@@ -91,7 +91,14 @@ impl Fig8 {
     pub fn csv(&self) -> String {
         let mut doc = crate::artifact::series_csv("fig8-clique", &self.clique);
         let internet = crate::artifact::series_csv("fig8-internet", &self.internet);
-        doc.push_str(internet.lines().skip(1).collect::<Vec<_>>().join("\n").as_str());
+        doc.push_str(
+            internet
+                .lines()
+                .skip(1)
+                .collect::<Vec<_>>()
+                .join("\n")
+                .as_str(),
+        );
         doc.push('\n');
         doc
     }
@@ -99,8 +106,7 @@ impl Fig8 {
     /// Checks the paper's enhancement-ordering claims for `T_down`.
     pub fn claims(&self) -> Vec<ClaimCheck> {
         let mut checks = Vec::new();
-        let largest =
-            |series: &[Series]| series[0].points.last().map(|p| p.x).unwrap_or(0.0);
+        let largest = |series: &[Series]| series[0].points.last().map(|p| p.x).unwrap_or(0.0);
 
         // (a) Assertion dominates in cliques: at the largest size its
         // looping is the lowest of all variants and near zero.
@@ -125,9 +131,7 @@ impl Fig8 {
                     "T_down Clique-{x}: Assertion is the most effective \
                      loop reducer (near-immediate convergence)"
                 ),
-                measured: format!(
-                    "Assertion {assertion:.3}×BGP vs best other {others_min:.3}×"
-                ),
+                measured: format!("Assertion {assertion:.3}×BGP vs best other {others_min:.3}×"),
                 pass: assertion <= others_min + 1e-9 && assertion < 0.3,
             });
             // SSLD is modest: it helps (never hurts much) but clearly
@@ -156,9 +160,7 @@ impl Fig8 {
                 .expect("variant series present")
         };
         checks.push(ClaimCheck {
-            claim: format!(
-                "T_down Clique-{x}: Assertion converges far faster than BGP"
-            ),
+            claim: format!("T_down Clique-{x}: Assertion converges far faster than BGP"),
             measured: format!("{:.1}s vs {:.1}s", conv("Assertion"), conv("BGP")),
             pass: conv("Assertion") < 0.3 * conv("BGP"),
         });
@@ -202,9 +204,7 @@ impl Fig8 {
                     "T_down Internet-{xi}: WRATE is the least effective \
                      enhancement (paper: actively harmful, ≥ +20%)"
                 ),
-                measured: format!(
-                    "WRATE {wrate:.2}×BGP vs worst other {others_max:.2}×"
-                ),
+                measured: format!("WRATE {wrate:.2}×BGP vs worst other {others_max:.2}×"),
                 pass: wrate >= others_max,
             });
             // Assertion's improvement is much less pronounced on

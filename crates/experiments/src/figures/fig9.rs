@@ -90,7 +90,14 @@ impl Fig9 {
     pub fn csv(&self) -> String {
         let mut doc = crate::artifact::series_csv("fig9-bclique", &self.bclique);
         let internet = crate::artifact::series_csv("fig9-internet", &self.internet);
-        doc.push_str(internet.lines().skip(1).collect::<Vec<_>>().join("\n").as_str());
+        doc.push_str(
+            internet
+                .lines()
+                .skip(1)
+                .collect::<Vec<_>>()
+                .join("\n")
+                .as_str(),
+        );
         doc.push('\n');
         doc
     }
@@ -98,11 +105,7 @@ impl Fig9 {
     /// Checks the paper's enhancement-ordering claims for `T_long`.
     pub fn claims(&self) -> Vec<ClaimCheck> {
         let mut checks = Vec::new();
-        let x = self.bclique[0]
-            .points
-            .last()
-            .map(|p| p.x)
-            .unwrap_or(0.0);
+        let x = self.bclique[0].points.last().map(|p| p.x).unwrap_or(0.0);
         let at = |label: &str| {
             self.bclique
                 .iter()
@@ -124,9 +127,7 @@ impl Fig9 {
                     "T_long B-Clique-{x}: Assertion is the most effective \
                      loop reducer"
                 ),
-                measured: format!(
-                    "Assertion {assertion:.3}×BGP vs best other {others_min:.3}×"
-                ),
+                measured: format!("Assertion {assertion:.3}×BGP vs best other {others_min:.3}×"),
                 pass: assertion <= others_min + 0.05,
             });
             // Ghost Flushing reduces looping.

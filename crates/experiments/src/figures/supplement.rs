@@ -97,9 +97,7 @@ impl Supplement {
                          loop resolution does not ride on MRAI-delayed \
                          announcements"
                     ),
-                    measured: format!(
-                        "slope {slope:.3} s/s vs BGP {bgp_slope:.2} s/s"
-                    ),
+                    measured: format!("slope {slope:.3} s/s vs BGP {bgp_slope:.2} s/s"),
                     pass: slope.abs() < 0.15 * bgp_slope,
                 });
             }

@@ -32,6 +32,11 @@ pub mod figures;
 pub mod scenario;
 pub mod sweep;
 
+/// The execution subsystem all sweeps run on: worker pool, run cache,
+/// progress and journal (re-exported from `bgpsim-runner`). Configure
+/// it with `BGPSIM_JOBS` / `BGPSIM_CACHE_DIR` / `BGPSIM_JOURNAL`.
+pub use bgpsim_runner as runner;
+
 pub use figures::{ClaimCheck, Scale};
 pub use scenario::{EventKind, Scenario, ScenarioResult, TopologySpec};
 pub use sweep::{aggregate, linear_fit, AggregatedPoint, LinearFit, Series};

@@ -152,9 +152,8 @@ impl Scenario {
                 // T_long on Internet-derived graphs.
                 let bridge_set: std::collections::BTreeSet<_> =
                     algo::bridges(graph).into_iter().collect();
-                let is_safe = |a: NodeId, b: NodeId| {
-                    !bridge_set.contains(&bgpsim_topology::Edge::new(a, b))
-                };
+                let is_safe =
+                    |a: NodeId, b: NodeId| !bridge_set.contains(&bgpsim_topology::Edge::new(a, b));
                 let adjacent: Vec<NodeId> = graph.neighbors(destination).collect();
                 let mut candidates: Vec<(NodeId, NodeId)> = adjacent
                     .iter()
@@ -174,6 +173,99 @@ impl Scenario {
                 FailureEvent::LinkDown { a, b }
             }
         }
+    }
+
+    /// A canonical content fingerprint of this scenario: a stable
+    /// string encoding *every* input that determines the run's result
+    /// (topology, event, protocol config, physical parameters, seed).
+    /// Used as the key of the `bgpsim-runner` result cache; floats are
+    /// encoded via their IEEE-754 bit pattern so the encoding is exact.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("scenario/v1");
+        match &self.topology {
+            TopologySpec::Clique(n) => write!(s, "|topo=clique:{n}"),
+            TopologySpec::BClique(n) => write!(s, "|topo=bclique:{n}"),
+            TopologySpec::InternetLike { n, topo_seed } => {
+                write!(s, "|topo=internet:{n}:{topo_seed}")
+            }
+            TopologySpec::Custom { graph, destination } => {
+                let mut edges: Vec<(u32, u32)> = graph
+                    .edges()
+                    .map(|e| (e.lo().as_u32(), e.hi().as_u32()))
+                    .collect();
+                edges.sort_unstable();
+                write!(
+                    s,
+                    "|topo=custom:{}:d{}:",
+                    graph.node_count(),
+                    destination.as_u32()
+                )
+                .expect("write to String");
+                for (a, b) in edges {
+                    write!(s, "{a}-{b},").expect("write to String");
+                }
+                Ok(())
+            }
+        }
+        .expect("write to String");
+        let _ = write!(s, "|event={}", self.event.label());
+        let _ = write!(
+            s,
+            "|mrai={}|jitter={:x},{:x}",
+            self.config.mrai.as_nanos(),
+            self.config.mrai_jitter.lo.to_bits(),
+            self.config.mrai_jitter.hi.to_bits(),
+        );
+        let e = self.config.enhancements;
+        let _ = write!(
+            s,
+            "|enh={}{}{}{}",
+            u8::from(e.ssld),
+            u8::from(e.wrate),
+            u8::from(e.assertion),
+            u8::from(e.ghost_flushing),
+        );
+        match &self.config.damping {
+            None => s.push_str("|damping=none"),
+            Some(d) => {
+                let _ = write!(
+                    s,
+                    "|damping={:x},{:x},{:x},{:x},{},{:x}",
+                    d.withdrawal_penalty.to_bits(),
+                    d.attribute_change_penalty.to_bits(),
+                    d.suppress_threshold.to_bits(),
+                    d.reuse_threshold.to_bits(),
+                    d.half_life.as_nanos(),
+                    d.max_penalty.to_bits(),
+                );
+            }
+        }
+        let _ = write!(
+            s,
+            "|link={}|proc={},{}|seed={}",
+            self.params.link_delay.as_nanos(),
+            self.params.proc_delay_lo.as_nanos(),
+            self.params.proc_delay_hi.as_nanos(),
+            self.seed,
+        );
+        s
+    }
+
+    /// Converts the scenario into a cacheable [`runner
+    /// job`](bgpsim_runner::Job) producing the paper metrics of the
+    /// run. The job's fingerprint is [`Scenario::fingerprint`], so
+    /// identical scenarios are served from the run cache when one is
+    /// configured.
+    pub fn into_job(self) -> bgpsim_runner::Job {
+        let label = format!(
+            "{} {} seed {}",
+            self.topology.label(),
+            self.event.label(),
+            self.seed
+        );
+        let fingerprint = Some(self.fingerprint());
+        bgpsim_runner::Job::new(label, fingerprint, move || self.run().measurement.metrics)
     }
 
     /// Runs the scenario: warm-up, failure, measurement.
@@ -211,8 +303,7 @@ impl Scenario {
 /// link, draw one with the given seed.
 fn pick_tlong_destination(graph: &Graph, seed: u64) -> Option<NodeId> {
     let mut rng = SimRng::new(seed).fork(0xDE58);
-    let bridge_set: std::collections::BTreeSet<_> =
-        algo::bridges(graph).into_iter().collect();
+    let bridge_set: std::collections::BTreeSet<_> = algo::bridges(graph).into_iter().collect();
     let usable: Vec<NodeId> = graph
         .nodes()
         .filter(|&v| graph.degree(v) >= 2)
@@ -252,7 +343,11 @@ mod tests {
         assert_eq!(TopologySpec::Clique(15).label(), "clique-15");
         assert_eq!(TopologySpec::BClique(10).label(), "bclique-10");
         assert_eq!(
-            TopologySpec::InternetLike { n: 29, topo_seed: 1 }.label(),
+            TopologySpec::InternetLike {
+                n: 29,
+                topo_seed: 1
+            }
+            .label(),
             "internet-29"
         );
         assert_eq!(EventKind::TDown.label(), "Tdown");
@@ -268,13 +363,59 @@ mod tests {
 
     #[test]
     fn internet_destination_is_low_degree() {
-        let spec = TopologySpec::InternetLike { n: 48, topo_seed: 4 };
+        let spec = TopologySpec::InternetLike {
+            n: 48,
+            topo_seed: 4,
+        };
         let (g, dest) = spec.build();
         let lows = algo::lowest_degree_nodes(&g);
         assert!(lows.contains(&dest));
         // Deterministic rebuild.
         let (_, dest2) = spec.build();
         assert_eq!(dest, dest2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let base = Scenario::new(TopologySpec::Clique(5), EventKind::TDown).with_seed(1);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        // Every varying input must change the fingerprint.
+        let other_seed = base.clone().with_seed(2);
+        assert_ne!(base.fingerprint(), other_seed.fingerprint());
+        let other_event = Scenario::new(TopologySpec::Clique(5), EventKind::TLong).with_seed(1);
+        assert_ne!(base.fingerprint(), other_event.fingerprint());
+        let other_cfg = base.clone().with_config(
+            bgpsim_core::BgpConfig::default().with_enhancements(bgpsim_core::Enhancements::ssld()),
+        );
+        assert_ne!(base.fingerprint(), other_cfg.fingerprint());
+        let other_topo = Scenario::new(TopologySpec::Clique(6), EventKind::TDown).with_seed(1);
+        assert_ne!(base.fingerprint(), other_topo.fingerprint());
+    }
+
+    #[test]
+    fn custom_fingerprint_encodes_edges() {
+        let g = generators::clique(3);
+        let fp = Scenario::new(
+            TopologySpec::Custom {
+                graph: g,
+                destination: NodeId::new(2),
+            },
+            EventKind::TDown,
+        )
+        .fingerprint();
+        assert!(fp.contains("custom:3:d2:"), "{fp}");
+        assert!(fp.contains("0-1,"), "{fp}");
+    }
+
+    #[test]
+    fn job_runs_the_scenario() {
+        let scenario = Scenario::new(TopologySpec::Clique(5), EventKind::TDown).with_seed(1);
+        let direct = scenario.clone().run().measurement.metrics;
+        let job = scenario.into_job();
+        assert!(job.fingerprint.is_some());
+        assert!(job.label.contains("clique-5"));
+        let via_job = (job.run)();
+        assert_eq!(direct, via_job);
     }
 
     #[test]
@@ -301,10 +442,7 @@ mod tests {
         // Destination stays reachable: someone still has a route.
         let fib = &result.record.fib;
         let via_count = (0..result.record.node_count)
-            .filter(|&i| {
-                fib.current(NodeId::new(i as u32), Prefix::new(0))
-                    .is_some()
-            })
+            .filter(|&i| fib.current(NodeId::new(i as u32), Prefix::new(0)).is_some())
             .count();
         assert_eq!(via_count, result.record.node_count);
     }
@@ -312,7 +450,10 @@ mod tests {
     #[test]
     fn tlong_on_internet_keeps_destination_reachable() {
         let result = Scenario::new(
-            TopologySpec::InternetLike { n: 29, topo_seed: 3 },
+            TopologySpec::InternetLike {
+                n: 29,
+                topo_seed: 3,
+            },
             EventKind::TLong,
         )
         .with_seed(3)

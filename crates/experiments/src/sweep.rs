@@ -28,20 +28,24 @@ pub struct AggregatedPoint {
     pub messages: f64,
 }
 
-/// Averages per-run metrics into one point at `x`.
-///
-/// # Panics
-///
-/// Panics if `metrics` is empty.
-pub fn aggregate(x: f64, metrics: &[PaperMetrics]) -> AggregatedPoint {
-    assert!(!metrics.is_empty(), "cannot aggregate zero runs");
+/// Averages per-run metrics into one point at `x`, or `None` when
+/// there are no runs to average (an empty cell has no meaningful
+/// mean — callers decide whether that is an error).
+pub fn aggregate(x: f64, metrics: &[PaperMetrics]) -> Option<AggregatedPoint> {
+    if metrics.is_empty() {
+        return None;
+    }
     let n = metrics.len() as f64;
-    AggregatedPoint {
+    Some(AggregatedPoint {
         x,
         runs: metrics.len(),
         convergence_secs: metrics.iter().map(|m| m.convergence_secs()).sum::<f64>() / n,
         looping_secs: metrics.iter().map(|m| m.looping_secs()).sum::<f64>() / n,
-        ttl_exhaustions: metrics.iter().map(|m| m.ttl_exhaustions as f64).sum::<f64>() / n,
+        ttl_exhaustions: metrics
+            .iter()
+            .map(|m| m.ttl_exhaustions as f64)
+            .sum::<f64>()
+            / n,
         packets_during_convergence: metrics
             .iter()
             .map(|m| m.packets_during_convergence as f64)
@@ -53,7 +57,7 @@ pub fn aggregate(x: f64, metrics: &[PaperMetrics]) -> AggregatedPoint {
             .map(|m| m.messages_after_failure as f64)
             .sum::<f64>()
             / n,
-    }
+    })
 }
 
 /// One labelled curve of aggregated points.
@@ -99,11 +103,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let sxy: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     if sxx == 0.0 {
         return None;
     }
@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn aggregate_averages() {
         let ms = [metrics(10.0, 100, 1000), metrics(20.0, 300, 1000)];
-        let p = aggregate(15.0, &ms);
+        let p = aggregate(15.0, &ms).unwrap();
         assert_eq!(p.runs, 2);
         assert!((p.convergence_secs - 15.0).abs() < 1e-9);
         assert!((p.ttl_exhaustions - 200.0).abs() < 1e-9);
@@ -162,16 +162,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero runs")]
-    fn aggregate_rejects_empty() {
-        let _ = aggregate(1.0, &[]);
+    fn aggregate_of_empty_is_none() {
+        assert!(aggregate(1.0, &[]).is_none());
     }
 
     #[test]
     fn series_lookup() {
         let mut s = Series::new("BGP");
-        s.points.push(aggregate(5.0, &[metrics(1.0, 1, 10)]));
-        s.points.push(aggregate(10.0, &[metrics(2.0, 2, 10)]));
+        s.points
+            .push(aggregate(5.0, &[metrics(1.0, 1, 10)]).unwrap());
+        s.points
+            .push(aggregate(10.0, &[metrics(2.0, 2, 10)]).unwrap());
         assert_eq!(s.at(10.0).unwrap().runs, 1);
         assert!(s.at(7.0).is_none());
         let col = s.column(|p| p.convergence_secs);

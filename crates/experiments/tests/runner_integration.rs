@@ -1,0 +1,105 @@
+//! Integration of the experiment sweeps with the `bgpsim-runner`
+//! execution subsystem: worker-count invariance and cache round-trips
+//! on real simulation workloads (a Figure 5-style clique MRAI sweep).
+
+use bgpsim_experiments::figures::common::{config_with_mrai, Cell};
+use bgpsim_experiments::runner::{Job, Runner};
+use bgpsim_experiments::{EventKind, TopologySpec};
+use bgpsim_metrics::PaperMetrics;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The Figure 5 workload at test scale: clique T_down across MRAI
+/// values, a few seeds each.
+fn fig5_style_cells() -> Vec<Cell> {
+    use bgpsim_core::Enhancements;
+    [5u64, 15, 30]
+        .iter()
+        .map(|&mrai| Cell {
+            x: mrai as f64,
+            spec: TopologySpec::Clique(6),
+            event: EventKind::TDown,
+            config: config_with_mrai(mrai, Enhancements::standard()),
+        })
+        .collect()
+}
+
+fn fig5_style_jobs() -> Vec<Job> {
+    let seeds = [1u64, 2, 3];
+    fig5_style_cells()
+        .iter()
+        .flat_map(|cell| seeds.iter().map(|&seed| cell.scenario(seed).into_job()))
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "bgpsim-runner-integration-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_exactly() {
+    let serial: Vec<PaperMetrics> = Runner::new(1).run_jobs(fig5_style_jobs());
+    assert_eq!(serial.len(), 9);
+    for workers in [2, 4, 8] {
+        let parallel = Runner::new(workers).run_jobs(fig5_style_jobs());
+        assert_eq!(
+            serial, parallel,
+            "results must be identical and identically ordered with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn cache_round_trips_real_sweep() {
+    let dir = temp_dir("sweep-cache");
+    let runner = Runner::new(4).with_cache_dir(&dir).unwrap();
+
+    let cold = runner.run_jobs(fig5_style_jobs());
+    let stats = runner.stats();
+    assert_eq!(stats.jobs, 9);
+    assert_eq!(stats.executed, 9);
+    assert_eq!(stats.cache_hits, 0);
+
+    let warm = runner.run_jobs(fig5_style_jobs());
+    let stats = runner.stats();
+    assert_eq!(stats.jobs, 18);
+    assert_eq!(stats.executed, 9, "warm batch must not re-execute");
+    assert_eq!(stats.cache_hits, 9);
+    assert!(stats.hit_rate_percent() > 49.0);
+    assert_eq!(cold, warm, "cached metrics must equal computed metrics");
+
+    // A fresh runner over the same directory also sees the entries.
+    let other = Runner::new(1).with_cache_dir(&dir).unwrap();
+    let reread = other.run_jobs(fig5_style_jobs());
+    assert_eq!(other.stats().cache_hits, 9);
+    assert_eq!(cold, reread);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn distinct_scenarios_never_share_cache_entries() {
+    let dir = temp_dir("distinct");
+    let runner = Runner::new(2).with_cache_dir(&dir).unwrap();
+    let jobs = fig5_style_jobs();
+    let fingerprints: Vec<String> = jobs
+        .iter()
+        .map(|j| j.fingerprint.clone().expect("scenario jobs are cacheable"))
+        .collect();
+    let unique: std::collections::BTreeSet<&String> = fingerprints.iter().collect();
+    assert_eq!(
+        unique.len(),
+        jobs.len(),
+        "every (cell, seed) pair is distinct"
+    );
+    let _ = runner.run_jobs(jobs);
+    let entries = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(entries, 9, "one cache file per distinct scenario");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

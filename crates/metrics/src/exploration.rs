@@ -75,7 +75,7 @@ mod tests {
     fn counts_changes_after_cutoff() {
         let record = RunRecord {
             path_changes: vec![
-                change(1, 1, Some(&[1, 0])),    // before cutoff: ignored
+                change(1, 1, Some(&[1, 0])), // before cutoff: ignored
                 change(10, 1, Some(&[1, 2, 0])),
                 change(11, 1, Some(&[1, 2, 3, 0])),
                 change(12, 2, None),

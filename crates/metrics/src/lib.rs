@@ -42,8 +42,8 @@ pub use exploration::{exploration_stats, ExplorationStats};
 pub use export::{to_csv, to_json, MetricsRow};
 pub use loop_stats::{summarize, LoopCensusSummary};
 pub use pipeline::{measure_run, RunMeasurement};
-pub use timeline::{build_timeline, render_timeline, TimelineEvent};
 pub use report::{compute_metrics, PaperMetrics};
+pub use timeline::{build_timeline, render_timeline, TimelineEvent};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
@@ -52,6 +52,6 @@ pub mod prelude {
     pub use crate::export::{to_csv, to_json, MetricsRow};
     pub use crate::loop_stats::{summarize, LoopCensusSummary};
     pub use crate::pipeline::{measure_run, RunMeasurement};
-    pub use crate::timeline::{build_timeline, render_timeline, TimelineEvent};
     pub use crate::report::{compute_metrics, PaperMetrics};
+    pub use crate::timeline::{build_timeline, render_timeline, TimelineEvent};
 }

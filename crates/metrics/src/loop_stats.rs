@@ -57,11 +57,7 @@ pub fn summarize(census: &[LoopRecord]) -> LoopCensusSummary {
         mean_size: sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
         two_node_fraction: two_node as f64 / census.len() as f64,
         mean_duration,
-        max_duration: durations
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimDuration::ZERO),
+        max_duration: durations.iter().copied().max().unwrap_or(SimDuration::ZERO),
     }
 }
 

@@ -121,8 +121,12 @@ mod tests {
     fn no_loops_before_any_failure() {
         // A run with no failure: nothing to measure, nothing looping.
         let g = generators::clique(5);
-        let mut net =
-            bgpsim_sim::SimNetwork::new(&g, BgpConfig::default(), bgpsim_sim::SimParams::default(), 2);
+        let mut net = bgpsim_sim::SimNetwork::new(
+            &g,
+            BgpConfig::default(),
+            bgpsim_sim::SimParams::default(),
+            2,
+        );
         net.originate(NodeId::new(0), Prefix::new(0));
         net.run_to_quiescence(10_000_000);
         let record = net.into_record();

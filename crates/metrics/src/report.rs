@@ -152,7 +152,12 @@ mod tests {
     #[test]
     fn counts_and_windows() {
         let record = record_with_window(10, 40);
-        let packets = vec![pkt(0, 5_000), pkt(1, 15_000), pkt(2, 20_000), pkt(3, 50_000)];
+        let packets = vec![
+            pkt(0, 5_000),
+            pkt(1, 15_000),
+            pkt(2, 20_000),
+            pkt(3, 50_000),
+        ];
         let fates = vec![
             PacketFate::Delivered {
                 at: SimTime::from_millis(5_100),
@@ -179,10 +184,7 @@ mod tests {
         // Window [10s, 40s] contains packets 1 and 2.
         assert_eq!(m.packets_during_convergence, 2);
         assert!((m.looping_ratio - 1.0).abs() < 1e-12);
-        assert_eq!(
-            m.overall_looping_duration,
-            Some(SimDuration::from_secs(5))
-        );
+        assert_eq!(m.overall_looping_duration, Some(SimDuration::from_secs(5)));
         assert_eq!(m.convergence_time, Some(SimDuration::from_secs(30)));
         assert_eq!(m.messages_after_failure, 1);
     }

@@ -361,10 +361,7 @@ mod tests {
         let a = SimTime::from_secs(3);
         let b = SimTime::from_secs(5);
         assert_eq!(a.checked_duration_since(b), None);
-        assert_eq!(
-            b.checked_duration_since(a),
-            Some(SimDuration::from_secs(2))
-        );
+        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_secs(2)));
     }
 
     #[test]
@@ -388,10 +385,7 @@ mod tests {
         assert_eq!(d.as_millis(), 1500);
         assert_eq!(d * 2, SimDuration::from_secs(3));
         assert_eq!(d / 3, SimDuration::from_millis(500));
-        assert_eq!(
-            d - SimDuration::from_millis(500),
-            SimDuration::from_secs(1)
-        );
+        assert_eq!(d - SimDuration::from_millis(500), SimDuration::from_secs(1));
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Content-addressed on-disk cache of run results.
+//!
+//! Every cacheable job carries a canonical *spec string* describing
+//! everything that determines its result (topology, event, protocol
+//! config, physical parameters, seed — see
+//! `bgpsim_experiments::Scenario::fingerprint`). The cache stores one
+//! JSON file per spec, named by a 128-bit content hash of the spec and
+//! the [`SCHEMA_VERSION`]; the file also embeds the full spec string,
+//! so even a hash collision is detected and treated as a miss rather
+//! than returning wrong data.
+//!
+//! Robustness rules:
+//! * a corrupt or truncated entry is a **miss**, never a panic;
+//! * a schema-version bump invalidates all previous entries (the
+//!   version participates in the file name and is re-checked on read);
+//! * writes go to a temporary file first and are `rename`d into place,
+//!   so concurrent writers and interrupted runs cannot leave a
+//!   half-written entry under a live key.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bgpsim_metrics::PaperMetrics;
+use bgpsim_netsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Version of the cached-entry layout *and* of the metrics semantics.
+/// Bump whenever `PaperMetrics` or the measurement pipeline changes
+/// meaning, so stale results cannot leak into new sweeps.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Serializable mirror of [`PaperMetrics`] (durations as nanoseconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CachedMetrics {
+    convergence_nanos: Option<u64>,
+    looping_nanos: Option<u64>,
+    ttl_exhaustions: u64,
+    packets_during_convergence: u64,
+    looping_ratio: f64,
+    delivered: u64,
+    no_route: u64,
+    packets_total: u64,
+    messages_after_failure: u64,
+}
+
+impl CachedMetrics {
+    fn from_metrics(m: &PaperMetrics) -> Self {
+        CachedMetrics {
+            convergence_nanos: m.convergence_time.map(SimDuration::as_nanos),
+            looping_nanos: m.overall_looping_duration.map(SimDuration::as_nanos),
+            ttl_exhaustions: m.ttl_exhaustions,
+            packets_during_convergence: m.packets_during_convergence,
+            looping_ratio: m.looping_ratio,
+            delivered: m.delivered,
+            no_route: m.no_route,
+            packets_total: m.packets_total,
+            messages_after_failure: m.messages_after_failure,
+        }
+    }
+
+    fn to_metrics(&self) -> PaperMetrics {
+        PaperMetrics {
+            convergence_time: self.convergence_nanos.map(SimDuration::from_nanos),
+            overall_looping_duration: self.looping_nanos.map(SimDuration::from_nanos),
+            ttl_exhaustions: self.ttl_exhaustions,
+            packets_during_convergence: self.packets_during_convergence,
+            looping_ratio: self.looping_ratio,
+            delivered: self.delivered,
+            no_route: self.no_route,
+            packets_total: self.packets_total,
+            messages_after_failure: self.messages_after_failure,
+        }
+    }
+}
+
+/// One cache file: schema, the full spec (collision guard), result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CachedEntry {
+    schema: u32,
+    spec: String,
+    metrics: CachedMetrics,
+}
+
+/// A content-addressed store of run results under one directory.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+    schema: u32,
+}
+
+impl RunCache {
+    /// Opens (creating if needed) a cache directory at the current
+    /// [`SCHEMA_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        RunCache::with_schema(dir, SCHEMA_VERSION)
+    }
+
+    /// Opens a cache pinned to an explicit schema version. Entries
+    /// written under any other version are invisible — used by tests
+    /// and by forward-compatibility checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn with_schema(dir: impl Into<PathBuf>, schema: u32) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunCache { dir, schema })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry file for a spec (key = hash of schema + spec).
+    pub fn entry_path(&self, spec: &str) -> PathBuf {
+        // Two independent FNV-1a streams give a 128-bit name; the spec
+        // stored inside the entry catches any residual collision.
+        let seeded = |basis: u64| -> u64 {
+            let mut h = basis ^ u64::from(self.schema).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for &b in spec.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        let h1 = seeded(0xcbf2_9ce4_8422_2325);
+        let h2 = seeded(0x6c62_272e_07bb_0142);
+        self.dir.join(format!("{h1:016x}{h2:016x}.json"))
+    }
+
+    /// Looks up the result of a spec. Any unreadable, corrupt,
+    /// wrong-schema, or colliding entry is a miss.
+    pub fn lookup(&self, spec: &str) -> Option<PaperMetrics> {
+        let text = std::fs::read_to_string(self.entry_path(spec)).ok()?;
+        let entry: CachedEntry = serde_json::from_str(&text).ok()?;
+        if entry.schema != self.schema || entry.spec != spec {
+            return None;
+        }
+        Some(entry.metrics.to_metrics())
+    }
+
+    /// Stores the result of a spec (atomically via temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O or serialization error; callers may treat a
+    /// failed store as non-fatal (the run simply stays uncached).
+    pub fn store(&self, spec: &str, metrics: &PaperMetrics) -> io::Result<()> {
+        let entry = CachedEntry {
+            schema: self.schema,
+            spec: spec.to_string(),
+            metrics: CachedMetrics::from_metrics(metrics),
+        };
+        let json = serde_json::to_string(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let path = self.entry_path(spec);
+        // Unique temp name per process *and* store call: concurrent
+        // workers may store the same key (duplicate jobs in a batch).
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
+        std::fs::write(&tmp, json)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bgpsim-runner-cache-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_metrics() -> PaperMetrics {
+        PaperMetrics {
+            convergence_time: Some(SimDuration::from_millis(12_345)),
+            overall_looping_duration: None,
+            ttl_exhaustions: 42,
+            packets_during_convergence: 1000,
+            looping_ratio: 0.042,
+            delivered: 900,
+            no_route: 58,
+            packets_total: 1000,
+            messages_after_failure: 77,
+        }
+    }
+
+    #[test]
+    fn round_trip_hit() {
+        let dir = temp_cache_dir("roundtrip");
+        let cache = RunCache::new(&dir).unwrap();
+        let m = sample_metrics();
+        assert!(cache.lookup("spec-a").is_none());
+        cache.store("spec-a", &m).unwrap();
+        assert_eq!(cache.lookup("spec-a"), Some(m));
+        assert!(cache.lookup("spec-b").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_bump_invalidates() {
+        let dir = temp_cache_dir("schema");
+        let old = RunCache::with_schema(&dir, SCHEMA_VERSION).unwrap();
+        old.store("spec", &sample_metrics()).unwrap();
+        let newer = RunCache::with_schema(&dir, SCHEMA_VERSION + 1).unwrap();
+        assert!(
+            newer.lookup("spec").is_none(),
+            "new schema must not see old entries"
+        );
+        assert!(
+            old.lookup("spec").is_some(),
+            "old schema still sees its own entries"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_miss_not_panic() {
+        let dir = temp_cache_dir("corrupt");
+        let cache = RunCache::new(&dir).unwrap();
+        cache.store("spec", &sample_metrics()).unwrap();
+        let path = cache.entry_path("spec");
+        std::fs::write(&path, b"{ not json at all").unwrap();
+        assert!(cache.lookup("spec").is_none());
+        // Truncated-to-empty file too.
+        std::fs::write(&path, b"").unwrap();
+        assert!(cache.lookup("spec").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn colliding_name_with_different_spec_is_miss() {
+        let dir = temp_cache_dir("collide");
+        let cache = RunCache::new(&dir).unwrap();
+        cache.store("spec-a", &sample_metrics()).unwrap();
+        // Simulate a hash collision: copy a's entry to b's slot.
+        std::fs::copy(cache.entry_path("spec-a"), cache.entry_path("spec-b")).unwrap();
+        assert!(
+            cache.lookup("spec-b").is_none(),
+            "entry with mismatched spec string must not be served"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_overwrites() {
+        let dir = temp_cache_dir("overwrite");
+        let cache = RunCache::new(&dir).unwrap();
+        let mut m = sample_metrics();
+        cache.store("spec", &m).unwrap();
+        m.ttl_exhaustions = 99;
+        cache.store("spec", &m).unwrap();
+        assert_eq!(cache.lookup("spec").unwrap().ttl_exhaustions, 99);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,552 @@
+//! The parallel executor: worker pool, ordered merge, progress,
+//! journal, and cumulative statistics.
+
+use std::collections::VecDeque;
+use std::io::{IsTerminal, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use bgpsim_metrics::PaperMetrics;
+use serde::Serialize;
+
+use crate::cache::RunCache;
+
+/// One unit of work: an independent simulation run.
+pub struct Job {
+    /// Human-readable description, shown in progress and journal.
+    pub label: String,
+    /// Canonical content fingerprint of the run, or `None` for
+    /// uncacheable jobs (always executed).
+    pub fingerprint: Option<String>,
+    /// The run itself. Must be a pure function of the fingerprint:
+    /// two jobs with equal fingerprints must produce equal metrics.
+    pub run: Box<dyn FnOnce() -> PaperMetrics + Send>,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(
+        label: impl Into<String>,
+        fingerprint: Option<String>,
+        run: impl FnOnce() -> PaperMetrics + Send + 'static,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            fingerprint,
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("label", &self.label)
+            .field("fingerprint", &self.fingerprint)
+            .finish_non_exhaustive()
+    }
+}
+
+/// When to emit per-job progress on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Progress only when stderr is a terminal (updating status line).
+    Auto,
+    /// Always print one line per completed job.
+    Always,
+    /// No progress output.
+    Never,
+}
+
+/// Cumulative execution statistics of a [`Runner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunnerStats {
+    /// Jobs submitted (hits + executed).
+    pub jobs: u64,
+    /// Jobs served from the run cache.
+    pub cache_hits: u64,
+    /// Jobs actually executed.
+    pub executed: u64,
+    /// Summed per-job time (cache lookups + runs), across workers.
+    pub job_time: Duration,
+    /// Wall-clock time spent inside `run_jobs` batches.
+    pub wall_time: Duration,
+}
+
+impl RunnerStats {
+    /// Cache hit rate in percent (0 when no jobs ran).
+    pub fn hit_rate_percent(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            100.0 * self.cache_hits as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// JSONL journal line describing one completed job.
+#[derive(Debug, Clone, Serialize)]
+struct JournalLine {
+    label: String,
+    fingerprint: Option<String>,
+    cached: bool,
+    elapsed_ms: f64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    jobs: u64,
+    cache_hits: u64,
+    executed: u64,
+    job_time: Duration,
+    wall_time: Duration,
+}
+
+struct BatchProgress {
+    completed: usize,
+    total: usize,
+    started: Instant,
+}
+
+/// The experiment executor: a bounded worker pool over a shared job
+/// queue, an optional content-addressed result cache, and progress /
+/// journal reporting.
+///
+/// Results are always returned in the order the jobs were submitted,
+/// regardless of worker count or completion order, so any aggregation
+/// over them is bit-identical between serial and parallel execution.
+pub struct Runner {
+    workers: usize,
+    cache: Option<RunCache>,
+    journal: Option<Mutex<std::fs::File>>,
+    progress: ProgressMode,
+    stats: Mutex<StatsInner>,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("workers", &self.workers)
+            .field("cache_dir", &self.cache.as_ref().map(RunCache::dir))
+            .field("progress", &self.progress)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runner {
+    /// A runner with an explicit worker count, no cache, no progress.
+    pub fn new(workers: usize) -> Self {
+        Runner {
+            workers: workers.max(1),
+            cache: None,
+            journal: None,
+            progress: ProgressMode::Never,
+            stats: Mutex::new(StatsInner::default()),
+        }
+    }
+
+    /// The runner configured by the environment:
+    ///
+    /// * `BGPSIM_JOBS` — worker count (default: available parallelism;
+    ///   `1` = fully serial execution on the calling thread);
+    /// * `BGPSIM_CACHE_DIR` — enable the run cache in this directory;
+    /// * `BGPSIM_JOURNAL` — append a JSONL line per job to this file;
+    /// * `BGPSIM_PROGRESS` — `auto` (default), `always`, or `never`.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("BGPSIM_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let mut runner = Runner::new(workers).with_progress(
+            match std::env::var("BGPSIM_PROGRESS").ok().as_deref() {
+                Some("always") => ProgressMode::Always,
+                Some("never") => ProgressMode::Never,
+                _ => ProgressMode::Auto,
+            },
+        );
+        if let Some(dir) = std::env::var_os("BGPSIM_CACHE_DIR") {
+            match RunCache::new(PathBuf::from(&dir)) {
+                Ok(cache) => runner.cache = Some(cache),
+                Err(e) => eprintln!(
+                    "bgpsim-runner: cannot open cache dir {}: {e} (running uncached)",
+                    Path::new(&dir).display()
+                ),
+            }
+        }
+        if let Some(path) = std::env::var_os("BGPSIM_JOURNAL") {
+            runner = runner.with_journal_path(Path::new(&path));
+        }
+        runner
+    }
+
+    /// Returns the runner with a different worker count (min 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns the runner with the given result cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: RunCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Returns the runner caching into `dir` (created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn with_cache_dir(self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Ok(self.with_cache(RunCache::new(dir)?))
+    }
+
+    /// Returns the runner with the given progress mode.
+    #[must_use]
+    pub fn with_progress(mut self, mode: ProgressMode) -> Self {
+        self.progress = mode;
+        self
+    }
+
+    /// Returns the runner journaling each job to `path` (appended;
+    /// opening errors are reported to stderr and disable the journal).
+    #[must_use]
+    pub fn with_journal_path(mut self, path: &Path) -> Self {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(file) => self.journal = Some(Mutex::new(file)),
+            Err(e) => eprintln!(
+                "bgpsim-runner: cannot open journal {}: {e} (journal disabled)",
+                path.display()
+            ),
+        }
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The cache directory, if caching is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache.as_ref().map(RunCache::dir)
+    }
+
+    /// Runs a batch of jobs and returns their metrics **in submission
+    /// order**.
+    ///
+    /// With `workers == 1` (or a single job) everything runs serially
+    /// on the calling thread; otherwise a scoped worker pool drains the
+    /// shared queue. Each worker, per job: consult the cache (if the
+    /// job has a fingerprint), execute on miss, store the result, then
+    /// record stats / journal / progress.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> Vec<PaperMetrics> {
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let batch_started = Instant::now();
+        let queue: Mutex<VecDeque<(usize, Job)>> =
+            Mutex::new(jobs.into_iter().enumerate().collect());
+        let slots: Vec<Mutex<Option<PaperMetrics>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let progress = Mutex::new(BatchProgress {
+            completed: 0,
+            total,
+            started: batch_started,
+        });
+
+        let worker = || loop {
+            let next = queue.lock().expect("queue lock").pop_front();
+            let Some((index, job)) = next else { break };
+            let metrics = self.run_one(job, &progress);
+            *slots[index].lock().expect("slot lock") = Some(metrics);
+        };
+
+        let workers = self.workers.min(total);
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                let worker = &worker;
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+        self.finish_progress_line();
+        self.stats.lock().expect("stats lock").wall_time += batch_started.elapsed();
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every queued job stores a result")
+            })
+            .collect()
+    }
+
+    fn run_one(&self, job: Job, progress: &Mutex<BatchProgress>) -> PaperMetrics {
+        let Job {
+            label,
+            fingerprint,
+            run,
+        } = job;
+        let started = Instant::now();
+        let (metrics, cached) = match (&self.cache, &fingerprint) {
+            (Some(cache), Some(key)) => match cache.lookup(key) {
+                Some(metrics) => (metrics, true),
+                None => {
+                    let metrics = run();
+                    if let Err(e) = cache.store(key, &metrics) {
+                        eprintln!("bgpsim-runner: failed to cache {label:?}: {e} (continuing)");
+                    }
+                    (metrics, false)
+                }
+            },
+            _ => (run(), false),
+        };
+        let elapsed = started.elapsed();
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.jobs += 1;
+            if cached {
+                stats.cache_hits += 1;
+            } else {
+                stats.executed += 1;
+            }
+            stats.job_time += elapsed;
+        }
+        self.journal_record(&label, &fingerprint, cached, elapsed);
+        self.progress_tick(progress, &label, cached);
+        metrics
+    }
+
+    fn journal_record(
+        &self,
+        label: &str,
+        fingerprint: &Option<String>,
+        cached: bool,
+        elapsed: Duration,
+    ) {
+        let Some(journal) = &self.journal else { return };
+        let line = JournalLine {
+            label: label.to_string(),
+            fingerprint: fingerprint.clone(),
+            cached,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        };
+        if let Ok(json) = serde_json::to_string(&line) {
+            let mut file = journal.lock().expect("journal lock");
+            let _ = writeln!(file, "{json}");
+        }
+    }
+
+    fn progress_style(&self) -> Option<bool> {
+        // Some(true) = updating status line, Some(false) = line per job.
+        match self.progress {
+            ProgressMode::Never => None,
+            ProgressMode::Always => Some(false),
+            ProgressMode::Auto => std::io::stderr().is_terminal().then_some(true),
+        }
+    }
+
+    fn progress_tick(&self, progress: &Mutex<BatchProgress>, label: &str, cached: bool) {
+        let Some(updating) = self.progress_style() else {
+            return;
+        };
+        let mut p = progress.lock().expect("progress lock");
+        p.completed += 1;
+        let elapsed = p.started.elapsed().as_secs_f64();
+        let remaining = p.total - p.completed;
+        let eta = elapsed / p.completed as f64 * remaining as f64;
+        let tag = if cached { "cached" } else { "ran" };
+        if updating {
+            eprint!(
+                "\r[{}/{}] eta {:>6.1}s  {} {:<44.44}",
+                p.completed, p.total, eta, tag, label
+            );
+            let _ = std::io::stderr().flush();
+        } else {
+            eprintln!(
+                "[{}/{}] eta {:.1}s  {} {}",
+                p.completed, p.total, eta, tag, label
+            );
+        }
+    }
+
+    fn finish_progress_line(&self) {
+        if self.progress_style() == Some(true) {
+            eprint!("\r{:78}\r", "");
+            let _ = std::io::stderr().flush();
+        }
+    }
+
+    /// A snapshot of the cumulative statistics.
+    pub fn stats(&self) -> RunnerStats {
+        let inner = self.stats.lock().expect("stats lock");
+        RunnerStats {
+            jobs: inner.jobs,
+            cache_hits: inner.cache_hits,
+            executed: inner.executed,
+            job_time: inner.job_time,
+            wall_time: inner.wall_time,
+        }
+    }
+
+    /// Renders the cumulative statistics as a one-line summary.
+    pub fn render_stats(&self) -> String {
+        let s = self.stats();
+        format!(
+            "runner: {} jobs ({} cache hits / {} executed, {:.1}% hit rate), \
+             wall {:.1}s, cpu {:.1}s, {} workers",
+            s.jobs,
+            s.cache_hits,
+            s.executed,
+            s.hit_rate_percent(),
+            s.wall_time.as_secs_f64(),
+            s.job_time.as_secs_f64(),
+            self.workers,
+        )
+    }
+}
+
+/// The process-wide runner, configured from the environment on first
+/// use (see [`Runner::from_env`]). All experiment sweeps submit their
+/// jobs here unless given an explicit runner.
+pub fn global() -> &'static Runner {
+    static GLOBAL: OnceLock<Runner> = OnceLock::new();
+    GLOBAL.get_or_init(Runner::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsim_netsim::time::SimDuration;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn metrics_for(i: u64) -> PaperMetrics {
+        PaperMetrics {
+            convergence_time: Some(SimDuration::from_millis(i * 10)),
+            overall_looping_duration: (i.is_multiple_of(2)).then(|| SimDuration::from_millis(i)),
+            ttl_exhaustions: i,
+            packets_during_convergence: 100 + i,
+            looping_ratio: i as f64 / 100.0,
+            delivered: i,
+            no_route: 0,
+            packets_total: 100 + i,
+            messages_after_failure: i * 3,
+        }
+    }
+
+    fn jobs_0_to(n: u64) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job::new(format!("job {i}"), None, move || metrics_for(i)))
+            .collect()
+    }
+
+    #[test]
+    fn results_keep_submission_order() {
+        for workers in [1, 2, 7] {
+            let runner = Runner::new(workers);
+            let out = runner.run_jobs(jobs_0_to(23));
+            assert_eq!(out.len(), 23);
+            for (i, m) in out.iter().enumerate() {
+                assert_eq!(m.ttl_exhaustions, i as u64, "{workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = Runner::new(1).run_jobs(jobs_0_to(17));
+        let parallel = Runner::new(8).run_jobs(jobs_0_to(17));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(Runner::new(4).run_jobs(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn stats_count_jobs() {
+        let runner = Runner::new(3);
+        let _ = runner.run_jobs(jobs_0_to(5));
+        let _ = runner.run_jobs(jobs_0_to(2));
+        let s = runner.stats();
+        assert_eq!(s.jobs, 7);
+        assert_eq!(s.executed, 7);
+        assert_eq!(s.cache_hits, 0);
+        assert!(runner.render_stats().contains("7 jobs"));
+    }
+
+    #[test]
+    fn cache_serves_second_batch() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bgpsim-runner-exec-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let runner = Runner::new(4).with_cache_dir(&dir).unwrap();
+        let make_jobs = || {
+            (0..6u64)
+                .map(|i| {
+                    Job::new(format!("job {i}"), Some(format!("fp-{i}")), move || {
+                        metrics_for(i)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = runner.run_jobs(make_jobs());
+        // Second batch: closures would panic if executed; the cache
+        // must serve every job.
+        let second_jobs: Vec<Job> = (0..6u64)
+            .map(|i| {
+                Job::new(format!("job {i}"), Some(format!("fp-{i}")), move || {
+                    panic!("job {i} must be served from cache")
+                })
+            })
+            .collect();
+        let second = runner.run_jobs(second_jobs);
+        assert_eq!(first, second);
+        let s = runner.stats();
+        assert_eq!(s.jobs, 12);
+        assert_eq!(s.cache_hits, 6);
+        assert_eq!(s.executed, 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_records_every_job() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "bgpsim-runner-journal-test-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let runner = Runner::new(2).with_journal_path(&path);
+        let _ = runner.run_jobs(jobs_0_to(4));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            assert!(line.contains("\"label\""), "journal line: {line}");
+            assert!(line.contains("\"cached\": false") || line.contains("\"cached\":false"));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

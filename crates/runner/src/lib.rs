@@ -1,0 +1,47 @@
+//! # bgpsim-runner
+//!
+//! Experiment-execution subsystem: runs batches of independent
+//! simulation jobs in parallel, caches their results on disk, and
+//! reports progress — without perturbing the simulator's determinism.
+//!
+//! The paper's evaluation is thousands of *independent, individually
+//! deterministic* runs (one per `(scenario, seed)` pair). The runner
+//! exploits exactly that structure:
+//!
+//! * **Executor** ([`Runner`]) — a bounded worker pool pulls jobs from
+//!   a shared queue; results are merged back in canonical job order,
+//!   so aggregated output is bit-identical no matter how many workers
+//!   ran (`BGPSIM_JOBS`, default: available parallelism, `1` = serial).
+//! * **Run cache** ([`RunCache`]) — results are stored under a content
+//!   hash of the full scenario spec (topology, event, config, seed,
+//!   schema version) in `BGPSIM_CACHE_DIR`, making repeated and
+//!   interrupted sweeps resumable: completed runs are served from disk.
+//! * **Progress & journal** — per-job timing with completed/total and
+//!   an ETA on stderr, plus an optional machine-readable JSONL journal
+//!   (`BGPSIM_JOURNAL`).
+//!
+//! The simulation itself stays single-threaded and deterministic *per
+//! run*; parallelism exists only *across* runs.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use bgpsim_runner::{Job, Runner};
+//! # fn some_simulation(i: u64) -> bgpsim_metrics::PaperMetrics { unimplemented!() }
+//!
+//! let runner = Runner::new(4);
+//! let jobs = (0..16u64)
+//!     .map(|i| Job::new(format!("run {i}"), None, move || some_simulation(i)))
+//!     .collect();
+//! let metrics = runner.run_jobs(jobs); // ordered like `jobs`
+//! assert_eq!(metrics.len(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+
+pub use cache::{RunCache, SCHEMA_VERSION};
+pub use executor::{global, Job, ProgressMode, Runner, RunnerStats};

@@ -80,7 +80,9 @@ mod tests {
             b: NodeId::new(5),
         };
         assert!(l.describe().contains("[AS0 AS5]"));
-        let n = FailureEvent::NodeDown { node: NodeId::new(3) };
+        let n = FailureEvent::NodeDown {
+            node: NodeId::new(3),
+        };
         assert!(n.describe().contains("AS3"));
     }
 }

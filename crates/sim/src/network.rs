@@ -233,11 +233,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 return RunOutcome::BudgetExhausted;
             }
         }
-        if self
-            .engine
-            .next_event_time()
-            .is_none_or(|t| t >= horizon)
-        {
+        if self.engine.next_event_time().is_none_or(|t| t >= horizon) {
             self.engine.advance_to(horizon);
         }
         RunOutcome::Quiescent
@@ -272,7 +268,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 self.apply_output(to, out, now);
             }
             NetEvent::MraiExpiry { node, peer, prefix } => {
-                let out = self.routers[node.index()].on_mrai_expire(peer, prefix, now, &mut self.rng);
+                let out =
+                    self.routers[node.index()].on_mrai_expire(peer, prefix, now, &mut self.rng);
                 self.apply_output(node, out, now);
             }
             NetEvent::DampingReuse { node, peer, prefix } => {
@@ -342,7 +339,9 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 at: now,
                 node,
                 prefix,
-                path: self.routers[node.index()].best(prefix).map(|r| r.path.clone()),
+                path: self.routers[node.index()]
+                    .best(prefix)
+                    .map(|r| r.path.clone()),
             });
         }
         for (to, msg) in out.sends {
@@ -358,8 +357,14 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 .get_mut(&(node, to))
                 .unwrap_or_else(|| panic!("no link {node} -> {to}"));
             if let Some(arrival) = link.transmit(now) {
-                self.engine
-                    .schedule_at(arrival, NetEvent::MessageArrival { to, from: node, msg });
+                self.engine.schedule_at(
+                    arrival,
+                    NetEvent::MessageArrival {
+                        to,
+                        from: node,
+                        msg,
+                    },
+                );
             }
         }
         for timer in out.timers {

@@ -58,11 +58,7 @@ pub struct RunRecord {
 impl RunRecord {
     /// The time of the last message sent at or after `since`.
     pub fn last_send_at(&self, since: SimTime) -> Option<SimTime> {
-        self.sends
-            .iter()
-            .rev()
-            .map(|s| s.at)
-            .find(|&t| t >= since)
+        self.sends.iter().rev().map(|s| s.at).find(|&t| t >= since)
     }
 
     /// Number of messages sent at or after `since`.
@@ -154,11 +150,15 @@ mod tests {
 
     #[test]
     fn total_stats_sums() {
-        let mut a = RouterStats::default();
-        a.announcements_sent = 2;
-        let mut b = RouterStats::default();
-        b.announcements_sent = 3;
-        b.withdrawals_sent = 1;
+        let a = RouterStats {
+            announcements_sent: 2,
+            ..Default::default()
+        };
+        let b = RouterStats {
+            announcements_sent: 3,
+            withdrawals_sent: 1,
+            ..Default::default()
+        };
         let rec = RunRecord {
             router_stats: vec![a, b],
             ..Default::default()

@@ -66,9 +66,7 @@ pub fn shortest_path_next_hops(g: &Graph, dest: NodeId) -> Vec<Option<NodeId>> {
         let Some(du) = dist[u.index()] else { continue };
         // Sorted neighbor order means the first qualifying neighbor is
         // the smallest id.
-        next[u.index()] = g
-            .neighbors(u)
-            .find(|v| dist[v.index()] == Some(du - 1));
+        next[u.index()] = g.neighbors(u).find(|v| dist[v.index()] == Some(du - 1));
     }
     next
 }
@@ -206,7 +204,7 @@ pub fn bridges(g: &Graph) -> Vec<Edge> {
         stack.push((root, None, root_neighbors, 0));
         while !stack.is_empty() {
             enum Step {
-                Descend(usize, usize), // (child, parent)
+                Descend(usize, usize),  // (child, parent)
                 BackEdge(usize, usize), // (u, v)
                 Finish,
             }
@@ -244,10 +242,7 @@ pub fn bridges(g: &Graph) -> Vec<Edge> {
                     if let Some(p) = parent {
                         low[p] = low[p].min(low[u]);
                         if low[u] > disc[p] {
-                            out.push(Edge::new(
-                                NodeId::new(p as u32),
-                                NodeId::new(u as u32),
-                            ));
+                            out.push(Edge::new(NodeId::new(p as u32), NodeId::new(u as u32)));
                         }
                     }
                 }
@@ -318,10 +313,7 @@ mod tests {
         g.add_edge(n(0), n(1));
         g.add_edge(n(3), n(4));
         let comps = components(&g);
-        assert_eq!(
-            comps,
-            vec![vec![n(0), n(1)], vec![n(2)], vec![n(3), n(4)]]
-        );
+        assert_eq!(comps, vec![vec![n(0), n(1)], vec![n(2)], vec![n(3), n(4)]]);
     }
 
     #[test]

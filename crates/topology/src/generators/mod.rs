@@ -23,6 +23,9 @@ pub mod random;
 pub mod regular;
 
 pub use bclique::{bclique, BCliqueLayout};
-pub use internet::{internet_like, internet_like_tiered, internet_like_with, internet_like_with_tiers, InternetConfig};
+pub use internet::{
+    internet_like, internet_like_tiered, internet_like_with, internet_like_with_tiers,
+    InternetConfig,
+};
 pub use random::random_gnp;
 pub use regular::{binary_tree, chain, clique, grid, ring, star};

@@ -91,12 +91,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
 /// edge in ascending order, with a header comment.
 pub fn to_edge_list(g: &Graph) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "# {} nodes, {} edges",
-        g.node_count(),
-        g.edge_count()
-    );
+    let _ = writeln!(out, "# {} nodes, {} edges", g.node_count(), g.edge_count());
     for e in g.edges() {
         let _ = writeln!(out, "{} {}", e.lo().as_u32(), e.hi().as_u32());
     }
@@ -302,10 +297,7 @@ mod tests {
             let n174 = asg.node_of(174).unwrap();
             let n3356 = asg.node_of(3356).unwrap();
             let stub = asg.node_of(64496).unwrap();
-            assert_eq!(
-                asg.relationships.get(n174, n3356),
-                Some(Relationship::Peer)
-            );
+            assert_eq!(asg.relationships.get(n174, n3356), Some(Relationship::Peer));
             assert_eq!(
                 asg.relationships.get(n174, stub),
                 Some(Relationship::Customer)

@@ -116,9 +116,8 @@ impl RelationshipMap {
 
     /// Checks that every edge of `g` is annotated (both directions).
     pub fn covers(&self, g: &Graph) -> bool {
-        g.edges().all(|e| {
-            self.get(e.lo(), e.hi()).is_some() && self.get(e.hi(), e.lo()).is_some()
-        })
+        g.edges()
+            .all(|e| self.get(e.lo(), e.hi()).is_some() && self.get(e.hi(), e.lo()).is_some())
     }
 }
 

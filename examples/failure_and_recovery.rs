@@ -61,9 +61,8 @@ fn main() {
 
     let record = net.into_record();
     let census = loop_census(&record.fib, prefix);
-    let (during_failure, during_recovery): (Vec<_>, Vec<_>) = census
-        .iter()
-        .partition(|l| l.formed_at < up_at);
+    let (during_failure, during_recovery): (Vec<_>, Vec<_>) =
+        census.iter().partition(|l| l.formed_at < up_at);
     println!(
         "\nloops during failure convergence : {}",
         during_failure.len()

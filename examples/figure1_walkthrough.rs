@@ -67,7 +67,11 @@ fn main() {
                 r,
                 rec.duration().expect("resolved")
             ),
-            None => println!("  loop [{}] formed {} — never resolved", nodes.join(" "), rec.formed_at),
+            None => println!(
+                "  loop [{}] formed {} — never resolved",
+                nodes.join(" "),
+                rec.formed_at
+            ),
         }
     }
     let five_six = census

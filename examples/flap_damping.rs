@@ -38,12 +38,16 @@ fn main() {
     net.run_for(SimDuration::from_secs(30), 10_000_000);
     println!(
         "  origin is announcing again, but node 1 sees: {:?}",
-        net.router(NodeId::new(1)).best(prefix).map(|r| r.path.to_string())
+        net.router(NodeId::new(1))
+            .best(prefix)
+            .map(|r| r.path.to_string())
     );
     net.run_to_quiescence(10_000_000);
     println!(
         "  …after the penalty decays: {:?}",
-        net.router(NodeId::new(1)).best(prefix).map(|r| r.path.to_string())
+        net.router(NodeId::new(1))
+            .best(prefix)
+            .map(|r| r.path.to_string())
     );
 
     // Part 2: one clean failure, damping still fires.

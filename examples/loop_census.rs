@@ -40,16 +40,29 @@ fn main() {
             .or_default()
             .push(rec.duration().map_or(f64::NAN, |d| d.as_secs_f64()));
     }
-    println!("{:>6} {:>8} {:>14} {:>14}", "size", "count", "mean_life_s", "max_life_s");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14}",
+        "size", "count", "mean_life_s", "max_life_s"
+    );
     for (size, durations) in &by_size {
-        let resolved: Vec<f64> = durations.iter().copied().filter(|d| d.is_finite()).collect();
+        let resolved: Vec<f64> = durations
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .collect();
         let mean = if resolved.is_empty() {
             0.0
         } else {
             resolved.iter().sum::<f64>() / resolved.len() as f64
         };
         let max = resolved.iter().copied().fold(0.0, f64::max);
-        println!("{:>6} {:>8} {:>14.2} {:>14.2}", size, durations.len(), mean, max);
+        println!(
+            "{:>6} {:>8} {:>14.2} {:>14.2}",
+            size,
+            durations.len(),
+            mean,
+            max
+        );
     }
 
     println!(

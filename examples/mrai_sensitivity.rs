@@ -13,7 +13,10 @@ use bgpsim_experiments::linear_fit;
 fn main() {
     let mrai_values = [5u64, 10, 15, 20, 25, 30, 40, 50, 60];
     let seeds = [1u64, 2, 3];
-    println!("T_down on a 10-node clique, MRAI sweep (mean of {} seeds)\n", seeds.len());
+    println!(
+        "T_down on a 10-node clique, MRAI sweep (mean of {} seeds)\n",
+        seeds.len()
+    );
     println!(
         "{:>7} {:>12} {:>12} {:>14} {:>10}",
         "mrai_s", "conv_s", "looping_s", "exhaustions", "ratio"

@@ -39,7 +39,10 @@ fn main() {
     plain.run_to_quiescence(200_000_000);
     plain.schedule_failure(
         SimDuration::from_secs(1),
-        FailureEvent::WithdrawPrefix { origin: dest, prefix },
+        FailureEvent::WithdrawPrefix {
+            origin: dest,
+            prefix,
+        },
     );
     plain.run_to_quiescence(200_000_000);
     let plain_record = plain.into_record();
@@ -70,7 +73,10 @@ fn main() {
     }
     gao.schedule_failure(
         SimDuration::from_secs(1),
-        FailureEvent::WithdrawPrefix { origin: dest, prefix },
+        FailureEvent::WithdrawPrefix {
+            origin: dest,
+            prefix,
+        },
     );
     gao.run_to_quiescence(200_000_000);
     let gao_record = gao.into_record();

@@ -10,6 +10,7 @@ use bgpsim::cli::{parse_args, CliOptions};
 use bgpsim::metrics::MetricsRow;
 use bgpsim::netsim::time::SimDuration;
 use bgpsim::prelude::*;
+use bgpsim::runner::Runner;
 
 fn main() {
     let opts = match parse_args(std::env::args().skip(1)) {
@@ -30,17 +31,36 @@ fn run(opts: &CliOptions) {
     let scenario = Scenario::new(opts.topology.clone(), opts.event)
         .with_config(config)
         .with_seed(opts.seed);
-    let result = scenario.run();
-    let m = &result.measurement.metrics;
 
     if opts.json {
+        // The JSON path only needs `PaperMetrics`, so it goes through
+        // the runner: with `--cache-dir` (or `BGPSIM_CACHE_DIR`) a
+        // repeated invocation is served from the run cache.
+        let mut runner = Runner::from_env();
+        if let Some(jobs) = opts.jobs {
+            runner = runner.with_workers(jobs);
+        }
+        if let Some(dir) = &opts.cache_dir {
+            runner = match runner.with_cache_dir(dir) {
+                Ok(r) => r,
+                Err(err) => {
+                    eprintln!("cannot open cache dir {dir}: {err}");
+                    std::process::exit(1);
+                }
+            };
+        }
+        let node_count = scenario.topology.build().0.node_count();
+        let metrics = runner
+            .run_jobs(vec![scenario.into_job()])
+            .pop()
+            .expect("one job yields one result");
         let row = MetricsRow::from_metrics(
             "cli",
             opts.topology.label(),
             opts.enhancements.label(),
-            result.record.node_count as f64,
+            node_count as f64,
             opts.seed,
-            m,
+            &metrics,
         );
         match bgpsim::metrics::to_json(std::slice::from_ref(&row)) {
             Ok(json) => println!("{json}"),
@@ -52,6 +72,11 @@ fn run(opts: &CliOptions) {
         return;
     }
 
+    // The human report needs the full scenario result (loop census,
+    // timeline), which the metrics cache does not carry — run directly.
+    let result = scenario.run();
+    let m = &result.measurement.metrics;
+
     println!(
         "{} under {} — variant {}, MRAI {}s, seed {}",
         opts.topology.label(),
@@ -62,12 +87,21 @@ fn run(opts: &CliOptions) {
     );
     println!("  destination              : {}", result.destination);
     println!("  failure                  : {}", result.failure.describe());
-    println!("  convergence time         : {:>10.2} s", m.convergence_secs());
+    println!(
+        "  convergence time         : {:>10.2} s",
+        m.convergence_secs()
+    );
     println!("  overall looping duration : {:>10.2} s", m.looping_secs());
     println!("  TTL exhaustions          : {:>10}", m.ttl_exhaustions);
-    println!("  packets during converg.  : {:>10}", m.packets_during_convergence);
+    println!(
+        "  packets during converg.  : {:>10}",
+        m.packets_during_convergence
+    );
     println!("  looping ratio            : {:>10.3}", m.looping_ratio);
-    println!("  messages after failure   : {:>10}", m.messages_after_failure);
+    println!(
+        "  messages after failure   : {:>10}",
+        m.messages_after_failure
+    );
     let c = &result.measurement.census_summary;
     println!(
         "  loops observed           : {:>10}  (sizes {}–{}, 2-node share {:.0}%)",
@@ -79,12 +113,12 @@ fn run(opts: &CliOptions) {
 
     if opts.trace {
         println!("\npost-failure timeline (sends, route changes, loops):");
-        let fail = result.record.failure_at.expect("scenario injects a failure");
-        let timeline = bgpsim::metrics::build_timeline(
-            &result.record,
-            &result.measurement.census,
-            fail,
-        );
+        let fail = result
+            .record
+            .failure_at
+            .expect("scenario injects a failure");
+        let timeline =
+            bgpsim::metrics::build_timeline(&result.record, &result.measurement.census, fail);
         print!("{}", bgpsim::metrics::render_timeline(&timeline));
     }
 }

@@ -29,6 +29,10 @@ pub struct CliOptions {
     pub json: bool,
     /// Print the post-failure route-change timeline.
     pub trace: bool,
+    /// Runner worker count override (`None` = `BGPSIM_JOBS` / auto).
+    pub jobs: Option<usize>,
+    /// Run-cache directory override (`None` = `BGPSIM_CACHE_DIR`).
+    pub cache_dir: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -42,6 +46,8 @@ impl Default for CliOptions {
             seed: 0,
             json: false,
             trace: false,
+            jobs: None,
+            cache_dir: None,
         }
     }
 }
@@ -76,6 +82,10 @@ OPTIONS:
   --seed <N>            RNG seed                  (default 0)
   --json                emit metrics as JSON
   --trace               print the post-failure route-change timeline
+  --jobs <N>            runner worker count       (default: $BGPSIM_JOBS,
+                        else available parallelism; 1 = serial)
+  --cache-dir <DIR>     reuse run results cached in DIR
+                        (default: $BGPSIM_CACHE_DIR, else uncached)
   --help                show this text
 ";
 
@@ -119,9 +129,7 @@ where
                     "wrate" => Enhancements::wrate(),
                     "assertion" => Enhancements::assertion(),
                     "ghost-flushing" | "ghost" => Enhancements::ghost_flushing(),
-                    other => {
-                        return Err(CliError(format!("unknown enhancement {other:?}")))
-                    }
+                    other => return Err(CliError(format!("unknown enhancement {other:?}"))),
                 };
             }
             "--seed" => {
@@ -130,6 +138,18 @@ where
             }
             "--json" => opts.json = true,
             "--trace" => opts.trace = true,
+            "--jobs" => {
+                let v = expect_value(&mut iter, arg)?;
+                let n = parse_num(v.as_ref(), "--jobs")? as usize;
+                if n == 0 {
+                    return Err(CliError("--jobs must be at least 1".to_string()));
+                }
+                opts.jobs = Some(n);
+            }
+            "--cache-dir" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.cache_dir = Some(v.as_ref().to_string());
+            }
             "--help" | "-h" => return Err(CliError(USAGE.to_string())),
             other => return Err(CliError(format!("unknown option {other:?}"))),
         }
@@ -195,6 +215,10 @@ mod tests {
             "9",
             "--json",
             "--trace",
+            "--jobs",
+            "4",
+            "--cache-dir",
+            "/tmp/bgpsim-cache",
         ])
         .unwrap();
         assert_eq!(opts.topology, TopologySpec::BClique(10));
@@ -205,6 +229,14 @@ mod tests {
         assert_eq!(opts.seed, 9);
         assert!(opts.json);
         assert!(opts.trace);
+        assert_eq!(opts.jobs, Some(4));
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/bgpsim-cache"));
+    }
+
+    #[test]
+    fn jobs_rejects_zero() {
+        let err = parse_args(["--jobs", "0"]).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`sim`] | `bgpsim-sim` | assembled network simulation + failure injection |
 //! | [`metrics`] | `bgpsim-metrics` | the paper's metrics + loop census + export |
 //! | [`experiments`] | `bgpsim-experiments` | scenarios, sweeps, Figures 4–9 |
+//! | [`runner`] | `bgpsim-runner` | parallel executor, run cache, progress/journal |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use bgpsim_dataplane as dataplane;
 pub use bgpsim_experiments as experiments;
 pub use bgpsim_metrics as metrics;
 pub use bgpsim_netsim as netsim;
+pub use bgpsim_runner as runner;
 pub use bgpsim_sim as sim;
 pub use bgpsim_topology as topology;
 
@@ -59,9 +61,7 @@ pub mod prelude {
     pub use bgpsim_core::prelude::*;
     pub use bgpsim_dataplane::prelude::*;
     pub use bgpsim_experiments::figures::Scale;
-    pub use bgpsim_experiments::scenario::{
-        EventKind, Scenario, ScenarioResult, TopologySpec,
-    };
+    pub use bgpsim_experiments::scenario::{EventKind, Scenario, ScenarioResult, TopologySpec};
     pub use bgpsim_metrics::prelude::*;
     pub use bgpsim_netsim::prelude::*;
     pub use bgpsim_sim::prelude::*;

@@ -18,7 +18,12 @@ fn flapping_origin_gets_suppressed_network_wide() {
     let g = generators::chain(4);
     let prefix = Prefix::new(0);
     let origin = NodeId::new(0);
-    let mut net = SimNetwork::new(&g, damped(DampingConfig::default()), SimParams::default(), 3);
+    let mut net = SimNetwork::new(
+        &g,
+        damped(DampingConfig::default()),
+        SimParams::default(),
+        3,
+    );
 
     // Flap: originate/withdraw several times, 30 s apart so each cycle
     // fully propagates but reuse timers (tens of minutes out) do not

@@ -18,7 +18,10 @@ fn identical_seeds_identical_runs() {
         (TopologySpec::Clique(8), EventKind::TDown),
         (TopologySpec::BClique(5), EventKind::TLong),
         (
-            TopologySpec::InternetLike { n: 29, topo_seed: 3 },
+            TopologySpec::InternetLike {
+                n: 29,
+                topo_seed: 3,
+            },
             EventKind::TDown,
         ),
     ] {
@@ -44,8 +47,14 @@ fn different_seeds_differ() {
 
 #[test]
 fn topology_seed_controls_internet_graph_only() {
-    let spec1 = TopologySpec::InternetLike { n: 29, topo_seed: 1 };
-    let spec2 = TopologySpec::InternetLike { n: 29, topo_seed: 2 };
+    let spec1 = TopologySpec::InternetLike {
+        n: 29,
+        topo_seed: 1,
+    };
+    let spec2 = TopologySpec::InternetLike {
+        n: 29,
+        topo_seed: 2,
+    };
     let (g1, d1) = spec1.build();
     let (g1b, d1b) = spec1.build();
     let (g2, _) = spec2.build();

@@ -4,7 +4,12 @@
 
 use bgpsim::prelude::*;
 
-fn run_variant(spec: TopologySpec, event: EventKind, enh: Enhancements, seed: u64) -> ScenarioResult {
+fn run_variant(
+    spec: TopologySpec,
+    event: EventKind,
+    enh: Enhancements,
+    seed: u64,
+) -> ScenarioResult {
     Scenario::new(spec, event)
         .with_config(BgpConfig::default().with_enhancements(enh))
         .with_seed(seed)
@@ -16,8 +21,18 @@ fn run_variant(spec: TopologySpec, event: EventKind, enh: Enhancements, seed: u6
 /// backups at once (paper §5).
 #[test]
 fn assertion_gives_immediate_clique_convergence() {
-    let bgp = run_variant(TopologySpec::Clique(10), EventKind::TDown, Enhancements::standard(), 1);
-    let assertion = run_variant(TopologySpec::Clique(10), EventKind::TDown, Enhancements::assertion(), 1);
+    let bgp = run_variant(
+        TopologySpec::Clique(10),
+        EventKind::TDown,
+        Enhancements::standard(),
+        1,
+    );
+    let assertion = run_variant(
+        TopologySpec::Clique(10),
+        EventKind::TDown,
+        Enhancements::assertion(),
+        1,
+    );
     let c_bgp = bgp.measurement.metrics.convergence_secs();
     let c_assert = assertion.measurement.metrics.convergence_secs();
     assert!(
@@ -37,7 +52,10 @@ fn assertion_gives_immediate_clique_convergence() {
 /// criticism of Ghost Flushing).
 #[test]
 fn ghost_flushing_trades_loops_for_no_route_drops() {
-    let spec = TopologySpec::InternetLike { n: 48, topo_seed: 2 };
+    let spec = TopologySpec::InternetLike {
+        n: 48,
+        topo_seed: 2,
+    };
     let bgp = run_variant(spec.clone(), EventKind::TDown, Enhancements::standard(), 2);
     let ghost = run_variant(spec, EventKind::TDown, Enhancements::ghost_flushing(), 2);
     let m_bgp = &bgp.measurement.metrics;
@@ -61,7 +79,10 @@ fn ghost_flushing_trades_loops_for_no_route_drops() {
 /// reduces convergence time on internet-like graphs).
 #[test]
 fn ghost_flushing_speeds_convergence() {
-    let spec = TopologySpec::InternetLike { n: 48, topo_seed: 3 };
+    let spec = TopologySpec::InternetLike {
+        n: 48,
+        topo_seed: 3,
+    };
     let bgp = run_variant(spec.clone(), EventKind::TDown, Enhancements::standard(), 3);
     let ghost = run_variant(spec, EventKind::TDown, Enhancements::ghost_flushing(), 3);
     assert!(
@@ -75,8 +96,18 @@ fn ghost_flushing_speeds_convergence() {
 /// immediate withdrawal).
 #[test]
 fn ssld_shifts_announcements_to_withdrawals() {
-    let bgp = run_variant(TopologySpec::Clique(8), EventKind::TDown, Enhancements::standard(), 4);
-    let ssld = run_variant(TopologySpec::Clique(8), EventKind::TDown, Enhancements::ssld(), 4);
+    let bgp = run_variant(
+        TopologySpec::Clique(8),
+        EventKind::TDown,
+        Enhancements::standard(),
+        4,
+    );
+    let ssld = run_variant(
+        TopologySpec::Clique(8),
+        EventKind::TDown,
+        Enhancements::ssld(),
+        4,
+    );
     let b = bgp.record.total_stats();
     let s = ssld.record.total_stats();
     assert!(s.ssld_conversions > 0, "SSLD must fire on clique T_down");
@@ -92,11 +123,20 @@ fn ssld_shifts_announcements_to_withdrawals() {
 /// MRAI rounds) on clique T_down.
 #[test]
 fn wrate_rate_limits_withdrawals() {
-    let bgp = run_variant(TopologySpec::Clique(8), EventKind::TDown, Enhancements::standard(), 5);
-    let wrate = run_variant(TopologySpec::Clique(8), EventKind::TDown, Enhancements::wrate(), 5);
+    let bgp = run_variant(
+        TopologySpec::Clique(8),
+        EventKind::TDown,
+        Enhancements::standard(),
+        5,
+    );
+    let wrate = run_variant(
+        TopologySpec::Clique(8),
+        EventKind::TDown,
+        Enhancements::wrate(),
+        5,
+    );
     assert!(
-        wrate.record.total_stats().withdrawals_sent
-            <= bgp.record.total_stats().withdrawals_sent,
+        wrate.record.total_stats().withdrawals_sent <= bgp.record.total_stats().withdrawals_sent,
         "WRATE must not send more withdrawals than standard BGP"
     );
 }

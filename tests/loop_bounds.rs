@@ -2,8 +2,8 @@
 //! the resolution of an `m`-node loop takes at most `(m−1) × M`
 //! seconds of MRAI delay (plus message processing and propagation).
 
-use bgpsim::prelude::*;
 use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
 
 /// Every observed loop's lifetime respects the worst-case bound
 /// `(m−1)·M` plus a processing-delay allowance: each of the `m−1`

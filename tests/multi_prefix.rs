@@ -89,13 +89,11 @@ fn mrai_timers_are_independent_per_prefix() {
     let origin_sends = rec
         .sends
         .iter()
-        .filter(|s| {
-            s.from == NodeId::new(0) && s.at < bgpsim::netsim::time::SimTime::from_secs(1)
-        })
+        .filter(|s| s.from == NodeId::new(0) && s.at < bgpsim::netsim::time::SimTime::from_secs(1))
         .count();
     assert_eq!(origin_sends, 2, "both prefixes announce immediately");
-    assert_eq!(rec.fib.current(NodeId::new(1), p0).is_some(), true);
-    assert_eq!(rec.fib.current(NodeId::new(1), p1).is_some(), true);
+    assert!(rec.fib.current(NodeId::new(1), p0).is_some());
+    assert!(rec.fib.current(NodeId::new(1), p1).is_some());
 }
 
 #[test]
@@ -112,12 +110,27 @@ fn anycast_routes_to_nearest_origin() {
     net.originate(right, p);
     assert_eq!(net.run_to_quiescence(100_000_000), RunOutcome::Quiescent);
     // Nodes 1, 2 go left; nodes 4, 5 go right.
-    assert_eq!(net.fib().current(NodeId::new(1), p), Some(FibEntry::Via(NodeId::new(0))));
-    assert_eq!(net.fib().current(NodeId::new(2), p), Some(FibEntry::Via(NodeId::new(1))));
-    assert_eq!(net.fib().current(NodeId::new(4), p), Some(FibEntry::Via(NodeId::new(5))));
-    assert_eq!(net.fib().current(NodeId::new(5), p), Some(FibEntry::Via(NodeId::new(6))));
+    assert_eq!(
+        net.fib().current(NodeId::new(1), p),
+        Some(FibEntry::Via(NodeId::new(0)))
+    );
+    assert_eq!(
+        net.fib().current(NodeId::new(2), p),
+        Some(FibEntry::Via(NodeId::new(1)))
+    );
+    assert_eq!(
+        net.fib().current(NodeId::new(4), p),
+        Some(FibEntry::Via(NodeId::new(5)))
+    );
+    assert_eq!(
+        net.fib().current(NodeId::new(5), p),
+        Some(FibEntry::Via(NodeId::new(6)))
+    );
     // Node 3 is equidistant (3 hops each way): smaller next-hop wins.
-    assert_eq!(net.fib().current(NodeId::new(3), p), Some(FibEntry::Via(NodeId::new(2))));
+    assert_eq!(
+        net.fib().current(NodeId::new(3), p),
+        Some(FibEntry::Via(NodeId::new(2)))
+    );
     // Both origins deliver locally.
     assert_eq!(net.fib().current(left, p), Some(FibEntry::Local));
     assert_eq!(net.fib().current(right, p), Some(FibEntry::Local));

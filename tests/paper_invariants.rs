@@ -9,8 +9,8 @@
 //! * `T_down` leaves every node route-less, `T_long` leaves every node
 //!   routed.
 
-use bgpsim::prelude::*;
 use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
 
 fn tdown(g: Graph, dest: NodeId, seed: u64) -> ScenarioResult {
     Scenario::new(
@@ -119,12 +119,7 @@ fn withdrawal_counts_are_consistent() {
     let total = result.record.total_stats();
     let send_count = result.record.sends.len() as u64;
     assert_eq!(total.messages_sent(), send_count);
-    let withdraw_count = result
-        .record
-        .sends
-        .iter()
-        .filter(|s| s.withdraw)
-        .count() as u64;
+    let withdraw_count = result.record.sends.iter().filter(|s| s.withdraw).count() as u64;
     assert_eq!(total.withdrawals_sent, withdraw_count);
     assert!(withdraw_count > 0, "T_down must produce withdrawals");
 }
@@ -142,8 +137,7 @@ fn tdown_last_message_is_a_withdrawal() {
         .record
         .sends
         .iter()
-        .filter(|s| s.at >= fail)
-        .next_back()
+        .rfind(|s| s.at >= fail)
         .expect("messages after failure");
     assert!(last.withdraw, "T_down must end with a withdrawal");
 }

@@ -10,10 +10,7 @@ use bgpsim::prelude::*;
 use bgpsim::topology::generators::internet_like_tiered;
 use bgpsim::topology::relationships::{derive_relationships, Relationship, RelationshipMap};
 
-fn build_policy_network(
-    n: usize,
-    seed: u64,
-) -> (Graph, RelationshipMap, SimNetwork<GaoRexford>) {
+fn build_policy_network(n: usize, seed: u64) -> (Graph, RelationshipMap, SimNetwork<GaoRexford>) {
     let (graph, tiers) = internet_like_tiered(n, seed);
     let rels = derive_relationships(&graph, &tiers);
     let rels_for_closure = rels.clone();

@@ -18,10 +18,7 @@ fn link_recovery_restores_original_routes() {
     net.run_to_quiescence(50_000_000);
 
     // Snapshot the pre-failure forwarding state.
-    let before: Vec<Option<FibEntry>> = g
-        .nodes()
-        .map(|v| net.fib().current(v, prefix))
-        .collect();
+    let before: Vec<Option<FibEntry>> = g.nodes().map(|v| net.fib().current(v, prefix)).collect();
 
     net.inject_failure(FailureEvent::LinkDown {
         a: layout.destination,
@@ -39,10 +36,7 @@ fn link_recovery_restores_original_routes() {
         b: layout.core_gateway,
     });
     net.run_to_quiescence(50_000_000);
-    let after: Vec<Option<FibEntry>> = g
-        .nodes()
-        .map(|v| net.fib().current(v, prefix))
-        .collect();
+    let after: Vec<Option<FibEntry>> = g.nodes().map(|v| net.fib().current(v, prefix)).collect();
     assert_eq!(before, after, "recovery must restore the original tree");
 }
 

@@ -4,9 +4,9 @@
 //! (`bgpsim-sim`). This justifies the replay design used by all
 //! experiments.
 
-use bgpsim::prelude::*;
 use bgpsim::netsim::rng::SimRng;
 use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
 
 fn equivalence_case(graph: Graph, dest: NodeId, failure: FailureEvent, seed: u64) {
     let prefix = Prefix::new(0);
@@ -101,7 +101,14 @@ fn replay_matches_live_on_internet_tdown() {
 #[test]
 fn replay_matches_live_with_node_failure() {
     let g = generators::clique(6);
-    equivalence_case(g, NodeId::new(0), FailureEvent::NodeDown { node: NodeId::new(0) }, 14);
+    equivalence_case(
+        g,
+        NodeId::new(0),
+        FailureEvent::NodeDown {
+            node: NodeId::new(0),
+        },
+        14,
+    );
 }
 
 /// A converged network forwards every packet to the destination with
@@ -129,10 +136,7 @@ fn converged_network_delivers_everything() {
     }
     net.run_to_quiescence(50_000_000);
     let record = net.into_record();
-    assert!(record
-        .live_fates
-        .iter()
-        .all(|(_, f)| f.is_delivered()));
+    assert!(record.live_fates.iter().all(|(_, f)| f.is_delivered()));
     let replayed = walk_all(&record.fib, &packets, SimDuration::from_millis(2));
     assert!(replayed.iter().all(|f| f.is_delivered()));
 }

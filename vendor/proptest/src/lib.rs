@@ -1,0 +1,543 @@
+//! Offline stub of the `proptest` crate.
+//!
+//! Re-implements the subset bgpsim's property tests use — the
+//! [`proptest!`] macro, range / tuple / `collection::vec` /
+//! `option::of` / [`any`] strategies, `prop_assert*` and
+//! [`prop_assume!`] — on top of a small deterministic PRNG. Unlike
+//! real proptest there is no shrinking and no persisted failure
+//! corpus: each case is generated from a seed derived from the test
+//! name and case index, so failures reproduce exactly on re-run.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Test-runner types (`ProptestConfig`, `TestCaseError`, `TestRng`).
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; the stub trades coverage
+            // for wall-clock since every case runs a full simulation.
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated (from `prop_assert*`).
+        Fail(String),
+        /// The inputs were rejected (from `prop_assume!`); the case is
+        /// retried with fresh inputs and does not count.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed-property error.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected-inputs marker.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-case PRNG (SplitMix64 seeded by FNV-1a over
+    /// the test id and case number).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The generator for attempt `attempt` of test `test_id`.
+        pub fn for_case(test_id: &str, attempt: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in test_id.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= attempt;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            TestRng { state: h }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            // SplitMix64.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be in
+        /// `(0, 2^64]`.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0 && bound <= 1 << 64);
+            (u128::from(self.next_u64()) * bound) >> 64
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of test-case values.
+///
+/// The stub keeps real proptest's name but not its shape: strategies
+/// generate values directly (no value trees, no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Values generatable by [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `S` and a length
+    /// drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy producing vectors of `element` values with a length
+    /// in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`of`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option`s (50% `Some`).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy producing `None` or `Some(inner value)` with equal
+    /// probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the shapes bgpsim uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]   // optional
+///     /// Doc comment.
+///     #[test]
+///     fn prop_name(x in 0u32..40, v in proptest::collection::vec(any::<bool>(), 0..10)) {
+///         prop_assert!(x < 40);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_one!(
+                @cfg($config)
+                $(#[$meta])*
+                fn $name($($parm in $strategy),+) $body
+            );
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_one!(
+                @cfg(<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+                $(#[$meta])*
+                fn $name($($parm in $strategy),+) $body
+            );
+        )*
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (
+        @cfg($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __test_id = concat!(module_path!(), "::", stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __passed < __config.cases {
+                __attempt += 1;
+                assert!(
+                    __attempt <= u64::from(__config.cases).saturating_mul(64),
+                    "proptest stub: too many rejected cases in {}",
+                    __test_id,
+                );
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(__test_id, __attempt);
+                let mut __case_desc = ::std::string::String::new();
+                $(
+                    let __value = $crate::Strategy::generate(&($strategy), &mut __rng);
+                    {
+                        use ::std::fmt::Write as _;
+                        let _ = ::std::write!(
+                            __case_desc,
+                            "{} = {:?}; ",
+                            stringify!($parm),
+                            &__value
+                        );
+                    }
+                    let $parm = __value;
+                )+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "property failed: {}\n  attempt {} of {}\n  inputs: {}",
+                            __msg, __attempt, __test_id, __case_desc,
+                        );
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("{}\n  both: {:?}", ::std::format!($($fmt)+), __l),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) if the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let s = Strategy::generate(&(5usize..6), &mut rng);
+            assert_eq!(s, 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec((0u32..100, any::<bool>()), 0..20);
+        let a = Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("d", 7));
+        let b = Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("d", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u8..10, flag in any::<bool>(), v in crate::collection::vec(0u32..5, 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(v.len(), 0, "vec len {}", v.len());
+            prop_assume!(x != 255);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Config form compiles and runs.
+        #[test]
+        fn macro_with_config(opt in crate::option::of(0u32..3)) {
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #[test]
+            fn inner(x in 0u32..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

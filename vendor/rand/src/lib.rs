@@ -1,0 +1,236 @@
+//! Offline stub of the `rand` crate.
+//!
+//! The bgpsim build environment has no network access to crates.io, so
+//! this vendored stub implements exactly the API subset the workspace
+//! uses: `rngs::StdRng`, [`SeedableRng::seed_from_u64`], and the
+//! [`RngExt`] methods `random` / `random_range`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! high-quality, and fully deterministic for a given seed, which is all
+//! the simulation needs (it never claims cryptographic strength). The
+//! streams differ from upstream `rand`'s ChaCha-based `StdRng`, so
+//! absolute numbers in seeded experiments differ from runs made with
+//! the real crate, while every reproducibility property is preserved.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Core trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named random number generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (stub; upstream uses ChaCha).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait StandardSample: Sized {
+    /// Draws one value from the standard distribution for the type.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types samplable uniformly from a range by [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The largest representable value (used to resolve unbounded ends).
+    fn max_value() -> Self;
+    /// The smallest representable value.
+    fn min_value() -> Self;
+    /// The value just below `self` (for exclusive upper bounds).
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full u128 span is impossible for <=64-bit ints; span 0
+                    // means the whole domain of a 128-bit cast, i.e. lo ==
+                    // MIN && hi == MAX for a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift bounded sampling (Lemire); the slight
+                // modulo bias over a 64-bit draw is < 2^-64 per call and
+                // irrelevant for simulation workloads.
+                let x = rng.next_u64() as u128;
+                let r = (x * span) >> 64;
+                (lo as u128).wrapping_add(r) as $t
+            }
+            fn max_value() -> Self { <$t>::MAX }
+            fn min_value() -> Self { <$t>::MIN }
+            fn prev(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = f64::sample_standard(rng);
+        lo + unit * (hi - lo)
+    }
+    fn max_value() -> Self {
+        f64::MAX
+    }
+    fn min_value() -> Self {
+        f64::MIN
+    }
+    fn prev(self) -> Self {
+        // For floats an exclusive upper bound is kept by unit-interval
+        // scaling (`sample_standard` never returns 1.0), so `prev` is
+        // identity.
+        self
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand::Rng` / `rand::RngExt`).
+pub trait RngExt: RngCore {
+    /// Draws one value from the type's standard distribution
+    /// (`f64` in `[0, 1)`, uniform integers, fair `bool`).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(_) => unreachable!("exclusive start bounds are not used"),
+            Bound::Unbounded => T::min_value(),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.prev(),
+            Bound::Unbounded => T::max_value(),
+        };
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_inclusive(self, lo, hi)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.random_range(10..=20);
+            assert!((10..=20).contains(&x));
+            let y: usize = rng.random_range(0..7);
+            assert!(y < 7);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bounded_draws_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

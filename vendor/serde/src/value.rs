@@ -1,0 +1,134 @@
+//! The concrete data model of the serde stub: a JSON-like value tree.
+
+use std::fmt;
+
+/// A JSON-like value: the intermediate representation every stub
+/// `Serialize` produces and every stub `Deserialize` consumes.
+///
+/// Objects preserve insertion order (`Vec` of pairs rather than a map),
+/// so serialized field order matches declaration order, like real
+/// serde + serde_json.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative (or explicitly signed) integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as `u64`, coercing compatible integer encodings.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, coercing compatible integer encodings.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// A short label of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Looks up a required object field (used by derived `Deserialize`).
+///
+/// # Errors
+///
+/// Returns an [`Error`] if `v` is not an object or lacks the field.
+pub fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    let entries = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, val)| val)
+        .ok_or_else(|| Error::new(format!("missing field {name:?}")))
+}
+
+/// Serialization/deserialization error of the serde stub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Creates a "expected X, got Y" error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Error(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}

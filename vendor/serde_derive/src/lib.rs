@@ -1,0 +1,530 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! serde *stub* in `vendor/serde` — generating `to_value`/`from_value`
+//! impls over its concrete `Value` tree instead of real serde's
+//! visitor machinery. Because the build environment has no crates.io
+//! access, the input is parsed directly from the `proc_macro` token
+//! stream (no `syn`/`quote`).
+//!
+//! Supported shapes (everything the bgpsim workspace derives):
+//!
+//! * structs with named fields → JSON objects in declaration order;
+//! * tuple structs → the inner value (arity 1, serde's newtype rule)
+//!   or an array (arity ≥ 2);
+//! * enums with unit, newtype, tuple, and named-field variants →
+//!   externally tagged, like serde's default;
+//! * container attributes `#[serde(transparent)]` (a no-op here:
+//!   newtype structs already serialize transparently) and
+//!   `#[serde(from = "T", into = "T")]`.
+//!
+//! Generics are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input looks like after parsing.
+struct Input {
+    name: String,
+    from: Option<String>,
+    into: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantKind)>),
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde_derive stub generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from = None;
+    let mut into = None;
+
+    // Outer attributes (doc comments, #[serde(...)], …).
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_serde_attr(&g.stream(), &mut from, &mut into)?;
+            i += 2;
+        } else {
+            return Err("malformed attribute".into());
+        }
+    }
+
+    i = skip_visibility(&tokens, i);
+
+    let keyword = expect_ident(&tokens, i)?;
+    i += 1;
+    let name = expect_ident(&tokens, i)?;
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => Kind::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream())?)
+            }
+            _ => return Err(format!("malformed enum `{name}`")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}`")),
+    };
+
+    Ok(Input {
+        name,
+        from,
+        into,
+        kind,
+    })
+}
+
+/// Parses one attribute body; records `from`/`into` if it is a
+/// `serde(...)` attribute (other attributes are skipped).
+fn parse_serde_attr(
+    stream: &TokenStream,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> Result<(), String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < args.len() {
+                match &args[j] {
+                    TokenTree::Ident(key) => {
+                        let key = key.to_string();
+                        match key.as_str() {
+                            "transparent" => j += 1,
+                            "from" | "into" => {
+                                let lit = match (args.get(j + 1), args.get(j + 2)) {
+                                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(l)))
+                                        if eq.as_char() == '=' =>
+                                    {
+                                        l.to_string()
+                                    }
+                                    _ => {
+                                        return Err(format!(
+                                            "serde({key} = \"...\") expects a string literal"
+                                        ))
+                                    }
+                                };
+                                let ty = lit.trim_matches('"').to_string();
+                                if key == "from" {
+                                    *from = Some(ty);
+                                } else {
+                                    *into = Some(ty);
+                                }
+                                j += 3;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "serde stub derive does not support #[serde({other} …)]"
+                                ))
+                            }
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                    other => return Err(format!("unexpected token in serde attribute: {other}")),
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()), // not a serde attribute (doc comment etc.)
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize) -> Result<String, String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+/// Extracts the field names of a named-field body, skipping per-field
+/// attributes and types (angle-bracket aware so commas inside generics
+/// don't split fields).
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i)?;
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_visibility(&toks, i);
+        fields.push(expect_ident(&toks, i)?);
+        i += 1;
+        i = skip_to_top_level_comma(&toks, i);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i)?;
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, i)?;
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err("serde stub derive does not support explicit discriminants".into());
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> Result<usize, String> {
+    while let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        match toks.get(i + 1) {
+            Some(TokenTree::Group(_)) => i += 2,
+            _ => return Err("malformed attribute".into()),
+        }
+    }
+    Ok(i)
+}
+
+fn skip_to_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                return i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(into) = &input.into {
+        return format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let __converted: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&__converted)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    VariantKind::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let entries = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{v} {{ {pats} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Value::Object(::std::vec![{entries}]))]),"
+                        )
+                    }
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(__v0) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({v:?}), ::serde::Serialize::to_value(__v0))]),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let pats = (0..*n)
+                            .map(|i| format!("__v{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__v{i})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{v}({pats}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Value::Array(::std::vec![{items}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    if let Some(from) = &input.from {
+        return format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let __inner: {from} = ::serde::Deserialize::from_value(__v)?;\n\
+                     ::std::result::Result::Ok(::std::convert::Into::into(__inner))\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::value::field(__v, {f:?})?)?,"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("::std::result::Result::Ok({name} {{\n{inits}\n}})")
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", __v))?;\n\
+                 if __arr.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"expected {n} elements, got {{}}\", __arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|(v, kind)| match kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Named(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::value::field(__inner, {f:?})?)?,"
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n");
+                        Some(format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v} {{\n{inits}\n}}),"
+                        ))
+                    }
+                    VariantKind::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Some(format!(
+                            "{v:?} => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::expected(\"array\", __inner))?;\n\
+                             if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::new(\
+                                     ::std::format!(\"expected {n} elements, got {{}}\", __arr.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{v}({items}))\n\
+                             }},"
+                        ))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     return match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"unknown variant {{__other:?}}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 let __entries = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"externally tagged enum\", __v))?;\n\
+                 if __entries.len() != 1 {{\n\
+                     return ::std::result::Result::Err(::serde::Error::new(\
+                         \"expected single-key enum object\"));\n\
+                 }}\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"unknown variant {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
