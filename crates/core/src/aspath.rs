@@ -125,6 +125,12 @@ impl AsPath {
         self.0.iter().copied()
     }
 
+    /// Iterates over the raw AS numbers, head first — the wire-friendly
+    /// form used by trace events and other serialized observations.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().map(|n| n.as_u32())
+    }
+
     /// Returns `true` if the path visits no AS twice (a well-formed
     /// path-vector route).
     pub fn is_simple(&self) -> bool {
@@ -269,6 +275,15 @@ mod tests {
         assert_eq!(ids, vec![2, 1, 0]);
         let ids2: Vec<u32> = (&p).into_iter().map(NodeId::as_u32).collect();
         assert_eq!(ids2, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn ids_match_iter_and_round_trip() {
+        let p = AsPath::from_ids([6, 4, 0]);
+        let raw: Vec<u32> = p.ids().collect();
+        assert_eq!(raw, vec![6, 4, 0], "ids() is head first");
+        assert_eq!(AsPath::from_ids(p.ids()), p);
+        assert_eq!(p.ids().count(), p.len());
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub struct RouterStats {
     pub route_changes: u64,
     /// Routes suppressed by flap damping (RFC 2439 extension).
     pub damping_suppressions: u64,
+    /// Decision-process runs, whether or not the selection changed.
+    pub decisions_run: u64,
 }
 
 impl RouterStats {
@@ -368,6 +370,7 @@ impl<P: RoutePolicy> Router<P> {
         rng: &mut SimRng,
         out: &mut RouterOutput,
     ) {
+        self.stats.decisions_run += 1;
         let new: Option<LocRoute> = if self.originated.contains(&prefix) {
             Some(LocRoute {
                 fib: FibEntry::Local,

@@ -11,6 +11,7 @@
 use bgpsim_core::{FibEntry, Prefix};
 use bgpsim_netsim::time::SimTime;
 use bgpsim_topology::NodeId;
+use bgpsim_trace::{TraceEvent, TraceHandle};
 use std::collections::BTreeMap;
 
 use crate::fib::NetworkFib;
@@ -178,6 +179,36 @@ pub fn loop_census(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
     records
 }
 
+/// Replays a census as [`LoopOnset`](TraceEvent::LoopOnset) /
+/// [`LoopOffset`](TraceEvent::LoopOffset) trace events attributed to
+/// `seed`.
+///
+/// One onset is emitted per record and one offset per *resolved*
+/// record, so the trace's loop event counts agree by construction with
+/// the metrics layer, which summarizes the same census. Events are
+/// emitted in census order (sorted by formation time, then nodes).
+pub fn emit_census(census: &[LoopRecord], tracer: &TraceHandle, seed: u64) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    for rec in census {
+        let nodes: Vec<u32> = rec.nodes.iter().map(|n| n.as_u32()).collect();
+        tracer.emit(|| TraceEvent::LoopOnset {
+            seed,
+            t: rec.formed_at.as_nanos(),
+            nodes: nodes.clone(),
+        });
+        if let Some(resolved) = rec.resolved_at {
+            tracer.emit(|| TraceEvent::LoopOffset {
+                seed,
+                t: resolved.as_nanos(),
+                nodes,
+                duration: (resolved - rec.formed_at).as_nanos(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +312,41 @@ mod tests {
         assert_eq!(census.len(), 2);
         assert_eq!(census[0].resolved_at, Some(SimTime::from_secs(2)));
         assert_eq!(census[1].formed_at, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn emit_census_matches_record_counts() {
+        use bgpsim_core::Prefix;
+        use bgpsim_trace::MemorySink;
+        use std::sync::Arc;
+
+        let p = Prefix::new(0);
+        let mut fib = NetworkFib::new(3);
+        // One resolved loop and one still live at the end.
+        fib.record(n(1), p, SimTime::ZERO, via(2));
+        fib.record(n(2), p, SimTime::ZERO, via(1));
+        fib.record(n(2), p, SimTime::from_secs(2), None);
+        fib.record(n(0), p, SimTime::from_secs(3), via(1));
+        fib.record(n(1), p, SimTime::from_secs(3), via(0));
+        let census = loop_census(&fib, p);
+
+        let sink = Arc::new(MemorySink::new());
+        let tracer = TraceHandle::new(Arc::clone(&sink) as Arc<dyn bgpsim_trace::TraceSink>);
+        emit_census(&census, &tracer, 42);
+
+        let events = sink.events();
+        let onsets = events.iter().filter(|e| e.kind() == "loop_onset").count();
+        let offsets = events.iter().filter(|e| e.kind() == "loop_offset").count();
+        assert_eq!(onsets, census.len());
+        assert_eq!(
+            offsets,
+            census.iter().filter(|r| r.resolved_at.is_some()).count()
+        );
+        assert!(events.iter().all(|e| e.seed() == 42));
+
+        // Disabled tracing emits nothing.
+        emit_census(&census, &TraceHandle::disabled(), 42);
+        assert_eq!(sink.len(), events.len());
     }
 
     /// Brute-force reference: a node is on a loop iff walking from it

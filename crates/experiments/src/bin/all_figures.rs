@@ -1,24 +1,21 @@
 //! Regenerates every evaluation figure of the paper (Figures 4–9).
-//! Usage: `all_figures [quick|paper]` (default: paper scale).
+//! Usage: `all_figures [quick|paper] [--trace <file.jsonl>]
+//! [--bench <file.json>] [--jobs <n>] [--cache-dir <dir>]`
+//! (scale default: paper).
 //!
-//! All sweeps execute on the `bgpsim-runner` subsystem: set
-//! `BGPSIM_JOBS` to parallelize across runs (output is identical for
-//! any worker count) and `BGPSIM_CACHE_DIR` to reuse results across
-//! invocations.
+//! All sweeps execute on the `bgpsim-runner` subsystem: `--jobs` (or
+//! `BGPSIM_JOBS`) parallelizes across runs (output is identical for
+//! any worker count) and `--cache-dir` (or `BGPSIM_CACHE_DIR`) reuses
+//! results across invocations. `--trace` streams per-run JSONL events
+//! and `--bench` writes the aggregated counter baseline.
 
-use bgpsim_experiments::figures::{fig4, fig5, fig6, fig7, fig8, fig9, render_claims, Scale};
-use bgpsim_experiments::runner;
+use bgpsim_experiments::binopts::BinOptions;
+use bgpsim_experiments::figures::{fig4, fig5, fig6, fig7, fig8, fig9, render_claims};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|a| Scale::parse(&a))
-        .unwrap_or_else(|| {
-            std::env::var("BGPSIM_SCALE")
-                .ok()
-                .and_then(|v| Scale::parse(&v))
-                .unwrap_or(Scale::Paper)
-        });
+    let opts = BinOptions::from_cli();
+    let scale = opts.scale();
+    opts.init_runner();
     eprintln!("running all figure sweeps at {scale:?} scale…");
     let mut failures = 0usize;
     macro_rules! figure {
@@ -37,7 +34,7 @@ fn main() {
     figure!(fig7, "Figure 7");
     figure!(fig8, "Figure 8");
     figure!(fig9, "Figure 9");
-    eprintln!("{}", runner::global().render_stats());
+    opts.finish();
     if failures > 0 {
         eprintln!("{failures} claim check(s) did not pass — see output above");
         std::process::exit(1);

@@ -1,23 +1,20 @@
-//! Regenerates the paper's Figure 7. Usage: `fig7 [quick|paper]`
-//! (default: paper scale; set BGPSIM_SCALE to override).
+//! Regenerates the paper's Figure 7. Usage:
+//! `fig7 [quick|paper] [--trace <file.jsonl>] [--bench <file.json>]
+//! [--jobs <n>] [--cache-dir <dir>]` (scale default: paper; set
+//! `BGPSIM_SCALE` to override).
 
-use bgpsim_experiments::figures::{fig7, render_claims, Scale};
+use bgpsim_experiments::binopts::BinOptions;
+use bgpsim_experiments::figures::{fig7, render_claims};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|a| Scale::parse(&a))
-        .unwrap_or_else(|| {
-            std::env::var("BGPSIM_SCALE")
-                .ok()
-                .and_then(|v| Scale::parse(&v))
-                .unwrap_or(Scale::Paper)
-        });
+    let opts = BinOptions::from_cli();
+    let scale = opts.scale();
+    opts.init_runner();
     eprintln!("running Figure 7 sweeps at {scale:?} scale…");
     let fig = fig7::run(scale);
     println!("{}", fig.render());
     println!("{}", render_claims(&fig.claims()));
-    eprintln!("{}", bgpsim_experiments::runner::global().render_stats());
+    opts.finish();
     match bgpsim_experiments::artifact::maybe_write_csv("fig7.csv", &fig.csv()) {
         Ok(Some(path)) => eprintln!("wrote {}", path.display()),
         Ok(None) => {}

@@ -1,23 +1,20 @@
 //! Supplementary experiment: MRAI (in)sensitivity per enhancement.
-//! Usage: `supplement [quick|paper]` (default: paper scale).
+//! Usage: `supplement [quick|paper] [--trace <file.jsonl>]
+//! [--bench <file.json>] [--jobs <n>] [--cache-dir <dir>]`
+//! (scale default: paper).
 
-use bgpsim_experiments::figures::{render_claims, supplement, Scale};
+use bgpsim_experiments::binopts::BinOptions;
+use bgpsim_experiments::figures::{render_claims, supplement};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|a| Scale::parse(&a))
-        .unwrap_or_else(|| {
-            std::env::var("BGPSIM_SCALE")
-                .ok()
-                .and_then(|v| Scale::parse(&v))
-                .unwrap_or(Scale::Paper)
-        });
+    let opts = BinOptions::from_cli();
+    let scale = opts.scale();
+    opts.init_runner();
     eprintln!("running supplementary MRAI sweep at {scale:?} scale…");
     let sup = supplement::run(scale);
     println!("{}", sup.render());
     println!("{}", render_claims(&sup.claims()));
-    eprintln!("{}", bgpsim_experiments::runner::global().render_stats());
+    opts.finish();
     match bgpsim_experiments::artifact::maybe_write_csv("supplement.csv", &sup.csv()) {
         Ok(Some(path)) => eprintln!("wrote {}", path.display()),
         Ok(None) => {}

@@ -1,0 +1,142 @@
+//! Validates a JSONL trace file produced with `--trace` (or
+//! `BGPSIM_TRACE`). Usage: `validate_trace <file.jsonl>`.
+//!
+//! Checks, per line: it parses as a JSON object; it carries a known
+//! `kind`, a `seed`, and a timestamp `t`; loop events carry a
+//! non-empty `nodes` array. Across the file: every `loop_offset` is
+//! preceded by at least as many `loop_onset`s for the same seed, and
+//! the `run_summary` loop counts of each seed sum to the number of
+//! onsets observed for that seed (a sweep may run several scenarios
+//! under one seed; their events all attribute to it). Exits non-zero
+//! on any violation.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use bgpsim_trace::RawEvent;
+
+const KNOWN_KINDS: &[&str] = &[
+    "event_dispatch",
+    "update_rx",
+    "update_tx",
+    "rib_change",
+    "mrai_fired",
+    "loop_onset",
+    "loop_offset",
+    "run_summary",
+];
+
+#[derive(Default)]
+struct SeedLoops {
+    onsets: u64,
+    offsets: u64,
+    summaries: u64,
+    summary_loops_sum: u64,
+}
+
+fn check_line(
+    no: usize,
+    line: &str,
+    per_seed: &mut BTreeMap<u64, SeedLoops>,
+) -> Result<(), String> {
+    let err = |msg: String| format!("line {no}: {msg}");
+    let raw: RawEvent =
+        serde_json::from_str(line).map_err(|e| err(format!("not valid JSON: {e:?}")))?;
+    let kind = raw
+        .kind()
+        .ok_or_else(|| err("missing \"kind\"".into()))?
+        .to_string();
+    if !KNOWN_KINDS.contains(&kind.as_str()) {
+        return Err(err(format!("unknown kind {kind:?}")));
+    }
+    let seed = raw
+        .get("seed")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| err("missing numeric \"seed\"".into()))?;
+    if raw.get("t").and_then(|v| v.as_u64()).is_none() {
+        return Err(err("missing numeric \"t\"".into()));
+    }
+    let loops = per_seed.entry(seed).or_default();
+    match kind.as_str() {
+        "loop_onset" | "loop_offset" => {
+            let nodes = raw
+                .get("nodes")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| err(format!("{kind} missing \"nodes\" array")))?;
+            if nodes.is_empty() {
+                return Err(err(format!("{kind} has an empty loop")));
+            }
+            match kind.as_str() {
+                "loop_onset" => loops.onsets += 1,
+                _ => {
+                    loops.offsets += 1;
+                    if loops.offsets > loops.onsets {
+                        return Err(err(format!("seed {seed}: more loop offsets than onsets")));
+                    }
+                }
+            }
+        }
+        "run_summary" => {
+            let n = raw
+                .get("loops")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("run_summary missing \"loops\"".into()))?;
+            loops.summaries += 1;
+            loops.summary_loops_sum += n;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <file.jsonl>");
+        return ExitCode::from(2);
+    };
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut per_seed: BTreeMap<u64, SeedLoops> = BTreeMap::new();
+    let mut lines = 0usize;
+    let mut violations = 0usize;
+    for (i, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        if let Err(msg) = check_line(i + 1, line, &mut per_seed) {
+            eprintln!("{msg}");
+            violations += 1;
+        }
+    }
+    for (seed, loops) in &per_seed {
+        if loops.summaries > 0 && loops.summary_loops_sum != loops.onsets {
+            eprintln!(
+                "seed {seed}: {} run_summary line(s) report {} loop(s) in total \
+                 but the trace has {} onset(s)",
+                loops.summaries, loops.summary_loops_sum, loops.onsets
+            );
+            violations += 1;
+        }
+    }
+    let onsets: u64 = per_seed.values().map(|l| l.onsets).sum();
+    let offsets: u64 = per_seed.values().map(|l| l.offsets).sum();
+    if lines == 0 {
+        eprintln!("{path}: empty trace (no events) — nothing was traced");
+        violations += 1;
+    }
+    println!(
+        "{path}: {lines} event(s), {} seed(s), {onsets} loop onset(s), {offsets} loop offset(s)",
+        per_seed.len()
+    );
+    if violations > 0 {
+        eprintln!("{violations} violation(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

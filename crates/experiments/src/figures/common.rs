@@ -61,7 +61,9 @@ pub fn run_cells(cells: &[Cell], seeds: &[u64]) -> Vec<Vec<PaperMetrics>> {
         .iter()
         .flat_map(|cell| seeds.iter().map(|&seed| cell.scenario(seed).into_job()))
         .collect();
-    let flat = bgpsim_runner::global().run_jobs(jobs);
+    let flat = bgpsim_runner::global()
+        .run_jobs(jobs)
+        .expect("sweep job failed");
     flat.chunks(seeds.len())
         .map(<[PaperMetrics]>::to_vec)
         .collect()

@@ -27,6 +27,7 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod binopts;
 pub mod chart;
 pub mod figures;
 pub mod scenario;

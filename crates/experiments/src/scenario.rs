@@ -6,10 +6,12 @@
 //! produces the raw record and the full measurement.
 
 use bgpsim_core::{BgpConfig, Prefix};
+use bgpsim_dataplane::loopscan::emit_census;
 use bgpsim_metrics::{measure_run, RunMeasurement};
 use bgpsim_netsim::rng::SimRng;
 use bgpsim_sim::{ConvergenceExperiment, FailureEvent, RunRecord, SimParams};
 use bgpsim_topology::{algo, generators, Graph, NodeId};
+use bgpsim_trace::{RunCounters, TraceEvent, TraceHandle};
 
 /// The topology families used in the paper's evaluation (§4.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -257,6 +259,12 @@ impl Scenario {
     /// run. The job's fingerprint is [`Scenario::fingerprint`], so
     /// identical scenarios are served from the run cache when one is
     /// configured.
+    ///
+    /// When the [global trace sink](bgpsim_trace::install) is enabled,
+    /// the job also emits the run's loop onset/offset events and a
+    /// final `run_summary` carrying its [`RunCounters`]. The counters
+    /// always flow into the runner's journal and aggregate stats, sink
+    /// or not.
     pub fn into_job(self) -> bgpsim_runner::Job {
         let label = format!(
             "{} {} seed {}",
@@ -265,7 +273,13 @@ impl Scenario {
             self.seed
         );
         let fingerprint = Some(self.fingerprint());
-        bgpsim_runner::Job::new(label, fingerprint, move || self.run().measurement.metrics)
+        let seed = self.seed;
+        bgpsim_runner::Job::new(label, fingerprint, move || {
+            let result = self.run();
+            result.emit_trace(seed);
+            let counters = result.counters();
+            bgpsim_runner::JobOutput::with_counters(result.measurement.metrics, counters)
+        })
     }
 
     /// Runs the scenario: warm-up, failure, measurement.
@@ -332,6 +346,39 @@ pub struct ScenarioResult {
     pub record: RunRecord,
     /// Full measurement (paper metrics + loop census).
     pub measurement: RunMeasurement,
+}
+
+impl ScenarioResult {
+    /// Aggregated hot-path counters of this run. `wall_ms` is zero
+    /// here; the runner's executor fills it in for jobs.
+    pub fn counters(&self) -> RunCounters {
+        let stats = self.record.total_stats();
+        RunCounters {
+            events: self.record.events_dispatched,
+            updates_sent: stats.announcements_sent,
+            withdrawals_sent: stats.withdrawals_sent,
+            decisions: stats.decisions_run,
+            loops: self.measurement.census.len() as u64,
+            max_queue_depth: self.record.max_queue_depth,
+            wall_ms: 0,
+        }
+    }
+
+    /// Emits the run's loop onset/offset events and its `run_summary`
+    /// to the [global trace sink](bgpsim_trace::install). A no-op when
+    /// no sink is installed.
+    pub fn emit_trace(&self, seed: u64) {
+        let tracer = TraceHandle::global();
+        if !tracer.is_enabled() {
+            return;
+        }
+        emit_census(&self.measurement.census, &tracer, seed);
+        tracer.emit(|| TraceEvent::RunSummary {
+            seed,
+            t: self.record.convergence_end().map_or(0, |t| t.as_nanos()),
+            counters: self.counters(),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -414,8 +461,12 @@ mod tests {
         let job = scenario.into_job();
         assert!(job.fingerprint.is_some());
         assert!(job.label.contains("clique-5"));
-        let via_job = (job.run)();
-        assert_eq!(direct, via_job);
+        let out = (job.run)();
+        assert_eq!(direct, out.metrics);
+        let counters = out.counters.expect("scenario jobs carry counters");
+        assert!(counters.events > 0);
+        assert!(counters.decisions > 0);
+        assert!(counters.loops > 0, "clique-5 T_down loops transiently");
     }
 
     #[test]

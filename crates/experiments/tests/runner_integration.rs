@@ -44,10 +44,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn one_worker_and_many_workers_agree_exactly() {
-    let serial: Vec<PaperMetrics> = Runner::new(1).run_jobs(fig5_style_jobs());
+    let serial: Vec<PaperMetrics> = Runner::new(1).run_jobs(fig5_style_jobs()).unwrap();
     assert_eq!(serial.len(), 9);
     for workers in [2, 4, 8] {
-        let parallel = Runner::new(workers).run_jobs(fig5_style_jobs());
+        let parallel = Runner::new(workers).run_jobs(fig5_style_jobs()).unwrap();
         assert_eq!(
             serial, parallel,
             "results must be identical and identically ordered with {workers} workers"
@@ -60,13 +60,13 @@ fn cache_round_trips_real_sweep() {
     let dir = temp_dir("sweep-cache");
     let runner = Runner::new(4).with_cache_dir(&dir).unwrap();
 
-    let cold = runner.run_jobs(fig5_style_jobs());
+    let cold = runner.run_jobs(fig5_style_jobs()).unwrap();
     let stats = runner.stats();
     assert_eq!(stats.jobs, 9);
     assert_eq!(stats.executed, 9);
     assert_eq!(stats.cache_hits, 0);
 
-    let warm = runner.run_jobs(fig5_style_jobs());
+    let warm = runner.run_jobs(fig5_style_jobs()).unwrap();
     let stats = runner.stats();
     assert_eq!(stats.jobs, 18);
     assert_eq!(stats.executed, 9, "warm batch must not re-execute");
@@ -76,7 +76,7 @@ fn cache_round_trips_real_sweep() {
 
     // A fresh runner over the same directory also sees the entries.
     let other = Runner::new(1).with_cache_dir(&dir).unwrap();
-    let reread = other.run_jobs(fig5_style_jobs());
+    let reread = other.run_jobs(fig5_style_jobs()).unwrap();
     assert_eq!(other.stats().cache_hits, 9);
     assert_eq!(cold, reread);
 
@@ -98,7 +98,7 @@ fn distinct_scenarios_never_share_cache_entries() {
         jobs.len(),
         "every (cell, seed) pair is distinct"
     );
-    let _ = runner.run_jobs(jobs);
+    runner.run_jobs(jobs).unwrap();
     let entries = std::fs::read_dir(&dir).unwrap().count();
     assert_eq!(entries, 9, "one cache file per distinct scenario");
     std::fs::remove_dir_all(&dir).unwrap();

@@ -18,6 +18,8 @@ pub struct EngineStats {
     pub scheduled: u64,
     /// Events cancelled before delivery.
     pub cancelled: u64,
+    /// High-water mark of the pending-event queue depth.
+    pub max_pending: u64,
 }
 
 /// Why an [`Engine::run`] loop stopped.
@@ -112,14 +114,18 @@ impl<E> Engine<E> {
             self.now
         );
         self.stats.scheduled += 1;
-        self.queue.schedule(at, payload)
+        let id = self.queue.schedule(at, payload);
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len() as u64);
+        id
     }
 
     /// Schedules `payload` for delivery `delay` after the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
         let at = self.now + delay;
         self.stats.scheduled += 1;
-        self.queue.schedule(at, payload)
+        let id = self.queue.schedule(at, payload);
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len() as u64);
+        id
     }
 
     /// Schedules `payload` for immediate delivery (at the current time,
@@ -438,5 +444,6 @@ mod tests {
         assert_eq!(s.scheduled, 2);
         assert_eq!(s.delivered, 1);
         assert_eq!(s.cancelled, 1);
+        assert_eq!(s.max_pending, 2, "both events were pending at once");
     }
 }

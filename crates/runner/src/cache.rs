@@ -25,6 +25,8 @@ use bgpsim_metrics::PaperMetrics;
 use bgpsim_netsim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
+use crate::error::Error;
+
 /// Version of the cached-entry layout *and* of the metrics semantics.
 /// Bump whenever `PaperMetrics` or the measurement pipeline changes
 /// meaning, so stale results cannot leak into new sweeps.
@@ -95,8 +97,8 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created.
-    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    /// Returns [`Error::Cache`] if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, Error> {
         RunCache::with_schema(dir, SCHEMA_VERSION)
     }
 
@@ -106,10 +108,13 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created.
-    pub fn with_schema(dir: impl Into<PathBuf>, schema: u32) -> io::Result<Self> {
+    /// Returns [`Error::Cache`] if the directory cannot be created.
+    pub fn with_schema(dir: impl Into<PathBuf>, schema: u32) -> Result<Self, Error> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&dir).map_err(|source| Error::Cache {
+            path: dir.clone(),
+            source,
+        })?;
         Ok(RunCache { dir, schema })
     }
 
@@ -135,43 +140,80 @@ impl RunCache {
         self.dir.join(format!("{h1:016x}{h2:016x}.json"))
     }
 
-    /// Looks up the result of a spec. Any unreadable, corrupt,
-    /// wrong-schema, or colliding entry is a miss.
+    /// Looks up the result of a spec, treating every failure as a miss.
+    ///
+    /// **Contract: a corrupt entry reads as a miss.** Any unreadable,
+    /// unparseable, wrong-schema, or colliding (embedded spec mismatch)
+    /// entry yields `None`, never a panic or an error — the job is
+    /// simply re-run and the entry overwritten by the fresh store. This
+    /// is what the executor uses on the hot path; use
+    /// [`try_lookup`](Self::try_lookup) to distinguish a genuine miss
+    /// from a damaged or unreadable entry.
     pub fn lookup(&self, spec: &str) -> Option<PaperMetrics> {
-        let text = std::fs::read_to_string(self.entry_path(spec)).ok()?;
-        let entry: CachedEntry = serde_json::from_str(&text).ok()?;
+        self.try_lookup(spec).ok().flatten()
+    }
+
+    /// Looks up the result of a spec, reporting *why* nothing usable
+    /// was found.
+    ///
+    /// A missing entry, a schema mismatch, or a hash collision (the
+    /// embedded spec differs) is `Ok(None)` — those are ordinary
+    /// misses.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Cache`] — the entry exists but cannot be read;
+    /// * [`Error::CorruptEntry`] — the entry exists but does not parse.
+    pub fn try_lookup(&self, spec: &str) -> Result<Option<PaperMetrics>, Error> {
+        let path = self.entry_path(spec);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(Error::Cache { path, source }),
+        };
+        let entry: CachedEntry = serde_json::from_str(&text).map_err(|e| Error::CorruptEntry {
+            path,
+            detail: e.to_string(),
+        })?;
         if entry.schema != self.schema || entry.spec != spec {
-            return None;
+            return Ok(None);
         }
-        Some(entry.metrics.to_metrics())
+        Ok(Some(entry.metrics.to_metrics()))
     }
 
     /// Stores the result of a spec (atomically via temp + rename).
     ///
     /// # Errors
     ///
-    /// Returns the I/O or serialization error; callers may treat a
-    /// failed store as non-fatal (the run simply stays uncached).
-    pub fn store(&self, spec: &str, metrics: &PaperMetrics) -> io::Result<()> {
+    /// Returns [`Error::Cache`] on I/O or serialization failure;
+    /// callers may treat a failed store as non-fatal (the run simply
+    /// stays uncached).
+    pub fn store(&self, spec: &str, metrics: &PaperMetrics) -> Result<(), Error> {
+        let path = self.entry_path(spec);
         let entry = CachedEntry {
             schema: self.schema,
             spec: spec.to_string(),
             metrics: CachedMetrics::from_metrics(metrics),
         };
-        let json = serde_json::to_string(&entry)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let path = self.entry_path(spec);
+        let json = serde_json::to_string(&entry).map_err(|e| Error::Cache {
+            path: path.clone(),
+            source: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        })?;
         // Unique temp name per process *and* store call: concurrent
         // workers may store the same key (duplicate jobs in a batch).
         static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), seq));
-        std::fs::write(&tmp, json)?;
+        let io_err = |source: io::Error| Error::Cache {
+            path: path.clone(),
+            source,
+        };
+        std::fs::write(&tmp, json).map_err(io_err)?;
         match std::fs::rename(&tmp, &path) {
             Ok(()) => Ok(()),
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
-                Err(e)
+                Err(io_err(e))
             }
         }
     }
@@ -245,6 +287,25 @@ mod tests {
         assert!(cache.lookup("spec").is_none());
         // Truncated-to-empty file too.
         std::fs::write(&path, b"").unwrap();
+        assert!(cache.lookup("spec").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn try_lookup_distinguishes_miss_from_corruption() {
+        let dir = temp_cache_dir("try-lookup");
+        let cache = RunCache::new(&dir).unwrap();
+        // A genuinely absent entry is Ok(None), not an error.
+        assert!(matches!(cache.try_lookup("absent"), Ok(None)));
+        cache.store("spec", &sample_metrics()).unwrap();
+        assert!(matches!(cache.try_lookup("spec"), Ok(Some(_))));
+        // Corruption is surfaced by the strict API …
+        std::fs::write(cache.entry_path("spec"), b"{ garbage").unwrap();
+        assert!(matches!(
+            cache.try_lookup("spec"),
+            Err(Error::CorruptEntry { .. })
+        ));
+        // … while the lenient API honors the reads-as-miss contract.
         assert!(cache.lookup("spec").is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,334 @@
+//! Typed configuration for the execution subsystem.
+//!
+//! [`RunnerConfig`] is the primary public way to configure a
+//! [`Runner`]: explicit builder methods for worker count, cache
+//! directory, journal, trace output and progress mode, with
+//! [`RunnerConfig::from_env`] layering in the `BGPSIM_*` environment
+//! variables that earlier releases read implicitly. Builder calls made
+//! *after* `from_env()` override what the environment said, which gives
+//! CLI flags the expected precedence:
+//!
+//! ```no_run
+//! use bgpsim_runner::RunnerConfig;
+//!
+//! // env < flags: start from the environment, then apply CLI flags.
+//! let runner = RunnerConfig::from_env()
+//!     .jobs(4)
+//!     .cache_dir("/tmp/bgpsim-cache")
+//!     .build()
+//!     .expect("runner setup");
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::error::Error;
+use crate::executor::{ProgressMode, Runner, GLOBAL};
+
+/// Declarative configuration for a [`Runner`].
+///
+/// Every field is optional; [`RunnerConfig::build`] applies defaults
+/// (available parallelism, no cache, no journal, no trace, `Auto`
+/// progress). Construct with [`RunnerConfig::new`] for a blank config
+/// or [`RunnerConfig::from_env`] to start from the environment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunnerConfig {
+    jobs: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    progress: Option<ProgressMode>,
+}
+
+impl RunnerConfig {
+    /// An empty configuration: every setting at its default.
+    pub fn new() -> Self {
+        RunnerConfig::default()
+    }
+
+    /// Reads the `BGPSIM_*` environment variables into a config:
+    ///
+    /// * `BGPSIM_JOBS` — worker count (ignored unless a positive
+    ///   integer; `1` = fully serial execution on the calling thread);
+    /// * `BGPSIM_CACHE_DIR` — enable the run cache in this directory;
+    /// * `BGPSIM_JOURNAL` — append a JSONL line per job to this file;
+    /// * `BGPSIM_TRACE` — write a JSONL trace-event stream to this file;
+    /// * `BGPSIM_PROGRESS` — `auto`, `always`, or `never`.
+    ///
+    /// Settings applied with builder methods afterwards take precedence
+    /// over the environment.
+    pub fn from_env() -> Self {
+        RunnerConfig::from_env_with(|name| std::env::var(name).ok())
+    }
+
+    /// [`from_env`](Self::from_env) with an injectable variable lookup,
+    /// for deterministic testing without mutating the process
+    /// environment.
+    pub fn from_env_with(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        RunnerConfig {
+            jobs: lookup("BGPSIM_JOBS")
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0),
+            cache_dir: lookup("BGPSIM_CACHE_DIR").map(PathBuf::from),
+            journal: lookup("BGPSIM_JOURNAL").map(PathBuf::from),
+            trace: lookup("BGPSIM_TRACE").map(PathBuf::from),
+            progress: lookup("BGPSIM_PROGRESS").and_then(|v| match v.as_str() {
+                "auto" => Some(ProgressMode::Auto),
+                "always" => Some(ProgressMode::Always),
+                "never" => Some(ProgressMode::Never),
+                _ => None,
+            }),
+        }
+    }
+
+    /// Sets the worker count (values below 1 are clamped to 1 at
+    /// build time).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Enables the content-addressed run cache in `dir`.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Appends a JSONL journal line per completed job to `path`.
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Streams JSONL trace events to `path`.
+    ///
+    /// Building the config installs the process-wide trace sink (see
+    /// [`bgpsim_trace::install_jsonl`]) so that every simulation
+    /// constructed afterwards — including inside runner jobs — emits
+    /// into it.
+    #[must_use]
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// Sets the progress reporting mode (default `Auto`).
+    #[must_use]
+    pub fn progress(mut self, mode: ProgressMode) -> Self {
+        self.progress = Some(mode);
+        self
+    }
+
+    /// The configured worker count, if set.
+    pub fn jobs_set(&self) -> Option<usize> {
+        self.jobs
+    }
+
+    /// The configured cache directory, if set.
+    pub fn cache_dir_set(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// The configured journal path, if set.
+    pub fn journal_set(&self) -> Option<&Path> {
+        self.journal.as_deref()
+    }
+
+    /// The configured trace path, if set.
+    pub fn trace_set(&self) -> Option<&Path> {
+        self.trace.as_deref()
+    }
+
+    /// Builds the runner, failing fast on any unusable setting.
+    ///
+    /// Side effect: when a trace path is configured, the process-wide
+    /// JSONL trace sink is installed before the runner is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Cache`] — the cache directory cannot be created;
+    /// * [`Error::Journal`] — the journal file cannot be opened;
+    /// * [`Error::Trace`] — the trace file cannot be created, or a
+    ///   process-wide sink is already installed.
+    pub fn build(self) -> Result<Runner, Error> {
+        let workers = self.jobs.unwrap_or_else(default_workers);
+        let mut runner =
+            Runner::new(workers).with_progress(self.progress.unwrap_or(ProgressMode::Auto));
+        if let Some(dir) = self.cache_dir {
+            runner = runner.with_cache_dir(dir)?;
+        }
+        if let Some(path) = self.journal {
+            runner = runner.try_with_journal_path(&path)?;
+        }
+        if let Some(path) = self.trace {
+            bgpsim_trace::install_jsonl(&path).map_err(|source| Error::Trace { path, source })?;
+        }
+        Ok(runner)
+    }
+
+    /// Builds the runner the way the legacy env-only path did: any
+    /// unusable cache/journal/trace setting is reported to stderr and
+    /// dropped instead of failing the build.
+    pub fn build_lenient(self) -> Runner {
+        let workers = self.jobs.unwrap_or_else(default_workers);
+        let mut runner =
+            Runner::new(workers).with_progress(self.progress.unwrap_or(ProgressMode::Auto));
+        if let Some(dir) = self.cache_dir {
+            match runner.with_cache_dir(dir) {
+                Ok(r) => runner = r,
+                Err(e) => {
+                    eprintln!("bgpsim-runner: {e} (running uncached)");
+                    runner = Runner::new(workers)
+                        .with_progress(self.progress.unwrap_or(ProgressMode::Auto));
+                }
+            }
+        }
+        if let Some(path) = self.journal {
+            runner = runner.with_journal_path(&path);
+        }
+        if let Some(path) = self.trace {
+            if let Err(e) = bgpsim_trace::install_jsonl(&path) {
+                eprintln!(
+                    "bgpsim-runner: cannot set up trace sink {}: {e} (tracing disabled)",
+                    path.display()
+                );
+            }
+        }
+        runner
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builds the runner from `config` and installs it as the process-wide
+/// runner returned by [`global`](crate::global).
+///
+/// Call this *before* anything touches `global()` — typically first
+/// thing in `main` after parsing flags.
+///
+/// # Errors
+///
+/// Any [`RunnerConfig::build`] error, or
+/// [`Error::GlobalAlreadyInitialized`] if the global runner already
+/// exists (built here earlier, or lazily by a `global()` call).
+pub fn init_global(config: RunnerConfig) -> Result<&'static Runner, Error> {
+    let runner = config.build()?;
+    let mut slot = Some(runner);
+    let installed = GLOBAL.get_or_init(|| slot.take().expect("slot filled above"));
+    if slot.is_none() {
+        Ok(installed)
+    } else {
+        Err(Error::GlobalAlreadyInitialized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn env_of(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    fn from_map(map: &BTreeMap<String, String>) -> RunnerConfig {
+        RunnerConfig::from_env_with(|name| map.get(name).cloned())
+    }
+
+    #[test]
+    fn empty_env_reads_as_blank_config() {
+        let cfg = from_map(&BTreeMap::new());
+        assert_eq!(cfg, RunnerConfig::new());
+        assert_eq!(cfg.jobs_set(), None);
+        assert_eq!(cfg.cache_dir_set(), None);
+    }
+
+    #[test]
+    fn env_vars_populate_every_field() {
+        let map = env_of(&[
+            ("BGPSIM_JOBS", "6"),
+            ("BGPSIM_CACHE_DIR", "/tmp/c"),
+            ("BGPSIM_JOURNAL", "/tmp/j.jsonl"),
+            ("BGPSIM_TRACE", "/tmp/t.jsonl"),
+            ("BGPSIM_PROGRESS", "never"),
+        ]);
+        let cfg = from_map(&map);
+        assert_eq!(cfg.jobs_set(), Some(6));
+        assert_eq!(cfg.cache_dir_set(), Some(Path::new("/tmp/c")));
+        assert_eq!(cfg.journal_set(), Some(Path::new("/tmp/j.jsonl")));
+        assert_eq!(cfg.trace_set(), Some(Path::new("/tmp/t.jsonl")));
+    }
+
+    #[test]
+    fn invalid_env_values_are_ignored() {
+        let map = env_of(&[("BGPSIM_JOBS", "zero"), ("BGPSIM_PROGRESS", "loud")]);
+        let cfg = from_map(&map);
+        assert_eq!(cfg.jobs_set(), None);
+        assert_eq!(cfg, RunnerConfig::new());
+        // "0" workers is also rejected (would deadlock the pool).
+        let cfg = from_map(&env_of(&[("BGPSIM_JOBS", "0")]));
+        assert_eq!(cfg.jobs_set(), None);
+    }
+
+    #[test]
+    fn builder_overrides_environment() {
+        let map = env_of(&[("BGPSIM_JOBS", "2"), ("BGPSIM_CACHE_DIR", "/tmp/env-cache")]);
+        let cfg = from_map(&map).jobs(8).cache_dir("/tmp/flag-cache");
+        assert_eq!(cfg.jobs_set(), Some(8), "flag beats env");
+        assert_eq!(cfg.cache_dir_set(), Some(Path::new("/tmp/flag-cache")));
+        // Untouched fields keep the env layer.
+        let cfg = from_map(&map).jobs(8);
+        assert_eq!(cfg.cache_dir_set(), Some(Path::new("/tmp/env-cache")));
+    }
+
+    #[test]
+    fn build_applies_worker_count_and_defaults() {
+        let runner = RunnerConfig::new().jobs(3).build().unwrap();
+        assert_eq!(runner.workers(), 3);
+        assert_eq!(runner.cache_dir(), None);
+        let runner = RunnerConfig::new().jobs(0).build().unwrap();
+        assert_eq!(runner.workers(), 1, "explicit 0 clamps to 1");
+    }
+
+    #[test]
+    fn build_fails_fast_on_bad_cache_dir() {
+        // A file in the way of the cache directory.
+        let path = std::env::temp_dir().join(format!(
+            "bgpsim-config-blocker-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, b"not a directory").unwrap();
+        let err = RunnerConfig::new()
+            .cache_dir(path.join("sub"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Cache { .. }), "got: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn build_fails_fast_on_bad_journal() {
+        let err = RunnerConfig::new()
+            .journal("/definitely/not/a/dir/journal.jsonl")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::Journal { .. }), "got: {err}");
+    }
+
+    #[test]
+    fn build_lenient_survives_bad_settings() {
+        let runner = RunnerConfig::new()
+            .jobs(2)
+            .journal("/definitely/not/a/dir/journal.jsonl")
+            .build_lenient();
+        assert_eq!(runner.workers(), 2);
+    }
+}

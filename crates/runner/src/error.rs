@@ -1,0 +1,145 @@
+//! Shared error type for the execution subsystem.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Everything that can go wrong inside `bgpsim-runner`.
+///
+/// The executor distinguishes *environmental* failures (cache or
+/// journal I/O, trace-sink setup) from *job* failures (a worker
+/// panicked). Note the deliberate asymmetry for cache reads: an entry
+/// that exists but cannot be parsed is reported as
+/// [`Error::CorruptEntry`] by the strict
+/// [`RunCache::try_lookup`](crate::RunCache::try_lookup), while the
+/// lenient [`RunCache::lookup`](crate::RunCache::lookup) — what the
+/// executor uses on the hot path — treats it as a miss and re-runs the
+/// job.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Cache directory or entry I/O failed (create, read, write,
+    /// rename).
+    Cache {
+        /// The directory or entry path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A cache entry exists but does not parse as a valid entry.
+    CorruptEntry {
+        /// The entry file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The JSONL journal file could not be opened.
+    Journal {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The trace sink could not be set up (file creation failed, or a
+    /// process-wide sink was already installed).
+    Trace {
+        /// The trace output path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The benchmark baseline file could not be written.
+    Bench {
+        /// The baseline path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A job's closure panicked on a worker thread.
+    WorkerPanic {
+        /// The label of the job that panicked.
+        label: String,
+    },
+    /// [`init_global`](crate::init_global) was called after the
+    /// process-wide runner had already been initialized.
+    GlobalAlreadyInitialized,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Cache { path, source } => {
+                write!(f, "run cache I/O failed at {}: {source}", path.display())
+            }
+            Error::CorruptEntry { path, detail } => {
+                write!(f, "corrupt cache entry {}: {detail}", path.display())
+            }
+            Error::Journal { path, source } => {
+                write!(f, "cannot open journal {}: {source}", path.display())
+            }
+            Error::Trace { path, source } => {
+                write!(f, "cannot set up trace sink {}: {source}", path.display())
+            }
+            Error::Bench { path, source } => {
+                write!(
+                    f,
+                    "cannot write benchmark baseline {}: {source}",
+                    path.display()
+                )
+            }
+            Error::WorkerPanic { label } => write!(f, "job {label:?} panicked"),
+            Error::GlobalAlreadyInitialized => {
+                write!(f, "the process-wide runner is already initialized")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Cache { source, .. }
+            | Error::Journal { source, .. }
+            | Error::Trace { source, .. }
+            | Error::Bench { source, .. } => Some(source),
+            Error::CorruptEntry { .. }
+            | Error::WorkerPanic { .. }
+            | Error::GlobalAlreadyInitialized => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_names_the_path_and_detail() {
+        let e = Error::CorruptEntry {
+            path: PathBuf::from("/tmp/x.json"),
+            detail: "bad json".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/x.json") && msg.contains("bad json"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn io_variants_expose_their_source() {
+        let e = Error::Cache {
+            path: PathBuf::from("/nope"),
+            source: io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn worker_panic_names_the_job() {
+        let e = Error::WorkerPanic {
+            label: "clique 5 seed 3".into(),
+        };
+        assert!(e.to_string().contains("clique 5 seed 3"));
+    }
+}

@@ -3,14 +3,51 @@
 
 use std::collections::VecDeque;
 use std::io::{IsTerminal, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use bgpsim_metrics::PaperMetrics;
+use bgpsim_trace::RunCounters;
 use serde::Serialize;
 
 use crate::cache::RunCache;
+use crate::error::Error;
+
+/// What a job produces: the paper metrics plus optional per-run
+/// counters for the journal and benchmark baseline.
+///
+/// `PaperMetrics` converts into a `JobOutput` with no counters, so
+/// plain metric-returning closures keep working unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// The run's aggregated result (what sweeps consume).
+    pub metrics: PaperMetrics,
+    /// Hot-path counters, if the run collected them. The executor
+    /// fills in `wall_ms` from its own per-job clock.
+    pub counters: Option<RunCounters>,
+}
+
+impl From<PaperMetrics> for JobOutput {
+    fn from(metrics: PaperMetrics) -> Self {
+        JobOutput {
+            metrics,
+            counters: None,
+        }
+    }
+}
+
+impl JobOutput {
+    /// Bundles metrics with collected counters.
+    pub fn with_counters(metrics: PaperMetrics, counters: RunCounters) -> Self {
+        JobOutput {
+            metrics,
+            counters: Some(counters),
+        }
+    }
+}
 
 /// One unit of work: an independent simulation run.
 pub struct Job {
@@ -21,20 +58,21 @@ pub struct Job {
     pub fingerprint: Option<String>,
     /// The run itself. Must be a pure function of the fingerprint:
     /// two jobs with equal fingerprints must produce equal metrics.
-    pub run: Box<dyn FnOnce() -> PaperMetrics + Send>,
+    pub run: Box<dyn FnOnce() -> JobOutput + Send>,
 }
 
 impl Job {
-    /// Creates a job.
-    pub fn new(
+    /// Creates a job. The closure may return either bare
+    /// [`PaperMetrics`] or a [`JobOutput`] carrying counters.
+    pub fn new<R: Into<JobOutput>>(
         label: impl Into<String>,
         fingerprint: Option<String>,
-        run: impl FnOnce() -> PaperMetrics + Send + 'static,
+        run: impl FnOnce() -> R + Send + 'static,
     ) -> Self {
         Job {
             label: label.into(),
             fingerprint,
-            run: Box::new(run),
+            run: Box::new(move || run().into()),
         }
     }
 }
@@ -72,6 +110,10 @@ pub struct RunnerStats {
     pub job_time: Duration,
     /// Wall-clock time spent inside `run_jobs` batches.
     pub wall_time: Duration,
+    /// Aggregated hot-path counters over all *executed* jobs that
+    /// reported them (cache hits contribute nothing — the run did not
+    /// happen).
+    pub counters: RunCounters,
 }
 
 impl RunnerStats {
@@ -92,6 +134,7 @@ struct JournalLine {
     fingerprint: Option<String>,
     cached: bool,
     elapsed_ms: f64,
+    counters: Option<RunCounters>,
 }
 
 #[derive(Default)]
@@ -101,6 +144,7 @@ struct StatsInner {
     executed: u64,
     job_time: Duration,
     wall_time: Duration,
+    counters: RunCounters,
 }
 
 struct BatchProgress {
@@ -146,39 +190,14 @@ impl Runner {
         }
     }
 
-    /// The runner configured by the environment:
-    ///
-    /// * `BGPSIM_JOBS` — worker count (default: available parallelism;
-    ///   `1` = fully serial execution on the calling thread);
-    /// * `BGPSIM_CACHE_DIR` — enable the run cache in this directory;
-    /// * `BGPSIM_JOURNAL` — append a JSONL line per job to this file;
-    /// * `BGPSIM_PROGRESS` — `auto` (default), `always`, or `never`.
+    /// The runner configured by the environment — shorthand for
+    /// [`RunnerConfig::from_env`](crate::RunnerConfig::from_env)
+    /// followed by a lenient build (unusable cache/journal/trace
+    /// settings are reported to stderr and dropped). Prefer the typed
+    /// [`RunnerConfig`](crate::RunnerConfig) API in new code; this
+    /// remains for the env-var-only workflow.
     pub fn from_env() -> Self {
-        let workers = std::env::var("BGPSIM_JOBS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-        let mut runner = Runner::new(workers).with_progress(
-            match std::env::var("BGPSIM_PROGRESS").ok().as_deref() {
-                Some("always") => ProgressMode::Always,
-                Some("never") => ProgressMode::Never,
-                _ => ProgressMode::Auto,
-            },
-        );
-        if let Some(dir) = std::env::var_os("BGPSIM_CACHE_DIR") {
-            match RunCache::new(PathBuf::from(&dir)) {
-                Ok(cache) => runner.cache = Some(cache),
-                Err(e) => eprintln!(
-                    "bgpsim-runner: cannot open cache dir {}: {e} (running uncached)",
-                    Path::new(&dir).display()
-                ),
-            }
-        }
-        if let Some(path) = std::env::var_os("BGPSIM_JOURNAL") {
-            runner = runner.with_journal_path(Path::new(&path));
-        }
-        runner
+        crate::config::RunnerConfig::from_env().build_lenient()
     }
 
     /// Returns the runner with a different worker count (min 1).
@@ -199,8 +218,8 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the directory cannot be created.
-    pub fn with_cache_dir(self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+    /// Returns [`Error::Cache`] if the directory cannot be created.
+    pub fn with_cache_dir(self, dir: impl Into<PathBuf>) -> Result<Self, Error> {
         Ok(self.with_cache(RunCache::new(dir)?))
     }
 
@@ -215,18 +234,21 @@ impl Runner {
     /// opening errors are reported to stderr and disable the journal).
     #[must_use]
     pub fn with_journal_path(mut self, path: &Path) -> Self {
-        match std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-        {
+        match open_journal(path) {
             Ok(file) => self.journal = Some(Mutex::new(file)),
-            Err(e) => eprintln!(
-                "bgpsim-runner: cannot open journal {}: {e} (journal disabled)",
-                path.display()
-            ),
+            Err(e) => eprintln!("bgpsim-runner: {e} (journal disabled)"),
         }
         self
+    }
+
+    /// Returns the runner journaling each job to `path` (appended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Journal`] if the file cannot be opened.
+    pub fn try_with_journal_path(mut self, path: &Path) -> Result<Self, Error> {
+        self.journal = Some(Mutex::new(open_journal(path)?));
+        Ok(self)
     }
 
     /// The configured worker count.
@@ -246,21 +268,25 @@ impl Runner {
     /// on the calling thread; otherwise a scoped worker pool drains the
     /// shared queue. Each worker, per job: consult the cache (if the
     /// job has a fingerprint), execute on miss, store the result, then
-    /// record stats / journal / progress.
+    /// record stats / journal / progress. Cache lookups follow the
+    /// corrupt-entry-reads-as-miss contract of [`RunCache::lookup`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Propagates a panic from any job.
-    pub fn run_jobs(&self, jobs: Vec<Job>) -> Vec<PaperMetrics> {
+    /// Returns [`Error::WorkerPanic`] (for the first panicking job in
+    /// submission order) if any job's closure panics; the batch is
+    /// aborted — queued jobs that have not started are skipped.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> Result<Vec<PaperMetrics>, Error> {
         let total = jobs.len();
         if total == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let batch_started = Instant::now();
         let queue: Mutex<VecDeque<(usize, Job)>> =
             Mutex::new(jobs.into_iter().enumerate().collect());
-        let slots: Vec<Mutex<Option<PaperMetrics>>> =
+        let slots: Vec<Mutex<Option<Result<PaperMetrics, Error>>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
+        let abort = AtomicBool::new(false);
         let progress = Mutex::new(BatchProgress {
             completed: 0,
             total,
@@ -268,10 +294,16 @@ impl Runner {
         });
 
         let worker = || loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
             let next = queue.lock().expect("queue lock").pop_front();
             let Some((index, job)) = next else { break };
-            let metrics = self.run_one(job, &progress);
-            *slots[index].lock().expect("slot lock") = Some(metrics);
+            let result = self.run_one(job, &progress);
+            if result.is_err() {
+                abort.store(true, Ordering::Relaxed);
+            }
+            *slots[index].lock().expect("slot lock") = Some(result);
         };
 
         let workers = self.workers.min(total);
@@ -288,37 +320,52 @@ impl Runner {
         self.finish_progress_line();
         self.stats.lock().expect("stats lock").wall_time += batch_started.elapsed();
 
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every queued job stores a result")
-            })
-            .collect()
+        let mut out = Vec::with_capacity(total);
+        for slot in slots {
+            match slot.into_inner().expect("slot lock") {
+                Some(Ok(metrics)) => out.push(metrics),
+                Some(Err(e)) => return Err(e),
+                // Skipped after an abort: some earlier-indexed slot
+                // holds the error, or a later-started one does.
+                None => {}
+            }
+        }
+        debug_assert_eq!(out.len(), total, "no abort means every slot is filled");
+        Ok(out)
     }
 
-    fn run_one(&self, job: Job, progress: &Mutex<BatchProgress>) -> PaperMetrics {
+    fn run_one(&self, job: Job, progress: &Mutex<BatchProgress>) -> Result<PaperMetrics, Error> {
         let Job {
             label,
             fingerprint,
             run,
         } = job;
         let started = Instant::now();
-        let (metrics, cached) = match (&self.cache, &fingerprint) {
+        let panic_label = label.clone();
+        let run_caught = move || {
+            catch_unwind(AssertUnwindSafe(run))
+                .map_err(|_| Error::WorkerPanic { label: panic_label })
+        };
+        let (output, cached) = match (&self.cache, &fingerprint) {
             (Some(cache), Some(key)) => match cache.lookup(key) {
-                Some(metrics) => (metrics, true),
+                Some(metrics) => (JobOutput::from(metrics), true),
                 None => {
-                    let metrics = run();
-                    if let Err(e) = cache.store(key, &metrics) {
+                    let output = run_caught()?;
+                    if let Err(e) = cache.store(key, &output.metrics) {
                         eprintln!("bgpsim-runner: failed to cache {label:?}: {e} (continuing)");
                     }
-                    (metrics, false)
+                    (output, false)
                 }
             },
-            _ => (run(), false),
+            _ => (run_caught()?, false),
         };
         let elapsed = started.elapsed();
+        let counters = output.counters.map(|mut c| {
+            // The job measures simulation work; the executor owns the
+            // wall clock (includes cache store + bookkeeping).
+            c.wall_ms = elapsed.as_millis() as u64;
+            c
+        });
         {
             let mut stats = self.stats.lock().expect("stats lock");
             stats.jobs += 1;
@@ -328,10 +375,13 @@ impl Runner {
                 stats.executed += 1;
             }
             stats.job_time += elapsed;
+            if let Some(c) = &counters {
+                stats.counters.merge(c);
+            }
         }
-        self.journal_record(&label, &fingerprint, cached, elapsed);
+        self.journal_record(&label, &fingerprint, cached, elapsed, counters);
         self.progress_tick(progress, &label, cached);
-        metrics
+        Ok(output.metrics)
     }
 
     fn journal_record(
@@ -340,6 +390,7 @@ impl Runner {
         fingerprint: &Option<String>,
         cached: bool,
         elapsed: Duration,
+        counters: Option<RunCounters>,
     ) {
         let Some(journal) = &self.journal else { return };
         let line = JournalLine {
@@ -347,6 +398,7 @@ impl Runner {
             fingerprint: fingerprint.clone(),
             cached,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            counters,
         };
         if let Ok(json) = serde_json::to_string(&line) {
             let mut file = journal.lock().expect("journal lock");
@@ -403,7 +455,35 @@ impl Runner {
             executed: inner.executed,
             job_time: inner.job_time,
             wall_time: inner.wall_time,
+            counters: inner.counters,
         }
+    }
+
+    /// Writes the cumulative statistics and aggregated run counters as
+    /// a JSON benchmark baseline (the `BENCH_trace.json` artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Bench`] if the file cannot be written.
+    pub fn write_bench(&self, path: &Path) -> Result<(), Error> {
+        let s = self.stats();
+        let baseline = BenchBaseline {
+            jobs: s.jobs,
+            cache_hits: s.cache_hits,
+            executed: s.executed,
+            workers: self.workers as u64,
+            wall_ms: s.wall_time.as_millis() as u64,
+            job_ms: s.job_time.as_millis() as u64,
+            counters: s.counters,
+        };
+        let json = serde_json::to_string_pretty(&baseline).map_err(|e| Error::Bench {
+            path: path.to_path_buf(),
+            source: std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+        })?;
+        std::fs::write(path, json + "\n").map_err(|source| Error::Bench {
+            path: path.to_path_buf(),
+            source,
+        })
     }
 
     /// Renders the cumulative statistics as a one-line summary.
@@ -423,11 +503,36 @@ impl Runner {
     }
 }
 
-/// The process-wide runner, configured from the environment on first
-/// use (see [`Runner::from_env`]). All experiment sweeps submit their
-/// jobs here unless given an explicit runner.
+fn open_journal(path: &Path) -> Result<std::fs::File, Error> {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|source| Error::Journal {
+            path: path.to_path_buf(),
+            source,
+        })
+}
+
+/// Per-run counter totals merged into the benchmark baseline.
+#[derive(Debug, Clone, Copy, Serialize)]
+struct BenchBaseline {
+    jobs: u64,
+    cache_hits: u64,
+    executed: u64,
+    workers: u64,
+    wall_ms: u64,
+    job_ms: u64,
+    counters: RunCounters,
+}
+
+pub(crate) static GLOBAL: OnceLock<Runner> = OnceLock::new();
+
+/// The process-wide runner. If [`init_global`](crate::init_global) was
+/// not called first, it is configured from the environment on first use
+/// (see [`Runner::from_env`]). All experiment sweeps submit their jobs
+/// here unless given an explicit runner.
 pub fn global() -> &'static Runner {
-    static GLOBAL: OnceLock<Runner> = OnceLock::new();
     GLOBAL.get_or_init(Runner::from_env)
 }
 
@@ -461,7 +566,7 @@ mod tests {
     fn results_keep_submission_order() {
         for workers in [1, 2, 7] {
             let runner = Runner::new(workers);
-            let out = runner.run_jobs(jobs_0_to(23));
+            let out = runner.run_jobs(jobs_0_to(23)).unwrap();
             assert_eq!(out.len(), 23);
             for (i, m) in out.iter().enumerate() {
                 assert_eq!(m.ttl_exhaustions, i as u64, "{workers} workers");
@@ -471,26 +576,98 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_agree() {
-        let serial = Runner::new(1).run_jobs(jobs_0_to(17));
-        let parallel = Runner::new(8).run_jobs(jobs_0_to(17));
+        let serial = Runner::new(1).run_jobs(jobs_0_to(17)).unwrap();
+        let parallel = Runner::new(8).run_jobs(jobs_0_to(17)).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
     fn empty_batch_is_empty() {
-        assert!(Runner::new(4).run_jobs(Vec::new()).is_empty());
+        assert!(Runner::new(4).run_jobs(Vec::new()).unwrap().is_empty());
     }
 
     #[test]
     fn stats_count_jobs() {
         let runner = Runner::new(3);
-        let _ = runner.run_jobs(jobs_0_to(5));
-        let _ = runner.run_jobs(jobs_0_to(2));
+        let _ = runner.run_jobs(jobs_0_to(5)).unwrap();
+        let _ = runner.run_jobs(jobs_0_to(2)).unwrap();
         let s = runner.stats();
         assert_eq!(s.jobs, 7);
         assert_eq!(s.executed, 7);
         assert_eq!(s.cache_hits, 0);
         assert!(runner.render_stats().contains("7 jobs"));
+    }
+
+    #[test]
+    fn panicking_job_becomes_worker_panic_error() {
+        for workers in [1, 4] {
+            let runner = Runner::new(workers);
+            let mut jobs = jobs_0_to(3);
+            jobs.push(Job::new("the bad one", None, || -> PaperMetrics {
+                panic!("boom")
+            }));
+            jobs.extend(jobs_0_to(2));
+            let err = runner.run_jobs(jobs).unwrap_err();
+            match err {
+                Error::WorkerPanic { label } => assert_eq!(label, "the bad one"),
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn counters_flow_into_stats_and_journal() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "bgpsim-runner-counters-test-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let runner = Runner::new(2).with_journal_path(&path);
+        let jobs: Vec<Job> = (0..3u64)
+            .map(|i| {
+                Job::new(format!("counted {i}"), None, move || {
+                    JobOutput::with_counters(
+                        metrics_for(i),
+                        RunCounters {
+                            events: 10 + i,
+                            loops: i,
+                            max_queue_depth: 5 * (i + 1),
+                            ..Default::default()
+                        },
+                    )
+                })
+            })
+            .collect();
+        let _ = runner.run_jobs(jobs).unwrap();
+        let s = runner.stats();
+        assert_eq!(s.counters.events, 33, "10 + 11 + 12");
+        assert_eq!(s.counters.loops, 3);
+        assert_eq!(s.counters.max_queue_depth, 15, "merge takes the max");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(
+            text.contains("\"events\":1") || text.contains("\"events\": 1"),
+            "journal lines carry counters: {text}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_bench_produces_parseable_baseline() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "bgpsim-runner-bench-test-{}-{}.json",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let runner = Runner::new(2);
+        let _ = runner.run_jobs(jobs_0_to(4)).unwrap();
+        runner.write_bench(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"jobs\""));
+        assert!(text.contains("\"counters\""));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -511,17 +688,19 @@ mod tests {
                 })
                 .collect::<Vec<_>>()
         };
-        let first = runner.run_jobs(make_jobs());
+        let first = runner.run_jobs(make_jobs()).unwrap();
         // Second batch: closures would panic if executed; the cache
         // must serve every job.
         let second_jobs: Vec<Job> = (0..6u64)
             .map(|i| {
-                Job::new(format!("job {i}"), Some(format!("fp-{i}")), move || {
-                    panic!("job {i} must be served from cache")
-                })
+                Job::new(
+                    format!("job {i}"),
+                    Some(format!("fp-{i}")),
+                    move || -> PaperMetrics { panic!("job {i} must be served from cache") },
+                )
             })
             .collect();
-        let second = runner.run_jobs(second_jobs);
+        let second = runner.run_jobs(second_jobs).unwrap();
         assert_eq!(first, second);
         let s = runner.stats();
         assert_eq!(s.jobs, 12);
@@ -539,7 +718,7 @@ mod tests {
             SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let runner = Runner::new(2).with_journal_path(&path);
-        let _ = runner.run_jobs(jobs_0_to(4));
+        let _ = runner.run_jobs(jobs_0_to(4)).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);

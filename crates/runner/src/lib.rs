@@ -8,17 +8,26 @@
 //! deterministic* runs (one per `(scenario, seed)` pair). The runner
 //! exploits exactly that structure:
 //!
+//! * **Configuration** ([`RunnerConfig`]) — the typed builder for
+//!   worker count, cache directory, journal, and trace output;
+//!   [`RunnerConfig::from_env`] layers in the legacy `BGPSIM_*`
+//!   environment variables, with builder calls (e.g. from CLI flags)
+//!   taking precedence.
 //! * **Executor** ([`Runner`]) — a bounded worker pool pulls jobs from
 //!   a shared queue; results are merged back in canonical job order,
 //!   so aggregated output is bit-identical no matter how many workers
-//!   ran (`BGPSIM_JOBS`, default: available parallelism, `1` = serial).
+//!   ran (`1` = serial). A panicking job surfaces as
+//!   [`Error::WorkerPanic`] instead of tearing the process down.
 //! * **Run cache** ([`RunCache`]) — results are stored under a content
 //!   hash of the full scenario spec (topology, event, config, seed,
-//!   schema version) in `BGPSIM_CACHE_DIR`, making repeated and
-//!   interrupted sweeps resumable: completed runs are served from disk.
+//!   schema version), making repeated and interrupted sweeps
+//!   resumable: completed runs are served from disk. Corrupt entries
+//!   read as misses (see [`RunCache::lookup`]); [`RunCache::try_lookup`]
+//!   surfaces the damage as [`Error::CorruptEntry`].
 //! * **Progress & journal** — per-job timing with completed/total and
 //!   an ETA on stderr, plus an optional machine-readable JSONL journal
-//!   (`BGPSIM_JOURNAL`).
+//!   whose lines carry each executed run's
+//!   [`RunCounters`](bgpsim_trace::RunCounters).
 //!
 //! The simulation itself stays single-threaded and deterministic *per
 //! run*; parallelism exists only *across* runs.
@@ -26,14 +35,14 @@
 //! ## Example
 //!
 //! ```no_run
-//! use bgpsim_runner::{Job, Runner};
+//! use bgpsim_runner::{Job, RunnerConfig};
 //! # fn some_simulation(i: u64) -> bgpsim_metrics::PaperMetrics { unimplemented!() }
 //!
-//! let runner = Runner::new(4);
+//! let runner = RunnerConfig::new().jobs(4).build().expect("runner setup");
 //! let jobs = (0..16u64)
 //!     .map(|i| Job::new(format!("run {i}"), None, move || some_simulation(i)))
 //!     .collect();
-//! let metrics = runner.run_jobs(jobs); // ordered like `jobs`
+//! let metrics = runner.run_jobs(jobs).expect("no job panicked"); // ordered like `jobs`
 //! assert_eq!(metrics.len(), 16);
 //! ```
 
@@ -41,7 +50,11 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod config;
+pub mod error;
 pub mod executor;
 
 pub use cache::{RunCache, SCHEMA_VERSION};
-pub use executor::{global, Job, ProgressMode, Runner, RunnerStats};
+pub use config::{init_global, RunnerConfig};
+pub use error::Error;
+pub use executor::{global, Job, JobOutput, ProgressMode, Runner, RunnerStats};

@@ -65,6 +65,21 @@ pub enum NetEvent {
     },
 }
 
+impl NetEvent {
+    /// A stable snake_case name for the event's class, used by the
+    /// trace layer's `event_dispatch` records.
+    pub fn class(&self) -> &'static str {
+        match self {
+            NetEvent::MessageArrival { .. } => "message_arrival",
+            NetEvent::MessageProcessed { .. } => "message_processed",
+            NetEvent::MraiExpiry { .. } => "mrai_expiry",
+            NetEvent::DampingReuse { .. } => "damping_reuse",
+            NetEvent::Failure(_) => "failure",
+            NetEvent::PacketHop { .. } => "packet_hop",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

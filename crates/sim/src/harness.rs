@@ -44,6 +44,8 @@ pub struct ConvergenceExperiment {
     pub seed: u64,
     /// Per-phase event budget.
     pub event_budget: u64,
+    /// Trace handle for the run (`None` = use the process-wide sink).
+    pub tracer: Option<bgpsim_trace::TraceHandle>,
 }
 
 impl ConvergenceExperiment {
@@ -58,6 +60,7 @@ impl ConvergenceExperiment {
             params: SimParams::default(),
             seed: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
+            tracer: None,
         }
     }
 
@@ -79,6 +82,13 @@ impl ConvergenceExperiment {
         self
     }
 
+    /// Attaches an explicit trace handle instead of the process-wide
+    /// sink. Purely observational — the run itself is unchanged.
+    pub fn with_tracer(mut self, tracer: bgpsim_trace::TraceHandle) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Runs warm-up then failure, returning the recorded run.
     ///
     /// # Panics
@@ -93,6 +103,9 @@ impl ConvergenceExperiment {
             self.origin
         );
         let mut net = SimNetwork::new(&self.graph, self.config, self.params, self.seed);
+        if let Some(tracer) = &self.tracer {
+            net = net.with_tracer(tracer.clone());
+        }
         net.originate(self.origin, self.prefix);
         let warmup = net.run_to_quiescence(self.event_budget);
         assert_eq!(

@@ -19,6 +19,7 @@ use bgpsim_netsim::process::Processor;
 use bgpsim_netsim::rng::SimRng;
 use bgpsim_netsim::time::{SimDuration, SimTime};
 use bgpsim_topology::{Graph, NodeId};
+use bgpsim_trace::{TraceEvent, TraceHandle};
 
 use crate::event::NetEvent;
 use crate::failure::FailureEvent;
@@ -68,6 +69,8 @@ pub struct SimNetwork<P: RoutePolicy = ShortestPath> {
     live_fates: Vec<(u64, PacketFate)>,
     failure_at: Option<SimTime>,
     events_dispatched: u64,
+    seed: u64,
+    tracer: TraceHandle,
 }
 
 impl SimNetwork<ShortestPath> {
@@ -126,7 +129,19 @@ impl<P: RoutePolicy> SimNetwork<P> {
             live_fates: Vec::new(),
             failure_at: None,
             events_dispatched: 0,
+            seed,
+            tracer: TraceHandle::global(),
         }
+    }
+
+    /// Replaces the trace handle (defaults to [`TraceHandle::global`]).
+    ///
+    /// Tracing is strictly observational: the simulation's behavior,
+    /// RNG stream and recorded outputs are identical whether or not a
+    /// sink is attached.
+    pub fn with_tracer(mut self, tracer: TraceHandle) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The current simulation time.
@@ -207,6 +222,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
         let mut remaining = budget;
         while let Some((now, ev)) = self.engine.pop() {
             self.events_dispatched += 1;
+            self.trace_dispatch(&ev, now);
             self.dispatch(ev, now);
             remaining -= 1;
             if remaining == 0 {
@@ -227,6 +243,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
         let mut remaining = budget;
         while let Some((now, ev)) = self.engine.pop_until(horizon) {
             self.events_dispatched += 1;
+            self.trace_dispatch(&ev, now);
             self.dispatch(ev, now);
             remaining -= 1;
             if remaining == 0 {
@@ -250,7 +267,19 @@ impl<P: RoutePolicy> SimNetwork<P> {
             path_changes: self.path_changes,
             live_fates: self.live_fates,
             router_stats: self.routers.iter().map(|r| r.stats()).collect(),
+            events_dispatched: self.events_dispatched,
+            max_queue_depth: self.engine.stats().max_pending,
         }
+    }
+
+    #[inline]
+    fn trace_dispatch(&self, ev: &NetEvent, now: SimTime) {
+        self.tracer.emit(|| TraceEvent::EventDispatch {
+            seed: self.seed,
+            t: now.as_nanos(),
+            class: ev.class(),
+            queue_depth: self.engine.pending() as u64,
+        });
     }
 
     fn dispatch(&mut self, ev: NetEvent, now: SimTime) {
@@ -264,10 +293,23 @@ impl<P: RoutePolicy> SimNetwork<P> {
                     .schedule_at(done, NetEvent::MessageProcessed { to, from, msg });
             }
             NetEvent::MessageProcessed { to, from, msg } => {
+                self.tracer.emit(|| TraceEvent::UpdateRx {
+                    seed: self.seed,
+                    t: now.as_nanos(),
+                    node: to.as_u32(),
+                    from: from.as_u32(),
+                    withdraw: msg.is_withdraw(),
+                });
                 let out = self.routers[to.index()].handle_message(from, &msg, now, &mut self.rng);
                 self.apply_output(to, out, now);
             }
             NetEvent::MraiExpiry { node, peer, prefix } => {
+                self.tracer.emit(|| TraceEvent::MraiFired {
+                    seed: self.seed,
+                    t: now.as_nanos(),
+                    node: node.as_u32(),
+                    peer: peer.as_u32(),
+                });
                 let out =
                     self.routers[node.index()].on_mrai_expire(peer, prefix, now, &mut self.rng);
                 self.apply_output(node, out, now);
@@ -335,16 +377,31 @@ impl<P: RoutePolicy> SimNetwork<P> {
     fn apply_output(&mut self, node: NodeId, out: RouterOutput, now: SimTime) {
         for (prefix, entry) in out.fib_changes {
             self.fib.record(node, prefix, now, entry);
+            let path = self.routers[node.index()]
+                .best(prefix)
+                .map(|r| r.path.clone());
+            self.tracer.emit(|| TraceEvent::RibChange {
+                seed: self.seed,
+                t: now.as_nanos(),
+                node: node.as_u32(),
+                path: path.as_ref().map(|p| p.ids().collect()).unwrap_or_default(),
+            });
             self.path_changes.push(crate::record::PathChange {
                 at: now,
                 node,
                 prefix,
-                path: self.routers[node.index()]
-                    .best(prefix)
-                    .map(|r| r.path.clone()),
+                path,
             });
         }
         for (to, msg) in out.sends {
+            self.tracer.emit(|| TraceEvent::UpdateTx {
+                seed: self.seed,
+                t: now.as_nanos(),
+                node: node.as_u32(),
+                to: to.as_u32(),
+                withdraw: msg.is_withdraw(),
+                path_len: msg.path().map_or(0, |p| p.len() as u64),
+            });
             self.sends.push(UpdateSend {
                 at: now,
                 from: node,

@@ -53,6 +53,10 @@ pub struct RunRecord {
     pub live_fates: Vec<(u64, PacketFate)>,
     /// Final per-router protocol counters (indexed by node id).
     pub router_stats: Vec<RouterStats>,
+    /// Total engine events dispatched over the run.
+    pub events_dispatched: u64,
+    /// High-water mark of the engine's pending-event queue.
+    pub max_queue_depth: u64,
 }
 
 impl RunRecord {
@@ -93,6 +97,7 @@ impl RunRecord {
             total.assertion_removals += s.assertion_removals;
             total.route_changes += s.route_changes;
             total.damping_suppressions += s.damping_suppressions;
+            total.decisions_run += s.decisions_run;
         }
         total
     }

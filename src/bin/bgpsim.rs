@@ -10,7 +10,7 @@ use bgpsim::cli::{parse_args, CliOptions};
 use bgpsim::metrics::MetricsRow;
 use bgpsim::netsim::time::SimDuration;
 use bgpsim::prelude::*;
-use bgpsim::runner::Runner;
+use bgpsim::runner::RunnerConfig;
 
 fn main() {
     let opts = match parse_args(std::env::args().skip(1)) {
@@ -21,6 +21,7 @@ fn main() {
         }
     };
     run(&opts);
+    bgpsim::trace::flush_global();
 }
 
 fn run(opts: &CliOptions) {
@@ -35,25 +36,33 @@ fn run(opts: &CliOptions) {
     if opts.json {
         // The JSON path only needs `PaperMetrics`, so it goes through
         // the runner: with `--cache-dir` (or `BGPSIM_CACHE_DIR`) a
-        // repeated invocation is served from the run cache.
-        let mut runner = Runner::from_env();
+        // repeated invocation is served from the run cache. Flags are
+        // layered over the environment, so they win.
+        let mut config = RunnerConfig::from_env();
         if let Some(jobs) = opts.jobs {
-            runner = runner.with_workers(jobs);
+            config = config.jobs(jobs);
         }
         if let Some(dir) = &opts.cache_dir {
-            runner = match runner.with_cache_dir(dir) {
-                Ok(r) => r,
-                Err(err) => {
-                    eprintln!("cannot open cache dir {dir}: {err}");
-                    std::process::exit(1);
-                }
-            };
+            config = config.cache_dir(dir);
         }
+        if let Some(path) = &opts.trace_out {
+            config = config.trace(path);
+        }
+        let runner = match config.build() {
+            Ok(r) => r,
+            Err(err) => {
+                eprintln!("runner setup failed: {err}");
+                std::process::exit(1);
+            }
+        };
         let node_count = scenario.topology.build().0.node_count();
-        let metrics = runner
-            .run_jobs(vec![scenario.into_job()])
-            .pop()
-            .expect("one job yields one result");
+        let metrics = match runner.run_jobs(vec![scenario.into_job()]) {
+            Ok(mut ms) => ms.pop().expect("one job yields one result"),
+            Err(err) => {
+                eprintln!("run failed: {err}");
+                std::process::exit(1);
+            }
+        };
         let row = MetricsRow::from_metrics(
             "cli",
             opts.topology.label(),
@@ -74,7 +83,19 @@ fn run(opts: &CliOptions) {
 
     // The human report needs the full scenario result (loop census,
     // timeline), which the metrics cache does not carry — run directly.
+    // Install the trace sink first so the run emits into it.
+    let trace_out = opts
+        .trace_out
+        .clone()
+        .or_else(|| std::env::var("BGPSIM_TRACE").ok());
+    if let Some(path) = &trace_out {
+        if let Err(err) = bgpsim::trace::install_jsonl(path) {
+            eprintln!("cannot open trace file {path}: {err}");
+            std::process::exit(1);
+        }
+    }
     let result = scenario.run();
+    result.emit_trace(opts.seed);
     let m = &result.measurement.metrics;
 
     println!(

@@ -29,6 +29,9 @@ pub struct CliOptions {
     pub json: bool,
     /// Print the post-failure route-change timeline.
     pub trace: bool,
+    /// Stream structured JSONL trace events to this file
+    /// (`None` = `BGPSIM_TRACE`, else tracing disabled).
+    pub trace_out: Option<String>,
     /// Runner worker count override (`None` = `BGPSIM_JOBS` / auto).
     pub jobs: Option<usize>,
     /// Run-cache directory override (`None` = `BGPSIM_CACHE_DIR`).
@@ -46,6 +49,7 @@ impl Default for CliOptions {
             seed: 0,
             json: false,
             trace: false,
+            trace_out: None,
             jobs: None,
             cache_dir: None,
         }
@@ -82,6 +86,8 @@ OPTIONS:
   --seed <N>            RNG seed                  (default 0)
   --json                emit metrics as JSON
   --trace               print the post-failure route-change timeline
+  --trace-out <FILE>    stream structured JSONL trace events to FILE
+                        (default: $BGPSIM_TRACE, else off)
   --jobs <N>            runner worker count       (default: $BGPSIM_JOBS,
                         else available parallelism; 1 = serial)
   --cache-dir <DIR>     reuse run results cached in DIR
@@ -138,6 +144,10 @@ where
             }
             "--json" => opts.json = true,
             "--trace" => opts.trace = true,
+            "--trace-out" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.trace_out = Some(v.as_ref().to_string());
+            }
             "--jobs" => {
                 let v = expect_value(&mut iter, arg)?;
                 let n = parse_num(v.as_ref(), "--jobs")? as usize;
@@ -215,6 +225,8 @@ mod tests {
             "9",
             "--json",
             "--trace",
+            "--trace-out",
+            "/tmp/run.jsonl",
             "--jobs",
             "4",
             "--cache-dir",
@@ -229,6 +241,7 @@ mod tests {
         assert_eq!(opts.seed, 9);
         assert!(opts.json);
         assert!(opts.trace);
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/run.jsonl"));
         assert_eq!(opts.jobs, Some(4));
         assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/bgpsim-cache"));
     }
