@@ -1,0 +1,129 @@
+//! Hot-path criterion group: the three intra-run bottlenecks attacked
+//! by the hot-path overhaul (DESIGN.md §11) plus the end-to-end run CI
+//! gates on.
+//!
+//! * AS-path ops — `Arc`-interned clone fan-out, membership-filter
+//!   `contains`, single-allocation `prepend`;
+//! * loop census — incremental dirty-set scan vs the retained full
+//!   walk on the same recorded FIB history;
+//! * event-queue churn — MRAI-style schedule/cancel/reschedule load
+//!   that exercises lazy-cancel reclamation and heap compaction;
+//! * `hotpath/clique8_tdown_end_to_end` — a full convergence run; the
+//!   CI bench-smoke job fails if this regresses >25% against the
+//!   committed `BENCH_hotpath.json` baseline.
+//!
+//! Set `BGPSIM_BENCH_JSON=<file>` to emit the machine-readable report.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bgpsim_core::prelude::*;
+use bgpsim_dataplane::prelude::*;
+use bgpsim_netsim::prelude::*;
+use bgpsim_netsim::queue::EventQueue;
+use bgpsim_sim::prelude::*;
+use bgpsim_topology::{generators, NodeId};
+
+/// A converged clique-8 `T_down` run record: the census benches replay
+/// its FIB history, the end-to-end bench re-runs the experiment.
+fn clique8_tdown() -> ConvergenceExperiment {
+    ConvergenceExperiment::new(
+        generators::clique(8),
+        NodeId::new(0),
+        FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        },
+    )
+    .with_seed(1)
+}
+
+fn bench_aspath_ops(c: &mut Criterion) {
+    // A 16-hop path: the long end of what clique sweeps explore.
+    let path = AsPath::from_ids(0..16);
+    c.bench_function("hotpath/aspath_clone_fanout_30", |b| {
+        b.iter(|| {
+            // UPDATE fan-out to 30 peers: one refcount bump each.
+            let mut clones = Vec::with_capacity(30);
+            for _ in 0..30 {
+                clones.push(black_box(&path).clone());
+            }
+            black_box(clones.len())
+        })
+    });
+    c.bench_function("hotpath/aspath_contains_filter_miss", |b| {
+        // Poison-reverse probe for a node not on the path: the
+        // membership filter answers without scanning the slice.
+        b.iter(|| black_box(black_box(&path).contains(NodeId::new(999))))
+    });
+    c.bench_function("hotpath/aspath_contains_hit", |b| {
+        b.iter(|| black_box(black_box(&path).contains(NodeId::new(15))))
+    });
+    c.bench_function("hotpath/aspath_prepend", |b| {
+        b.iter(|| black_box(black_box(&path).prepend(NodeId::new(99))))
+    });
+}
+
+fn bench_census(c: &mut Criterion) {
+    let record = clique8_tdown().run();
+    let prefix = Prefix::new(0);
+    c.bench_function("hotpath/census_incremental_clique8", |b| {
+        b.iter(|| black_box(loop_census(black_box(&record.fib), prefix)))
+    });
+    c.bench_function("hotpath/census_full_walk_clique8", |b| {
+        b.iter(|| black_box(loop_census_full(black_box(&record.fib), prefix)))
+    });
+}
+
+fn bench_queue_churn(c: &mut Criterion) {
+    c.bench_function("hotpath/queue_mrai_churn_4k", |b| {
+        b.iter(|| {
+            // MRAI-style load: every scheduled expiry is superseded
+            // (cancel + reschedule) before a batch of pops drains the
+            // survivors — stale keys pile up and compaction must keep
+            // the heap bounded.
+            let mut q: EventQueue<u32> = EventQueue::new();
+            let mut pending = Vec::with_capacity(64);
+            let mut popped = 0u64;
+            for round in 0..64u64 {
+                for slot in 0..64u64 {
+                    let at = SimTime::from_nanos(round * 1_000 + slot * 7);
+                    pending.push(q.schedule(at, slot as u32));
+                }
+                for id in pending.drain(..) {
+                    q.cancel(id);
+                    let at = SimTime::from_nanos(round * 1_000 + 500);
+                    q.schedule(at, 0);
+                }
+                for _ in 0..32 {
+                    if q.pop().is_some() {
+                        popped += 1;
+                    }
+                }
+            }
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            black_box(popped)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("hotpath/clique8_tdown_end_to_end", |b| {
+        b.iter_batched(
+            clique8_tdown,
+            |exp| black_box(exp.run().sends.len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aspath_ops,
+    bench_census,
+    bench_queue_churn,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -5,11 +5,29 @@
 //! of the prefix. The full path is what lets a receiver discard any
 //! route that already contains itself — the *path-based poison reverse*
 //! at the heart of the ICDCS'04 study.
+//!
+//! # Representation
+//!
+//! Paths are stored as a shared `Arc<[NodeId]>` plus a 64-bit membership
+//! filter. Cloning a path — which happens on every UPDATE fan-out, RIB
+//! insertion, and decision — is a reference-count bump instead of a heap
+//! copy, and [`AsPath::contains`] (the poison-reverse test, the hottest
+//! predicate in the decision process) answers most negatives from a
+//! single AND of the filter bit `1 << (id mod 64)` without touching the
+//! node slice. The filter is derived data: it never produces false
+//! negatives, and a set bit merely falls back to the linear scan.
 
 use std::fmt;
+use std::sync::Arc;
 
 use bgpsim_topology::NodeId;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// The membership-filter bit for `node`: paths containing `node` always
+/// have this bit set.
+fn filter_bit(node: NodeId) -> u64 {
+    1u64 << (node.as_u32() & 63)
+}
 
 /// An AS-level route path: `(head … origin)`.
 ///
@@ -26,14 +44,22 @@ use serde::{Deserialize, Serialize};
 /// assert!(p.contains(NodeId::new(4)));
 /// assert_eq!(p.to_string(), "(6 4 0)");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct AsPath(Vec<NodeId>);
+#[derive(Debug, Clone)]
+pub struct AsPath {
+    nodes: Arc<[NodeId]>,
+    /// Union of [`filter_bit`] over `nodes` — a one-word bloom filter
+    /// for the poison-reverse membership test.
+    filter: u64,
+}
 
 impl AsPath {
     /// Creates the trivial path consisting only of the origin — what the
     /// origin AS itself advertises.
     pub fn origin_only(origin: NodeId) -> Self {
-        AsPath(vec![origin])
+        AsPath {
+            nodes: Arc::from([origin].as_slice()),
+            filter: filter_bit(origin),
+        }
     }
 
     /// Creates a path from a head-to-origin node sequence.
@@ -44,7 +70,11 @@ impl AsPath {
     pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
         let v: Vec<NodeId> = nodes.into_iter().collect();
         assert!(!v.is_empty(), "an AS path cannot be empty");
-        AsPath(v)
+        let filter = v.iter().fold(0u64, |f, &n| f | filter_bit(n));
+        AsPath {
+            nodes: Arc::from(v),
+            filter,
+        }
     }
 
     /// Creates a path from raw `u32` ids, head first — convenient in
@@ -59,17 +89,17 @@ impl AsPath {
 
     /// The advertising node (first element).
     pub fn head(&self) -> NodeId {
-        self.0[0]
+        self.nodes[0]
     }
 
     /// The origin AS (last element).
     pub fn origin(&self) -> NodeId {
-        *self.0.last().expect("paths are non-empty")
+        *self.nodes.last().expect("paths are non-empty")
     }
 
     /// Number of ASes in the path.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.nodes.len()
     }
 
     /// `false` — paths are never empty; provided for API completeness.
@@ -81,9 +111,11 @@ impl AsPath {
     ///
     /// This is the *path-based poison reverse* test: a node discards any
     /// path that contains itself, which detects loops of arbitrary
-    /// length (RIP's poison reverse only catches 2-node loops).
+    /// length (RIP's poison reverse only catches 2-node loops). The
+    /// membership filter short-circuits the common negative case in one
+    /// AND; only filter hits scan the slice.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.0.contains(&node)
+        self.filter & filter_bit(node) != 0 && self.nodes.contains(&node)
     }
 
     /// Returns a new path with `node` prepended — what a router
@@ -98,10 +130,15 @@ impl AsPath {
             !self.contains(node),
             "prepending {node} onto {self} would create a loop"
         );
-        let mut v = Vec::with_capacity(self.0.len() + 1);
-        v.push(node);
-        v.extend_from_slice(&self.0);
-        AsPath(v)
+        // once+chain is TrustedLen, so this collects straight into a
+        // single exactly-sized Arc allocation — no Vec intermediate.
+        let nodes: Arc<[NodeId]> = std::iter::once(node)
+            .chain(self.nodes.iter().copied())
+            .collect();
+        AsPath {
+            nodes,
+            filter: self.filter | filter_bit(node),
+        }
     }
 
     /// The suffix of the path starting at the first occurrence of
@@ -111,31 +148,85 @@ impl AsPath {
     /// backup path against neighbor `u`'s freshly announced path to spot
     /// obsolete routes.
     pub fn suffix_from(&self, node: NodeId) -> Option<&[NodeId]> {
-        let pos = self.0.iter().position(|&n| n == node)?;
-        Some(&self.0[pos..])
+        if self.filter & filter_bit(node) == 0 {
+            return None;
+        }
+        let pos = self.nodes.iter().position(|&n| n == node)?;
+        Some(&self.nodes[pos..])
     }
 
     /// The nodes of the path, head first.
     pub fn as_slice(&self) -> &[NodeId] {
-        &self.0
+        &self.nodes
     }
 
     /// Iterates over the nodes, head first.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.0.iter().copied()
+        self.nodes.iter().copied()
     }
 
     /// Iterates over the raw AS numbers, head first — the wire-friendly
     /// form used by trace events and other serialized observations.
     pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
-        self.0.iter().map(|n| n.as_u32())
+        self.nodes.iter().map(|n| n.as_u32())
     }
 
     /// Returns `true` if the path visits no AS twice (a well-formed
     /// path-vector route).
     pub fn is_simple(&self) -> bool {
-        let mut seen = std::collections::HashSet::with_capacity(self.0.len());
-        self.0.iter().all(|n| seen.insert(n))
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|n| seen.insert(n))
+    }
+}
+
+impl PartialEq for AsPath {
+    fn eq(&self, other: &Self) -> bool {
+        // Unequal filters prove unequal node sets; shared storage proves
+        // equality. Only the remaining cases compare the slices.
+        self.filter == other.filter
+            && (Arc::ptr_eq(&self.nodes, &other.nodes) || self.nodes == other.nodes)
+    }
+}
+
+impl Eq for AsPath {}
+
+impl PartialOrd for AsPath {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AsPath {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Lexicographic on the node sequence, matching the previous
+        // `Vec<NodeId>` derive.
+        self.nodes.as_ref().cmp(other.nodes.as_ref())
+    }
+}
+
+impl std::hash::Hash for AsPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash only the node sequence (as the `Vec<NodeId>` derive did);
+        // the filter is derived data.
+        self.nodes.as_ref().hash(state);
+    }
+}
+
+impl Serialize for AsPath {
+    fn to_value(&self) -> Value {
+        // Same wire format as the former `AsPath(Vec<NodeId>)` newtype:
+        // a bare array of node ids.
+        self.nodes.as_ref().to_value()
+    }
+}
+
+impl Deserialize for AsPath {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let nodes: Vec<NodeId> = Vec::from_value(v)?;
+        if nodes.is_empty() {
+            return Err(SerdeError::new("an AS path cannot be empty".to_string()));
+        }
+        Ok(AsPath::from_nodes(nodes))
     }
 }
 
@@ -184,7 +275,7 @@ impl std::str::FromStr for AsPath {
 impl fmt::Display for AsPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, n) in self.0.iter().enumerate() {
+        for (i, n) in self.nodes.iter().enumerate() {
             if i > 0 {
                 write!(f, " ")?;
             }
@@ -199,7 +290,7 @@ impl<'a> IntoIterator for &'a AsPath {
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter().copied()
+        self.nodes.iter().copied()
     }
 }
 
@@ -254,6 +345,27 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_storage() {
+        let p = AsPath::from_ids([5, 6, 4, 0]);
+        let q = p.clone();
+        assert_eq!(p, q);
+        assert!(
+            std::ptr::eq(p.as_slice().as_ptr(), q.as_slice().as_ptr()),
+            "clones must share the node storage"
+        );
+    }
+
+    #[test]
+    fn filter_aliasing_still_answers_correctly() {
+        // Ids 1 and 65 share filter bit 1: the filter alone cannot
+        // distinguish them, so contains must fall through to the scan.
+        let p = AsPath::from_ids([65, 0]);
+        assert!(p.contains(n(65)));
+        assert!(!p.contains(n(1)), "aliased bit must not fake membership");
+        assert_eq!(p.suffix_from(n(1)), None);
+    }
+
+    #[test]
     fn suffix_from_finds_subpath() {
         let p = AsPath::from_ids([5, 6, 4, 0]);
         assert_eq!(p.suffix_from(n(6)).unwrap(), &[n(6), n(4), n(0)][..]);
@@ -295,6 +407,28 @@ mod tests {
     }
 
     #[test]
+    fn serde_wire_format_is_bare_id_array() {
+        // The interned representation must keep the newtype-era wire
+        // format: a bare array of node ids, nothing else.
+        let p = AsPath::from_ids([5, 6, 4, 0]);
+        assert_eq!(
+            serde_json::to_string(&p).unwrap(),
+            serde_json::to_string(&vec![5u32, 6, 4, 0]).unwrap()
+        );
+        assert!(serde_json::from_str::<AsPath>("[]").is_err());
+    }
+
+    #[test]
+    fn ordering_matches_node_sequence() {
+        let a = AsPath::from_ids([1, 0]);
+        let b = AsPath::from_ids([1, 2]);
+        let c = AsPath::from_ids([1, 0, 3]);
+        assert!(a < b, "lexicographic on ids");
+        assert!(a < c, "prefix sorts before its extension");
+        assert_eq!(a.cmp(&a.clone()), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
     fn display_from_str_round_trip() {
         let p = AsPath::from_ids([5, 6, 4, 0]);
         let parsed: AsPath = p.to_string().parse().unwrap();
@@ -327,10 +461,19 @@ mod tests {
             prop_assert_eq!(&p.as_slice()[1..], base.as_slice());
         }
 
-        /// `contains` agrees with a linear scan, and `suffix_from`
-        /// returns a suffix anchored at the queried node.
+        /// `contains` agrees with a linear scan (exercising filter-bit
+        /// aliasing: ids 0..30 and 64..94 collide mod 64), and
+        /// `suffix_from` returns a suffix anchored at the queried node.
         #[test]
-        fn contains_and_suffix_agree(ids in proptest::collection::vec(0u32..30, 1..15), probe in 0u32..30) {
+        fn contains_and_suffix_agree(
+            raw_ids in proptest::collection::vec(0u32..60, 1..15),
+            raw_probe in 0u32..60,
+        ) {
+            // Fold the upper half of the range into 64..94 so generated
+            // ids collide with the lower half modulo 64.
+            let alias = |x: u32| if x >= 30 { x + 34 } else { x };
+            let ids: Vec<u32> = raw_ids.iter().map(|&x| alias(x)).collect();
+            let probe = alias(raw_probe);
             let p = AsPath::from_ids(ids.iter().copied());
             let expected = ids.contains(&probe);
             prop_assert_eq!(p.contains(n(probe)), expected);
@@ -342,6 +485,19 @@ mod tests {
                 }
                 None => prop_assert!(!expected),
             }
+        }
+
+        /// Ordering and equality agree with the reference `Vec<NodeId>`
+        /// semantics the old representation derived.
+        #[test]
+        fn ord_matches_vec_reference(
+            a in proptest::collection::vec(0u32..10, 1..6),
+            b in proptest::collection::vec(0u32..10, 1..6),
+        ) {
+            let pa = AsPath::from_ids(a.iter().copied());
+            let pb = AsPath::from_ids(b.iter().copied());
+            prop_assert_eq!(pa.cmp(&pb), a.cmp(&b));
+            prop_assert_eq!(pa == pb, a == b);
         }
     }
 }

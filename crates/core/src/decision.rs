@@ -108,8 +108,28 @@ pub fn select_best_where<P, F>(
     rib: &RibIn,
     myself: NodeId,
     policy: &P,
-    mut usable: F,
+    usable: F,
 ) -> Option<Selection>
+where
+    P: RoutePolicy,
+    F: FnMut(NodeId) -> bool,
+{
+    select_best_entry_where(rib, myself, policy, usable).map(|(peer, path)| Selection {
+        next_hop: peer,
+        path: path.prepend(myself),
+    })
+}
+
+/// Like [`select_best_where`], but returns the winning `(peer, stored
+/// path)` entry by reference, without materializing the prepended local
+/// path. The router's decision process uses this to detect "selection
+/// unchanged" without allocating.
+pub fn select_best_entry_where<'r, P, F>(
+    rib: &'r RibIn,
+    myself: NodeId,
+    policy: &P,
+    mut usable: F,
+) -> Option<(NodeId, &'r AsPath)>
 where
     P: RoutePolicy,
     F: FnMut(NodeId) -> bool,
@@ -130,10 +150,7 @@ where
             }
         };
     }
-    best.map(|(peer, path)| Selection {
-        next_hop: peer,
-        path: path.prepend(myself),
-    })
+    best
 }
 
 #[cfg(test)]

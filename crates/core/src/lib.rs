@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::redundant_clone)]
 
 pub mod aspath;
 pub mod config;
@@ -99,7 +100,7 @@ mod proptests {
             )
         ) {
             let peers: Vec<NodeId> = (1..6).map(n).collect();
-            let mut r = Router::new(n(0), peers.clone(), BgpConfig::default());
+            let mut r = Router::new(n(0), peers, BgpConfig::default());
             let mut rng = SimRng::new(5);
             let prefix = Prefix::new(0);
             let mut t = SimTime::ZERO;
@@ -144,7 +145,7 @@ mod proptests {
             let cfg = BgpConfig::default()
                 .with_mrai(bgpsim_netsim::time::SimDuration::ZERO)
                 .with_enhancements(enh);
-            let mut r = Router::new(n(0), peers.clone(), cfg);
+            let mut r = Router::new(n(0), peers, cfg);
             let mut rng = SimRng::new(9);
             let prefix = Prefix::new(0);
             let mut t = SimTime::ZERO;

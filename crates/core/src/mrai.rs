@@ -11,14 +11,16 @@
 //! enhancement (and later specification drafts) extend it to
 //! withdrawals.
 
-use std::collections::BTreeMap;
-
 use bgpsim_netsim::time::SimTime;
 use bgpsim_topology::NodeId;
 
 use crate::prefix::Prefix;
 
 /// Per-`(peer, prefix)` MRAI expiry table for one router.
+///
+/// A router tracks at most `degree × prefix-count` timers, so the
+/// table is a vector kept sorted by key: binary-search point ops with
+/// no per-entry allocation on the per-send hot path.
 ///
 /// # Examples
 ///
@@ -36,7 +38,8 @@ use crate::prefix::Prefix;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MraiTable {
-    expiry: BTreeMap<(NodeId, Prefix), SimTime>,
+    /// Sorted by `(peer, prefix)`.
+    expiry: Vec<((NodeId, Prefix), SimTime)>,
 }
 
 impl MraiTable {
@@ -45,17 +48,25 @@ impl MraiTable {
         MraiTable::default()
     }
 
+    fn position(&self, peer: NodeId, prefix: Prefix) -> Result<usize, usize> {
+        self.expiry
+            .binary_search_by_key(&(peer, prefix), |&(k, _)| k)
+    }
+
     /// Starts (or restarts) the timer for `(peer, prefix)` to expire at
     /// `at`.
     pub fn start(&mut self, peer: NodeId, prefix: Prefix, at: SimTime) {
-        self.expiry.insert((peer, prefix), at);
+        match self.position(peer, prefix) {
+            Ok(i) => self.expiry[i].1 = at,
+            Err(i) => self.expiry.insert(i, ((peer, prefix), at)),
+        }
     }
 
     /// Returns `true` if the timer is running at `now` (strictly before
     /// its expiry instant).
     pub fn is_running(&self, peer: NodeId, prefix: Prefix, now: SimTime) -> bool {
-        match self.expiry.get(&(peer, prefix)) {
-            Some(&at) => now < at,
+        match self.expiry(peer, prefix) {
+            Some(at) => now < at,
             None => false,
         }
     }
@@ -63,19 +74,21 @@ impl MraiTable {
     /// The pending expiry instant, if the timer has ever been started
     /// and not cleared.
     pub fn expiry(&self, peer: NodeId, prefix: Prefix) -> Option<SimTime> {
-        self.expiry.get(&(peer, prefix)).copied()
+        self.position(peer, prefix).ok().map(|i| self.expiry[i].1)
     }
 
     /// Clears the timer for `(peer, prefix)` (expiry processed).
     pub fn clear(&mut self, peer: NodeId, prefix: Prefix) {
-        self.expiry.remove(&(peer, prefix));
+        if let Ok(i) = self.position(peer, prefix) {
+            self.expiry.remove(i);
+        }
     }
 
     /// Clears every timer involving `peer` (session down). Returns how
     /// many were cleared.
     pub fn clear_peer(&mut self, peer: NodeId) -> usize {
         let before = self.expiry.len();
-        self.expiry.retain(|&(p, _), _| p != peer);
+        self.expiry.retain(|&((p, _), _)| p != peer);
         before - self.expiry.len()
     }
 

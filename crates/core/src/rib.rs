@@ -8,8 +8,6 @@
 //! (§3.3: "a node can pick a backup path … even when the validity of
 //! that path has been obsoleted by the latest topology change").
 
-use std::collections::BTreeMap;
-
 use bgpsim_topology::NodeId;
 
 use crate::aspath::AsPath;
@@ -18,6 +16,11 @@ use crate::aspath::AsPath;
 ///
 /// Neighbor iteration is in ascending id order (deterministic), which
 /// implements the paper's "smaller node ID wins ties" policy for free.
+///
+/// A router has at most `degree` neighbors, so the table is a vector
+/// kept sorted by peer id: binary-search point ops, cache-friendly
+/// candidate scans, and no per-entry allocation — this table sits on
+/// the per-message hot path.
 ///
 /// # Examples
 ///
@@ -32,7 +35,8 @@ use crate::aspath::AsPath;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RibIn {
-    entries: BTreeMap<NodeId, AsPath>,
+    /// Sorted by peer id.
+    entries: Vec<(NodeId, AsPath)>,
 }
 
 impl RibIn {
@@ -44,17 +48,29 @@ impl RibIn {
     /// Records `path` as the latest advertisement from `peer`,
     /// returning the previous one.
     pub fn insert(&mut self, peer: NodeId, path: AsPath) -> Option<AsPath> {
-        self.entries.insert(peer, path)
+        match self.entries.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, path)),
+            Err(i) => {
+                self.entries.insert(i, (peer, path));
+                None
+            }
+        }
     }
 
     /// Removes `peer`'s advertisement (withdrawal or session loss).
     pub fn remove(&mut self, peer: NodeId) -> Option<AsPath> {
-        self.entries.remove(&peer)
+        match self.entries.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// The latest advertisement from `peer`, if any.
     pub fn get(&self, peer: NodeId) -> Option<&AsPath> {
-        self.entries.get(&peer)
+        match self.entries.binary_search_by_key(&peer, |&(p, _)| p) {
+            Ok(i) => Some(&self.entries[i].1),
+            Err(_) => None,
+        }
     }
 
     /// Number of neighbors with a stored route.
@@ -69,7 +85,7 @@ impl RibIn {
 
     /// Iterates over `(peer, path)` pairs in ascending peer order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &AsPath)> + '_ {
-        self.entries.iter().map(|(&p, path)| (p, path))
+        self.entries.iter().map(|(p, path)| (*p, path))
     }
 
     /// Iterates over the *usable* candidates for `myself`: stored paths
@@ -87,19 +103,16 @@ impl RibIn {
     where
         F: FnMut(NodeId, &AsPath) -> bool,
     {
-        let doomed: Vec<NodeId> = self
-            .entries
-            .iter()
-            .filter(|(&p, path)| predicate(p, path))
-            .map(|(&p, _)| p)
-            .collect();
-        doomed
-            .into_iter()
-            .map(|p| {
-                let path = self.entries.remove(&p).expect("key just observed");
-                (p, path)
-            })
-            .collect()
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if predicate(self.entries[i].0, &self.entries[i].1) {
+                removed.push(self.entries.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        removed
     }
 }
 

@@ -15,6 +15,37 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A router's last advertisement per `(peer, prefix)`, kept as a vector
+/// sorted by key: at most `degree × prefix-count` entries, so binary
+/// search beats a tree on this per-sync path.
+#[derive(Debug, Default)]
+struct AdjOut {
+    entries: Vec<((NodeId, Prefix), AsPath)>,
+}
+
+impl AdjOut {
+    fn position(&self, key: (NodeId, Prefix)) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
+    fn get(&self, key: (NodeId, Prefix)) -> Option<&AsPath> {
+        self.position(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn insert(&mut self, key: (NodeId, Prefix), path: AsPath) {
+        match self.position(key) {
+            Ok(i) => self.entries[i].1 = path,
+            Err(i) => self.entries.insert(i, (key, path)),
+        }
+    }
+
+    fn remove(&mut self, key: (NodeId, Prefix)) {
+        if let Ok(i) = self.position(key) {
+            self.entries.remove(i);
+        }
+    }
+}
+
 use bgpsim_netsim::rng::SimRng;
 use bgpsim_netsim::time::SimTime;
 use bgpsim_topology::NodeId;
@@ -22,7 +53,7 @@ use bgpsim_topology::NodeId;
 use crate::aspath::AsPath;
 use crate::config::BgpConfig;
 use crate::damping::{DampingTable, FlapKind};
-use crate::decision::{select_best_where, RoutePolicy, ShortestPath};
+use crate::decision::{select_best_entry_where, RoutePolicy, ShortestPath};
 use crate::message::BgpMessage;
 use crate::mrai::MraiTable;
 use crate::output::{FibEntry, LocRoute, MraiTimerRequest, ReuseTimerRequest, RouterOutput};
@@ -94,7 +125,9 @@ impl RouterStats {
 #[derive(Debug)]
 pub struct Router<P: RoutePolicy = ShortestPath> {
     id: NodeId,
-    peers: BTreeSet<NodeId>,
+    /// Active peers, sorted ascending (membership tests and iteration
+    /// happen per message, so a flat sorted vector wins).
+    peers: Vec<NodeId>,
     config: BgpConfig,
     policy: P,
     ribs: BTreeMap<Prefix, RibIn>,
@@ -103,7 +136,7 @@ pub struct Router<P: RoutePolicy = ShortestPath> {
     loc: BTreeMap<Prefix, LocRoute>,
     /// Last advertisement sent per (peer, prefix); absent = nothing
     /// advertised (peer believes we have no route).
-    adj_out: BTreeMap<(NodeId, Prefix), AsPath>,
+    adj_out: AdjOut,
     mrai: MraiTable,
     damping: Option<DampingTable>,
     stats: RouterStats,
@@ -116,7 +149,9 @@ impl<P: RoutePolicy> Router<P> {
         I: IntoIterator<Item = NodeId>,
     {
         config.validate();
-        let peers: BTreeSet<NodeId> = peers.into_iter().collect();
+        let mut peers: Vec<NodeId> = peers.into_iter().collect();
+        peers.sort_unstable();
+        peers.dedup();
         assert!(!peers.contains(&id), "router {id} cannot peer with itself");
         Router {
             id,
@@ -126,7 +161,7 @@ impl<P: RoutePolicy> Router<P> {
             ribs: BTreeMap::new(),
             originated: BTreeSet::new(),
             loc: BTreeMap::new(),
-            adj_out: BTreeMap::new(),
+            adj_out: AdjOut::default(),
             mrai: MraiTable::new(),
             damping: config.damping.map(DampingTable::new),
             stats: RouterStats::default(),
@@ -165,7 +200,7 @@ impl<P: RoutePolicy> Router<P> {
 
     /// The last advertisement sent to `peer` for `prefix`.
     pub fn advertised_to(&self, peer: NodeId, prefix: Prefix) -> Option<&AsPath> {
-        self.adj_out.get(&(peer, prefix))
+        self.adj_out.get((peer, prefix))
     }
 
     /// Starts originating `prefix`: install a local route and advertise
@@ -327,8 +362,11 @@ impl<P: RoutePolicy> Router<P> {
     /// Handles loss of the session to `peer` (link failure): drop its
     /// routes and rerun the decision process everywhere.
     pub fn on_peer_down(&mut self, peer: NodeId, now: SimTime, rng: &mut SimRng) -> RouterOutput {
-        if !self.peers.remove(&peer) {
-            return RouterOutput::empty();
+        match self.peers.binary_search(&peer) {
+            Ok(i) => {
+                self.peers.remove(i);
+            }
+            Err(_) => return RouterOutput::empty(),
         }
         self.mrai.clear_peer(peer);
         if let Some(damping) = &mut self.damping {
@@ -340,7 +378,7 @@ impl<P: RoutePolicy> Router<P> {
             if let Some(rib) = self.ribs.get_mut(&prefix) {
                 rib.remove(peer);
             }
-            self.adj_out.remove(&(peer, prefix));
+            self.adj_out.remove((peer, prefix));
             self.run_decision(prefix, now, rng, &mut out);
         }
         out
@@ -351,8 +389,9 @@ impl<P: RoutePolicy> Router<P> {
     pub fn on_peer_up(&mut self, peer: NodeId, now: SimTime, rng: &mut SimRng) -> RouterOutput {
         assert!(peer != self.id, "router {peer} cannot peer with itself");
         let mut out = RouterOutput::empty();
-        if !self.peers.insert(peer) {
-            return out;
+        match self.peers.binary_search(&peer) {
+            Ok(_) => return out,
+            Err(i) => self.peers.insert(i, peer),
         }
         let prefixes: Vec<Prefix> = self.loc.keys().copied().collect();
         for prefix in prefixes {
@@ -371,43 +410,64 @@ impl<P: RoutePolicy> Router<P> {
         out: &mut RouterOutput,
     ) {
         self.stats.decisions_run += 1;
+        let cur = self.loc.get(&prefix);
         let new: Option<LocRoute> = if self.originated.contains(&prefix) {
+            // A local route's path is always `(self)`, so matching FIB
+            // entries imply an unchanged selection.
+            if cur.is_some_and(|l| l.fib == FibEntry::Local) {
+                return;
+            }
             Some(LocRoute {
                 fib: FibEntry::Local,
                 path: AsPath::origin_only(self.id),
             })
         } else {
             let damping = &self.damping;
-            self.ribs.get(&prefix).and_then(|rib| {
-                select_best_where(rib, self.id, &self.policy, |peer| {
+            let best = self.ribs.get(&prefix).and_then(|rib| {
+                select_best_entry_where(rib, self.id, &self.policy, |peer| {
                     damping
                         .as_ref()
                         .is_none_or(|d| !d.is_suppressed(peer, prefix, now))
                 })
-                .map(|sel| LocRoute {
-                    fib: FibEntry::Via(sel.next_hop),
-                    path: sel.path,
-                })
-            })
+            });
+            match (best, cur) {
+                (None, None) => return,
+                // Same next hop, same learned path: the prepended local
+                // path is identical too — skip without materializing it
+                // (`cur.path` head is always `self.id`, so the suffix
+                // comparison is exact).
+                (Some((peer, path)), Some(l))
+                    if l.fib == FibEntry::Via(peer)
+                        && l.path.as_slice()[1..] == *path.as_slice() =>
+                {
+                    return;
+                }
+                (Some((peer, path)), _) => Some(LocRoute {
+                    fib: FibEntry::Via(peer),
+                    path: path.prepend(self.id),
+                }),
+                (None, Some(_)) => None,
+            }
         };
-
-        if self.loc.get(&prefix) == new.as_ref() {
-            return;
-        }
         self.stats.route_changes += 1;
-        match &new {
+        match new {
             Some(route) => {
                 out.fib_changes.push((prefix, Some(route.fib)));
-                self.loc.insert(prefix, route.clone());
+                self.loc.insert(prefix, route);
             }
             None => {
                 out.fib_changes.push((prefix, None));
                 self.loc.remove(&prefix);
             }
         }
-        let peers: Vec<NodeId> = self.peers.iter().copied().collect();
-        for peer in peers {
-            self.sync_peer(peer, prefix, now, rng, out);
+        // Index loop: `sync_peer_to` never changes the peer set, and
+        // the indexed re-read avoids collecting the peers on every
+        // route change. The selection is looked up once for all peers.
+        out.sends.reserve(self.peers.len());
+        let route = self.loc.get(&prefix).cloned();
+        for i in 0..self.peers.len() {
+            let peer = self.peers[i];
+            self.sync_peer_to(peer, prefix, route.as_ref(), now, rng, out);
         }
     }
 
@@ -421,19 +481,33 @@ impl<P: RoutePolicy> Router<P> {
         rng: &mut SimRng,
         out: &mut RouterOutput,
     ) {
+        let route = self.loc.get(&prefix).cloned();
+        self.sync_peer_to(peer, prefix, route.as_ref(), now, rng, out);
+    }
+
+    /// [`sync_peer`](Self::sync_peer) with the current selection passed
+    /// in, so a decision run resolves it once for all peers. Paths are
+    /// cloned only when a message actually goes out.
+    fn sync_peer_to(
+        &mut self,
+        peer: NodeId,
+        prefix: Prefix,
+        route: Option<&LocRoute>,
+        now: SimTime,
+        rng: &mut SimRng,
+        out: &mut RouterOutput,
+    ) {
         let enh = self.config.enhancements;
-        let mut desired: Option<AsPath> = self
-            .loc
-            .get(&prefix)
-            .filter(|route| self.policy.export_allowed(route.fib.via(), peer))
-            .map(|r| r.path.clone());
+        let mut desired: Option<&AsPath> = route
+            .filter(|r| self.policy.export_allowed(r.fib.via(), peer))
+            .map(|r| &r.path);
         let mut via_ssld = false;
 
         // SSLD: the receiver would discard a path containing itself, so
         // send the (MRAI-exempt) withdrawal instead of the (MRAI-gated)
         // poison-reverse announcement.
         if enh.ssld {
-            if let Some(path) = &desired {
+            if let Some(path) = desired {
                 if path.contains(peer) {
                     desired = None;
                     via_ssld = true;
@@ -441,7 +515,7 @@ impl<P: RoutePolicy> Router<P> {
             }
         }
 
-        let current = self.adj_out.get(&(peer, prefix));
+        let current = self.adj_out.get((peer, prefix));
         let timer_running = self.mrai.is_running(peer, prefix, now);
 
         match desired {
@@ -454,7 +528,7 @@ impl<P: RoutePolicy> Router<P> {
                     // `on_mrai_expire` re-syncs from current state.
                     return;
                 }
-                self.adj_out.remove(&(peer, prefix));
+                self.adj_out.remove((peer, prefix));
                 out.sends.push((peer, BgpMessage::withdraw(prefix)));
                 self.stats.withdrawals_sent += 1;
                 if via_ssld {
@@ -465,7 +539,7 @@ impl<P: RoutePolicy> Router<P> {
                 }
             }
             Some(path) => {
-                if current == Some(&path) {
+                if current == Some(path) {
                     return; // already advertised
                 }
                 if timer_running {
@@ -476,7 +550,7 @@ impl<P: RoutePolicy> Router<P> {
                         // withdrawal.
                         if let Some(old) = current {
                             if path.len() > old.len() {
-                                self.adj_out.remove(&(peer, prefix));
+                                self.adj_out.remove((peer, prefix));
                                 out.sends.push((peer, BgpMessage::withdraw(prefix)));
                                 self.stats.withdrawals_sent += 1;
                                 self.stats.ghost_flushes += 1;
@@ -486,6 +560,7 @@ impl<P: RoutePolicy> Router<P> {
                     // The announcement itself waits; expiry re-syncs.
                     return;
                 }
+                let path = path.clone();
                 self.adj_out.insert((peer, prefix), path.clone());
                 out.sends.push((peer, BgpMessage::announce(prefix, path)));
                 self.stats.announcements_sent += 1;

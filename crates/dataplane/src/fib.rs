@@ -14,6 +14,10 @@ use bgpsim_netsim::time::SimTime;
 use bgpsim_topology::NodeId;
 use std::collections::BTreeMap;
 
+/// The FIB deltas applied at one instant: the affected nodes in
+/// ascending id order, each with the entry in effect afterwards.
+pub type FibDeltas = Vec<(NodeId, Option<FibEntry>)>;
+
 /// The forwarding history of one `(node, prefix)` pair: a list of
 /// `(change time, new entry)` pairs in nondecreasing time order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -150,6 +154,38 @@ impl NetworkFib {
         times
     }
 
+    /// All changes for `prefix` grouped by change time, in time order.
+    ///
+    /// Each group lists the affected nodes in ascending id order with
+    /// the entry in effect *after* that instant — when a node records
+    /// several changes at the same time, only the last write survives
+    /// (matching [`FibHistory::at`] semantics). This is the delta stream
+    /// the incremental loop census consumes: it tells the scanner which
+    /// next-hop edges moved at each instant without materializing a full
+    /// snapshot.
+    pub fn changes_by_time(&self, prefix: Prefix) -> Vec<(SimTime, FibDeltas)> {
+        let mut grouped: BTreeMap<SimTime, BTreeMap<u32, Option<FibEntry>>> = BTreeMap::new();
+        for (i, m) in self.nodes.iter().enumerate() {
+            if let Some(h) = m.get(&prefix) {
+                for &(t, e) in h.changes() {
+                    // Per-node changes are time-ordered, so a later
+                    // same-instant write overwrites an earlier one.
+                    grouped.entry(t).or_default().insert(i as u32, e);
+                }
+            }
+        }
+        grouped
+            .into_iter()
+            .map(|(t, per_node)| {
+                let deltas = per_node
+                    .into_iter()
+                    .map(|(i, e)| (NodeId::new(i), e))
+                    .collect();
+                (t, deltas)
+            })
+            .collect()
+    }
+
     /// Iterates over every `(node, prefix, time, entry)` change in
     /// per-node order (not globally time-sorted).
     pub fn iter_changes(
@@ -241,6 +277,32 @@ mod tests {
         assert_eq!(
             fib.change_times(p()),
             vec![SimTime::from_secs(1), SimTime::from_secs(3)]
+        );
+    }
+
+    #[test]
+    fn changes_by_time_groups_and_keeps_last_write() {
+        let mut fib = NetworkFib::new(3);
+        fib.record(n(0), p(), SimTime::ZERO, Some(FibEntry::Local));
+        fib.record(n(2), p(), SimTime::from_secs(1), Some(FibEntry::Via(n(1))));
+        fib.record(n(1), p(), SimTime::from_secs(1), Some(FibEntry::Via(n(0))));
+        // Same-instant double write: the second entry wins.
+        fib.record(n(1), p(), SimTime::from_secs(2), Some(FibEntry::Via(n(2))));
+        fib.record(n(1), p(), SimTime::from_secs(2), None);
+        let grouped = fib.changes_by_time(p());
+        assert_eq!(
+            grouped,
+            vec![
+                (SimTime::ZERO, vec![(n(0), Some(FibEntry::Local))]),
+                (
+                    SimTime::from_secs(1),
+                    vec![
+                        (n(1), Some(FibEntry::Via(n(0)))),
+                        (n(2), Some(FibEntry::Via(n(1)))),
+                    ]
+                ),
+                (SimTime::from_secs(2), vec![(n(1), None)]),
+            ]
         );
     }
 

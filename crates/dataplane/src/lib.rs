@@ -46,16 +46,16 @@ pub mod packet;
 pub mod replay;
 pub mod source;
 
-pub use fib::{FibHistory, NetworkFib};
-pub use loopscan::{find_loops, loop_census, LoopRecord};
+pub use fib::{FibDeltas, FibHistory, NetworkFib};
+pub use loopscan::{find_loops, loop_census, loop_census_full, LoopRecord};
 pub use packet::{Packet, PacketFate, DEFAULT_TTL};
 pub use replay::{generate_packets, walk_all, walk_packet, walk_packet_traced};
 pub use source::{paper_sources, CbrSource};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
-    pub use crate::fib::{FibHistory, NetworkFib};
-    pub use crate::loopscan::{find_loops, loop_census, LoopRecord};
+    pub use crate::fib::{FibDeltas, FibHistory, NetworkFib};
+    pub use crate::loopscan::{find_loops, loop_census, loop_census_full, LoopRecord};
     pub use crate::packet::{Packet, PacketFate, DEFAULT_TTL};
     pub use crate::replay::{generate_packets, walk_all, walk_packet, walk_packet_traced};
     pub use crate::source::{paper_sources, CbrSource};

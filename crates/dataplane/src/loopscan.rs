@@ -12,7 +12,7 @@ use bgpsim_core::{FibEntry, Prefix};
 use bgpsim_netsim::time::SimTime;
 use bgpsim_topology::NodeId;
 use bgpsim_trace::{TraceEvent, TraceHandle};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::fib::NetworkFib;
 
@@ -142,7 +142,131 @@ impl LoopRecord {
 ///
 /// A loop is identified by its canonical node cycle; if the same cycle
 /// disappears and later re-forms, two records are produced.
+///
+/// The scan is **incremental**: instead of re-walking all `n` nodes at
+/// every FIB change time (as [`loop_census_full`] does), it maintains
+/// the current next-hop graph and, at each instant, re-walks only from
+/// the *dirty* nodes — those whose next hop actually moved. This is
+/// sound because the forwarding graph is functional (out-degree ≤ 1):
+///
+/// * a live cycle dies **iff** one of its members is dirty (its exact
+///   edge sequence is otherwise intact), and
+/// * any newly formed cycle contains a changed edge, hence a dirty
+///   node, so the walk started at that node traverses the whole cycle.
+///
+/// The first instant is naturally a "full" scan: the graph starts empty
+/// and every initial edge arrives as a dirty delta. Produces exactly
+/// the records of [`loop_census_full`] (property-tested below).
 pub fn loop_census(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
+    let n = fib.node_count();
+    // Current next-hop edge per node; out-of-range and non-Via entries
+    // are sinks, exactly as in `find_loops`.
+    let mut next: Vec<Option<usize>> = vec![None; n];
+    // Epoch-stamped walk state reused across instants: a slot is only
+    // meaningful when its stamp equals the current epoch, so resetting
+    // costs one counter bump instead of an O(n) clear.
+    let mut seen_epoch = vec![0u64; n];
+    let mut seen_walk = vec![0u32; n];
+    let mut done_epoch = vec![0u64; n];
+    let mut epoch = 0u64;
+
+    let mut live: BTreeMap<Vec<NodeId>, SimTime> = BTreeMap::new();
+    // The live cycle (by canonical key) each node belongs to. Cycles in
+    // a functional graph are disjoint, so this is at most one per node.
+    let mut member_of: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    let mut records = Vec::new();
+    let mut dirty: Vec<usize> = Vec::new();
+
+    for (t, deltas) in fib.changes_by_time(prefix) {
+        dirty.clear();
+        for (node, entry) in deltas {
+            let i = node.index();
+            let new_next = match entry {
+                Some(FibEntry::Via(v)) if v.index() < n => Some(v.index()),
+                _ => None,
+            };
+            if next[i] != new_next {
+                next[i] = new_next;
+                dirty.push(i);
+            }
+        }
+        if dirty.is_empty() {
+            continue; // recorded writes that didn't move any edge
+        }
+        // Deaths: a cycle's edges are u → succ(u) for its members, so
+        // it survives iff no member moved.
+        let mut dead: Vec<Vec<NodeId>> = dirty
+            .iter()
+            .filter_map(|i| member_of.get(i).cloned())
+            .collect();
+        dead.sort();
+        dead.dedup();
+        for key in dead {
+            for node in &key {
+                member_of.remove(&node.index());
+            }
+            let formed_at = live.remove(&key).expect("member map tracks live cycles");
+            records.push(LoopRecord {
+                nodes: key,
+                formed_at,
+                resolved_at: Some(t),
+            });
+        }
+        // Births: colored walks from dirty nodes only. A walk may also
+        // re-enter a surviving cycle through a rerouted tail; the
+        // `or_insert` keeps its original formation time.
+        epoch += 1;
+        for (w, &start) in dirty.iter().enumerate() {
+            let w = w as u32;
+            let mut trail: Vec<usize> = Vec::new();
+            let mut cur = start;
+            loop {
+                if done_epoch[cur] == epoch {
+                    break; // explored earlier this instant
+                }
+                if seen_epoch[cur] == epoch {
+                    if seen_walk[cur] == w {
+                        let pos = trail
+                            .iter()
+                            .position(|&x| x == cur)
+                            .expect("cycle node must be on the current trail");
+                        let key = canonicalize(&trail[pos..]);
+                        for node in &key {
+                            member_of.insert(node.index(), key.clone());
+                        }
+                        live.entry(key).or_insert(t);
+                    }
+                    break;
+                }
+                seen_epoch[cur] = epoch;
+                seen_walk[cur] = w;
+                trail.push(cur);
+                match next[cur] {
+                    Some(nx) => cur = nx,
+                    None => break,
+                }
+            }
+            for &i in &trail {
+                done_epoch[i] = epoch;
+            }
+        }
+    }
+    for (nodes, formed_at) in live {
+        records.push(LoopRecord {
+            nodes,
+            formed_at,
+            resolved_at: None,
+        });
+    }
+    sort_census(&mut records);
+    records
+}
+
+/// Reference implementation of [`loop_census`]: re-derives the full
+/// loop set from a fresh snapshot at every change time. `O(changes × n)`
+/// — kept as the obviously-correct oracle for the equivalence property
+/// test and for one-off forensic use.
+pub fn loop_census_full(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
     let mut live: BTreeMap<Vec<NodeId>, SimTime> = BTreeMap::new();
     let mut records = Vec::new();
     for t in fib.change_times(prefix) {
@@ -175,8 +299,14 @@ pub fn loop_census(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
             resolved_at: None,
         });
     }
-    records.sort_by_key(|r| (r.formed_at, r.nodes.clone()));
+    sort_census(&mut records);
     records
+}
+
+/// Census order: formation time, then canonical cycle. No two records
+/// share both (a cycle must die before re-forming), so this is total.
+fn sort_census(records: &mut [LoopRecord]) {
+    records.sort_by(|a, b| (a.formed_at, &a.nodes).cmp(&(b.formed_at, &b.nodes)));
 }
 
 /// Replays a census as [`LoopOnset`](TraceEvent::LoopOnset) /
@@ -367,7 +497,54 @@ mod tests {
         false
     }
 
+    #[test]
+    fn incremental_census_matches_full_on_reformation() {
+        use bgpsim_core::Prefix;
+        let p = Prefix::new(0);
+        let mut fib = NetworkFib::new(5);
+        // Loop {1,2} forms, breaks, re-forms while {3,4} persists and a
+        // tail reroutes into it.
+        fib.record(n(1), p, SimTime::ZERO, via(2));
+        fib.record(n(2), p, SimTime::ZERO, via(1));
+        fib.record(n(3), p, SimTime::from_secs(1), via(4));
+        fib.record(n(4), p, SimTime::from_secs(1), via(3));
+        fib.record(n(2), p, SimTime::from_secs(2), None);
+        fib.record(n(0), p, SimTime::from_secs(3), via(3)); // tail into live loop
+        fib.record(n(2), p, SimTime::from_secs(4), via(1)); // re-form
+        assert_eq!(loop_census(&fib, p), loop_census_full(&fib, p));
+        assert_eq!(loop_census(&fib, p).len(), 3);
+    }
+
     proptest! {
+        /// The incremental census is record-for-record identical to the
+        /// full-walk reference on random FIB-change sequences over
+        /// random topologies (satellite property for the dirty-set
+        /// rewrite).
+        #[test]
+        fn incremental_census_equals_full_walk(
+            raw in proptest::collection::vec((0u32..10, 0u32..12, proptest::option::of(0u32..10)), 0..60),
+            nodes in 2u32..10,
+        ) {
+            use bgpsim_core::Prefix;
+            let p = Prefix::new(0);
+            let mut fib = NetworkFib::new(nodes as usize);
+            // Per-node clocks keep each history time-ordered while the
+            // global interleaving stays arbitrary.
+            let mut clock = vec![0u64; nodes as usize];
+            for (node, dt, hop) in raw {
+                let node = node % nodes;
+                let t = clock[node as usize] + u64::from(dt);
+                clock[node as usize] = t;
+                let entry = match hop.map(|h| h % nodes) {
+                    Some(h) if h != node => Some(FibEntry::Via(n(h))),
+                    Some(_) => Some(FibEntry::Local),
+                    None => None,
+                };
+                fib.record(n(node), p, SimTime::from_nanos(t), entry);
+            }
+            prop_assert_eq!(loop_census(&fib, p), loop_census_full(&fib, p));
+        }
+
         /// The fast scanner agrees with the brute-force definition on
         /// random functional graphs.
         #[test]

@@ -5,12 +5,20 @@
 //! delivered in the order they were scheduled. This makes every run with
 //! the same seed bit-for-bit reproducible.
 //!
-//! Cancellation is lazy: [`EventQueue::cancel`] records the id and the
-//! entry is discarded when it reaches the head of the heap, which keeps
-//! both operations `O(log n)`.
+//! Cancellation is lazy: the queue keeps one *live* bit per issued
+//! sequence number — set on schedule, cleared on delivery or
+//! cancellation. [`EventQueue::cancel`] just clears the bit; the heap
+//! entry is discarded when it reaches the head. All three operations
+//! stay `O(log n)` with O(1) bookkeeping and no hashing on the hot
+//! path, and no record can outlive its event: cancelling an
+//! already-delivered id is a no-op, and the live set is empty whenever
+//! the queue is drained. When cancelled entries come to dominate the
+//! heap it is compacted in place (see `maybe_compact`), which bounds
+//! the raw heap size — and therefore the traced `max_queue_depth` — by
+//! twice the live count.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
@@ -25,28 +33,22 @@ impl EventId {
     }
 }
 
-#[derive(Debug)]
-struct Entry<E> {
+/// A heap key: the event's delivery time and sequence number. Payloads
+/// live outside the heap (see `EventQueue::payloads`), so sift
+/// operations move 16-byte `Copy` keys instead of full events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
     time: SimTime,
     seq: u64,
-    payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest
         // (time, seq) at the top.
@@ -56,6 +58,54 @@ impl<E> Ord for Entry<E> {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
+
+/// One live bit per issued sequence number. Sequence numbers are dense
+/// (0, 1, 2, …), so a plain bit vector gives O(1) set/clear/test with
+/// no hashing; memory is one bit per event ever scheduled on this
+/// queue, which for simulation-sized runs is trivial.
+#[derive(Debug, Default)]
+struct LiveBits {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl LiveBits {
+    /// Marks `seq` live. Sequence numbers must arrive in order.
+    fn insert(&mut self, seq: u64) {
+        let word = (seq >> 6) as usize;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= 1 << (seq & 63);
+        self.count += 1;
+    }
+
+    /// Clears `seq`; returns whether it was live.
+    fn remove(&mut self, seq: u64) -> bool {
+        match self.words.get_mut((seq >> 6) as usize) {
+            Some(w) if *w & (1 << (seq & 63)) != 0 => {
+                *w &= !(1 << (seq & 63));
+                self.count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn contains(&self, seq: u64) -> bool {
+        self.words
+            .get((seq >> 6) as usize)
+            .is_some_and(|w| w & (1 << (seq & 63)) != 0)
+    }
+
+    fn clear(&mut self) {
+        self.words.clear();
+        self.count = 0;
+    }
+}
+
+/// Below this heap size compaction is never worth the rebuild cost.
+const COMPACT_MIN_HEAP: usize = 64;
 
 /// A priority queue of future events ordered by `(time, insertion seq)`.
 ///
@@ -73,8 +123,18 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    heap: BinaryHeap<Key>,
+    /// Live = scheduled and neither delivered nor cancelled. Invariant:
+    /// every live seq has exactly one heap entry, so
+    /// `heap.len() >= live.count` always holds.
+    live: LiveBits,
+    /// Payload for issued sequence number `s` sits at
+    /// `payloads[s - base_seq]`; the slot becomes `None` when the event
+    /// is delivered or cancelled, and the window's front advances past
+    /// freed slots. Memory is bounded by the seq span between the
+    /// oldest unfreed event and the newest issued one.
+    payloads: VecDeque<Option<E>>,
+    base_seq: u64,
     next_seq: u64,
 }
 
@@ -89,7 +149,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            live: LiveBits::default(),
+            payloads: VecDeque::new(),
+            base_seq: 0,
             next_seq: 0,
         }
     }
@@ -99,47 +161,79 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        self.live.insert(seq);
+        self.payloads.push_back(Some(payload));
+        self.heap.push(Key { time, seq });
         EventId(seq)
+    }
+
+    /// Frees the payload slot for `seq` (which must be occupied) and
+    /// advances the window past freed slots.
+    fn take_payload(&mut self, seq: u64) -> E {
+        let payload = self.payloads[(seq - self.base_seq) as usize]
+            .take()
+            .expect("live seq without payload");
+        while matches!(self.payloads.front(), Some(None)) {
+            self.payloads.pop_front();
+            self.base_seq += 1;
+        }
+        payload
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event
     /// had not yet been delivered or cancelled.
     ///
-    /// Cancelling an id that was never issued is a no-op returning `false`
-    /// only if the id is in the future sequence space; callers should only
-    /// pass ids obtained from [`schedule`](Self::schedule).
+    /// Cancelling an id that was already delivered, already cancelled,
+    /// or never issued is a no-op returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        let hit = self.live.remove(id.0);
+        if hit {
+            drop(self.take_payload(id.0));
+            self.maybe_compact();
         }
-        self.cancelled.insert(id.0)
+        hit
+    }
+
+    /// Rebuilds the heap without dead entries once they outnumber live
+    /// ones (and the heap is big enough for the `O(n)` rebuild to pay
+    /// for itself). Heap order is fully determined by `(time, seq)`, so
+    /// compaction never changes delivery order.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= COMPACT_MIN_HEAP && self.heap.len() > 2 * self.live.count {
+            let live = &self.live;
+            let keys: Vec<Key> = self
+                .heap
+                .drain()
+                .filter(|key| live.contains(key.seq))
+                .collect();
+            self.heap = BinaryHeap::from(keys);
+        }
     }
 
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        while let Some(key) = self.heap.pop() {
+            if self.live.remove(key.seq) {
+                let payload = self.take_payload(key.seq);
+                return Some((key.time, EventId(key.seq), payload));
             }
-            return Some((entry.time, EventId(entry.seq), entry.payload));
+            // Not live: cancelled earlier; discard the dead key.
         }
+        debug_assert!(self.live.count == 0, "live id with no heap entry");
+        debug_assert!(self.payloads.is_empty(), "payload with no heap entry");
         None
     }
 
     /// Returns the delivery time of the earliest live event without
     /// removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled entries from the head so the answer is live.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.time);
+        // Drop cancelled keys from the head so the answer is live.
+        while let Some(key) = self.heap.peek() {
+            if self.live.contains(key.seq) {
+                return Some(key.time);
             }
+            self.heap.pop();
         }
         None
     }
@@ -152,18 +246,20 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live.count
     }
 
     /// Returns `true` if no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live.count == 0
     }
 
     /// Discards all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        self.live.clear();
+        self.payloads.clear();
+        self.base_seq = self.next_seq;
     }
 }
 
@@ -171,6 +267,15 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// True when no live bookkeeping remains (every issued id was
+    /// delivered or cancelled).
+    fn bookkeeping_is_empty<E>(q: &EventQueue<E>) -> bool {
+        q.live.count == 0
+            && q.live.words.iter().all(|&w| w == 0)
+            && q.payloads.is_empty()
+            && q.base_seq == q.next_seq
+    }
 
     #[test]
     fn pops_in_time_order() {
@@ -220,6 +325,88 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_delivery_is_false_and_leaks_nothing() {
+        // Regression test for the cancel-set leak: cancelling an id whose
+        // event was already delivered used to park the id in the lazy
+        // bookkeeping set forever. With live-id tracking it is a no-op.
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_secs(1), "gone");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(id));
+        assert!(
+            bookkeeping_is_empty(&q),
+            "no bookkeeping may outlive the event"
+        );
+        assert_eq!(q.raw_len(), 0);
+    }
+
+    #[test]
+    fn bookkeeping_empty_after_draining() {
+        // Regression test: after draining the queue — with cancellations
+        // interleaved before, during, and after delivery — the live set
+        // must be empty.
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..100u64 {
+            ids.push(q.schedule(SimTime::from_nanos(i % 7), i));
+        }
+        for id in ids.iter().step_by(3) {
+            assert!(q.cancel(*id));
+        }
+        let mut delivered = Vec::new();
+        while let Some((_, _, ev)) = q.pop() {
+            delivered.push(ev);
+        }
+        assert_eq!(delivered.len(), 100 - 34);
+        // Cancel everything again, delivered or not: all no-ops now.
+        for id in &ids {
+            assert!(!q.cancel(*id));
+        }
+        assert!(bookkeeping_is_empty(&q));
+        assert_eq!(q.raw_len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_bounds_raw_len_and_preserves_order() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..200u64 {
+            ids.push(q.schedule(SimTime::from_nanos(1000 - i), i));
+        }
+        // Cancel 150 of 200: dead entries dominate, compaction must kick in.
+        for id in ids.iter().take(150) {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 50);
+        assert!(
+            q.raw_len() <= 2 * q.len(),
+            "raw heap {} not bounded by 2x live {}",
+            q.raw_len(),
+            q.len()
+        );
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        let expected: Vec<u64> = (150..200).rev().collect();
+        assert_eq!(got, expected, "compaction must not change delivery order");
+    }
+
+    #[test]
+    fn small_queues_skip_compaction() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10u64)
+            .map(|i| q.schedule(SimTime::from_nanos(i), i))
+            .collect();
+        for id in ids.iter().take(9) {
+            q.cancel(*id);
+        }
+        // Below COMPACT_MIN_HEAP the dead entries stay until popped.
+        assert_eq!(q.raw_len(), 10);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(9));
+        assert_eq!(q.raw_len(), 0);
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let id = q.schedule(SimTime::from_secs(1), 1);
@@ -265,7 +452,8 @@ mod tests {
         }
 
         /// Cancelling an arbitrary subset never delivers a cancelled event
-        /// and delivers everything else in model order.
+        /// and delivers everything else in model order; afterwards the
+        /// bookkeeping is empty regardless of the cancel pattern.
         #[test]
         fn cancellation_model(
             times in proptest::collection::vec(0u64..50, 1..100),
@@ -289,6 +477,8 @@ mod tests {
             let got: Vec<(u64, usize)> =
                 std::iter::from_fn(|| q.pop().map(|(t, _, e)| (t.as_nanos(), e))).collect();
             prop_assert_eq!(got, expected);
+            prop_assert!(bookkeeping_is_empty(&q));
+            prop_assert_eq!(q.raw_len(), 0);
         }
     }
 }

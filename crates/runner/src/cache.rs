@@ -30,7 +30,13 @@ use crate::error::Error;
 /// Version of the cached-entry layout *and* of the metrics semantics.
 /// Bump whenever `PaperMetrics` or the measurement pipeline changes
 /// meaning, so stale results cannot leak into new sweeps.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the hot-path overhaul cancels superseded MRAI expiries instead
+/// of letting them fire as stale no-ops, so the `events_dispatched`
+/// and `max_queue_depth` run counters mean something slightly
+/// different (paper metrics are unchanged, but cached counter blocks
+/// from v1 would not match a fresh run).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Serializable mirror of [`PaperMetrics`] (durations as nanoseconds).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -85,6 +85,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // Cloning is the behavior under test.
+    #[allow(clippy::redundant_clone)]
     fn events_are_cloneable_and_debuggable() {
         let ev = NetEvent::MraiExpiry {
             node: NodeId::new(1),

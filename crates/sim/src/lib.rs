@@ -31,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::redundant_clone)]
 
 pub mod event;
 pub mod failure;

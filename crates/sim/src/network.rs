@@ -8,14 +8,13 @@
 //! `bgpsim-dataplane`); live event-driven packets are also supported
 //! for cross-validation.
 
-use std::collections::BTreeMap;
-
 use bgpsim_core::decision::{RoutePolicy, ShortestPath};
 use bgpsim_core::{BgpConfig, FibEntry, Prefix, Router, RouterOutput};
 use bgpsim_dataplane::{NetworkFib, Packet, PacketFate};
 use bgpsim_netsim::engine::Engine;
 use bgpsim_netsim::link::Link;
 use bgpsim_netsim::process::Processor;
+use bgpsim_netsim::queue::EventId;
 use bgpsim_netsim::rng::SimRng;
 use bgpsim_netsim::time::{SimDuration, SimTime};
 use bgpsim_topology::{Graph, NodeId};
@@ -25,6 +24,16 @@ use crate::event::NetEvent;
 use crate::failure::FailureEvent;
 use crate::params::SimParams;
 use crate::record::{RunRecord, UpdateSend};
+
+/// One node's record of its latest scheduled MRAI expiry event for a
+/// `(peer, prefix)` pair.
+#[derive(Debug, Clone, Copy)]
+struct MraiSlot {
+    peer: NodeId,
+    prefix: Prefix,
+    event: EventId,
+    at: SimTime,
+}
 
 /// Why [`SimNetwork::run_to_quiescence`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +68,10 @@ pub enum RunOutcome {
 pub struct SimNetwork<P: RoutePolicy = ShortestPath> {
     engine: Engine<NetEvent>,
     routers: Vec<Router<P>>,
-    links: BTreeMap<(NodeId, NodeId), Link>,
+    /// Directed links as per-source adjacency lists sorted by target id.
+    /// Nodes have few neighbors, so a binary search beats hashing or a
+    /// global ordered map on the per-send lookup.
+    links: Vec<Vec<(NodeId, Link)>>,
     processors: Vec<Processor>,
     rng: SimRng,
     params: SimParams,
@@ -71,6 +83,16 @@ pub struct SimNetwork<P: RoutePolicy = ShortestPath> {
     events_dispatched: u64,
     seed: u64,
     tracer: TraceHandle,
+    /// Latest scheduled MRAI expiry event per (node, peer, prefix),
+    /// kept as a per-node slot list scanned linearly (a node holds at
+    /// most degree × prefix-count slots, so a scan beats hashing on
+    /// this per-timer path). When a restarted timer supersedes a
+    /// pending expiry at the same instant (the sync-vs-expiry race),
+    /// the superseded event is cancelled instead of dispatched as a
+    /// guaranteed no-op — see [`Self::schedule_mrai`]. Slots for
+    /// already-delivered events are harmless: cancelling a delivered id
+    /// is a no-op.
+    mrai_pending: Vec<Vec<MraiSlot>>,
 }
 
 impl SimNetwork<ShortestPath> {
@@ -111,10 +133,13 @@ impl<P: RoutePolicy> SimNetwork<P> {
             .nodes()
             .map(|id| Router::with_policy(id, graph.neighbors(id), config, policy_for(id)))
             .collect();
-        let mut links = BTreeMap::new();
+        let mut links: Vec<Vec<(NodeId, Link)>> = vec![Vec::new(); n];
         for e in graph.edges() {
-            links.insert((e.lo(), e.hi()), Link::new(params.link_delay));
-            links.insert((e.hi(), e.lo()), Link::new(params.link_delay));
+            links[e.lo().index()].push((e.hi(), Link::new(params.link_delay)));
+            links[e.hi().index()].push((e.lo(), Link::new(params.link_delay)));
+        }
+        for adj in &mut links {
+            adj.sort_by_key(|&(to, _)| to);
         }
         SimNetwork {
             engine: Engine::new(),
@@ -131,6 +156,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
             events_dispatched: 0,
             seed,
             tracer: TraceHandle::global(),
+            mrai_pending: vec![Vec::new(); n],
         }
     }
 
@@ -350,9 +376,18 @@ impl<P: RoutePolicy> SimNetwork<P> {
         }
     }
 
+    /// The directed link `from -> to`, if the edge exists.
+    fn link_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut Link> {
+        let adj = &mut self.links[from.index()];
+        match adj.binary_search_by_key(&to, |&(n, _)| n) {
+            Ok(i) => Some(&mut adj[i].1),
+            Err(_) => None,
+        }
+    }
+
     fn fail_link(&mut self, a: NodeId, b: NodeId, now: SimTime) {
-        for key in [(a, b), (b, a)] {
-            if let Some(link) = self.links.get_mut(&key) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(link) = self.link_mut(x, y) {
                 link.fail();
             }
         }
@@ -363,8 +398,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
     }
 
     fn restore_link(&mut self, a: NodeId, b: NodeId, now: SimTime) {
-        for key in [(a, b), (b, a)] {
-            if let Some(link) = self.links.get_mut(&key) {
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(link) = self.link_mut(x, y) {
                 link.restore();
             }
         }
@@ -410,8 +445,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 message: msg.clone(),
             });
             let link = self
-                .links
-                .get_mut(&(node, to))
+                .link_mut(node, to)
                 .unwrap_or_else(|| panic!("no link {node} -> {to}"));
             if let Some(arrival) = link.transmit(now) {
                 self.engine.schedule_at(
@@ -425,14 +459,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
             }
         }
         for timer in out.timers {
-            self.engine.schedule_at(
-                timer.at,
-                NetEvent::MraiExpiry {
-                    node,
-                    peer: timer.peer,
-                    prefix: timer.prefix,
-                },
-            );
+            self.schedule_mrai(node, timer.peer, timer.prefix, timer.at, now);
         }
         for timer in out.reuse_timers {
             self.engine.schedule_at(
@@ -443,6 +470,58 @@ impl<P: RoutePolicy> SimNetwork<P> {
                     prefix: timer.prefix,
                 },
             );
+        }
+    }
+
+    /// Schedules an MRAI expiry event, reusing the per-(node, peer,
+    /// prefix) slot.
+    ///
+    /// A router only requests a timer when none is running, so a still
+    /// pending event in the slot can mean just two things: it already
+    /// fired (cancel is then a no-op), or it is the sync-vs-expiry race
+    /// — the peer was synced at exactly the old expiry instant, before
+    /// the expiry event was dispatched. In the race the old event is due
+    /// *now* and the router's restarted timer guarantees its dispatch
+    /// would hit the "restarted timer supersedes" guard and do nothing,
+    /// so cancelling it cannot change the run; it only spares the
+    /// no-op dispatch and the queue slot. Superseded events with a
+    /// *future* due time (possible after a peer-down cleared the MRAI
+    /// table) are left alone: their eventual dispatch is not provably
+    /// inert, and dispatching them is what the router expects.
+    fn schedule_mrai(
+        &mut self,
+        node: NodeId,
+        peer: NodeId,
+        prefix: Prefix,
+        at: SimTime,
+        now: SimTime,
+    ) {
+        // Cancel before scheduling so the queue's max-depth statistic
+        // never counts the superseded and the fresh event at once.
+        let idx = self.mrai_pending[node.index()]
+            .iter()
+            .position(|s| s.peer == peer && s.prefix == prefix);
+        if let Some(i) = idx {
+            let slot = self.mrai_pending[node.index()][i];
+            if slot.at <= now {
+                self.engine.cancel(slot.event);
+            }
+        }
+        let event = self
+            .engine
+            .schedule_at(at, NetEvent::MraiExpiry { node, peer, prefix });
+        let slots = &mut self.mrai_pending[node.index()];
+        match idx {
+            Some(i) => {
+                slots[i].event = event;
+                slots[i].at = at;
+            }
+            None => slots.push(MraiSlot {
+                peer,
+                prefix,
+                event,
+                at,
+            }),
         }
     }
 
@@ -606,7 +685,7 @@ mod tests {
             );
         }
         // Final state matches BFS on the post-failure graph.
-        let mut g2 = g.clone();
+        let mut g2 = g;
         g2.remove_edge(layout.destination, layout.core_gateway);
         let oracle = bgpsim_topology::algo::shortest_path_next_hops(&g2, layout.destination);
         for v in g2.nodes() {
@@ -631,7 +710,7 @@ mod tests {
             });
             net.run_to_quiescence(10_000_000);
             let rec = net.into_record();
-            (rec.sends.clone(), rec.quiescent_at)
+            (rec.sends, rec.quiescent_at)
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));

@@ -1,6 +1,6 @@
 //! Offline stub of the `criterion` crate.
 //!
-//! Provides the API surface bgpsim's `micro.rs` bench uses:
+//! Provides the API surface bgpsim's Criterion benches use:
 //! [`Criterion::bench_function`], [`Bencher::iter`] /
 //! [`Bencher::iter_batched`], [`BatchSize`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Instead of
@@ -8,7 +8,17 @@
 //! measurement loop and prints mean wall-clock time per iteration —
 //! enough to compare orders of magnitude and to keep `cargo bench`
 //! compiling offline.
+//!
+//! When the `BGPSIM_BENCH_JSON` environment variable names a file,
+//! every completed benchmark is also recorded there as machine-readable
+//! JSON (`{"schema": ..., "benches": [{name, mean_ns, min_ns, iters}]}`).
+//! The file is rewritten after each benchmark so a partial run still
+//! leaves a valid document; CI uses it for the committed
+//! `BENCH_hotpath.json` baseline and its regression gate. Minimum
+//! iteration time is reported alongside the mean because it is the
+//! noise-robust statistic on shared machines.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Target wall-clock spent measuring each benchmark.
@@ -36,6 +46,7 @@ impl Criterion {
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
+            min: Duration::MAX,
         };
         f(&mut b);
         let mean = if b.iters > 0 {
@@ -43,8 +54,51 @@ impl Criterion {
         } else {
             Duration::ZERO
         };
+        let min = if b.iters > 0 { b.min } else { Duration::ZERO };
         println!("bench {name:<45} {:>12.3?}/iter ({} iters)", mean, b.iters);
+        record_json(name, mean, min, b.iters);
         self
+    }
+}
+
+/// Accumulated results for the `BGPSIM_BENCH_JSON` report, one
+/// pre-rendered JSON object per completed benchmark.
+static JSON_ROWS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Appends one benchmark result to the JSON report named by
+/// `BGPSIM_BENCH_JSON`, rewriting the whole (small) file so it is
+/// always a complete, valid document. No-op when the variable is
+/// unset; I/O errors are reported on stderr but never fail the bench.
+fn record_json(name: &str, mean: Duration, min: Duration, iters: u64) {
+    let Ok(path) = std::env::var("BGPSIM_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut escaped = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            '"' | '\\' => {
+                escaped.push('\\');
+                escaped.push(ch);
+            }
+            c if (c as u32) < 0x20 => escaped.push(' '),
+            c => escaped.push(c),
+        }
+    }
+    let mut rows = JSON_ROWS.lock().unwrap();
+    rows.push(format!(
+        "    {{\"name\": \"{escaped}\", \"mean_ns\": {}, \"min_ns\": {}, \"iters\": {iters}}}",
+        mean.as_nanos(),
+        min.as_nanos(),
+    ));
+    let body = format!(
+        "{{\n  \"schema\": \"bgpsim-bench-1\",\n  \"benches\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
     }
 }
 
@@ -65,6 +119,7 @@ pub enum BatchSize {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    min: Duration,
 }
 
 impl Bencher {
@@ -77,7 +132,9 @@ impl Bencher {
         loop {
             let t0 = Instant::now();
             black_box(routine());
-            self.elapsed += t0.elapsed();
+            let dt = t0.elapsed();
+            self.elapsed += dt;
+            self.min = self.min.min(dt);
             self.iters += 1;
             if start.elapsed() >= MEASURE_BUDGET {
                 break;
@@ -97,7 +154,9 @@ impl Bencher {
             let input = setup();
             let t0 = Instant::now();
             black_box(routine(input));
-            self.elapsed += t0.elapsed();
+            let dt = t0.elapsed();
+            self.elapsed += dt;
+            self.min = self.min.min(dt);
             self.iters += 1;
             if start.elapsed() >= MEASURE_BUDGET {
                 break;
@@ -144,6 +203,20 @@ mod tests {
             })
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn record_json_writes_valid_report() {
+        let path = std::env::temp_dir().join("criterion_stub_bench.json");
+        std::env::set_var("BGPSIM_BENCH_JSON", &path);
+        Criterion::new().bench_function("stub/json \"quoted\"", |b| b.iter(|| 1u64));
+        std::env::remove_var("BGPSIM_BENCH_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(body.contains("\"schema\": \"bgpsim-bench-1\""));
+        assert!(body.contains("stub/json \\\"quoted\\\""));
+        assert!(body.contains("\"mean_ns\""));
+        assert!(body.contains("\"min_ns\""));
     }
 
     #[test]

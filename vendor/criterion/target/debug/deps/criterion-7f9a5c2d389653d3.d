@@ -1,0 +1,5 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-7f9a5c2d389653d3.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/criterion-7f9a5c2d389653d3: src/lib.rs
+
+src/lib.rs:
