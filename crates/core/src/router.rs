@@ -384,6 +384,23 @@ impl<P: RoutePolicy> Router<P> {
         out
     }
 
+    /// Tears the session to `peer` down and immediately re-establishes
+    /// it (a BGP session reset: the transport link stays up).
+    ///
+    /// The down half flushes the peer's routes and reruns the decision
+    /// process; the up half re-advertises the post-reset Loc-RIB, as a
+    /// real session restart would. Returns the merged output of both
+    /// halves. A reset for an unknown peer is a no-op — unlike
+    /// [`Router::on_peer_up`], it does not create a session.
+    pub fn reset_peer(&mut self, peer: NodeId, now: SimTime, rng: &mut SimRng) -> RouterOutput {
+        if self.peers.binary_search(&peer).is_err() {
+            return RouterOutput::empty();
+        }
+        let mut out = self.on_peer_down(peer, now, rng);
+        out.merge(self.on_peer_up(peer, now, rng));
+        out
+    }
+
     /// Handles a new (or restored) session to `peer`: advertise all
     /// current routes to it.
     pub fn on_peer_up(&mut self, peer: NodeId, now: SimTime, rng: &mut SimRng) -> RouterOutput {
@@ -796,6 +813,34 @@ mod tests {
         let out = r.handle_message(n(9), &announce(&[9, 0]), SimTime::ZERO, &mut rg);
         assert!(out.is_empty());
         assert_eq!(r.best(p()), None);
+    }
+
+    #[test]
+    fn reset_peer_flushes_then_readvertises() {
+        let mut r = Router::new(n(6), [n(3), n(5)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(5), &announce(&[5, 4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(3), &announce(&[3, 2, 1, 0]), SimTime::ZERO, &mut rg);
+        assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(5)));
+        let out = r.reset_peer(n(5), SimTime::from_secs(1), &mut rg);
+        // The down half discarded 5's route; the best is now via 3.
+        assert_eq!(r.best(p()).unwrap().fib, FibEntry::Via(n(3)));
+        assert!(out.fib_changes.contains(&(p(), Some(FibEntry::Via(n(3))))));
+        // The up half re-established the session and re-advertised the
+        // post-reset Loc-RIB to the reset peer.
+        assert!(r.peers().any(|q| q == n(5)));
+        let to_5 = out.sends.iter().find(|(to, _)| *to == n(5)).unwrap();
+        assert_eq!(to_5.1.path(), Some(&AsPath::from_ids([6, 3, 2, 1, 0])));
+    }
+
+    #[test]
+    fn reset_unknown_peer_is_noop() {
+        let mut r = Router::new(n(6), [n(5)], cfg());
+        let mut rg = rng();
+        r.handle_message(n(5), &announce(&[5, 0]), SimTime::ZERO, &mut rg);
+        let out = r.reset_peer(n(9), SimTime::from_secs(1), &mut rg);
+        assert!(out.is_empty());
+        assert!(!r.peers().any(|q| q == n(9)), "reset must not create peers");
     }
 
     #[test]

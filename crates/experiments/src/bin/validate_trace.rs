@@ -24,6 +24,9 @@ const KNOWN_KINDS: &[&str] = &[
     "loop_onset",
     "loop_offset",
     "run_summary",
+    "fault_injected",
+    "session_reset",
+    "cache_quarantine",
 ];
 
 #[derive(Default)]

@@ -29,6 +29,7 @@ pub mod ablation;
 pub mod artifact;
 pub mod binopts;
 pub mod chart;
+pub mod churn;
 pub mod figures;
 pub mod scenario;
 pub mod sweep;
@@ -38,6 +39,7 @@ pub mod sweep;
 /// it with `BGPSIM_JOBS` / `BGPSIM_CACHE_DIR` / `BGPSIM_JOURNAL`.
 pub use bgpsim_runner as runner;
 
+pub use churn::{ChurnOptions, ChurnPoint, ChurnSweep};
 pub use figures::{ClaimCheck, Scale};
 pub use scenario::{EventKind, Scenario, ScenarioResult, TopologySpec};
 pub use sweep::{aggregate, linear_fit, AggregatedPoint, LinearFit, Series};

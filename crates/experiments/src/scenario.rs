@@ -6,10 +6,13 @@
 //! produces the raw record and the full measurement.
 
 use bgpsim_core::{BgpConfig, Prefix};
-use bgpsim_dataplane::loopscan::emit_census;
+use bgpsim_dataplane::loopscan::{emit_census, loop_census};
 use bgpsim_metrics::{measure_run, RunMeasurement};
 use bgpsim_netsim::rng::SimRng;
-use bgpsim_sim::{ConvergenceExperiment, FailureEvent, RunRecord, SimParams};
+use bgpsim_sim::{
+    BudgetExceeded, ConvergenceExperiment, FailureEvent, FaultPlan, FlapProfile, RunBudget,
+    RunRecord, SimParams,
+};
 use bgpsim_topology::{algo, generators, Graph, NodeId};
 use bgpsim_trace::{RunCounters, TraceEvent, TraceHandle};
 
@@ -77,6 +80,10 @@ pub enum EventKind {
     /// A link fails but the destination stays reachable over longer
     /// paths.
     TLong,
+    /// The `T_long` link flaps repeatedly (down/up train) instead of
+    /// failing once; parameterized by the scenario's
+    /// [`FlapProfile`] unless an explicit fault plan overrides it.
+    Flap,
 }
 
 impl EventKind {
@@ -85,6 +92,7 @@ impl EventKind {
         match self {
             EventKind::TDown => "Tdown",
             EventKind::TLong => "Tlong",
+            EventKind::Flap => "Flap",
         }
     }
 }
@@ -102,6 +110,12 @@ pub struct Scenario {
     pub params: SimParams,
     /// Seed for all run randomness.
     pub seed: u64,
+    /// Explicit fault plan, replacing the scenario's single failure
+    /// event (and the flap profile) when set.
+    pub faults: Option<FaultPlan>,
+    /// Flap parameters used when `event` is [`EventKind::Flap`] and no
+    /// explicit plan is set.
+    pub flap: FlapProfile,
 }
 
 impl Scenario {
@@ -113,6 +127,8 @@ impl Scenario {
             config: BgpConfig::default(),
             params: SimParams::default(),
             seed: 0,
+            faults: None,
+            flap: FlapProfile::default(),
         }
     }
 
@@ -125,6 +141,20 @@ impl Scenario {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs an explicit fault plan. The plan replaces the single
+    /// scenario failure: its events fire from the same post-warm-up
+    /// anchor the plain failure would have used.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the flap parameters used by [`EventKind::Flap`] scenarios.
+    pub fn with_flap(mut self, flap: FlapProfile) -> Self {
+        self.flap = flap;
         self
     }
 
@@ -141,7 +171,7 @@ impl Scenario {
                 origin: destination,
                 prefix: Prefix::new(0),
             },
-            EventKind::TLong => {
+            EventKind::TLong | EventKind::Flap => {
                 if let TopologySpec::BClique(n) = &self.topology {
                     return FailureEvent::LinkDown {
                         a: NodeId::new(0),
@@ -251,6 +281,13 @@ impl Scenario {
             self.params.proc_delay_hi.as_nanos(),
             self.seed,
         );
+        // Fault fragments are appended only when present so every
+        // pre-existing (fault-free) fingerprint stays byte-identical.
+        if let Some(plan) = &self.faults {
+            let _ = write!(s, "|faults={}", plan.fingerprint());
+        } else if self.event == EventKind::Flap {
+            let _ = write!(s, "|flap={}", self.flap.fingerprint());
+        }
         s
     }
 
@@ -274,34 +311,68 @@ impl Scenario {
         );
         let fingerprint = Some(self.fingerprint());
         let seed = self.seed;
-        bgpsim_runner::Job::new(label, fingerprint, move || {
-            let result = self.run();
-            result.emit_trace(seed);
-            let counters = result.counters();
-            bgpsim_runner::JobOutput::with_counters(result.measurement.metrics, counters)
+        bgpsim_runner::Job::budgeted(label, fingerprint, move |budget| {
+            let mut limit = RunBudget::unlimited();
+            if let Some(n) = budget.max_events {
+                limit = limit.with_max_events(n);
+            }
+            if let Some(deadline) = budget.deadline {
+                limit = limit.with_deadline(deadline);
+            }
+            match self.run_budgeted(&limit) {
+                Ok(result) => {
+                    result.emit_trace(seed);
+                    let counters = result.counters();
+                    Ok(bgpsim_runner::JobOutput::with_counters(
+                        result.measurement.metrics,
+                        counters,
+                    ))
+                }
+                Err(stopped) => Err(bgpsim_runner::JobTimeout {
+                    phase: stopped.phase,
+                    counters: Some(partial_counters(&stopped.record)),
+                }),
+            }
         })
     }
 
-    /// Runs the scenario: warm-up, failure, measurement.
-    pub fn run(&self) -> ScenarioResult {
+    /// Builds the concrete experiment: graph, destination, failure,
+    /// and — for fault scenarios — the installed plan.
+    fn build_experiment(&self) -> (ConvergenceExperiment, NodeId, FailureEvent) {
         let (graph, mut destination) = self.topology.build();
-        // A meaningful T_long needs a destination that stays reachable
-        // after one of its links fails; on Internet-like graphs the
-        // lowest-degree node is often a single-homed stub, so pick the
-        // lowest-degree *multi-homed* node instead (as the paper's
-        // setup implies).
-        if self.event == EventKind::TLong {
+        // A meaningful T_long (or flap train on its link) needs a
+        // destination that stays reachable after one of its links
+        // fails; on Internet-like graphs the lowest-degree node is
+        // often a single-homed stub, so pick the lowest-degree
+        // *multi-homed* node instead (as the paper's setup implies).
+        if matches!(self.event, EventKind::TLong | EventKind::Flap) {
             if let TopologySpec::InternetLike { topo_seed, .. } = &self.topology {
                 destination = pick_tlong_destination(&graph, *topo_seed)
                     .expect("no multi-homed destination candidate");
             }
         }
         let failure = self.failure(&graph, destination);
-        let record = ConvergenceExperiment::new(graph, destination, failure)
+        let plan = match (&self.faults, self.event, failure) {
+            (Some(plan), _, _) => Some(plan.clone()),
+            (None, EventKind::Flap, FailureEvent::LinkDown { a, b }) => {
+                Some(self.flap.plan_for(a, b))
+            }
+            _ => None,
+        };
+        let mut experiment = ConvergenceExperiment::new(graph, destination, failure)
             .with_config(self.config)
             .with_params(self.params)
-            .with_seed(self.seed)
-            .run();
+            .with_seed(self.seed);
+        if let Some(plan) = plan {
+            experiment = experiment.with_faults(plan);
+        }
+        (experiment, destination, failure)
+    }
+
+    /// Runs the scenario: warm-up, failure (or fault plan), measurement.
+    pub fn run(&self) -> ScenarioResult {
+        let (experiment, destination, failure) = self.build_experiment();
+        let record = experiment.run();
         let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
         ScenarioResult {
             destination,
@@ -309,6 +380,41 @@ impl Scenario {
             record,
             measurement,
         }
+    }
+
+    /// [`run`](Self::run) under a watchdog budget: a run that exceeds
+    /// the event or wall-clock limit stops cleanly with its partial
+    /// record instead of running (or hanging) to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interrupted phase and partial [`RunRecord`] when the
+    /// budget is exhausted before quiescence.
+    pub fn run_budgeted(&self, limit: &RunBudget) -> Result<ScenarioResult, Box<BudgetExceeded>> {
+        let (experiment, destination, failure) = self.build_experiment();
+        let record = experiment.run_budgeted(limit)?;
+        let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
+        Ok(ScenarioResult {
+            destination,
+            failure,
+            record,
+            measurement,
+        })
+    }
+}
+
+/// Counters for a watchdog-stopped run: everything the record already
+/// holds, plus a loop census of the frozen (partial) FIB.
+fn partial_counters(record: &RunRecord) -> RunCounters {
+    let stats = record.total_stats();
+    RunCounters {
+        events: record.events_dispatched,
+        updates_sent: stats.announcements_sent,
+        withdrawals_sent: stats.withdrawals_sent,
+        decisions: stats.decisions_run,
+        loops: loop_census(&record.fib, Prefix::new(0)).len() as u64,
+        max_queue_depth: record.max_queue_depth,
+        wall_ms: 0,
     }
 }
 
@@ -461,12 +567,89 @@ mod tests {
         let job = scenario.into_job();
         assert!(job.fingerprint.is_some());
         assert!(job.label.contains("clique-5"));
-        let out = (job.run)();
+        let out = (job.run)(&bgpsim_runner::JobBudget::default()).expect("unlimited budget");
         assert_eq!(direct, out.metrics);
         let counters = out.counters.expect("scenario jobs carry counters");
         assert!(counters.events > 0);
         assert!(counters.decisions > 0);
         assert!(counters.loops > 0, "clique-5 T_down loops transiently");
+    }
+
+    #[test]
+    fn job_honors_watchdog_budget() {
+        let scenario = Scenario::new(TopologySpec::Clique(5), EventKind::TDown).with_seed(1);
+        let job = scenario.into_job();
+        let budget = bgpsim_runner::JobBudget {
+            max_events: Some(5),
+            deadline: None,
+        };
+        let timeout = (job.run)(&budget).expect_err("5 events cannot finish warm-up");
+        assert_eq!(timeout.phase, "warmup");
+        let counters = timeout.counters.expect("partial counters survive the stop");
+        assert!(counters.events <= 5 + 8192, "stopped promptly");
+        assert!(counters.events > 0, "some work was observed");
+    }
+
+    #[test]
+    fn flap_scenario_runs_and_counts_faults() {
+        let result = Scenario::new(TopologySpec::BClique(3), EventKind::Flap)
+            .with_flap(FlapProfile {
+                period: bgpsim_netsim::time::SimDuration::from_secs(60),
+                count: 2,
+                jitter: 0.0,
+                loss: 0.0,
+            })
+            .with_seed(2)
+            .run();
+        // Two cycles = two downs + two ups on the paper's [0, n] link.
+        assert_eq!(result.record.faults_injected, 4);
+        assert_eq!(
+            result.failure,
+            FailureEvent::LinkDown {
+                a: NodeId::new(0),
+                b: NodeId::new(3),
+            }
+        );
+        // The link ends up, so every node keeps a route.
+        let fib = &result.record.fib;
+        for i in 0..result.record.node_count {
+            assert!(
+                fib.current(NodeId::new(i as u32), Prefix::new(0)).is_some(),
+                "node {i} lost the destination after the flap train"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_fault_plan_overrides_event_and_fingerprint() {
+        let base = Scenario::new(TopologySpec::Clique(5), EventKind::TDown).with_seed(1);
+        let planned = base.clone().with_faults(FaultPlan::new().session_reset(
+            bgpsim_netsim::time::SimDuration::ZERO,
+            NodeId::new(1),
+            NodeId::new(2),
+        ));
+        assert_ne!(base.fingerprint(), planned.fingerprint());
+        assert!(
+            planned.fingerprint().contains("|faults="),
+            "fault plans key the cache"
+        );
+        let result = planned.run();
+        assert_eq!(result.record.faults_injected, 1);
+        assert_eq!(result.record.session_resets, 1);
+    }
+
+    #[test]
+    fn flap_fingerprint_tracks_profile() {
+        let a = Scenario::new(TopologySpec::BClique(3), EventKind::Flap).with_seed(1);
+        let mut profile = FlapProfile::default();
+        profile.count = 7;
+        let b = a.clone().with_flap(profile);
+        assert!(a.fingerprint().contains("|flap="));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Fault-free fingerprints carry no fault fragment at all.
+        let plain = Scenario::new(TopologySpec::BClique(3), EventKind::TLong).with_seed(1);
+        assert!(!plain.fingerprint().contains("|flap="));
+        assert!(!plain.fingerprint().contains("|faults="));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Typed errors for fault-plan validation and installation.
+
+use std::fmt;
+
+use bgpsim_netsim::time::SimTime;
+use bgpsim_topology::NodeId;
+
+/// Why a [`FaultPlan`](crate::FaultPlan) was rejected.
+///
+/// Validation failures are reported before anything is scheduled, so a
+/// bad plan never perturbs engine state (and never trips the engine's
+/// `cannot schedule into the past` panic).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The plan contains no events, flap trains, or loss entries.
+    EmptyPlan,
+    /// A link fault names the same node on both ends.
+    SelfLoop { node: NodeId },
+    /// A loss probability is outside `[0, 1]` or not finite.
+    InvalidProbability {
+        a: NodeId,
+        b: NodeId,
+        probability: f64,
+    },
+    /// A flap-train jitter fraction is outside `[0, 0.5]` or not finite.
+    InvalidJitter { a: NodeId, b: NodeId, jitter: f64 },
+    /// A flap train has a zero period.
+    ZeroPeriod { a: NodeId, b: NodeId },
+    /// A flap train has a zero cycle count.
+    ZeroCount { a: NodeId, b: NodeId },
+    /// An expanded event would land before the simulator's current time.
+    EventInPast { at: SimTime, now: SimTime },
+    /// A fault names a link that does not exist in the topology.
+    UnknownLink { a: NodeId, b: NodeId },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::EmptyPlan => {
+                write!(f, "fault plan is empty (no events, flap trains, or loss)")
+            }
+            FaultError::SelfLoop { node } => {
+                write!(f, "fault plan names a self-loop link at {node}")
+            }
+            FaultError::InvalidProbability { a, b, probability } => {
+                write!(
+                    f,
+                    "loss probability {probability} on link [{a} {b}] is outside [0, 1]"
+                )
+            }
+            FaultError::InvalidJitter { a, b, jitter } => {
+                write!(
+                    f,
+                    "flap jitter {jitter} on link [{a} {b}] is outside [0, 0.5]"
+                )
+            }
+            FaultError::ZeroPeriod { a, b } => {
+                write!(f, "flap train on link [{a} {b}] has a zero period")
+            }
+            FaultError::ZeroCount { a, b } => {
+                write!(f, "flap train on link [{a} {b}] has a zero cycle count")
+            }
+            FaultError::EventInPast { at, now } => {
+                write!(f, "fault event at {at} is in the past (now {now})")
+            }
+            FaultError::UnknownLink { a, b } => {
+                write!(f, "fault plan names unknown link [{a} {b}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}

@@ -1,0 +1,42 @@
+//! Deterministic, seeded fault injection for BGP simulations.
+//!
+//! The paper's experiments trigger exactly one clean event per run
+//! (`T_down`, `T_long`). Real BGP churn is messier: links flap in
+//! trains, sessions reset without the link going down, and messages
+//! are lost. This crate describes such workloads as data — a
+//! [`FaultPlan`] — that the simulator expands into ordinary scheduled
+//! events, so a churn run stays exactly as replayable as a clean one.
+//!
+//! Determinism contract: all randomness used while expanding a plan
+//! (flap-train jitter) is drawn from child generators forked off the
+//! run seed per train, and per-link message loss uses a child
+//! generator forked per directed link. Expanding the same plan under
+//! the same seed therefore yields bit-identical schedules regardless
+//! of worker count or sibling fault activity.
+//!
+//! # Examples
+//!
+//! ```
+//! use bgpsim_faults::{FaultPlan, FlapTrain};
+//! use bgpsim_netsim::time::SimDuration;
+//! use bgpsim_topology::NodeId;
+//!
+//! let plan = FaultPlan::new()
+//!     .link_down(SimDuration::ZERO, NodeId::new(0), NodeId::new(5))
+//!     .flap(FlapTrain::new(NodeId::new(1), NodeId::new(2)))
+//!     .loss(NodeId::new(3), NodeId::new(4), 0.05);
+//! plan.validate().unwrap();
+//! let events = plan.expand(42);
+//! assert_eq!(events, plan.expand(42));
+//! ```
+
+mod error;
+mod plan;
+
+pub use error::FaultError;
+pub use plan::{FaultEvent, FaultKind, FaultPlan, FlapProfile, FlapTrain, LinkLoss};
+
+/// Convenient glob import for fault-injection users.
+pub mod prelude {
+    pub use crate::{FaultEvent, FaultKind, FaultPlan, FlapProfile, FlapTrain, LinkLoss};
+}

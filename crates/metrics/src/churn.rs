@@ -1,0 +1,66 @@
+//! Churn accounting for fault-injected runs.
+//!
+//! The fault layer (`bgpsim-faults`) counts what it did to a run —
+//! scheduled faults fired, BGP sessions reset, messages dropped by
+//! lossy links. [`ChurnSummary`] lifts those counters out of the raw
+//! [`RunRecord`] so sweep tables and reports can show *how much* churn
+//! a run experienced next to *what it cost* (the paper metrics).
+
+use bgpsim_sim::RunRecord;
+
+/// What the fault layer did to one run. All zeros for a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChurnSummary {
+    /// Scheduled fault events that fired (link downs/ups, session
+    /// resets, withdrawals from a fault plan).
+    pub faults_injected: u64,
+    /// BGP sessions torn down and re-established.
+    pub session_resets: u64,
+    /// Messages dropped by lossy links.
+    pub messages_lost: u64,
+}
+
+impl ChurnSummary {
+    /// Extracts the churn counters from a run record.
+    pub fn from_record(record: &RunRecord) -> Self {
+        ChurnSummary {
+            faults_injected: record.faults_injected,
+            session_resets: record.session_resets,
+            messages_lost: record.messages_lost,
+        }
+    }
+
+    /// `true` when the run experienced no injected churn at all.
+    pub fn is_quiet(&self) -> bool {
+        *self == ChurnSummary::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        assert!(ChurnSummary::default().is_quiet());
+        let churned = ChurnSummary {
+            faults_injected: 1,
+            ..Default::default()
+        };
+        assert!(!churned.is_quiet());
+    }
+
+    #[test]
+    fn from_record_copies_the_counters() {
+        let record = RunRecord {
+            faults_injected: 4,
+            session_resets: 2,
+            messages_lost: 17,
+            ..Default::default()
+        };
+        let churn = ChurnSummary::from_record(&record);
+        assert_eq!(churn.faults_injected, 4);
+        assert_eq!(churn.session_resets, 2);
+        assert_eq!(churn.messages_lost, 17);
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod delivery;
 pub mod exploration;
 pub mod export;
@@ -37,6 +38,7 @@ pub mod pipeline;
 pub mod report;
 pub mod timeline;
 
+pub use churn::ChurnSummary;
 pub use delivery::{delivery_timeseries, render_timeseries, DeliveryBucket};
 pub use exploration::{exploration_stats, ExplorationStats};
 pub use export::{to_csv, to_json, MetricsRow};
@@ -47,6 +49,7 @@ pub use timeline::{build_timeline, render_timeline, TimelineEvent};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::churn::ChurnSummary;
     pub use crate::delivery::{delivery_timeseries, render_timeseries, DeliveryBucket};
     pub use crate::exploration::{exploration_stats, ExplorationStats};
     pub use crate::export::{to_csv, to_json, MetricsRow};

@@ -15,6 +15,7 @@ use bgpsim_netsim::time::{SimDuration, SimTime};
 use bgpsim_sim::RunRecord;
 use bgpsim_topology::NodeId;
 
+use crate::churn::ChurnSummary;
 use crate::loop_stats::{summarize, LoopCensusSummary};
 use crate::report::{compute_metrics, PaperMetrics};
 
@@ -27,6 +28,8 @@ pub struct RunMeasurement {
     pub census: Vec<LoopRecord>,
     /// Aggregate loop statistics.
     pub census_summary: LoopCensusSummary,
+    /// What the fault layer did to the run (all zeros when fault-free).
+    pub churn: ChurnSummary,
 }
 
 /// Measures a completed run.
@@ -55,6 +58,7 @@ pub fn measure_run(
         metrics,
         census,
         census_summary,
+        churn: ChurnSummary::from_record(record),
     }
 }
 

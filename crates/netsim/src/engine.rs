@@ -22,6 +22,31 @@ pub struct EngineStats {
     pub max_pending: u64,
 }
 
+/// Rejected schedule request: the target time is before the engine's
+/// current clock.
+///
+/// Returned by [`Engine::try_schedule_at`]; [`Engine::schedule_at`]
+/// panics with this error's message instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastEventError {
+    /// The requested delivery time.
+    pub at: SimTime,
+    /// The engine clock when the request was made.
+    pub now: SimTime,
+}
+
+impl std::fmt::Display for PastEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot schedule into the past: {} < now {}",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for PastEventError {}
+
 /// Why an [`Engine::run`] loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -106,17 +131,29 @@ impl<E> Engine<E> {
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time: scheduling into
-    /// the past would violate causality.
+    /// the past would violate causality. Callers that want to reject a
+    /// bad timestamp gracefully (e.g. fault-plan installation) should
+    /// use [`Engine::try_schedule_at`] instead.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        assert!(
-            at >= self.now,
-            "cannot schedule into the past: {at} < now {}",
-            self.now
-        );
+        match self.try_schedule_at(at, payload) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at`, returning a typed
+    /// error instead of panicking when `at` is already in the past.
+    ///
+    /// On `Err` the engine is untouched: nothing is enqueued and no
+    /// statistics change.
+    pub fn try_schedule_at(&mut self, at: SimTime, payload: E) -> Result<EventId, PastEventError> {
+        if at < self.now {
+            return Err(PastEventError { at, now: self.now });
+        }
         self.stats.scheduled += 1;
         let id = self.queue.schedule(at, payload);
         self.stats.max_pending = self.stats.max_pending.max(self.queue.len() as u64);
-        id
+        Ok(id)
     }
 
     /// Schedules `payload` for delivery `delay` after the current time.
@@ -289,6 +326,23 @@ mod tests {
         e.schedule_at(SimTime::from_secs(5), ());
         e.pop();
         e.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn try_schedule_at_rejects_past_without_mutating() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::from_secs(5), 1);
+        e.pop();
+        let before = e.stats();
+        let err = e.try_schedule_at(SimTime::from_secs(1), 2).unwrap_err();
+        assert_eq!(err.at, SimTime::from_secs(1));
+        assert_eq!(err.now, SimTime::from_secs(5));
+        assert!(err.to_string().contains("cannot schedule into the past"));
+        // A rejected request leaves the engine untouched.
+        assert_eq!(e.stats(), before);
+        assert!(e.is_quiescent());
+        // Scheduling at exactly `now` is still fine.
+        assert!(e.try_schedule_at(SimTime::from_secs(5), 3).is_ok());
     }
 
     #[test]

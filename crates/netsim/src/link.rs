@@ -9,6 +9,7 @@
 //! magnitude below the message processing delay — so transport details
 //! are deliberately negligible.
 
+use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Statistics for a link direction.
@@ -18,6 +19,18 @@ pub struct LinkStats {
     pub delivered: u64,
     /// Messages dropped because the link was down.
     pub dropped: u64,
+    /// Messages dropped by the random-loss model while the link was up.
+    pub lost: u64,
+}
+
+/// Independent per-message random loss on an up link.
+///
+/// The generator is a child stream owned by this link direction, so
+/// loss draws here never perturb any other random sequence in the run.
+#[derive(Debug, Clone)]
+struct LossModel {
+    probability: f64,
+    rng: SimRng,
 }
 
 /// A unidirectional reliable FIFO channel with propagation delay.
@@ -39,6 +52,7 @@ pub struct Link {
     /// Latest arrival handed out so far; used to preserve FIFO order even
     /// if the delay is later reconfigured.
     last_arrival: SimTime,
+    loss: Option<LossModel>,
     stats: LinkStats,
 }
 
@@ -49,8 +63,22 @@ impl Link {
             delay,
             up: true,
             last_arrival: SimTime::ZERO,
+            loss: None,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Installs a random-loss model: each message transmitted while the
+    /// link is up is dropped with `probability`, drawn from `rng`.
+    ///
+    /// The generator should be a dedicated child stream for this link
+    /// direction (see `SimRng::fork`) so delivery decisions stay
+    /// bit-identical no matter what else draws randomness in the run.
+    /// A link without a loss model never draws, which keeps lossless
+    /// runs byte-identical to pre-fault behavior.
+    pub fn set_loss(&mut self, probability: f64, rng: SimRng) {
+        debug_assert!((0.0..=1.0).contains(&probability));
+        self.loss = Some(LossModel { probability, rng });
     }
 
     /// The propagation delay.
@@ -92,6 +120,12 @@ impl Link {
         if !self.up {
             self.stats.dropped += 1;
             return None;
+        }
+        if let Some(loss) = &mut self.loss {
+            if loss.rng.unit_f64() < loss.probability {
+                self.stats.lost += 1;
+                return None;
+            }
         }
         let arrival = (send_time + self.delay).max(self.last_arrival);
         self.last_arrival = arrival;
@@ -141,6 +175,44 @@ mod tests {
         // Sent later but with a much smaller delay: must not overtake.
         let a2 = l.transmit(SimTime::from_millis(10)).unwrap();
         assert!(a2 >= a1, "{a2} overtook {a1}");
+    }
+
+    #[test]
+    fn loss_model_drops_and_counts() {
+        let mut l = Link::new(SimDuration::from_millis(2));
+        l.set_loss(1.0, SimRng::new(1));
+        assert_eq!(l.transmit(SimTime::ZERO), None);
+        assert_eq!(l.stats().lost, 1);
+        assert_eq!(l.stats().delivered, 0);
+        // Down-drops are counted separately from loss-drops.
+        l.fail();
+        assert_eq!(l.transmit(SimTime::ZERO), None);
+        assert_eq!(l.stats().dropped, 1);
+        assert_eq!(l.stats().lost, 1);
+    }
+
+    #[test]
+    fn zero_loss_delivers_everything() {
+        let mut l = Link::new(SimDuration::from_millis(2));
+        l.set_loss(0.0, SimRng::new(1));
+        for ms in 0..50u64 {
+            assert!(l.transmit(SimTime::from_millis(ms)).is_some());
+        }
+        assert_eq!(l.stats().lost, 0);
+        assert_eq!(l.stats().delivered, 50);
+    }
+
+    #[test]
+    fn loss_pattern_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut l = Link::new(SimDuration::from_millis(2));
+            l.set_loss(0.3, SimRng::new(seed));
+            (0..100u64)
+                .map(|ms| l.transmit(SimTime::from_millis(ms)).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 
     #[test]

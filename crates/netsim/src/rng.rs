@@ -24,7 +24,7 @@ use crate::time::SimDuration;
 /// let hi = SimDuration::from_millis(500);
 /// assert_eq!(a.uniform_duration(lo, hi), b.uniform_duration(lo, hi));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimRng {
     inner: StdRng,
     seed: u64,

@@ -36,7 +36,13 @@ use crate::error::Error;
 /// and `max_queue_depth` run counters mean something slightly
 /// different (paper metrics are unchanged, but cached counter blocks
 /// from v1 would not match a fresh run).
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the fault-injection layer (`bgpsim-faults`) threads per-link
+/// loss models and scheduled session resets through the simulator;
+/// scenarios gained fault fields that participate in the fingerprint,
+/// and fault-free runs now traverse new dispatch paths. Counters from
+/// v2 entries would not be comparable.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Serializable mirror of [`PaperMetrics`] (durations as nanoseconds).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -155,8 +161,56 @@ impl RunCache {
     /// is what the executor uses on the hot path; use
     /// [`try_lookup`](Self::try_lookup) to distinguish a genuine miss
     /// from a damaged or unreadable entry.
+    ///
+    /// A corrupt (unparseable) entry is additionally *quarantined*:
+    /// moved into `<dir>/quarantine/` so it cannot be silently reread
+    /// on every sweep, and reported once via a `cache_quarantine` trace
+    /// event and a stderr note. Quarantine is best-effort — if the move
+    /// fails the entry is left in place and still reads as a miss.
     pub fn lookup(&self, spec: &str) -> Option<PaperMetrics> {
-        self.try_lookup(spec).ok().flatten()
+        match self.try_lookup(spec) {
+            Ok(found) => found,
+            Err(Error::CorruptEntry { path, detail }) => {
+                self.quarantine(&path, &detail);
+                None
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The directory corrupt entries are moved into by [`lookup`](Self::lookup).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Moves a corrupt entry out of the live cache (best-effort) and
+    /// reports it via trace + stderr.
+    fn quarantine(&self, path: &Path, detail: &str) {
+        let qdir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&qdir).and_then(|()| {
+            let dest = qdir.join(path.file_name().unwrap_or_default());
+            std::fs::rename(path, &dest).map(|()| dest)
+        });
+        let shown = match &moved {
+            Ok(dest) => dest.clone(),
+            Err(_) => path.to_path_buf(),
+        };
+        bgpsim_trace::TraceHandle::global().emit(|| bgpsim_trace::TraceEvent::CacheQuarantine {
+            path: shown.display().to_string(),
+            detail: detail.to_string(),
+        });
+        match moved {
+            Ok(dest) => eprintln!(
+                "bgpsim-runner: quarantined corrupt cache entry {} -> {} ({detail}); re-running",
+                path.display(),
+                dest.display()
+            ),
+            Err(e) => eprintln!(
+                "bgpsim-runner: corrupt cache entry {} ({detail}); quarantine failed: {e}; \
+                 treating as miss",
+                path.display()
+            ),
+        }
     }
 
     /// Looks up the result of a spec, reporting *why* nothing usable
@@ -327,6 +381,39 @@ mod tests {
             cache.lookup("spec-b").is_none(),
             "entry with mismatched spec string must not be served"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_on_lenient_lookup() {
+        let dir = temp_cache_dir("quarantine");
+        let cache = RunCache::new(&dir).unwrap();
+        cache.store("spec", &sample_metrics()).unwrap();
+        let path = cache.entry_path("spec");
+        std::fs::write(&path, b"{ mangled").unwrap();
+        assert!(cache.lookup("spec").is_none());
+        // The damaged file is gone from the live cache and parked in
+        // quarantine/ under the same name.
+        assert!(!path.exists(), "corrupt entry must leave the live cache");
+        let parked = cache.quarantine_dir().join(path.file_name().unwrap());
+        assert_eq!(std::fs::read(&parked).unwrap(), b"{ mangled");
+        // The slot is reusable: a fresh store serves hits again.
+        cache.store("spec", &sample_metrics()).unwrap();
+        assert_eq!(cache.lookup("spec"), Some(sample_metrics()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_does_not_touch_wrong_schema_entries() {
+        let dir = temp_cache_dir("quarantine-schema");
+        let old = RunCache::with_schema(&dir, SCHEMA_VERSION).unwrap();
+        old.store("spec", &sample_metrics()).unwrap();
+        let newer = RunCache::with_schema(&dir, SCHEMA_VERSION + 1).unwrap();
+        // Wrong-schema entries are ordinary misses, not corruption:
+        // they must stay in place for the old schema to keep serving.
+        assert!(newer.lookup("spec").is_none());
+        assert!(old.lookup("spec").is_some());
+        assert!(!newer.quarantine_dir().exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

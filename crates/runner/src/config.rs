@@ -20,6 +20,7 @@
 //! ```
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::error::Error;
 use crate::executor::{ProgressMode, Runner, GLOBAL};
@@ -37,6 +38,8 @@ pub struct RunnerConfig {
     journal: Option<PathBuf>,
     trace: Option<PathBuf>,
     progress: Option<ProgressMode>,
+    max_events: Option<u64>,
+    max_wall: Option<Duration>,
 }
 
 impl RunnerConfig {
@@ -52,7 +55,11 @@ impl RunnerConfig {
     /// * `BGPSIM_CACHE_DIR` — enable the run cache in this directory;
     /// * `BGPSIM_JOURNAL` — append a JSONL line per job to this file;
     /// * `BGPSIM_TRACE` — write a JSONL trace-event stream to this file;
-    /// * `BGPSIM_PROGRESS` — `auto`, `always`, or `never`.
+    /// * `BGPSIM_PROGRESS` — `auto`, `always`, or `never`;
+    /// * `BGPSIM_MAX_EVENTS` — per-job watchdog event budget (ignored
+    ///   unless a positive integer);
+    /// * `BGPSIM_MAX_WALL_MS` — per-job watchdog wall-clock budget in
+    ///   milliseconds (ignored unless a positive integer).
     ///
     /// Settings applied with builder methods afterwards take precedence
     /// over the environment.
@@ -77,6 +84,13 @@ impl RunnerConfig {
                 "never" => Some(ProgressMode::Never),
                 _ => None,
             }),
+            max_events: lookup("BGPSIM_MAX_EVENTS")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 0),
+            max_wall: lookup("BGPSIM_MAX_WALL_MS")
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&n| n > 0)
+                .map(Duration::from_millis),
         }
     }
 
@@ -121,6 +135,23 @@ impl RunnerConfig {
         self
     }
 
+    /// Caps every job at `max_events` simulation events. A job that
+    /// exceeds the cap is stopped cleanly and reported as
+    /// [`Error::Timeout`] carrying its partial counters.
+    #[must_use]
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Caps every job at `max_wall` of wall-clock time, checked at
+    /// event-chunk granularity (see [`Error::Timeout`]).
+    #[must_use]
+    pub fn max_wall(mut self, max_wall: Duration) -> Self {
+        self.max_wall = Some(max_wall);
+        self
+    }
+
     /// The configured worker count, if set.
     pub fn jobs_set(&self) -> Option<usize> {
         self.jobs
@@ -141,6 +172,16 @@ impl RunnerConfig {
         self.trace.as_deref()
     }
 
+    /// The configured per-job event budget, if set.
+    pub fn max_events_set(&self) -> Option<u64> {
+        self.max_events
+    }
+
+    /// The configured per-job wall-clock budget, if set.
+    pub fn max_wall_set(&self) -> Option<Duration> {
+        self.max_wall
+    }
+
     /// Builds the runner, failing fast on any unusable setting.
     ///
     /// Side effect: when a trace path is configured, the process-wide
@@ -156,6 +197,12 @@ impl RunnerConfig {
         let workers = self.jobs.unwrap_or_else(default_workers);
         let mut runner =
             Runner::new(workers).with_progress(self.progress.unwrap_or(ProgressMode::Auto));
+        if let Some(n) = self.max_events {
+            runner = runner.with_max_events(n);
+        }
+        if let Some(d) = self.max_wall {
+            runner = runner.with_max_wall(d);
+        }
         if let Some(dir) = self.cache_dir {
             runner = runner.with_cache_dir(dir)?;
         }
@@ -173,15 +220,27 @@ impl RunnerConfig {
     /// dropped instead of failing the build.
     pub fn build_lenient(self) -> Runner {
         let workers = self.jobs.unwrap_or_else(default_workers);
-        let mut runner =
-            Runner::new(workers).with_progress(self.progress.unwrap_or(ProgressMode::Auto));
+        let budgeted = |mut runner: Runner| {
+            if let Some(n) = self.max_events {
+                runner = runner.with_max_events(n);
+            }
+            if let Some(d) = self.max_wall {
+                runner = runner.with_max_wall(d);
+            }
+            runner
+        };
+        let mut runner = budgeted(
+            Runner::new(workers).with_progress(self.progress.unwrap_or(ProgressMode::Auto)),
+        );
         if let Some(dir) = self.cache_dir {
             match runner.with_cache_dir(dir) {
                 Ok(r) => runner = r,
                 Err(e) => {
                     eprintln!("bgpsim-runner: {e} (running uncached)");
-                    runner = Runner::new(workers)
-                        .with_progress(self.progress.unwrap_or(ProgressMode::Auto));
+                    runner = budgeted(
+                        Runner::new(workers)
+                            .with_progress(self.progress.unwrap_or(ProgressMode::Auto)),
+                    );
                 }
             }
         }
@@ -286,6 +345,25 @@ mod tests {
         // Untouched fields keep the env layer.
         let cfg = from_map(&map).jobs(8);
         assert_eq!(cfg.cache_dir_set(), Some(Path::new("/tmp/env-cache")));
+    }
+
+    #[test]
+    fn watchdog_env_vars_parse_and_reject_garbage() {
+        let map = env_of(&[("BGPSIM_MAX_EVENTS", "5000"), ("BGPSIM_MAX_WALL_MS", "250")]);
+        let cfg = from_map(&map);
+        assert_eq!(cfg.max_events_set(), Some(5000));
+        assert_eq!(cfg.max_wall_set(), Some(Duration::from_millis(250)));
+        // Zero and non-numeric values mean "no budget", not "budget 0"
+        // (a 0-event budget would fail every job before it starts).
+        let cfg = from_map(&env_of(&[
+            ("BGPSIM_MAX_EVENTS", "0"),
+            ("BGPSIM_MAX_WALL_MS", "soon"),
+        ]));
+        assert_eq!(cfg.max_events_set(), None);
+        assert_eq!(cfg.max_wall_set(), None);
+        // Builder beats env.
+        let cfg = from_map(&map).max_events(9);
+        assert_eq!(cfg.max_events_set(), Some(9));
     }
 
     #[test]

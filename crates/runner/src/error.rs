@@ -60,6 +60,18 @@ pub enum Error {
         /// The label of the job that panicked.
         label: String,
     },
+    /// A job exceeded its watchdog budget (event count or wall clock)
+    /// before converging. The worker pool stays healthy: the run is
+    /// stopped cleanly and its partial counters are preserved.
+    Timeout {
+        /// The label of the job that timed out.
+        label: String,
+        /// The simulation phase that was interrupted.
+        phase: &'static str,
+        /// Counters accumulated up to the stop, if the run collected
+        /// them.
+        counters: Option<bgpsim_trace::RunCounters>,
+    },
     /// [`init_global`](crate::init_global) was called after the
     /// process-wide runner had already been initialized.
     GlobalAlreadyInitialized,
@@ -88,6 +100,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::WorkerPanic { label } => write!(f, "job {label:?} panicked"),
+            Error::Timeout { label, phase, .. } => {
+                write!(f, "job {label:?} exceeded its watchdog budget in {phase}")
+            }
             Error::GlobalAlreadyInitialized => {
                 write!(f, "the process-wide runner is already initialized")
             }
@@ -104,6 +119,7 @@ impl std::error::Error for Error {
             | Error::Bench { source, .. } => Some(source),
             Error::CorruptEntry { .. }
             | Error::WorkerPanic { .. }
+            | Error::Timeout { .. }
             | Error::GlobalAlreadyInitialized => None,
         }
     }

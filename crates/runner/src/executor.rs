@@ -49,6 +49,38 @@ impl JobOutput {
     }
 }
 
+/// Watchdog limits the executor hands to each job closure.
+///
+/// A job that honors its budget (see [`Job::budgeted`]) converts a
+/// non-converging run into a clean [`JobTimeout`] instead of hanging a
+/// worker forever. Jobs built with [`Job::new`] ignore the budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobBudget {
+    /// Maximum simulation events for the run.
+    pub max_events: Option<u64>,
+    /// Wall-clock deadline for the run.
+    pub deadline: Option<Instant>,
+}
+
+impl JobBudget {
+    /// `true` if neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.deadline.is_none()
+    }
+}
+
+/// A job stopped by its watchdog budget before completing.
+#[derive(Debug, Clone)]
+pub struct JobTimeout {
+    /// The simulation phase that was interrupted.
+    pub phase: &'static str,
+    /// Counters accumulated up to the stop, if collected.
+    pub counters: Option<RunCounters>,
+}
+
+/// A job body: the run itself, given the executor's watchdog budget.
+pub type JobFn = Box<dyn FnOnce(&JobBudget) -> Result<JobOutput, JobTimeout> + Send>;
+
 /// One unit of work: an independent simulation run.
 pub struct Job {
     /// Human-readable description, shown in progress and journal.
@@ -56,14 +88,17 @@ pub struct Job {
     /// Canonical content fingerprint of the run, or `None` for
     /// uncacheable jobs (always executed).
     pub fingerprint: Option<String>,
-    /// The run itself. Must be a pure function of the fingerprint:
-    /// two jobs with equal fingerprints must produce equal metrics.
-    pub run: Box<dyn FnOnce() -> JobOutput + Send>,
+    /// The run itself, given the executor's watchdog budget. Must be a
+    /// pure function of the fingerprint: two jobs with equal
+    /// fingerprints must produce equal metrics.
+    pub run: JobFn,
 }
 
 impl Job {
     /// Creates a job. The closure may return either bare
-    /// [`PaperMetrics`] or a [`JobOutput`] carrying counters.
+    /// [`PaperMetrics`] or a [`JobOutput`] carrying counters. Jobs
+    /// built this way ignore the watchdog budget (they cannot time
+    /// out); use [`Job::budgeted`] for runs that honor it.
     pub fn new<R: Into<JobOutput>>(
         label: impl Into<String>,
         fingerprint: Option<String>,
@@ -72,7 +107,21 @@ impl Job {
         Job {
             label: label.into(),
             fingerprint,
-            run: Box::new(move || run().into()),
+            run: Box::new(move |_| Ok(run().into())),
+        }
+    }
+
+    /// Creates a budget-aware job: the closure receives the runner's
+    /// watchdog limits and reports [`JobTimeout`] when it stops early.
+    pub fn budgeted(
+        label: impl Into<String>,
+        fingerprint: Option<String>,
+        run: impl FnOnce(&JobBudget) -> Result<JobOutput, JobTimeout> + Send + 'static,
+    ) -> Self {
+        Job {
+            label: label.into(),
+            fingerprint,
+            run: Box::new(run),
         }
     }
 }
@@ -133,6 +182,7 @@ struct JournalLine {
     label: String,
     fingerprint: Option<String>,
     cached: bool,
+    timed_out: bool,
     elapsed_ms: f64,
     counters: Option<RunCounters>,
 }
@@ -165,6 +215,8 @@ pub struct Runner {
     cache: Option<RunCache>,
     journal: Option<Mutex<std::fs::File>>,
     progress: ProgressMode,
+    max_events: Option<u64>,
+    max_wall: Option<Duration>,
     stats: Mutex<StatsInner>,
 }
 
@@ -186,6 +238,8 @@ impl Runner {
             cache: None,
             journal: None,
             progress: ProgressMode::Never,
+            max_events: None,
+            max_wall: None,
             stats: Mutex::new(StatsInner::default()),
         }
     }
@@ -227,6 +281,23 @@ impl Runner {
     #[must_use]
     pub fn with_progress(mut self, mode: ProgressMode) -> Self {
         self.progress = mode;
+        self
+    }
+
+    /// Returns the runner with a per-job event budget: budget-aware
+    /// jobs that dispatch more simulation events are stopped cleanly
+    /// as [`Error::Timeout`].
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Returns the runner with a per-job wall-clock budget for
+    /// budget-aware jobs.
+    #[must_use]
+    pub fn with_max_wall(mut self, max_wall: Duration) -> Self {
+        self.max_wall = Some(max_wall);
         self
     }
 
@@ -341,25 +412,71 @@ impl Runner {
             run,
         } = job;
         let started = Instant::now();
-        let panic_label = label.clone();
-        let run_caught = move || {
-            catch_unwind(AssertUnwindSafe(run))
-                .map_err(|_| Error::WorkerPanic { label: panic_label })
+        let budget = JobBudget {
+            max_events: self.max_events,
+            deadline: self.max_wall.map(|d| started + d),
         };
-        let (output, cached) = match (&self.cache, &fingerprint) {
+        let panic_label = label.clone();
+        let run_caught = move || match catch_unwind(AssertUnwindSafe(move || run(&budget))) {
+            Ok(result) => result.map_err(|timeout| (timeout, panic_label)),
+            Err(_) => Err((
+                JobTimeout {
+                    phase: "panic",
+                    counters: None,
+                },
+                panic_label,
+            )),
+        };
+        let attempt = match (&self.cache, &fingerprint) {
             (Some(cache), Some(key)) => match cache.lookup(key) {
-                Some(metrics) => (JobOutput::from(metrics), true),
-                None => {
-                    let output = run_caught()?;
-                    if let Err(e) = cache.store(key, &output.metrics) {
+                Some(metrics) => Ok((JobOutput::from(metrics), true)),
+                None => run_caught().map(|output| {
+                    // Transient store failures (shared FS) are retried
+                    // with backoff; a persistent one costs only the
+                    // cache entry, not the result.
+                    let stored = crate::retry::with_backoff(
+                        crate::retry::IO_ATTEMPTS,
+                        crate::retry::IO_BACKOFF,
+                        || cache.store(key, &output.metrics),
+                    );
+                    if let Err(e) = stored {
                         eprintln!("bgpsim-runner: failed to cache {label:?}: {e} (continuing)");
                     }
                     (output, false)
-                }
+                }),
             },
-            _ => (run_caught()?, false),
+            _ => run_caught().map(|output| (output, false)),
         };
         let elapsed = started.elapsed();
+        let (output, cached) = match attempt {
+            Ok(pair) => pair,
+            Err((timeout, label)) if timeout.phase == "panic" => {
+                return Err(Error::WorkerPanic { label });
+            }
+            Err((timeout, label)) => {
+                // A watchdog stop is a real (partial) execution: count
+                // it, journal it, and surface the partial counters.
+                let counters = timeout.counters.map(|mut c| {
+                    c.wall_ms = elapsed.as_millis() as u64;
+                    c
+                });
+                {
+                    let mut stats = self.stats.lock().expect("stats lock");
+                    stats.jobs += 1;
+                    stats.executed += 1;
+                    stats.job_time += elapsed;
+                    if let Some(c) = &counters {
+                        stats.counters.merge(c);
+                    }
+                }
+                self.journal_record(&label, &fingerprint, false, true, elapsed, counters);
+                return Err(Error::Timeout {
+                    label,
+                    phase: timeout.phase,
+                    counters,
+                });
+            }
+        };
         let counters = output.counters.map(|mut c| {
             // The job measures simulation work; the executor owns the
             // wall clock (includes cache store + bookkeeping).
@@ -379,7 +496,7 @@ impl Runner {
                 stats.counters.merge(c);
             }
         }
-        self.journal_record(&label, &fingerprint, cached, elapsed, counters);
+        self.journal_record(&label, &fingerprint, cached, false, elapsed, counters);
         self.progress_tick(progress, &label, cached);
         Ok(output.metrics)
     }
@@ -389,6 +506,7 @@ impl Runner {
         label: &str,
         fingerprint: &Option<String>,
         cached: bool,
+        timed_out: bool,
         elapsed: Duration,
         counters: Option<RunCounters>,
     ) {
@@ -397,6 +515,7 @@ impl Runner {
             label: label.to_string(),
             fingerprint: fingerprint.clone(),
             cached,
+            timed_out,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             counters,
         };
@@ -504,14 +623,16 @@ impl Runner {
 }
 
 fn open_journal(path: &Path) -> Result<std::fs::File, Error> {
-    std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(|source| Error::Journal {
-            path: path.to_path_buf(),
-            source,
-        })
+    crate::retry::with_backoff(crate::retry::IO_ATTEMPTS, crate::retry::IO_BACKOFF, || {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+    })
+    .map_err(|source| Error::Journal {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// Per-run counter totals merged into the benchmark baseline.
@@ -560,6 +681,82 @@ mod tests {
         (0..n)
             .map(|i| Job::new(format!("job {i}"), None, move || metrics_for(i)))
             .collect()
+    }
+
+    #[test]
+    fn budgeted_job_timeout_surfaces_as_error_timeout() {
+        let runner = Runner::new(2).with_max_events(10);
+        let jobs = vec![
+            Job::new("fine", None, || metrics_for(1)),
+            Job::budgeted("stuck", None, |budget: &JobBudget| {
+                // A cooperative job checks its budget and stops early
+                // instead of spinning forever.
+                assert_eq!(budget.max_events, Some(10));
+                Err(JobTimeout {
+                    phase: "convergence",
+                    counters: Some(RunCounters {
+                        events: 10,
+                        ..Default::default()
+                    }),
+                })
+            }),
+        ];
+        let err = runner.run_jobs(jobs).unwrap_err();
+        match err {
+            Error::Timeout {
+                label,
+                phase,
+                counters,
+            } => {
+                assert_eq!(label, "stuck");
+                assert_eq!(phase, "convergence");
+                assert_eq!(counters.expect("partial counters").events, 10);
+            }
+            other => panic!("expected Error::Timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbudgeted_runner_passes_unlimited_budget() {
+        let runner = Runner::new(1);
+        let jobs = vec![Job::budgeted("free", None, |budget: &JobBudget| {
+            assert!(budget.is_unlimited());
+            Ok(JobOutput::from(metrics_for(3)))
+        })];
+        let out = runner.run_jobs(jobs).unwrap();
+        assert_eq!(out[0].ttl_exhaustions, 3);
+    }
+
+    #[test]
+    fn timeout_is_journaled_with_timed_out_flag() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "bgpsim-runner-timeout-journal-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let runner = Runner::new(1)
+            .with_max_wall(Duration::from_millis(1))
+            .with_journal_path(&path);
+        let jobs = vec![Job::budgeted("late", None, |_: &JobBudget| {
+            Err(JobTimeout {
+                phase: "warmup",
+                counters: None,
+            })
+        })];
+        assert!(matches!(
+            runner.run_jobs(jobs),
+            Err(Error::Timeout {
+                phase: "warmup",
+                ..
+            })
+        ));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text.lines().next().unwrap();
+        assert!(line.contains("\"label\":\"late\""), "journal line: {line}");
+        assert!(line.contains("\"timed_out\":true"), "journal line: {line}");
+        assert!(line.contains("\"cached\":false"), "journal line: {line}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -53,8 +53,11 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod executor;
+mod retry;
 
 pub use cache::{RunCache, SCHEMA_VERSION};
 pub use config::{init_global, RunnerConfig};
 pub use error::Error;
-pub use executor::{global, Job, JobOutput, ProgressMode, Runner, RunnerStats};
+pub use executor::{
+    global, Job, JobBudget, JobFn, JobOutput, JobTimeout, ProgressMode, Runner, RunnerStats,
+};

@@ -1,0 +1,77 @@
+//! Retry-with-backoff for transient I/O.
+//!
+//! Cache stores and journal opens can fail transiently on shared
+//! filesystems (NFS renames, AV scanners holding files, momentary
+//! ENOSPC). A short exponential backoff absorbs those without hiding
+//! persistent failures: the last error is returned after the final
+//! attempt.
+
+use std::time::Duration;
+
+/// Number of attempts for transient cache/journal I/O.
+pub(crate) const IO_ATTEMPTS: u32 = 3;
+
+/// Base delay before the first retry; doubles per subsequent retry.
+pub(crate) const IO_BACKOFF: Duration = Duration::from_millis(10);
+
+/// Runs `op` up to `attempts` times, sleeping `base * 2^i` between
+/// tries. Returns the first success or the last error.
+pub(crate) fn with_backoff<T, E>(
+    attempts: u32,
+    base: Duration,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut delay = base;
+    let mut last = op();
+    for _ in 1..attempts.max(1) {
+        if last.is_ok() {
+            break;
+        }
+        std::thread::sleep(delay);
+        delay = delay.saturating_mul(2);
+        last = op();
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn first_success_returns_immediately() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32, &str> = with_backoff(3, Duration::ZERO, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(7)
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32, &str> = with_backoff(3, Duration::ZERO, || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err("flaky")
+            } else {
+                Ok(9)
+            }
+        });
+        assert_eq!(out, Ok(9));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn persistent_failure_returns_last_error() {
+        let calls = AtomicU32::new(0);
+        let out: Result<u32, String> = with_backoff(3, Duration::ZERO, || {
+            let n = calls.fetch_add(1, Ordering::Relaxed);
+            Err(format!("attempt {n}"))
+        });
+        assert_eq!(out, Err("attempt 2".to_string()));
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+}

@@ -49,6 +49,10 @@ pub enum NetEvent {
     },
     /// A scheduled failure fires.
     Failure(FailureEvent),
+    /// A fault from an installed fault plan fires. Behaves like
+    /// [`NetEvent::Failure`] but is counted and traced as injected
+    /// churn (`fault_injected` events).
+    Fault(FailureEvent),
     /// A live data packet takes its next hop (event-driven data plane,
     /// used to cross-validate the replay engine).
     PacketHop {
@@ -75,6 +79,7 @@ impl NetEvent {
             NetEvent::MraiExpiry { .. } => "mrai_expiry",
             NetEvent::DampingReuse { .. } => "damping_reuse",
             NetEvent::Failure(_) => "failure",
+            NetEvent::Fault(_) => "fault",
             NetEvent::PacketHop { .. } => "packet_hop",
         }
     }

@@ -48,6 +48,16 @@ pub enum FailureEvent {
         /// The other endpoint.
         b: NodeId,
     },
+    /// The BGP session between `a` and `b` restarts: both ends flush
+    /// the peer's routes and immediately re-advertise. The underlying
+    /// link never goes down, so no messages are dropped in transit —
+    /// the churn comes purely from the control-plane flush.
+    SessionReset {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
 }
 
 impl FailureEvent {
@@ -60,6 +70,7 @@ impl FailureEvent {
             FailureEvent::LinkDown { a, b } => format!("link [{a} {b}] fails"),
             FailureEvent::NodeDown { node } => format!("node {node} fails"),
             FailureEvent::LinkUp { a, b } => format!("link [{a} {b}] recovers"),
+            FailureEvent::SessionReset { a, b } => format!("session [{a} {b}] resets"),
         }
     }
 }

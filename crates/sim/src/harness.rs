@@ -12,7 +12,11 @@
 //! [`ConvergenceExperiment`] packages those steps and returns the raw
 //! [`RunRecord`] for analysis.
 
+use std::fmt;
+use std::time::Instant;
+
 use bgpsim_core::{BgpConfig, Prefix};
+use bgpsim_faults::FaultPlan;
 use bgpsim_netsim::time::SimDuration;
 use bgpsim_topology::{Graph, NodeId};
 
@@ -24,6 +28,66 @@ use crate::record::RunRecord;
 /// Default per-phase event budget — far above any legitimate
 /// convergence at the paper's scales, so hitting it means divergence.
 pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
+
+/// Watchdog limits for a budgeted run (see
+/// [`ConvergenceExperiment::run_budgeted`]). The default has no limits
+/// beyond the experiment's own per-phase event budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Maximum total engine events across both phases.
+    pub max_events: Option<u64>,
+    /// Wall-clock deadline, checked between event chunks.
+    pub deadline: Option<Instant>,
+}
+
+impl RunBudget {
+    /// A budget with no watchdog limits.
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Caps total engine events.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A budgeted run stopped before reaching quiescence.
+///
+/// Carries the partial [`RunRecord`] accumulated up to the stop, so a
+/// watchdog can report counters for the aborted run instead of
+/// discarding everything.
+#[derive(Debug)]
+pub struct BudgetExceeded {
+    /// Which phase was interrupted: `"warmup"` or `"convergence"`.
+    pub phase: &'static str,
+    /// Observations recorded up to the stop.
+    pub record: RunRecord,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} exhausted its budget after {} events",
+            self.phase, self.record.events_dispatched
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Events per chunk when driving a budgeted run. Small enough that
+/// wall-clock deadlines are honored promptly, large enough that the
+/// chunking overhead is invisible.
+const BUDGET_CHUNK: u64 = 8192;
 
 /// A declarative two-phase convergence run.
 #[derive(Debug, Clone)]
@@ -46,6 +110,10 @@ pub struct ConvergenceExperiment {
     pub event_budget: u64,
     /// Trace handle for the run (`None` = use the process-wide sink).
     pub tracer: Option<bgpsim_trace::TraceHandle>,
+    /// Optional churn plan. When set, it replaces the single `failure`
+    /// event: the plan is installed after warm-up, anchored one second
+    /// past quiescence (the same beat a plain failure gets).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ConvergenceExperiment {
@@ -61,6 +129,7 @@ impl ConvergenceExperiment {
             seed: 0,
             event_budget: DEFAULT_EVENT_BUDGET,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -89,14 +158,42 @@ impl ConvergenceExperiment {
         self
     }
 
+    /// Replaces the single failure event with a churn plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Runs warm-up then failure, returning the recorded run.
     ///
     /// # Panics
     ///
     /// Panics if either phase exhausts the event budget (which would
     /// indicate protocol divergence — BGP with shortest-path policy
-    /// always converges) or if `origin` is not in the graph.
+    /// always converges), if `origin` is not in the graph, or if the
+    /// attached fault plan is invalid.
     pub fn run(&self) -> RunRecord {
+        match self.run_budgeted(&RunBudget::unlimited()) {
+            Ok(rec) => rec,
+            Err(e) if e.phase == "warmup" => panic!("warm-up exhausted the event budget"),
+            Err(_) => panic!("post-failure convergence exhausted the event budget"),
+        }
+    }
+
+    /// Runs warm-up then failure under watchdog `limit`s, returning the
+    /// partial record instead of hanging or panicking when a run does
+    /// not converge within budget.
+    ///
+    /// Limits are checked every [`BUDGET_CHUNK`] events; chunked
+    /// execution is observationally identical to one uninterrupted
+    /// drain, so a run that finishes within budget yields exactly the
+    /// record [`ConvergenceExperiment::run`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not in the graph or the fault plan is
+    /// rejected (configuration errors, not runtime conditions).
+    pub fn run_budgeted(&self, limit: &RunBudget) -> Result<RunRecord, Box<BudgetExceeded>> {
         assert!(
             self.graph.contains(self.origin),
             "origin {} not in graph",
@@ -107,22 +204,65 @@ impl ConvergenceExperiment {
             net = net.with_tracer(tracer.clone());
         }
         net.originate(self.origin, self.prefix);
-        let warmup = net.run_to_quiescence(self.event_budget);
-        assert_eq!(
-            warmup,
-            RunOutcome::Quiescent,
-            "warm-up exhausted the event budget"
-        );
+        if let Err(phase) = drive_phase(&mut net, self.event_budget, limit, "warmup") {
+            return Err(Box::new(BudgetExceeded {
+                phase,
+                record: net.into_record(),
+            }));
+        }
         // A short beat between quiescence and the failure keeps the
         // failure time strictly after the last warm-up activity.
-        net.schedule_failure(SimDuration::from_secs(1), self.failure);
-        let converge = net.run_to_quiescence(self.event_budget);
-        assert_eq!(
-            converge,
-            RunOutcome::Quiescent,
-            "post-failure convergence exhausted the event budget"
-        );
-        net.into_record()
+        match &self.faults {
+            Some(plan) => {
+                let anchor = net.now() + SimDuration::from_secs(1);
+                if let Err(e) = net.apply_fault_plan(plan, anchor) {
+                    panic!("invalid fault plan: {e}");
+                }
+            }
+            None => net.schedule_failure(SimDuration::from_secs(1), self.failure),
+        }
+        if let Err(phase) = drive_phase(&mut net, self.event_budget, limit, "convergence") {
+            return Err(Box::new(BudgetExceeded {
+                phase,
+                record: net.into_record(),
+            }));
+        }
+        Ok(net.into_record())
+    }
+}
+
+/// Drains `net` to quiescence in chunks, honoring the per-phase event
+/// budget and the watchdog `limit`. Returns `Err(phase)` when a budget
+/// trips first.
+fn drive_phase<P: bgpsim_core::decision::RoutePolicy>(
+    net: &mut SimNetwork<P>,
+    phase_budget: u64,
+    limit: &RunBudget,
+    phase: &'static str,
+) -> Result<(), &'static str> {
+    let phase_start = net.events_dispatched();
+    loop {
+        let phase_spent = net.events_dispatched() - phase_start;
+        if phase_spent >= phase_budget {
+            return Err(phase);
+        }
+        let mut step = BUDGET_CHUNK.min(phase_budget - phase_spent);
+        if let Some(max) = limit.max_events {
+            let total = net.events_dispatched();
+            if total >= max {
+                return Err(phase);
+            }
+            step = step.min(max - total);
+        }
+        if let Some(deadline) = limit.deadline {
+            if Instant::now() >= deadline {
+                return Err(phase);
+            }
+        }
+        match net.run_to_quiescence(step) {
+            RunOutcome::Quiescent => return Ok(()),
+            RunOutcome::BudgetExhausted => {}
+        }
     }
 }
 
@@ -130,7 +270,9 @@ impl ConvergenceExperiment {
 mod tests {
     use super::*;
     use bgpsim_core::Jitter;
+    use bgpsim_faults::FlapTrain;
     use bgpsim_topology::generators;
+    use std::time::Duration;
 
     #[test]
     fn tdown_experiment_produces_convergence_metrics() {
@@ -173,6 +315,150 @@ mod tests {
         assert_eq!(a.sends, b.sends);
         assert_eq!(a.failure_at, b.failure_at);
         assert_eq!(a.quiescent_at, b.quiescent_at);
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted() {
+        let make = || {
+            let g = generators::clique(5);
+            ConvergenceExperiment::new(
+                g,
+                NodeId::new(0),
+                FailureEvent::WithdrawPrefix {
+                    origin: NodeId::new(0),
+                    prefix: Prefix::new(0),
+                },
+            )
+            .with_seed(4)
+        };
+        let plain = make().run();
+        let budgeted = make()
+            .run_budgeted(&RunBudget::unlimited().with_max_events(10_000_000))
+            .expect("well within budget");
+        assert_eq!(plain.sends, budgeted.sends);
+        assert_eq!(plain.quiescent_at, budgeted.quiescent_at);
+        assert_eq!(plain.events_dispatched, budgeted.events_dispatched);
+    }
+
+    #[test]
+    fn tiny_event_budget_returns_partial_record() {
+        let g = generators::clique(6);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(2);
+        let err = exp
+            .run_budgeted(&RunBudget::unlimited().with_max_events(10))
+            .expect_err("10 events cannot complete warm-up of a 6-clique");
+        assert_eq!(err.phase, "warmup");
+        assert!(err.record.events_dispatched >= 10);
+        assert!(
+            err.record.events_dispatched < 10 + super::BUDGET_CHUNK,
+            "watchdog stopped promptly"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_stops_at_first_check() {
+        let g = generators::clique(5);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(2);
+        // Warm-up fits inside the event allowance; the already-expired
+        // deadline then trips at the first convergence-phase check.
+        let warmup_events = {
+            let full = exp.run();
+            let fail_at = full.failure_at.unwrap();
+            assert!(fail_at > bgpsim_netsim::time::SimTime::ZERO);
+            full.events_dispatched
+        };
+        let err = exp
+            .run_budgeted(
+                &RunBudget::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
+            )
+            .expect_err("expired deadline must stop the run");
+        assert_eq!(err.phase, "warmup");
+        assert!(err.record.events_dispatched < warmup_events);
+    }
+
+    #[test]
+    fn fault_plan_single_withdraw_matches_plain_tdown() {
+        let g = generators::clique(5);
+        let failure = FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        };
+        let plain = ConvergenceExperiment::new(g.clone(), NodeId::new(0), failure)
+            .with_seed(6)
+            .run();
+        let plan = FaultPlan::new().withdraw(SimDuration::ZERO, NodeId::new(0), Prefix::new(0));
+        let faulted = ConvergenceExperiment::new(g, NodeId::new(0), failure)
+            .with_seed(6)
+            .with_faults(plan)
+            .run();
+        assert_eq!(plain.sends, faulted.sends);
+        assert_eq!(plain.failure_at, faulted.failure_at);
+        assert_eq!(plain.quiescent_at, faulted.quiescent_at);
+        assert_eq!(plain.path_changes, faulted.path_changes);
+        assert_eq!(plain.events_dispatched, faulted.events_dispatched);
+        assert_eq!(faulted.faults_injected, 1);
+        assert_eq!(plain.faults_injected, 0);
+    }
+
+    #[test]
+    fn flap_train_converges_and_counts_faults() {
+        let (g, layout) = generators::bclique(3);
+        let exp = ConvergenceExperiment::new(
+            g,
+            layout.destination,
+            FailureEvent::LinkDown {
+                a: layout.destination,
+                b: layout.core_gateway,
+            },
+        )
+        .with_seed(5)
+        .with_faults(
+            FaultPlan::new().flap(
+                FlapTrain::new(layout.destination, layout.core_gateway)
+                    .with_period(SimDuration::from_secs(60))
+                    .with_count(2),
+            ),
+        );
+        let rec = exp.run();
+        // 2 cycles × (down + up) events.
+        assert_eq!(rec.faults_injected, 4);
+        assert!(rec.failure_at.is_some());
+        // The last fault is an up event, so everyone converges back to
+        // the direct paths.
+        let reps = exp.run();
+        assert_eq!(rec.sends, reps.sends, "churn runs replay exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plan_panics_in_run() {
+        let g = generators::clique(3);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_faults(FaultPlan::new());
+        let _ = exp.run();
     }
 
     #[test]

@@ -41,16 +41,23 @@ pub mod params;
 pub mod record;
 
 pub use failure::FailureEvent;
-pub use harness::ConvergenceExperiment;
+pub use harness::{BudgetExceeded, ConvergenceExperiment, RunBudget};
 pub use network::{RunOutcome, SimNetwork};
 pub use params::SimParams;
 pub use record::{RunRecord, UpdateSend};
 
+// Fault-plan types, re-exported so harness users don't need a direct
+// `bgpsim-faults` dependency.
+pub use bgpsim_faults::{FaultError, FaultKind, FaultPlan, FlapProfile, FlapTrain, LinkLoss};
+
 /// Commonly used types, for glob import.
 pub mod prelude {
     pub use crate::failure::FailureEvent;
-    pub use crate::harness::{ConvergenceExperiment, DEFAULT_EVENT_BUDGET};
+    pub use crate::harness::{
+        BudgetExceeded, ConvergenceExperiment, RunBudget, DEFAULT_EVENT_BUDGET,
+    };
     pub use crate::network::{RunOutcome, SimNetwork};
     pub use crate::params::SimParams;
     pub use crate::record::{RunRecord, UpdateSend};
+    pub use bgpsim_faults::{FaultKind, FaultPlan, FlapProfile, FlapTrain};
 }

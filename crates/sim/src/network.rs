@@ -11,6 +11,7 @@
 use bgpsim_core::decision::{RoutePolicy, ShortestPath};
 use bgpsim_core::{BgpConfig, FibEntry, Prefix, Router, RouterOutput};
 use bgpsim_dataplane::{NetworkFib, Packet, PacketFate};
+use bgpsim_faults::{FaultError, FaultKind, FaultPlan};
 use bgpsim_netsim::engine::Engine;
 use bgpsim_netsim::link::Link;
 use bgpsim_netsim::process::Processor;
@@ -81,6 +82,8 @@ pub struct SimNetwork<P: RoutePolicy = ShortestPath> {
     live_fates: Vec<(u64, PacketFate)>,
     failure_at: Option<SimTime>,
     events_dispatched: u64,
+    faults_injected: u64,
+    session_resets: u64,
     seed: u64,
     tracer: TraceHandle,
     /// Latest scheduled MRAI expiry event per (node, peer, prefix),
@@ -154,6 +157,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
             live_fates: Vec::new(),
             failure_at: None,
             events_dispatched: 0,
+            faults_injected: 0,
+            session_resets: 0,
             seed,
             tracer: TraceHandle::global(),
             mrai_pending: vec![Vec::new(); n],
@@ -223,6 +228,81 @@ impl<P: RoutePolicy> SimNetwork<P> {
         self.apply_failure(failure, now);
     }
 
+    /// Total engine events dispatched so far (monotone over the run).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Installs a [`FaultPlan`]: validates it, installs per-link loss
+    /// models, expands flap trains under the run seed, and schedules
+    /// every resulting fault relative to the `anchor` time.
+    ///
+    /// Determinism: loss models draw from child generators forked off
+    /// the run seed per directed link, and the expansion itself is a
+    /// pure function of `(seed, plan)` — nothing here perturbs the main
+    /// RNG stream, so a plan-free run stays byte-identical to pre-fault
+    /// behavior.
+    pub fn apply_fault_plan(
+        &mut self,
+        plan: &FaultPlan,
+        anchor: SimTime,
+    ) -> Result<(), FaultError> {
+        plan.validate()?;
+        // Reject unknown links before touching any state.
+        for l in &plan.loss {
+            if self.link_mut(l.a, l.b).is_none() || self.link_mut(l.b, l.a).is_none() {
+                return Err(FaultError::UnknownLink { a: l.a, b: l.b });
+            }
+        }
+        let events = plan.expand(self.seed);
+        for ev in &events {
+            if let FaultKind::LinkDown { a, b }
+            | FaultKind::LinkUp { a, b }
+            | FaultKind::SessionReset { a, b } = ev.kind
+            {
+                if self.link_mut(a, b).is_none() {
+                    return Err(FaultError::UnknownLink { a, b });
+                }
+            }
+            if anchor + ev.at < self.engine.now() {
+                return Err(FaultError::EventInPast {
+                    at: anchor + ev.at,
+                    now: self.engine.now(),
+                });
+            }
+        }
+        for l in &plan.loss {
+            if l.probability <= 0.0 {
+                // Lossless entries install nothing, so they can never
+                // draw and never perturb byte-identity.
+                continue;
+            }
+            for (x, y) in [(l.a, l.b), (l.b, l.a)] {
+                let rng = self.rng.fork(FaultPlan::loss_stream(x, y));
+                self.link_mut(x, y)
+                    .expect("loss link checked above")
+                    .set_loss(l.probability, rng);
+            }
+        }
+        for ev in events {
+            let failure = match ev.kind {
+                FaultKind::LinkDown { a, b } => FailureEvent::LinkDown { a, b },
+                FaultKind::LinkUp { a, b } => FailureEvent::LinkUp { a, b },
+                FaultKind::SessionReset { a, b } => FailureEvent::SessionReset { a, b },
+                FaultKind::Withdraw { origin, prefix } => {
+                    FailureEvent::WithdrawPrefix { origin, prefix }
+                }
+            };
+            self.engine
+                .try_schedule_at(anchor + ev.at, NetEvent::Fault(failure))
+                .map_err(|e| FaultError::EventInPast {
+                    at: e.at,
+                    now: e.now,
+                })?;
+        }
+        Ok(())
+    }
+
     /// Injects a live, event-driven data packet (for cross-validating
     /// the replay data plane).
     ///
@@ -284,6 +364,12 @@ impl<P: RoutePolicy> SimNetwork<P> {
 
     /// Consumes the simulation and returns the recorded observations.
     pub fn into_record(self) -> RunRecord {
+        let messages_lost = self
+            .links
+            .iter()
+            .flatten()
+            .map(|(_, link)| link.stats().lost)
+            .sum();
         RunRecord {
             node_count: self.routers.len(),
             failure_at: self.failure_at,
@@ -295,6 +381,9 @@ impl<P: RoutePolicy> SimNetwork<P> {
             router_stats: self.routers.iter().map(|r| r.stats()).collect(),
             events_dispatched: self.events_dispatched,
             max_queue_depth: self.engine.stats().max_pending,
+            faults_injected: self.faults_injected,
+            session_resets: self.session_resets,
+            messages_lost,
         }
     }
 
@@ -346,6 +435,15 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 self.apply_output(node, out, now);
             }
             NetEvent::Failure(f) => self.apply_failure(f, now),
+            NetEvent::Fault(f) => {
+                self.faults_injected += 1;
+                self.tracer.emit(|| TraceEvent::FaultInjected {
+                    seed: self.seed,
+                    t: now.as_nanos(),
+                    fault: f.describe(),
+                });
+                self.apply_failure(f, now);
+            }
             NetEvent::PacketHop {
                 id,
                 node,
@@ -373,7 +471,25 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 }
             }
             FailureEvent::LinkUp { a, b } => self.restore_link(a, b, now),
+            FailureEvent::SessionReset { a, b } => self.reset_session(a, b, now),
         }
+    }
+
+    /// Applies a session reset: both endpoints flush and immediately
+    /// re-advertise. The links are untouched, so in-flight messages
+    /// still arrive (and are then judged by the post-reset RIBs).
+    fn reset_session(&mut self, a: NodeId, b: NodeId, now: SimTime) {
+        self.session_resets += 1;
+        self.tracer.emit(|| TraceEvent::SessionReset {
+            seed: self.seed,
+            t: now.as_nanos(),
+            a: a.as_u32(),
+            b: b.as_u32(),
+        });
+        let out_a = self.routers[a.index()].reset_peer(b, now, &mut self.rng);
+        self.apply_output(a, out_a, now);
+        let out_b = self.routers[b.index()].reset_peer(a, now, &mut self.rng);
+        self.apply_output(b, out_b, now);
     }
 
     /// The directed link `from -> to`, if the edge exists.
@@ -789,6 +905,79 @@ mod tests {
             net.into_record().sends
         };
         assert_eq!(run_sliced(), run_whole());
+    }
+
+    #[test]
+    fn session_reset_flushes_and_reconverges() {
+        let g = generators::clique(4);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 13);
+        net.originate(n(0), p());
+        net.run_to_quiescence(10_000_000);
+        net.inject_failure(FailureEvent::SessionReset { a: n(0), b: n(1) });
+        assert_eq!(net.run_to_quiescence(10_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        assert_eq!(rec.session_resets, 1);
+        // The reset is transient: the final routes are as before.
+        for i in 1..4 {
+            assert_eq!(rec.fib.current(n(i), p()), Some(FibEntry::Via(n(0))));
+        }
+    }
+
+    #[test]
+    fn fault_plan_unknown_link_is_rejected() {
+        let g = generators::chain(3);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 1);
+        let plan = bgpsim_faults::FaultPlan::new().link_down(SimDuration::ZERO, n(0), n(2));
+        let err = net.apply_fault_plan(&plan, net.now()).unwrap_err();
+        assert_eq!(
+            err,
+            bgpsim_faults::FaultError::UnknownLink { a: n(0), b: n(2) }
+        );
+    }
+
+    #[test]
+    fn fault_plan_into_past_is_typed_error_not_panic() {
+        let g = generators::chain(3);
+        let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), 1);
+        net.originate(n(0), p());
+        net.run_to_quiescence(1_000_000);
+        let now = net.now();
+        assert!(now > SimTime::ZERO);
+        let plan = bgpsim_faults::FaultPlan::new().link_down(SimDuration::ZERO, n(0), n(1));
+        let err = net.apply_fault_plan(&plan, SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            bgpsim_faults::FaultError::EventInPast {
+                at: SimTime::ZERO,
+                now
+            }
+        );
+        // The rejected plan scheduled nothing.
+        assert_eq!(net.run_to_quiescence(1_000_000), RunOutcome::Quiescent);
+        let rec = net.into_record();
+        assert_eq!(rec.faults_injected, 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_are_counted_and_deterministic() {
+        let run = |seed: u64| {
+            let g = generators::clique(5);
+            let mut net = SimNetwork::new(&g, cfg(), SimParams::default(), seed);
+            let plan = bgpsim_faults::FaultPlan::new()
+                .loss(n(0), n(1), 0.5)
+                .session_reset(SimDuration::from_secs(1), n(0), n(1));
+            net.apply_fault_plan(&plan, net.now()).unwrap();
+            net.originate(n(0), p());
+            net.run_to_quiescence(10_000_000);
+            net.into_record()
+        };
+        let a = run(21);
+        let b = run(21);
+        assert_eq!(a.sends, b.sends);
+        assert_eq!(a.messages_lost, b.messages_lost);
+        assert!(a.messages_lost > 0, "p=0.5 on a busy link must drop some");
+        assert_eq!(a.faults_injected, 1);
+        assert_eq!(a.session_resets, 1);
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub struct RunRecord {
     pub events_dispatched: u64,
     /// High-water mark of the engine's pending-event queue.
     pub max_queue_depth: u64,
+    /// Fault-plan events that fired (zero when no plan was installed).
+    pub faults_injected: u64,
+    /// BGP session resets applied (a subset of `faults_injected` plus
+    /// any directly injected resets).
+    pub session_resets: u64,
+    /// Messages dropped by the random-loss model across all links.
+    pub messages_lost: u64,
 }
 
 impl RunRecord {

@@ -140,6 +140,37 @@ pub enum TraceEvent {
         /// Aggregated hot-path counters for the run.
         counters: RunCounters,
     },
+    /// A planned fault fired inside the simulator.
+    FaultInjected {
+        /// The run's RNG seed.
+        seed: u64,
+        /// Simulation time of injection, nanoseconds.
+        t: u64,
+        /// Human-readable fault description (e.g. "link [AS0 AS5] fails").
+        fault: String,
+    },
+    /// A BGP session was torn down and immediately re-established.
+    SessionReset {
+        /// The run's RNG seed.
+        seed: u64,
+        /// Simulation time of the reset, nanoseconds.
+        t: u64,
+        /// One session endpoint.
+        a: u32,
+        /// The other session endpoint.
+        b: u32,
+    },
+    /// The run cache moved a corrupt entry into quarantine.
+    ///
+    /// Emitted by infrastructure rather than a simulation run, so it
+    /// carries no meaningful seed or time (both serialize as zero to
+    /// keep every JSONL line uniformly shaped).
+    CacheQuarantine {
+        /// Quarantined file path.
+        path: String,
+        /// Why the entry was rejected.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -154,6 +185,9 @@ impl TraceEvent {
             TraceEvent::LoopOnset { .. } => "loop_onset",
             TraceEvent::LoopOffset { .. } => "loop_offset",
             TraceEvent::RunSummary { .. } => "run_summary",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::SessionReset { .. } => "session_reset",
+            TraceEvent::CacheQuarantine { .. } => "cache_quarantine",
         }
     }
 
@@ -167,7 +201,10 @@ impl TraceEvent {
             | TraceEvent::MraiFired { seed, .. }
             | TraceEvent::LoopOnset { seed, .. }
             | TraceEvent::LoopOffset { seed, .. }
-            | TraceEvent::RunSummary { seed, .. } => seed,
+            | TraceEvent::RunSummary { seed, .. }
+            | TraceEvent::FaultInjected { seed, .. }
+            | TraceEvent::SessionReset { seed, .. } => seed,
+            TraceEvent::CacheQuarantine { .. } => 0,
         }
     }
 }
@@ -271,6 +308,25 @@ impl serde::Serialize for TraceEvent {
                         fields.push((k, v));
                     }
                 }
+            }
+            TraceEvent::FaultInjected { seed, t, fault } => {
+                put("seed", Value::UInt(*seed));
+                put("t", Value::UInt(*t));
+                put("fault", Value::Str(fault.clone()));
+            }
+            TraceEvent::SessionReset { seed, t, a, b } => {
+                put("seed", Value::UInt(*seed));
+                put("t", Value::UInt(*t));
+                put("a", Value::UInt(u64::from(*a)));
+                put("b", Value::UInt(u64::from(*b)));
+            }
+            TraceEvent::CacheQuarantine { path, detail } => {
+                // Uniform line shape: every trace line has numeric
+                // seed/t, even infrastructure events.
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("path", Value::Str(path.clone()));
+                put("detail", Value::Str(detail.clone()));
             }
         }
         Value::Object(fields)
@@ -646,6 +702,21 @@ mod tests {
                     events: 10,
                     ..Default::default()
                 },
+            },
+            TraceEvent::FaultInjected {
+                seed: 1,
+                t: 2,
+                fault: "link [AS0 AS5] fails".into(),
+            },
+            TraceEvent::SessionReset {
+                seed: 1,
+                t: 2,
+                a: 0,
+                b: 5,
+            },
+            TraceEvent::CacheQuarantine {
+                path: "/tmp/cache/deadbeef.json".into(),
+                detail: "parse error".into(),
             },
         ];
         for ev in events {

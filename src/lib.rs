@@ -51,6 +51,7 @@ pub mod cli;
 pub use bgpsim_core as bgp;
 pub use bgpsim_dataplane as dataplane;
 pub use bgpsim_experiments as experiments;
+pub use bgpsim_faults as faults;
 pub use bgpsim_metrics as metrics;
 pub use bgpsim_netsim as netsim;
 pub use bgpsim_runner as runner;
