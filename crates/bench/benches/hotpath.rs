@@ -12,6 +12,12 @@
 //!   CI bench-smoke job fails if this regresses >25% against the
 //!   committed `BENCH_hotpath.json` baseline.
 //!
+//! The `replay` group benchmarks the measurement pipeline's epoch-
+//! indexed batched packet replay against the naive per-packet oracle
+//! (index build, batched vs naive walk over the paper's traffic fleet,
+//! and the end-to-end `measure_run`); CI gates it at >25% regression
+//! against the committed `BENCH_replay.json` baseline.
+//!
 //! Set `BGPSIM_BENCH_JSON=<file>` to emit the machine-readable report.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -19,6 +25,7 @@ use std::hint::black_box;
 
 use bgpsim_core::prelude::*;
 use bgpsim_dataplane::prelude::*;
+use bgpsim_metrics::prelude::*;
 use bgpsim_netsim::prelude::*;
 use bgpsim_netsim::queue::EventQueue;
 use bgpsim_sim::prelude::*;
@@ -119,6 +126,53 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
 }
 
+fn bench_replay(c: &mut Criterion) {
+    let record = clique8_tdown().run();
+    let prefix = Prefix::new(0);
+    let destination = NodeId::new(0);
+    let link_delay = SimDuration::from_millis(2);
+    // The exact fleet `measure_run` replays: paper sources over the
+    // record's replay window, traffic fork tag 0xDA7A, seed 1.
+    let mut rng = SimRng::new(1).fork(0xDA7A);
+    let sources = paper_sources(record.node_count, destination, &mut rng);
+    let (start, end) = record.replay_window();
+    let packets = generate_packets(&sources, prefix, DEFAULT_TTL, start, end);
+    assert!(!packets.is_empty(), "bench fleet must be nonempty");
+
+    c.bench_function("replay/epoch_index_build_clique8", |b| {
+        b.iter(|| black_box(black_box(&record.fib).epoch_index(prefix)))
+    });
+    c.bench_function("replay/walk_naive_clique8", |b| {
+        b.iter(|| {
+            black_box(walk_all(
+                black_box(&record.fib),
+                black_box(&packets),
+                link_delay,
+            ))
+        })
+    });
+    c.bench_function("replay/walk_batched_clique8", |b| {
+        let index = record.fib.epoch_index(prefix);
+        b.iter(|| {
+            black_box(walk_indexed_batch(
+                black_box(&index),
+                black_box(&packets),
+                link_delay,
+            ))
+        })
+    });
+    c.bench_function("replay/measure_run_clique8", |b| {
+        b.iter(|| {
+            black_box(measure_run(
+                black_box(&record),
+                destination,
+                prefix,
+                black_box(1),
+            ))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_aspath_ops,
@@ -126,4 +180,5 @@ criterion_group!(
     bench_queue_churn,
     bench_end_to_end
 );
-criterion_main!(benches);
+criterion_group!(replay, bench_replay);
+criterion_main!(benches, replay);

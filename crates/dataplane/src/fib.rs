@@ -186,6 +186,15 @@ impl NetworkFib {
             .collect()
     }
 
+    /// Builds the per-prefix [`EpochIndex`](crate::epoch::EpochIndex)
+    /// over this history: the sorted change instants plus an `O(1)`
+    /// `(node, epoch)` entry table. Built once per run by the
+    /// measurement pipeline, it backs the batched packet replay and
+    /// shares its delta stream with the incremental loop census.
+    pub fn epoch_index(&self, prefix: Prefix) -> crate::epoch::EpochIndex {
+        crate::epoch::EpochIndex::build(self, prefix)
+    }
+
     /// Iterates over every `(node, prefix, time, entry)` change in
     /// per-node order (not globally time-sorted).
     pub fn iter_changes(

@@ -18,6 +18,16 @@
 //! contains an event-driven forwarder used to cross-validate the
 //! equivalence.
 //!
+//! Production measurement replays whole fleets through the
+//! [`epoch::EpochIndex`]: the prefix's FIB history is cut into
+//! *epochs* at its change instants, walks read an `O(1)`
+//! `(node, epoch)` table behind monotone cursors instead of doing a
+//! per-hop binary search, and walks confined to one epoch are memoized
+//! per `(source, epoch, TTL)` ([`replay::walk_all_batched`]). Fates
+//! are bit-identical to the per-packet walk (property-tested); the
+//! same index hands its change stream to the loop census
+//! ([`loopscan::loop_census_deltas`]) so one pass serves both.
+//!
 //! ## Example
 //!
 //! ```
@@ -40,23 +50,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch;
 pub mod fib;
 pub mod loopscan;
 pub mod packet;
 pub mod replay;
 pub mod source;
 
+pub use epoch::EpochIndex;
 pub use fib::{FibDeltas, FibHistory, NetworkFib};
-pub use loopscan::{find_loops, loop_census, loop_census_full, LoopRecord};
+pub use loopscan::{find_loops, loop_census, loop_census_deltas, loop_census_full, LoopRecord};
 pub use packet::{Packet, PacketFate, DEFAULT_TTL};
-pub use replay::{generate_packets, walk_all, walk_packet, walk_packet_traced};
+pub use replay::{
+    generate_packets, walk_all, walk_all_batched, walk_all_batched_stats, walk_indexed_batch,
+    walk_packet, walk_packet_traced, ReplayStats,
+};
 pub use source::{paper_sources, CbrSource};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
+    pub use crate::epoch::EpochIndex;
     pub use crate::fib::{FibDeltas, FibHistory, NetworkFib};
-    pub use crate::loopscan::{find_loops, loop_census, loop_census_full, LoopRecord};
+    pub use crate::loopscan::{
+        find_loops, loop_census, loop_census_deltas, loop_census_full, LoopRecord,
+    };
     pub use crate::packet::{Packet, PacketFate, DEFAULT_TTL};
-    pub use crate::replay::{generate_packets, walk_all, walk_packet, walk_packet_traced};
+    pub use crate::replay::{
+        generate_packets, walk_all, walk_all_batched, walk_all_batched_stats, walk_indexed_batch,
+        walk_packet, walk_packet_traced, ReplayStats,
+    };
     pub use crate::source::{paper_sources, CbrSource};
 }

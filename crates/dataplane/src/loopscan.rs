@@ -158,7 +158,22 @@ impl LoopRecord {
 /// and every initial edge arrives as a dirty delta. Produces exactly
 /// the records of [`loop_census_full`] (property-tested below).
 pub fn loop_census(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
-    let n = fib.node_count();
+    loop_census_deltas(fib.node_count(), &fib.changes_by_time(prefix))
+}
+
+/// [`loop_census`] over an already-materialized delta stream (the
+/// `(instant, last-writer-wins deltas)` groups of
+/// [`NetworkFib::changes_by_time`]).
+///
+/// The epoch-indexed replay layer builds the same stream once per run
+/// ([`EpochIndex::deltas`](crate::epoch::EpochIndex::deltas)); taking
+/// it borrowed here lets the census and the packet replay share that
+/// single pass over the FIB history.
+pub fn loop_census_deltas(
+    node_count: usize,
+    stream: &[(SimTime, crate::fib::FibDeltas)],
+) -> Vec<LoopRecord> {
+    let n = node_count;
     // Current next-hop edge per node; out-of-range and non-Via entries
     // are sinks, exactly as in `find_loops`.
     let mut next: Vec<Option<usize>> = vec![None; n];
@@ -177,9 +192,9 @@ pub fn loop_census(fib: &NetworkFib, prefix: Prefix) -> Vec<LoopRecord> {
     let mut records = Vec::new();
     let mut dirty: Vec<usize> = Vec::new();
 
-    for (t, deltas) in fib.changes_by_time(prefix) {
+    for &(t, ref deltas) in stream {
         dirty.clear();
-        for (node, entry) in deltas {
+        for &(node, entry) in deltas {
             let i = node.index();
             let new_next = match entry {
                 Some(FibEntry::Via(v)) if v.index() < n => Some(v.index()),

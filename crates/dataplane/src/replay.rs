@@ -6,11 +6,21 @@
 //! that happen while the packet is in flight are honored exactly as in
 //! a fully interleaved event simulation (`bgpsim-sim` cross-checks
 //! this equivalence).
+//!
+//! [`walk_all_batched`] is the production path: it replays a whole
+//! fleet against a per-prefix [`EpochIndex`], replacing the per-hop
+//! binary search with a monotone epoch cursor and memoizing walks that
+//! stay inside one FIB epoch. Fates are bit-identical to per-packet
+//! [`walk_packet`] (property-tested here and in CI); the naive walk is
+//! retained as the oracle.
+
+use std::collections::HashMap;
 
 use bgpsim_core::{FibEntry, Prefix};
 use bgpsim_netsim::time::{SimDuration, SimTime};
 use bgpsim_topology::NodeId;
 
+use crate::epoch::EpochIndex;
 use crate::fib::NetworkFib;
 use crate::packet::{Packet, PacketFate};
 
@@ -60,6 +70,12 @@ pub fn walk_packet_traced(
     let mut node = packet.src;
     let mut at = packet.sent_at;
     let mut ttl = packet.ttl;
+    if let Some(tr) = trace.as_deref_mut() {
+        // A walk visits at most ttl + 1 nodes (one per TTL decrement
+        // plus the fate node): reserve the bound once instead of
+        // growing per hop.
+        tr.reserve((packet.ttl as usize + 1).saturating_sub(tr.len()));
+    }
     loop {
         if let Some(tr) = trace.as_deref_mut() {
             tr.push(Hop { node, at });
@@ -85,11 +101,262 @@ pub fn walk_packet_traced(
 }
 
 /// Walks a batch of packets and returns their fates in order.
+///
+/// This is the naive per-packet oracle: one independent time-indexed
+/// FIB lookup per hop. Production measurement goes through
+/// [`walk_all_batched`], which must (and is property-tested to)
+/// produce identical fates.
 pub fn walk_all(fib: &NetworkFib, packets: &[Packet], link_delay: SimDuration) -> Vec<PacketFate> {
     packets
         .iter()
         .map(|p| walk_packet(fib, p, link_delay))
         .collect()
+}
+
+/// Counters from one batched replay ([`walk_all_batched_stats`] /
+/// [`walk_indexed_batch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Packets replayed.
+    pub packets: u64,
+    /// Packets whose fate was reconstructed from a memoized walk.
+    pub memo_hits: u64,
+    /// Walks actually executed (`packets - memo_hits`).
+    pub walks: u64,
+    /// Epoch boundaries (distinct FIB change instants) in the indexes
+    /// the batch ran against.
+    pub epochs: u64,
+}
+
+impl ReplayStats {
+    /// Fraction of packets served from the memo, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.packets as f64
+        }
+    }
+
+    /// Folds another batch's counters into this one (all sums).
+    pub fn merge(&mut self, other: &ReplayStats) {
+        self.packets += other.packets;
+        self.memo_hits += other.memo_hits;
+        self.walks += other.walks;
+        self.epochs += other.epochs;
+    }
+}
+
+/// How a memoized walk ended; together with the step count this
+/// reconstructs the exact [`PacketFate`] for any packet that provably
+/// repeats the same trajectory.
+#[derive(Debug, Clone, Copy)]
+enum MemoEnd {
+    Delivered,
+    NoRoute(NodeId),
+    TtlExhausted(NodeId),
+}
+
+/// A send-time-relative walk: `steps` hops of `link_delay` each, then
+/// `end`. Valid for reuse only while the whole walk stays inside the
+/// launch epoch (checked at lookup time against the epoch boundary).
+#[derive(Debug, Clone, Copy)]
+struct MemoWalk {
+    steps: u32,
+    end: MemoEnd,
+}
+
+impl MemoWalk {
+    /// The fate of a packet whose walk ends at `at` (exactly
+    /// `sent_at + steps × link_delay`, matching the naive walk's
+    /// repeated `at += link_delay` in u64 nanoseconds).
+    fn fate_at(&self, at: SimTime) -> PacketFate {
+        match self.end {
+            MemoEnd::Delivered => PacketFate::Delivered {
+                at,
+                hops: self.steps,
+            },
+            MemoEnd::NoRoute(node) => PacketFate::NoRoute { at, node },
+            MemoEnd::TtlExhausted(node) => PacketFate::TtlExhausted { at, node },
+        }
+    }
+}
+
+/// Batched replay: like [`walk_all`] (identical fates, in order), but
+/// through per-prefix [`EpochIndex`]es with single-epoch memoization.
+///
+/// See [`walk_indexed_batch`] for the mechanics. Packets are grouped
+/// by prefix and each group gets its own index; callers that already
+/// built an index (one per run in `bgpsim-metrics`) should use
+/// [`walk_indexed_batch`] directly.
+pub fn walk_all_batched(
+    fib: &NetworkFib,
+    packets: &[Packet],
+    link_delay: SimDuration,
+) -> Vec<PacketFate> {
+    walk_all_batched_stats(fib, packets, link_delay).0
+}
+
+/// [`walk_all_batched`] plus the batch's [`ReplayStats`].
+pub fn walk_all_batched_stats(
+    fib: &NetworkFib,
+    packets: &[Packet],
+    link_delay: SimDuration,
+) -> (Vec<PacketFate>, ReplayStats) {
+    let mut groups: std::collections::BTreeMap<Prefix, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, p) in packets.iter().enumerate() {
+        groups.entry(p.prefix).or_default().push(i);
+    }
+    let mut fates: Vec<Option<PacketFate>> = vec![None; packets.len()];
+    let mut stats = ReplayStats::default();
+    for (prefix, mut order) in groups {
+        let index = EpochIndex::build(fib, prefix);
+        order.sort_by_key(|&i| packets[i].sent_at);
+        walk_group(&index, packets, &order, link_delay, &mut fates, &mut stats);
+    }
+    let fates = fates
+        .into_iter()
+        .map(|f| f.expect("every packet is in exactly one prefix group"))
+        .collect();
+    (fates, stats)
+}
+
+/// Replays `packets` (all toward `index.prefix()`) against a prebuilt
+/// [`EpochIndex`], returning fates in packet order plus the batch's
+/// [`ReplayStats`].
+///
+/// Mechanics: packets are processed in send-time order behind one
+/// monotone launch-epoch cursor; each executed walk advances its own
+/// epoch cursor per hop (`O(1)` amortized — no per-hop binary search)
+/// and does an `O(1)` table lookup. A walk that never leaves its
+/// launch epoch is memoized under `(source, launch epoch, TTL)` as a
+/// send-time-relative trajectory; a later packet with the same key
+/// reuses it iff its reconstructed fate time still precedes the epoch
+/// boundary — inside a frozen forwarding graph the trajectory is
+/// provably identical, so the reconstructed fate is bit-identical to
+/// what [`walk_packet`] would compute.
+pub fn walk_indexed_batch(
+    index: &EpochIndex,
+    packets: &[Packet],
+    link_delay: SimDuration,
+) -> (Vec<PacketFate>, ReplayStats) {
+    debug_assert!(
+        packets.iter().all(|p| p.prefix == index.prefix()),
+        "every packet must target the indexed prefix"
+    );
+    let mut order: Vec<usize> = (0..packets.len()).collect();
+    order.sort_by_key(|&i| packets[i].sent_at);
+    let mut fates: Vec<Option<PacketFate>> = vec![None; packets.len()];
+    let mut stats = ReplayStats::default();
+    walk_group(index, packets, &order, link_delay, &mut fates, &mut stats);
+    let fates = fates
+        .into_iter()
+        .map(|f| f.expect("every packet was walked"))
+        .collect();
+    (fates, stats)
+}
+
+/// Replays one prefix group (`order` = packet indices sorted by send
+/// time) through `index`, filling `fates` slots and accumulating
+/// `stats`.
+fn walk_group(
+    index: &EpochIndex,
+    packets: &[Packet],
+    order: &[usize],
+    link_delay: SimDuration,
+    fates: &mut [Option<PacketFate>],
+    stats: &mut ReplayStats,
+) {
+    let boundaries = index.boundaries();
+    let changes = boundaries.len();
+    stats.epochs += changes as u64;
+    let mut memo: HashMap<(u32, u32, u32), MemoWalk> = HashMap::new();
+    // Send times arrive sorted, so the launch epoch only moves forward.
+    let mut launch = 0usize;
+    for &i in order {
+        let packet = &packets[i];
+        while launch < changes && boundaries[launch] <= packet.sent_at {
+            launch += 1;
+        }
+        stats.packets += 1;
+        let key = (packet.src.as_u32(), launch as u32, packet.ttl);
+        if let Some(walk) = memo.get(&key) {
+            let fate_at = packet.sent_at + link_delay * u64::from(walk.steps);
+            // Reusable iff the whole walk (last lookup happens at the
+            // fate instant) precedes the next FIB change. Strict: a
+            // lookup exactly at the boundary already sees the new
+            // epoch.
+            if launch == changes || fate_at < boundaries[launch] {
+                stats.memo_hits += 1;
+                fates[i] = Some(walk.fate_at(fate_at));
+                continue;
+            }
+        }
+        stats.walks += 1;
+        let (fate, walk, single_epoch) = walk_indexed(index, packet, link_delay, launch as u32);
+        if single_epoch {
+            memo.insert(key, walk);
+        }
+        fates[i] = Some(fate);
+    }
+}
+
+/// One full walk through the epoch table, starting from a known launch
+/// epoch. Returns the fate, the send-time-relative [`MemoWalk`], and
+/// whether the walk stayed inside its launch epoch (= memoizable).
+fn walk_indexed(
+    index: &EpochIndex,
+    packet: &Packet,
+    link_delay: SimDuration,
+    launch_epoch: u32,
+) -> (PacketFate, MemoWalk, bool) {
+    let boundaries = index.boundaries();
+    let changes = boundaries.len();
+    let mut node = packet.src;
+    let mut at = packet.sent_at;
+    let mut ttl = packet.ttl;
+    let mut steps = 0u32;
+    let mut epoch = launch_epoch as usize;
+    loop {
+        // The hop times of one walk are nondecreasing, so this cursor
+        // is monotone: O(1) amortized per hop.
+        while epoch < changes && boundaries[epoch] <= at {
+            epoch += 1;
+        }
+        match index.entry(node, epoch as u32) {
+            Some(FibEntry::Local) => {
+                let fate = PacketFate::Delivered { at, hops: steps };
+                let walk = MemoWalk {
+                    steps,
+                    end: MemoEnd::Delivered,
+                };
+                return (fate, walk, epoch == launch_epoch as usize);
+            }
+            None => {
+                let fate = PacketFate::NoRoute { at, node };
+                let walk = MemoWalk {
+                    steps,
+                    end: MemoEnd::NoRoute(node),
+                };
+                return (fate, walk, epoch == launch_epoch as usize);
+            }
+            Some(FibEntry::Via(next)) => {
+                if ttl == 0 {
+                    let fate = PacketFate::TtlExhausted { at, node };
+                    let walk = MemoWalk {
+                        steps,
+                        end: MemoEnd::TtlExhausted(node),
+                    };
+                    return (fate, walk, epoch == launch_epoch as usize);
+                }
+                ttl -= 1;
+                steps += 1;
+                at += link_delay;
+                node = next;
+            }
+        }
+    }
 }
 
 /// Generates the packets sent by `sources` in `[start, end)` toward
@@ -122,6 +389,7 @@ pub fn generate_packets(
 mod tests {
     use super::*;
     use crate::packet::DEFAULT_TTL;
+    use proptest::prelude::*;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -285,5 +553,217 @@ mod tests {
         assert_eq!(fates.len(), 2);
         assert_eq!(fates[0], walk_packet(&fib, &packets[0], d2()));
         assert_eq!(fates[1], walk_packet(&fib, &packets[1], d2()));
+    }
+
+    #[test]
+    fn batched_matches_naive_on_chain() {
+        let fib = chain_fib();
+        let packets = vec![
+            pkt(2, SimTime::ZERO),
+            pkt(1, SimTime::from_secs(1)),
+            pkt(2, SimTime::from_secs(2)),
+        ];
+        assert_eq!(
+            walk_all_batched(&fib, &packets, d2()),
+            walk_all(&fib, &packets, d2())
+        );
+    }
+
+    #[test]
+    fn memo_hits_repeat_packets_and_fates_stay_exact() {
+        // Same source, same TTL, stable FIB: all but the first packet
+        // must come from the memo, with bit-identical fates.
+        let fib = chain_fib();
+        let packets: Vec<Packet> = (0..50)
+            .map(|i| pkt(2, SimTime::from_millis(10 * i)))
+            .collect();
+        let (fates, stats) = walk_all_batched_stats(&fib, &packets, d2());
+        assert_eq!(fates, walk_all(&fib, &packets, d2()));
+        assert_eq!(stats.packets, 50);
+        assert_eq!(stats.walks, 1);
+        assert_eq!(stats.memo_hits, 49);
+        assert!((stats.hit_rate() - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memo_is_not_reused_across_epoch_boundary() {
+        // Node 1 loses its route at t=100ms. A packet sent just before
+        // the boundary would cross it in flight, so the memoized
+        // pre-boundary walk must NOT be replayed for it.
+        let mut fib = chain_fib();
+        fib.record(n(1), p(), SimTime::from_millis(100), None);
+        let packets = vec![
+            pkt(2, SimTime::ZERO),             // delivered, memoized
+            pkt(2, SimTime::from_millis(99)),  // crosses boundary mid-walk
+            pkt(2, SimTime::from_millis(200)), // post-boundary epoch
+        ];
+        let (fates, stats) = walk_all_batched_stats(&fib, &packets, d2());
+        assert_eq!(fates, walk_all(&fib, &packets, d2()));
+        assert!(fates[0].is_delivered());
+        assert!(matches!(fates[1], PacketFate::NoRoute { .. }));
+        assert!(matches!(fates[2], PacketFate::NoRoute { .. }));
+        // The second packet shares the first's key but fails the
+        // boundary check; the third launches in a new epoch.
+        assert_eq!(stats.memo_hits, 0);
+        assert_eq!(stats.walks, 3);
+    }
+
+    #[test]
+    fn batched_preserves_input_order_across_unsorted_sends() {
+        // Fates come back in packet order even though the batch is
+        // internally processed in send-time order.
+        let mut fib = chain_fib();
+        fib.record(n(1), p(), SimTime::from_secs(5), None);
+        let packets = vec![
+            pkt(2, SimTime::from_secs(6)), // late packet first in input
+            pkt(2, SimTime::ZERO),
+            pkt(1, SimTime::from_secs(7)),
+        ];
+        let fates = walk_all_batched(&fib, &packets, d2());
+        assert_eq!(fates, walk_all(&fib, &packets, d2()));
+        assert!(matches!(fates[0], PacketFate::NoRoute { node, .. } if node == n(1)));
+        assert!(fates[1].is_delivered());
+        assert!(matches!(fates[2], PacketFate::NoRoute { node, .. } if node == n(1)));
+    }
+
+    #[test]
+    fn batched_groups_multiple_prefixes() {
+        let p1 = Prefix::new(1);
+        let mut fib = chain_fib();
+        // Prefix 1 has the reverse orientation: 0 → 1 → 2 (local at 2).
+        fib.record(n(2), p1, SimTime::ZERO, Some(FibEntry::Local));
+        fib.record(n(1), p1, SimTime::ZERO, Some(FibEntry::Via(n(2))));
+        fib.record(n(0), p1, SimTime::ZERO, Some(FibEntry::Via(n(1))));
+        let packets = vec![
+            pkt(2, SimTime::ZERO),
+            Packet {
+                prefix: p1,
+                ..pkt(0, SimTime::ZERO)
+            },
+        ];
+        assert_eq!(
+            walk_all_batched(&fib, &packets, d2()),
+            walk_all(&fib, &packets, d2())
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let fib = chain_fib();
+        let (fates, stats) = walk_all_batched_stats(&fib, &[], d2());
+        assert!(fates.is_empty());
+        assert_eq!(stats, ReplayStats::default());
+    }
+
+    #[test]
+    fn replay_stats_merge_sums() {
+        let mut a = ReplayStats {
+            packets: 10,
+            memo_hits: 4,
+            walks: 6,
+            epochs: 3,
+        };
+        let b = ReplayStats {
+            packets: 2,
+            memo_hits: 1,
+            walks: 1,
+            epochs: 5,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ReplayStats {
+                packets: 12,
+                memo_hits: 5,
+                walks: 7,
+                epochs: 8,
+            }
+        );
+        assert_eq!(ReplayStats::default().hit_rate(), 0.0);
+    }
+
+    /// Builds a random FIB history from `(node, dt, hop)` triples using
+    /// per-node clocks (each history time-ordered, global interleaving
+    /// arbitrary) — the same scheme as the loop-census proptests.
+    fn random_fib(nodes: u32, raw: &[(u32, u32, Option<u32>)]) -> NetworkFib {
+        let mut fib = NetworkFib::new(nodes as usize);
+        let mut clock = vec![0u64; nodes as usize];
+        for &(node, dt, hop) in raw {
+            let node = node % nodes;
+            let t = clock[node as usize] + u64::from(dt);
+            clock[node as usize] = t;
+            let entry = match hop.map(|h| h % nodes) {
+                Some(h) if h != node => Some(FibEntry::Via(n(h))),
+                Some(_) => Some(FibEntry::Local),
+                None => None,
+            };
+            fib.record(n(node), p(), SimTime::from_nanos(t), entry);
+        }
+        fib
+    }
+
+    /// Maps raw `(src, sent_at, ttl)` triples into packets. Nanosecond
+    /// send times against a 2 ns link delay and tiny TTLs make walks
+    /// routinely straddle epoch boundaries, stressing both the cursor
+    /// and the memo-validity check.
+    fn random_packets(nodes: u32, raw: &[(u32, u64, u32)]) -> Vec<Packet> {
+        raw.iter()
+            .enumerate()
+            .map(|(id, &(src, sent_at, ttl))| Packet {
+                id: id as u64,
+                src: n(src % nodes),
+                prefix: p(),
+                ttl: ttl % 12,
+                sent_at: SimTime::from_nanos(sent_at),
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Tentpole invariant (satellite b): the batched replay is
+        /// fate-for-fate bit-identical to the naive per-packet oracle
+        /// on random histories and random unsorted packet fleets.
+        #[test]
+        fn batched_equals_naive_on_random_histories(
+            raw in proptest::collection::vec(
+                (0u32..8, 0u32..20, proptest::option::of(0u32..8)), 0..60),
+            pkts in proptest::collection::vec(
+                (0u32..8, 0u64..200, 0u32..12), 0..40),
+            nodes in 2u32..8,
+        ) {
+            let fib = random_fib(nodes, &raw);
+            let packets = random_packets(nodes, &pkts);
+            let delay = SimDuration::from_nanos(2);
+            let naive = walk_all(&fib, &packets, delay);
+            let (batched, stats) = walk_all_batched_stats(&fib, &packets, delay);
+            prop_assert_eq!(&batched, &naive);
+            prop_assert_eq!(stats.packets, packets.len() as u64);
+            prop_assert_eq!(stats.walks + stats.memo_hits, stats.packets);
+        }
+
+        /// The sparse epoch-table layout replays identically to the
+        /// dense one (the dense/sparse switch is purely a space trade).
+        #[test]
+        fn sparse_index_replays_like_dense(
+            raw in proptest::collection::vec(
+                (0u32..8, 0u32..20, proptest::option::of(0u32..8)), 0..60),
+            pkts in proptest::collection::vec(
+                (0u32..8, 0u64..200, 0u32..12), 0..40),
+            nodes in 2u32..8,
+        ) {
+            let fib = random_fib(nodes, &raw);
+            let packets = random_packets(nodes, &pkts);
+            let delay = SimDuration::from_nanos(2);
+            let dense = EpochIndex::build(&fib, p());
+            // A zero cell cap forces the sparse per-node layout.
+            let sparse = EpochIndex::build_with_cap(&fib, p(), 0);
+            prop_assert!(dense.is_dense());
+            prop_assert!(!sparse.is_dense());
+            let (df, ds) = walk_indexed_batch(&dense, &packets, delay);
+            let (sf, ss) = walk_indexed_batch(&sparse, &packets, delay);
+            prop_assert_eq!(&df, &sf);
+            prop_assert_eq!(ds, ss);
+            prop_assert_eq!(df, walk_all(&fib, &packets, delay));
+        }
     }
 }

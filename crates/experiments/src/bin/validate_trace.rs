@@ -3,7 +3,9 @@
 //!
 //! Checks, per line: it parses as a JSON object; it carries a known
 //! `kind`, a `seed`, and a timestamp `t`; loop events carry a
-//! non-empty `nodes` array. Across the file: every `loop_offset` is
+//! non-empty `nodes` array; `measure_summary` lines carry the replay
+//! counters and satisfy `memo_hits + walks == packets`. Across the
+//! file: every `loop_offset` is
 //! preceded by at least as many `loop_onset`s for the same seed, and
 //! the `run_summary` loop counts of each seed sum to the number of
 //! onsets observed for that seed (a sweep may run several scenarios
@@ -24,6 +26,7 @@ const KNOWN_KINDS: &[&str] = &[
     "loop_onset",
     "loop_offset",
     "run_summary",
+    "measure_summary",
     "fault_injected",
     "session_reset",
     "cache_quarantine",
@@ -86,6 +89,24 @@ fn check_line(
                 .ok_or_else(|| err("run_summary missing \"loops\"".into()))?;
             loops.summaries += 1;
             loops.summary_loops_sum += n;
+        }
+        "measure_summary" => {
+            let field = |name: &str| {
+                raw.get(name)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| err(format!("measure_summary missing \"{name}\"")))
+            };
+            let packets = field("packets")?;
+            let memo_hits = field("memo_hits")?;
+            let walks = field("walks")?;
+            field("epochs")?;
+            field("sim_ms")?;
+            field("measure_ms")?;
+            if memo_hits + walks != packets {
+                return Err(err(format!(
+                    "measure_summary accounting broken: {memo_hits} memo + {walks} walks != {packets} packets"
+                )));
+            }
         }
         _ => {}
     }

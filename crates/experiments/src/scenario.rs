@@ -330,7 +330,7 @@ impl Scenario {
                 }
                 Err(stopped) => Err(bgpsim_runner::JobTimeout {
                     phase: stopped.phase,
-                    counters: Some(partial_counters(&stopped.record)),
+                    counters: Some(Box::new(partial_counters(&stopped.record))),
                 }),
             }
         })
@@ -372,13 +372,19 @@ impl Scenario {
     /// Runs the scenario: warm-up, failure (or fault plan), measurement.
     pub fn run(&self) -> ScenarioResult {
         let (experiment, destination, failure) = self.build_experiment();
+        let sim_started = std::time::Instant::now();
         let record = experiment.run();
+        let sim_wall_ms = sim_started.elapsed().as_millis() as u64;
+        let measure_started = std::time::Instant::now();
         let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
+        let measure_wall_ms = measure_started.elapsed().as_millis() as u64;
         ScenarioResult {
             destination,
             failure,
             record,
             measurement,
+            sim_wall_ms,
+            measure_wall_ms,
         }
     }
 
@@ -392,13 +398,19 @@ impl Scenario {
     /// budget is exhausted before quiescence.
     pub fn run_budgeted(&self, limit: &RunBudget) -> Result<ScenarioResult, Box<BudgetExceeded>> {
         let (experiment, destination, failure) = self.build_experiment();
+        let sim_started = std::time::Instant::now();
         let record = experiment.run_budgeted(limit)?;
+        let sim_wall_ms = sim_started.elapsed().as_millis() as u64;
+        let measure_started = std::time::Instant::now();
         let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
+        let measure_wall_ms = measure_started.elapsed().as_millis() as u64;
         Ok(ScenarioResult {
             destination,
             failure,
             record,
             measurement,
+            sim_wall_ms,
+            measure_wall_ms,
         })
     }
 }
@@ -415,6 +427,10 @@ fn partial_counters(record: &RunRecord) -> RunCounters {
         loops: loop_census(&record.fib, Prefix::new(0)).len() as u64,
         max_queue_depth: record.max_queue_depth,
         wall_ms: 0,
+        sim_ms: 0,
+        measure_ms: 0,
+        replay_packets: 0,
+        replay_memo_hits: 0,
     }
 }
 
@@ -452,6 +468,10 @@ pub struct ScenarioResult {
     pub record: RunRecord,
     /// Full measurement (paper metrics + loop census).
     pub measurement: RunMeasurement,
+    /// Wall-clock spent in the control-plane simulation, milliseconds.
+    pub sim_wall_ms: u64,
+    /// Wall-clock spent in the measurement pipeline, milliseconds.
+    pub measure_wall_ms: u64,
 }
 
 impl ScenarioResult {
@@ -467,12 +487,17 @@ impl ScenarioResult {
             loops: self.measurement.census.len() as u64,
             max_queue_depth: self.record.max_queue_depth,
             wall_ms: 0,
+            sim_ms: self.sim_wall_ms,
+            measure_ms: self.measure_wall_ms,
+            replay_packets: self.measurement.replay.packets,
+            replay_memo_hits: self.measurement.replay.memo_hits,
         }
     }
 
-    /// Emits the run's loop onset/offset events and its `run_summary`
-    /// to the [global trace sink](bgpsim_trace::install). A no-op when
-    /// no sink is installed.
+    /// Emits the run's loop onset/offset events, its `run_summary`, and
+    /// a `measure_summary` (sim-vs-measure wall split plus replay memo
+    /// effectiveness) to the [global trace
+    /// sink](bgpsim_trace::install). A no-op when no sink is installed.
     pub fn emit_trace(&self, seed: u64) {
         let tracer = TraceHandle::global();
         if !tracer.is_enabled() {
@@ -483,6 +508,16 @@ impl ScenarioResult {
             seed,
             t: self.record.convergence_end().map_or(0, |t| t.as_nanos()),
             counters: self.counters(),
+        });
+        tracer.emit(|| TraceEvent::MeasureSummary {
+            seed,
+            t: self.record.convergence_end().map_or(0, |t| t.as_nanos()),
+            sim_ms: self.sim_wall_ms,
+            measure_ms: self.measure_wall_ms,
+            packets: self.measurement.replay.packets,
+            memo_hits: self.measurement.replay.memo_hits,
+            walks: self.measurement.replay.walks,
+            epochs: self.measurement.replay.epochs,
         });
     }
 }
@@ -641,8 +676,10 @@ mod tests {
     #[test]
     fn flap_fingerprint_tracks_profile() {
         let a = Scenario::new(TopologySpec::BClique(3), EventKind::Flap).with_seed(1);
-        let mut profile = FlapProfile::default();
-        profile.count = 7;
+        let profile = FlapProfile {
+            count: 7,
+            ..Default::default()
+        };
         let b = a.clone().with_flap(profile);
         assert!(a.fingerprint().contains("|flap="));
         assert_ne!(a.fingerprint(), b.fingerprint());

@@ -5,13 +5,22 @@
 //! sent during convergence, replay them against the recorded FIB
 //! history, and compute the paper metrics (plus the loop census
 //! extension).
+//!
+//! The replay and the loop census share one
+//! [`EpochIndex`](bgpsim_dataplane::EpochIndex) built from
+//! the run's FIB history: packets walk the index's `(node, epoch)`
+//! table (batched, memoized — see `bgpsim-dataplane::replay`) and the
+//! census consumes the index's delta stream, so the whole measurement
+//! makes a single pass over the recorded history. The naive per-packet
+//! [`walk_all`](bgpsim_dataplane::walk_all) is kept as the oracle and
+//! cross-checked in tests and CI.
 
 use bgpsim_core::Prefix;
 use bgpsim_dataplane::{
-    generate_packets, loop_census, paper_sources, walk_all, LoopRecord, DEFAULT_TTL,
+    generate_packets, paper_sources, walk_indexed_batch, LoopRecord, ReplayStats, DEFAULT_TTL,
 };
 use bgpsim_netsim::rng::SimRng;
-use bgpsim_netsim::time::{SimDuration, SimTime};
+use bgpsim_netsim::time::SimDuration;
 use bgpsim_sim::RunRecord;
 use bgpsim_topology::NodeId;
 
@@ -30,15 +39,17 @@ pub struct RunMeasurement {
     pub census_summary: LoopCensusSummary,
     /// What the fault layer did to the run (all zeros when fault-free).
     pub churn: ChurnSummary,
+    /// Replay-engine counters (packets, memo hits, epoch count).
+    pub replay: ReplayStats,
 }
 
 /// Measures a completed run.
 ///
 /// Traffic follows the paper's setup: every node except `destination`
 /// sends 10 packets/s with a random phase (seeded by `traffic_seed`),
-/// from the failure instant until convergence ends (window extended by
-/// one packet lifetime so late loops are still sampled, and used as-is
-/// if the failure triggered no visible convergence).
+/// over the record's [`replay_window`](RunRecord::replay_window) — from
+/// the failure instant until convergence ends, extended by one packet
+/// lifetime so late loops are still sampled.
 pub fn measure_run(
     record: &RunRecord,
     destination: NodeId,
@@ -47,28 +58,22 @@ pub fn measure_run(
 ) -> RunMeasurement {
     let mut traffic_rng = SimRng::new(traffic_seed).fork(0xDA7A);
     let sources = paper_sources(record.node_count, destination, &mut traffic_rng);
-    let (start, end) = traffic_window(record);
+    let (start, end) = record.replay_window();
     let packets = generate_packets(&sources, prefix, DEFAULT_TTL, start, end);
     let link_delay = SimDuration::from_millis(2);
-    let fates = walk_all(&record.fib, &packets, link_delay);
+    // One index serves both the packet replay and the loop census.
+    let index = record.fib.epoch_index(prefix);
+    let (fates, replay) = walk_indexed_batch(&index, &packets, link_delay);
     let metrics = compute_metrics(record, &packets, &fates);
-    let census = loop_census(&record.fib, prefix);
+    let census = index.loop_census();
     let census_summary = summarize(&census);
     RunMeasurement {
         metrics,
         census,
         census_summary,
         churn: ChurnSummary::from_record(record),
+        replay,
     }
-}
-
-/// The traffic window for a run: from the failure to the end of
-/// convergence plus one packet lifetime.
-fn traffic_window(record: &RunRecord) -> (SimTime, SimTime) {
-    let start = record.failure_at.unwrap_or(SimTime::ZERO);
-    let lifetime = SimDuration::from_millis(2) * u64::from(DEFAULT_TTL);
-    let end = record.convergence_end().unwrap_or(start) + lifetime;
-    (start, end)
 }
 
 #[cfg(test)]

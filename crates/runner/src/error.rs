@@ -69,8 +69,9 @@ pub enum Error {
         /// The simulation phase that was interrupted.
         phase: &'static str,
         /// Counters accumulated up to the stop, if the run collected
-        /// them.
-        counters: Option<bgpsim_trace::RunCounters>,
+        /// them. Boxed to keep the `Err` variant word-sized next to
+        /// `Ok` payloads (clippy `result_large_err`).
+        counters: Option<Box<bgpsim_trace::RunCounters>>,
     },
     /// [`init_global`](crate::init_global) was called after the
     /// process-wide runner had already been initialized.

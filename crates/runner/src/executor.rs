@@ -74,8 +74,10 @@ impl JobBudget {
 pub struct JobTimeout {
     /// The simulation phase that was interrupted.
     pub phase: &'static str,
-    /// Counters accumulated up to the stop, if collected.
-    pub counters: Option<RunCounters>,
+    /// Counters accumulated up to the stop, if collected. Boxed to
+    /// keep `Err` small next to the `Ok` payload (clippy
+    /// `result_large_err`).
+    pub counters: Option<Box<RunCounters>>,
 }
 
 /// A job body: the run itself, given the executor's watchdog budget.
@@ -469,7 +471,14 @@ impl Runner {
                         stats.counters.merge(c);
                     }
                 }
-                self.journal_record(&label, &fingerprint, false, true, elapsed, counters);
+                self.journal_record(
+                    &label,
+                    &fingerprint,
+                    false,
+                    true,
+                    elapsed,
+                    counters.as_deref().copied(),
+                );
                 return Err(Error::Timeout {
                     label,
                     phase: timeout.phase,
@@ -608,7 +617,7 @@ impl Runner {
     /// Renders the cumulative statistics as a one-line summary.
     pub fn render_stats(&self) -> String {
         let s = self.stats();
-        format!(
+        let mut line = format!(
             "runner: {} jobs ({} cache hits / {} executed, {:.1}% hit rate), \
              wall {:.1}s, cpu {:.1}s, {} workers",
             s.jobs,
@@ -618,7 +627,26 @@ impl Runner {
             s.wall_time.as_secs_f64(),
             s.job_time.as_secs_f64(),
             self.workers,
-        )
+        );
+        // Executed scenario jobs report their sim-vs-measure wall split
+        // and the batched replay's memo effectiveness; jobs without the
+        // instrumentation (or all-cached batches) leave these at zero.
+        let c = s.counters;
+        if c.sim_ms + c.measure_ms > 0 || c.replay_packets > 0 {
+            let memo_pct = if c.replay_packets == 0 {
+                0.0
+            } else {
+                100.0 * c.replay_memo_hits as f64 / c.replay_packets as f64
+            };
+            line.push_str(&format!(
+                ", sim {:.1}s / measure {:.1}s, {} packets replayed ({:.1}% memo)",
+                c.sim_ms as f64 / 1e3,
+                c.measure_ms as f64 / 1e3,
+                c.replay_packets,
+                memo_pct,
+            ));
+        }
+        line
     }
 }
 
@@ -694,10 +722,10 @@ mod tests {
                 assert_eq!(budget.max_events, Some(10));
                 Err(JobTimeout {
                     phase: "convergence",
-                    counters: Some(RunCounters {
+                    counters: Some(Box::new(RunCounters {
                         events: 10,
                         ..Default::default()
-                    }),
+                    })),
                 })
             }),
         ];

@@ -92,6 +92,23 @@ impl RunRecord {
         self.last_send_at(fail)
     }
 
+    /// The paper's traffic-replay window (§4.2): from the failure
+    /// instant to the end of convergence, extended by one packet
+    /// lifetime ([`DEFAULT_TTL`](bgpsim_dataplane::DEFAULT_TTL) hops at
+    /// the 2 ms per-AS link delay) so late loops are still sampled.
+    /// When the failure triggered no visible convergence the window is
+    /// just `[failure, failure + lifetime)`.
+    ///
+    /// The measurement pipeline (`bgpsim-metrics::measure_run`) and the
+    /// replay benches both generate their packet fleets over this
+    /// window.
+    pub fn replay_window(&self) -> (SimTime, SimTime) {
+        let start = self.failure_at.unwrap_or(SimTime::ZERO);
+        let lifetime = SimDuration::from_millis(2) * u64::from(bgpsim_dataplane::DEFAULT_TTL);
+        let end = self.convergence_end().unwrap_or(start) + lifetime;
+        (start, end)
+    }
+
     /// Aggregated router counters.
     pub fn total_stats(&self) -> RouterStats {
         let mut total = RouterStats::default();

@@ -140,6 +140,27 @@ pub enum TraceEvent {
         /// Aggregated hot-path counters for the run.
         counters: RunCounters,
     },
+    /// Measurement-phase summary: how the packet replay performed
+    /// relative to the simulation it measured.
+    MeasureSummary {
+        /// The run's RNG seed.
+        seed: u64,
+        /// Simulation time the measurement covers up to (end of
+        /// convergence), nanoseconds; zero when no failure fired.
+        t: u64,
+        /// Wall-clock spent in the control-plane simulation, ms.
+        sim_ms: u64,
+        /// Wall-clock spent in the measurement pipeline, ms.
+        measure_ms: u64,
+        /// Packets replayed.
+        packets: u64,
+        /// Packets served from the replay memo.
+        memo_hits: u64,
+        /// Walks actually executed (`packets - memo_hits`).
+        walks: u64,
+        /// FIB epoch boundaries the replay index covered.
+        epochs: u64,
+    },
     /// A planned fault fired inside the simulator.
     FaultInjected {
         /// The run's RNG seed.
@@ -185,6 +206,7 @@ impl TraceEvent {
             TraceEvent::LoopOnset { .. } => "loop_onset",
             TraceEvent::LoopOffset { .. } => "loop_offset",
             TraceEvent::RunSummary { .. } => "run_summary",
+            TraceEvent::MeasureSummary { .. } => "measure_summary",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::SessionReset { .. } => "session_reset",
             TraceEvent::CacheQuarantine { .. } => "cache_quarantine",
@@ -202,6 +224,7 @@ impl TraceEvent {
             | TraceEvent::LoopOnset { seed, .. }
             | TraceEvent::LoopOffset { seed, .. }
             | TraceEvent::RunSummary { seed, .. }
+            | TraceEvent::MeasureSummary { seed, .. }
             | TraceEvent::FaultInjected { seed, .. }
             | TraceEvent::SessionReset { seed, .. } => seed,
             TraceEvent::CacheQuarantine { .. } => 0,
@@ -309,6 +332,25 @@ impl serde::Serialize for TraceEvent {
                     }
                 }
             }
+            TraceEvent::MeasureSummary {
+                seed,
+                t,
+                sim_ms,
+                measure_ms,
+                packets,
+                memo_hits,
+                walks,
+                epochs,
+            } => {
+                put("seed", Value::UInt(*seed));
+                put("t", Value::UInt(*t));
+                put("sim_ms", Value::UInt(*sim_ms));
+                put("measure_ms", Value::UInt(*measure_ms));
+                put("packets", Value::UInt(*packets));
+                put("memo_hits", Value::UInt(*memo_hits));
+                put("walks", Value::UInt(*walks));
+                put("epochs", Value::UInt(*epochs));
+            }
             TraceEvent::FaultInjected { seed, t, fault } => {
                 put("seed", Value::UInt(*seed));
                 put("t", Value::UInt(*t));
@@ -354,6 +396,16 @@ pub struct RunCounters {
     pub max_queue_depth: u64,
     /// Host wall-clock time spent in the run, milliseconds.
     pub wall_ms: u64,
+    /// Wall-clock spent in the control-plane simulation, milliseconds
+    /// (a component of `wall_ms`).
+    pub sim_ms: u64,
+    /// Wall-clock spent in the measurement pipeline, milliseconds
+    /// (a component of `wall_ms`).
+    pub measure_ms: u64,
+    /// Packets replayed by the measurement pipeline.
+    pub replay_packets: u64,
+    /// Replayed packets whose fate came from the batched-replay memo.
+    pub replay_memo_hits: u64,
 }
 
 impl RunCounters {
@@ -367,6 +419,10 @@ impl RunCounters {
         self.loops += other.loops;
         self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
         self.wall_ms += other.wall_ms;
+        self.sim_ms += other.sim_ms;
+        self.measure_ms += other.measure_ms;
+        self.replay_packets += other.replay_packets;
+        self.replay_memo_hits += other.replay_memo_hits;
     }
 }
 
@@ -703,6 +759,16 @@ mod tests {
                     ..Default::default()
                 },
             },
+            TraceEvent::MeasureSummary {
+                seed: 1,
+                t: 2,
+                sim_ms: 3,
+                measure_ms: 4,
+                packets: 100,
+                memo_hits: 90,
+                walks: 10,
+                epochs: 7,
+            },
             TraceEvent::FaultInjected {
                 seed: 1,
                 t: 2,
@@ -741,12 +807,20 @@ mod tests {
                 loops: 2,
                 max_queue_depth: 6,
                 wall_ms: 12,
+                sim_ms: 8,
+                measure_ms: 4,
+                replay_packets: 40,
+                replay_memo_hits: 30,
             },
         };
         let raw: RawEvent = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
         assert_eq!(raw.get("events").and_then(|v| v.as_u64()), Some(11));
         assert_eq!(raw.get("loops").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(raw.get("max_queue_depth").and_then(|v| v.as_u64()), Some(6));
+        assert_eq!(
+            raw.get("replay_memo_hits").and_then(|v| v.as_u64()),
+            Some(30)
+        );
     }
 
     #[test]
@@ -759,6 +833,10 @@ mod tests {
             loops: 5,
             max_queue_depth: 6,
             wall_ms: 7,
+            sim_ms: 5,
+            measure_ms: 2,
+            replay_packets: 8,
+            replay_memo_hits: 3,
         };
         let json = serde_json::to_string(&a).unwrap();
         let back: RunCounters = serde_json::from_str(&json).unwrap();
@@ -771,6 +849,9 @@ mod tests {
         total.merge(&a);
         assert_eq!(total.events, 1);
         assert_eq!(total.wall_ms, 7);
+        assert_eq!(total.sim_ms, 5);
+        assert_eq!(total.replay_packets, 8);
+        assert_eq!(total.replay_memo_hits, 3);
         assert_eq!(total.max_queue_depth, 9, "merge keeps the maximum depth");
         total.merge(&RunCounters {
             max_queue_depth: 20,

@@ -1,8 +1,10 @@
-//! Cross-validation of the two data planes: the post-hoc replay engine
+//! Cross-validation of the data planes: the post-hoc replay engine
 //! (`bgpsim-dataplane`) must produce byte-identical packet fates to the
 //! live, event-driven forwarder inside the simulation loop
-//! (`bgpsim-sim`). This justifies the replay design used by all
-//! experiments.
+//! (`bgpsim-sim`), and the epoch-indexed batched replay must in turn be
+//! byte-identical to the naive per-packet walk. This justifies the
+//! replay design used by all experiments and the batched fast path used
+//! by the measurement pipeline.
 
 use bgpsim::netsim::rng::SimRng;
 use bgpsim::netsim::time::SimDuration;
@@ -51,6 +53,15 @@ fn equivalence_case(graph: Graph, dest: NodeId, failure: FailureEvent, seed: u64
         }
     }
     assert_eq!(mismatches, 0, "replay must match the live data plane");
+
+    // The epoch-indexed batched replay must agree record-for-record
+    // with the naive oracle (and hence with the live data plane), and
+    // account for every packet exactly once.
+    let (batched, stats) =
+        walk_all_batched_stats(&record.fib, &packets, SimDuration::from_millis(2));
+    assert_eq!(batched, replayed, "batched replay must match the oracle");
+    assert_eq!(stats.packets, packets.len() as u64);
+    assert_eq!(stats.walks + stats.memo_hits, stats.packets);
 }
 
 #[test]
@@ -139,6 +150,63 @@ fn converged_network_delivers_everything() {
     assert!(record.live_fates.iter().all(|(_, f)| f.is_delivered()));
     let replayed = walk_all(&record.fib, &packets, SimDuration::from_millis(2));
     assert!(replayed.iter().all(|f| f.is_delivered()));
+}
+
+/// The batched replay stays an exact oracle match on a flap-train run
+/// (`bgpsim-faults`): the link down/up train packs many FIB epochs into
+/// the replay window, stressing epoch-crossing walks and memo
+/// invalidation far harder than a single failure does.
+#[test]
+fn batched_matches_naive_on_flap_train() {
+    let result = Scenario::new(TopologySpec::BClique(4), EventKind::Flap)
+        .with_flap(FlapProfile {
+            period: SimDuration::from_secs(45),
+            count: 3,
+            jitter: 0.0,
+            loss: 0.0,
+        })
+        .with_seed(21)
+        .run();
+    let record = &result.record;
+    assert!(record.faults_injected >= 6, "flap train fired");
+    let prefix = Prefix::new(0);
+    let mut rng = SimRng::new(21).fork(0xF1A9);
+    let sources = paper_sources(record.node_count, result.destination, &mut rng);
+    let (start, end) = record.replay_window();
+    let packets = generate_packets(&sources, prefix, DEFAULT_TTL, start, end);
+    assert!(!packets.is_empty());
+    let delay = SimDuration::from_millis(2);
+    let naive = walk_all(&record.fib, &packets, delay);
+    let (batched, stats) = walk_all_batched_stats(&record.fib, &packets, delay);
+    assert_eq!(batched, naive);
+    assert!(
+        stats.epochs > 4,
+        "a flap train must produce many FIB epochs, got {}",
+        stats.epochs
+    );
+}
+
+/// `measure_run` (which routes through the batched replay) produces the
+/// same metrics as recomputing them with the naive per-packet walk.
+#[test]
+fn measure_run_agrees_with_naive_oracle() {
+    let scenario = Scenario::new(TopologySpec::Clique(8), EventKind::TDown).with_seed(1);
+    let result = scenario.run();
+    let record = &result.record;
+    let prefix = Prefix::new(0);
+    // Reproduce the pipeline's fleet exactly (same fork tag, window).
+    let mut rng = SimRng::new(1).fork(0xDA7A);
+    let sources = paper_sources(record.node_count, result.destination, &mut rng);
+    let (start, end) = record.replay_window();
+    let packets = generate_packets(&sources, prefix, DEFAULT_TTL, start, end);
+    let fates = walk_all(&record.fib, &packets, SimDuration::from_millis(2));
+    let oracle = compute_metrics(record, &packets, &fates);
+    assert_eq!(result.measurement.metrics, oracle);
+    assert_eq!(
+        result.measurement.replay.packets,
+        packets.len() as u64,
+        "pipeline replayed the same fleet"
+    );
 }
 
 /// The walk time of a delivered packet equals hops × link delay.
