@@ -30,6 +30,8 @@ const KNOWN_KINDS: &[&str] = &[
     "fault_injected",
     "session_reset",
     "cache_quarantine",
+    "serve_request",
+    "admission_reject",
 ];
 
 #[derive(Default)]
@@ -40,10 +42,23 @@ struct SeedLoops {
     summary_loops_sum: u64,
 }
 
+/// Reconciliation state for daemon traces: executed runs must be
+/// covered by what the service admitted.
+#[derive(Default)]
+struct ServeRecon {
+    /// Any `serve_request` line was seen (enables the check).
+    seen: bool,
+    /// Total runs admitted by accepted (2xx) `POST /v1/jobs` requests.
+    admitted_runs: u64,
+    /// Total `run_summary` lines in the file.
+    run_summaries: u64,
+}
+
 fn check_line(
     no: usize,
     line: &str,
     per_seed: &mut BTreeMap<u64, SeedLoops>,
+    serve: &mut ServeRecon,
 ) -> Result<(), String> {
     let err = |msg: String| format!("line {no}: {msg}");
     let raw: RawEvent =
@@ -89,6 +104,36 @@ fn check_line(
                 .ok_or_else(|| err("run_summary missing \"loops\"".into()))?;
             loops.summaries += 1;
             loops.summary_loops_sum += n;
+            serve.run_summaries += 1;
+        }
+        "serve_request" => {
+            serve.seen = true;
+            let text = |name: &str| {
+                raw.get(name)
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .ok_or_else(|| err(format!("serve_request missing \"{name}\"")))
+            };
+            let num = |name: &str| {
+                raw.get(name)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| err(format!("serve_request missing numeric \"{name}\"")))
+            };
+            let method = text("method")?;
+            let path = text("path")?;
+            text("client")?;
+            let status = num("status")?;
+            num("wall_us")?;
+            let runs = num("runs")?;
+            if method == "POST" && path == "/v1/jobs" && (200..300).contains(&status) {
+                serve.admitted_runs += runs;
+            }
+        }
+        "admission_reject" => {
+            for name in ["client", "reason"] {
+                raw.get(name)
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| err(format!("admission_reject missing \"{name}\"")))?;
+            }
         }
         "measure_summary" => {
             let field = |name: &str| {
@@ -126,6 +171,7 @@ fn main() -> ExitCode {
         }
     };
     let mut per_seed: BTreeMap<u64, SeedLoops> = BTreeMap::new();
+    let mut serve = ServeRecon::default();
     let mut lines = 0usize;
     let mut violations = 0usize;
     for (i, line) in content.lines().enumerate() {
@@ -133,10 +179,21 @@ fn main() -> ExitCode {
             continue;
         }
         lines += 1;
-        if let Err(msg) = check_line(i + 1, line, &mut per_seed) {
+        if let Err(msg) = check_line(i + 1, line, &mut per_seed, &mut serve) {
             eprintln!("{msg}");
             violations += 1;
         }
+    }
+    // A daemon trace must not report more executed runs than its
+    // accepted submissions admitted (cache hits skip run_summary, so
+    // fewer is fine).
+    if serve.seen && serve.run_summaries > serve.admitted_runs {
+        eprintln!(
+            "serve reconciliation broken: {} run_summary line(s) but only {} run(s) \
+             admitted by accepted POST /v1/jobs requests",
+            serve.run_summaries, serve.admitted_runs
+        );
+        violations += 1;
     }
     for (seed, loops) in &per_seed {
         if loops.summaries > 0 && loops.summary_loops_sum != loops.onsets {

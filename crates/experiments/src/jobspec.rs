@@ -1,0 +1,333 @@
+//! Deserializable job payloads: the wire format a service accepts.
+//!
+//! A [`JobSpec`] is the JSON body of a `POST /v1/jobs` submission — a
+//! declarative description of one scenario family (topology, event,
+//! protocol configuration) fanned out over a list of seeds. It maps
+//! 1:1 onto [`Scenario`] values, so everything downstream (fingerprint,
+//! run cache, budgets) behaves exactly as if the scenarios had been
+//! built in-process.
+//!
+//! The vendored serde stub's derive has no notion of optional fields,
+//! so `Deserialize` is implemented by hand over the raw [`Value`]
+//! tree: absent fields take the same defaults the CLI uses, and every
+//! malformed field produces a descriptive error the service can return
+//! as a 400 body.
+
+use bgpsim_core::{BgpConfig, Enhancements, Jitter};
+use bgpsim_netsim::time::SimDuration;
+use bgpsim_sim::FlapProfile;
+use serde::value::{field, Error, Value};
+use serde::Deserialize;
+
+use crate::scenario::{EventKind, Scenario, TopologySpec};
+
+/// Ceiling on seeds per submission — one submission cannot occupy the
+/// whole service. Fan wider submissions out over several jobs.
+pub const MAX_SEEDS_PER_JOB: usize = 256;
+
+/// A declarative job submission: one scenario family over many seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Topology family and size.
+    pub topology: TopologySpec,
+    /// Event class.
+    pub event: EventKind,
+    /// MRAI in seconds.
+    pub mrai_secs: u64,
+    /// MRAI jitter enabled (SSFNET-style) or fully disabled.
+    pub jitter: bool,
+    /// Enhancement set.
+    pub enhancements: Enhancements,
+    /// Seeds to run, one scenario each.
+    pub seeds: Vec<u64>,
+    /// Flap parameters for [`EventKind::Flap`] submissions.
+    pub flap: Option<FlapProfile>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            topology: TopologySpec::Clique(10),
+            event: EventKind::TDown,
+            mrai_secs: 30,
+            jitter: true,
+            enhancements: Enhancements::standard(),
+            seeds: vec![0],
+            flap: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses a JSON request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field for any shape the
+    /// service should answer with a 400.
+    pub fn parse(body: &str) -> Result<JobSpec, String> {
+        let value: Value = serde_json::from_str(body).map_err(|e| format!("invalid JSON: {e}"))?;
+        JobSpec::from_value(&value).map_err(|e| e.to_string())
+    }
+
+    /// The number of scenario runs this submission fans out to.
+    pub fn run_count(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// A short label for logs and status lines.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} x{}",
+            self.topology.label(),
+            self.event.label(),
+            self.seeds.len()
+        )
+    }
+
+    /// Materializes the scenarios, in seed order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let config = BgpConfig::default()
+            .with_mrai(SimDuration::from_secs(self.mrai_secs))
+            .with_jitter(if self.jitter {
+                Jitter::SSFNET
+            } else {
+                Jitter::NONE
+            })
+            .with_enhancements(self.enhancements);
+        self.seeds
+            .iter()
+            .map(|&seed| {
+                let mut s = Scenario::new(self.topology.clone(), self.event)
+                    .with_config(config)
+                    .with_seed(seed);
+                if let Some(flap) = self.flap {
+                    s = s.with_flap(flap);
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl Deserialize for JobSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        for (key, _) in entries {
+            match key.as_str() {
+                "topology" | "event" | "mrai_secs" | "jitter" | "enhancement" | "seeds"
+                | "flap" => {}
+                other => return Err(Error::new(format!("unknown field {other:?}"))),
+            }
+        }
+        let mut spec = JobSpec {
+            topology: parse_topology(
+                field(v, "topology")?
+                    .as_str()
+                    .ok_or_else(|| Error::new("topology must be a string"))?,
+            )?,
+            ..JobSpec::default()
+        };
+        if let Some(ev) = optional(v, "event") {
+            spec.event = match ev.as_str() {
+                Some("tdown") => EventKind::TDown,
+                Some("tlong") => EventKind::TLong,
+                Some("flap") => EventKind::Flap,
+                _ => return Err(Error::new(format!("unknown event {ev:?}"))),
+            };
+        }
+        if let Some(mrai) = optional(v, "mrai_secs") {
+            spec.mrai_secs = mrai
+                .as_u64()
+                .ok_or_else(|| Error::new("mrai_secs must be a non-negative integer"))?;
+        }
+        if let Some(j) = optional(v, "jitter") {
+            spec.jitter = bool::from_value(j).map_err(|_| Error::new("jitter must be a bool"))?;
+        }
+        if let Some(enh) = optional(v, "enhancement") {
+            spec.enhancements = match enh.as_str() {
+                Some("none") => Enhancements::standard(),
+                Some("ssld") => Enhancements::ssld(),
+                Some("wrate") => Enhancements::wrate(),
+                Some("assertion") => Enhancements::assertion(),
+                Some("ghost-flushing") | Some("ghost") => Enhancements::ghost_flushing(),
+                _ => return Err(Error::new(format!("unknown enhancement {enh:?}"))),
+            };
+        }
+        if let Some(seeds) = optional(v, "seeds") {
+            spec.seeds = Vec::<u64>::from_value(seeds)
+                .map_err(|_| Error::new("seeds must be an array of non-negative integers"))?;
+            if spec.seeds.is_empty() {
+                return Err(Error::new("seeds must not be empty"));
+            }
+            if spec.seeds.len() > MAX_SEEDS_PER_JOB {
+                return Err(Error::new(format!(
+                    "seeds is limited to {MAX_SEEDS_PER_JOB} per job, got {}",
+                    spec.seeds.len()
+                )));
+            }
+        }
+        if let Some(flap) = optional(v, "flap") {
+            spec.flap = Some(parse_flap(flap)?);
+        }
+        Ok(spec)
+    }
+}
+
+/// An object field that is absent or `null` reads as `None`.
+fn optional<'a>(v: &'a Value, name: &str) -> Option<&'a Value> {
+    match field(v, name) {
+        Ok(Value::Null) | Err(_) => None,
+        Ok(found) => Some(found),
+    }
+}
+
+/// Parses the CLI's topology grammar:
+/// `clique:<n> | bclique:<n> | internet:<n>[:<topo-seed>]`.
+fn parse_topology(spec: &str) -> Result<TopologySpec, Error> {
+    let bad = || Error::new(format!("bad topology spec {spec:?}"));
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["clique", n] => Ok(TopologySpec::Clique(n.parse().map_err(|_| bad())?)),
+        ["bclique", n] => Ok(TopologySpec::BClique(n.parse().map_err(|_| bad())?)),
+        ["internet", n] => Ok(TopologySpec::InternetLike {
+            n: n.parse().map_err(|_| bad())?,
+            topo_seed: 0,
+        }),
+        ["internet", n, ts] => Ok(TopologySpec::InternetLike {
+            n: n.parse().map_err(|_| bad())?,
+            topo_seed: ts.parse().map_err(|_| bad())?,
+        }),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_flap(v: &Value) -> Result<FlapProfile, Error> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| Error::new("flap must be an object"))?;
+    let mut flap = FlapProfile::default();
+    for (key, val) in entries {
+        match key.as_str() {
+            "period_secs" => {
+                flap.period = SimDuration::from_secs(
+                    val.as_u64()
+                        .ok_or_else(|| Error::new("flap.period_secs must be an integer"))?,
+                );
+            }
+            "count" => {
+                flap.count = u32::from_value(val)
+                    .map_err(|_| Error::new("flap.count must be a non-negative integer"))?;
+            }
+            "jitter" => {
+                flap.jitter = val
+                    .as_f64()
+                    .ok_or_else(|| Error::new("flap.jitter must be a number"))?;
+            }
+            "loss" => {
+                flap.loss = val
+                    .as_f64()
+                    .ok_or_else(|| Error::new("flap.loss must be a number"))?;
+            }
+            other => return Err(Error::new(format!("unknown flap field {other:?}"))),
+        }
+    }
+    Ok(flap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_takes_defaults() {
+        let spec = JobSpec::parse(r#"{"topology": "clique:5"}"#).unwrap();
+        assert_eq!(spec.topology, TopologySpec::Clique(5));
+        assert_eq!(spec.event, EventKind::TDown);
+        assert_eq!(spec.mrai_secs, 30);
+        assert!(spec.jitter);
+        assert_eq!(spec.seeds, vec![0]);
+        assert_eq!(spec.run_count(), 1);
+        assert!(spec.flap.is_none());
+    }
+
+    #[test]
+    fn full_spec_round_trips_into_scenarios() {
+        let spec = JobSpec::parse(
+            r#"{
+                "topology": "bclique:7",
+                "event": "flap",
+                "mrai_secs": 15,
+                "jitter": false,
+                "enhancement": "ghost-flushing",
+                "seeds": [3, 1, 4],
+                "flap": {"period_secs": 60, "count": 2, "jitter": 0.0, "loss": 0.1}
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.label(), "bclique-7 Flap x3");
+        let scenarios = spec.scenarios();
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[0].seed, 3);
+        assert_eq!(scenarios[2].seed, 4);
+        assert_eq!(scenarios[0].topology, TopologySpec::BClique(7));
+        assert!(scenarios[0].config.enhancements.ghost_flushing);
+        assert_eq!(scenarios[1].flap.count, 2);
+        assert_eq!(scenarios[1].flap.loss, 0.1);
+        // Same spec, same seed → same fingerprint: cacheable across
+        // submissions.
+        assert_eq!(
+            scenarios[0].fingerprint(),
+            spec.scenarios()[0].fingerprint()
+        );
+    }
+
+    #[test]
+    fn internet_topology_with_topo_seed() {
+        let spec = JobSpec::parse(r#"{"topology": "internet:48:7"}"#).unwrap();
+        assert_eq!(
+            spec.topology,
+            TopologySpec::InternetLike {
+                n: 48,
+                topo_seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        for (body, needle) in [
+            ("", "invalid JSON"),
+            ("[]", "expected object"),
+            (r#"{"event": "tdown"}"#, "topology"),
+            (r#"{"topology": "mesh:3"}"#, "bad topology"),
+            (r#"{"topology": "clique:5", "event": "boom"}"#, "event"),
+            (r#"{"topology": "clique:5", "seeds": []}"#, "seeds"),
+            (r#"{"topology": "clique:5", "bogus": 1}"#, "bogus"),
+            (
+                r#"{"topology": "clique:5", "enhancement": "magic"}"#,
+                "enhancement",
+            ),
+            (
+                r#"{"topology": "clique:5", "flap": {"period_secs": "x"}}"#,
+                "period_secs",
+            ),
+        ] {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert!(err.contains(needle), "body {body:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn seed_fanout_is_bounded() {
+        let seeds: Vec<String> = (0..=MAX_SEEDS_PER_JOB as u64)
+            .map(|s| s.to_string())
+            .collect();
+        let body = format!(
+            r#"{{"topology": "clique:5", "seeds": [{}]}}"#,
+            seeds.join(",")
+        );
+        let err = JobSpec::parse(&body).unwrap_err();
+        assert!(err.contains("limited"), "{err}");
+    }
+}

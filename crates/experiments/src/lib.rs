@@ -31,6 +31,7 @@ pub mod binopts;
 pub mod chart;
 pub mod churn;
 pub mod figures;
+pub mod jobspec;
 pub mod scenario;
 pub mod sweep;
 

@@ -319,6 +319,9 @@ impl Scenario {
             if let Some(deadline) = budget.deadline {
                 limit = limit.with_deadline(deadline);
             }
+            if let Some(token) = &budget.cancel {
+                limit = limit.with_cancel(token.flag());
+            }
             match self.run_budgeted(&limit) {
                 Ok(result) => {
                     result.emit_trace(seed);
@@ -617,6 +620,7 @@ mod tests {
         let budget = bgpsim_runner::JobBudget {
             max_events: Some(5),
             deadline: None,
+            cancel: None,
         };
         let timeout = (job.run)(&budget).expect_err("5 events cannot finish warm-up");
         assert_eq!(timeout.phase, "warmup");

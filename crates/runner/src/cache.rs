@@ -97,8 +97,20 @@ struct CachedEntry {
 }
 
 /// A content-addressed store of run results under one directory.
+///
+/// The handle is a cheap `Clone + Send + Sync` reference (`Arc` inside):
+/// every clone shares the same opened directory and schema pin, so a
+/// daemon, a load generator, and the CLI can hand one instance around
+/// without re-opening (and re-`mkdir`ing) the directory per request.
+/// All methods take `&self`; on-disk atomicity (temp + rename) makes
+/// concurrent use from many threads safe.
 #[derive(Debug, Clone)]
 pub struct RunCache {
+    inner: std::sync::Arc<CacheInner>,
+}
+
+#[derive(Debug)]
+struct CacheInner {
     dir: PathBuf,
     schema: u32,
 }
@@ -127,12 +139,20 @@ impl RunCache {
             path: dir.clone(),
             source,
         })?;
-        Ok(RunCache { dir, schema })
+        Ok(RunCache {
+            inner: std::sync::Arc::new(CacheInner { dir, schema }),
+        })
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.inner.dir
+    }
+
+    /// Whether two handles share the same opened cache instance (not
+    /// merely the same directory).
+    pub fn same_instance(&self, other: &RunCache) -> bool {
+        std::sync::Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// The entry file for a spec (key = hash of schema + spec).
@@ -140,7 +160,7 @@ impl RunCache {
         // Two independent FNV-1a streams give a 128-bit name; the spec
         // stored inside the entry catches any residual collision.
         let seeded = |basis: u64| -> u64 {
-            let mut h = basis ^ u64::from(self.schema).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut h = basis ^ u64::from(self.inner.schema).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             for &b in spec.as_bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -149,7 +169,7 @@ impl RunCache {
         };
         let h1 = seeded(0xcbf2_9ce4_8422_2325);
         let h2 = seeded(0x6c62_272e_07bb_0142);
-        self.dir.join(format!("{h1:016x}{h2:016x}.json"))
+        self.inner.dir.join(format!("{h1:016x}{h2:016x}.json"))
     }
 
     /// Looks up the result of a spec, treating every failure as a miss.
@@ -180,7 +200,7 @@ impl RunCache {
 
     /// The directory corrupt entries are moved into by [`lookup`](Self::lookup).
     pub fn quarantine_dir(&self) -> PathBuf {
-        self.dir.join("quarantine")
+        self.inner.dir.join("quarantine")
     }
 
     /// Moves a corrupt entry out of the live cache (best-effort) and
@@ -235,7 +255,7 @@ impl RunCache {
             path,
             detail: e.to_string(),
         })?;
-        if entry.schema != self.schema || entry.spec != spec {
+        if entry.schema != self.inner.schema || entry.spec != spec {
             return Ok(None);
         }
         Ok(Some(entry.metrics.to_metrics()))
@@ -251,7 +271,7 @@ impl RunCache {
     pub fn store(&self, spec: &str, metrics: &PaperMetrics) -> Result<(), Error> {
         let path = self.entry_path(spec);
         let entry = CachedEntry {
-            schema: self.schema,
+            schema: self.inner.schema,
             spec: spec.to_string(),
             metrics: CachedMetrics::from_metrics(metrics),
         };

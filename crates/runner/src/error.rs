@@ -73,6 +73,13 @@ pub enum Error {
         /// `Ok` payloads (clippy `result_large_err`).
         counters: Option<Box<bgpsim_trace::RunCounters>>,
     },
+    /// A job was cancelled through its
+    /// [`JobHandle`](crate::JobHandle) — either before it started or
+    /// cooperatively at a watchdog poll point mid-run.
+    Cancelled {
+        /// The label of the cancelled job.
+        label: String,
+    },
     /// [`init_global`](crate::init_global) was called after the
     /// process-wide runner had already been initialized.
     GlobalAlreadyInitialized,
@@ -104,6 +111,7 @@ impl fmt::Display for Error {
             Error::Timeout { label, phase, .. } => {
                 write!(f, "job {label:?} exceeded its watchdog budget in {phase}")
             }
+            Error::Cancelled { label } => write!(f, "job {label:?} was cancelled"),
             Error::GlobalAlreadyInitialized => {
                 write!(f, "the process-wide runner is already initialized")
             }
@@ -121,6 +129,7 @@ impl std::error::Error for Error {
             Error::CorruptEntry { .. }
             | Error::WorkerPanic { .. }
             | Error::Timeout { .. }
+            | Error::Cancelled { .. }
             | Error::GlobalAlreadyInitialized => None,
         }
     }

@@ -49,23 +49,94 @@ impl JobOutput {
     }
 }
 
+/// A cooperative cancellation flag shared between a job's owner and the
+/// running job.
+///
+/// The token is a cheap `Clone` over one shared atomic: the owner calls
+/// [`cancel`](Self::cancel), and the job observes it at its watchdog
+/// poll points (the same places it checks event/deadline budgets). The
+/// raw flag is exposed via [`flag`](Self::flag) so crates that cannot
+/// depend on the runner (e.g. the simulator's `RunBudget`) can poll it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; the job stops at its next
+    /// poll point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The shared flag itself, for embedding in budgets of crates that
+    /// do not know about `CancelToken`.
+    pub fn flag(&self) -> std::sync::Arc<AtomicBool> {
+        std::sync::Arc::clone(&self.0)
+    }
+}
+
+/// A handle to one submitted job: carries the [`CancelToken`] the
+/// executor threads through the job's watchdog budget.
+///
+/// Cloneable, so a job registry can keep one copy while the submitting
+/// client keeps another; cancelling through any clone stops the job.
+/// The batch API ([`Runner::run_jobs`]) is unaffected — handles exist
+/// only for the single-job [`Runner::run_job`] path.
+#[derive(Debug, Clone, Default)]
+pub struct JobHandle {
+    token: CancelToken,
+}
+
+impl JobHandle {
+    /// A fresh handle for one job submission.
+    pub fn new() -> Self {
+        JobHandle::default()
+    }
+
+    /// Requests cooperative cancellation of the job.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// `true` once cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// The underlying token.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+}
+
 /// Watchdog limits the executor hands to each job closure.
 ///
 /// A job that honors its budget (see [`Job::budgeted`]) converts a
 /// non-converging run into a clean [`JobTimeout`] instead of hanging a
 /// worker forever. Jobs built with [`Job::new`] ignore the budget.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct JobBudget {
     /// Maximum simulation events for the run.
     pub max_events: Option<u64>,
     /// Wall-clock deadline for the run.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, polled alongside the limits.
+    pub cancel: Option<CancelToken>,
 }
 
 impl JobBudget {
-    /// `true` if neither limit is set.
+    /// `true` if no limit (and no cancellation hook) is set.
     pub fn is_unlimited(&self) -> bool {
-        self.max_events.is_none() && self.deadline.is_none()
+        self.max_events.is_none() && self.deadline.is_none() && self.cancel.is_none()
     }
 }
 
@@ -185,8 +256,25 @@ struct JournalLine {
     fingerprint: Option<String>,
     cached: bool,
     timed_out: bool,
+    cancelled: bool,
     elapsed_ms: f64,
     counters: Option<RunCounters>,
+}
+
+/// The outcome of one job run through [`Runner::run_job`].
+#[derive(Debug, Clone)]
+pub struct CompletedJob {
+    /// The job's label, as submitted.
+    pub label: String,
+    /// The run's aggregated result.
+    pub metrics: PaperMetrics,
+    /// Hot-path counters, if the run collected them (`None` for cache
+    /// hits — the run did not happen, so it cost nothing).
+    pub counters: Option<RunCounters>,
+    /// `true` when the result was served from the run cache.
+    pub cached: bool,
+    /// Wall-clock time for this job (lookup + run + store).
+    pub elapsed: Duration,
 }
 
 #[derive(Default)]
@@ -407,7 +495,38 @@ impl Runner {
         Ok(out)
     }
 
+    /// Runs one job with a cancellation handle, outside any batch.
+    ///
+    /// The job goes through the same cache / stats / journal path as
+    /// [`run_jobs`](Self::run_jobs), but the handle's [`CancelToken`]
+    /// is threaded into the job's [`JobBudget`] so budget-aware jobs
+    /// stop cooperatively at their watchdog poll points. This is what a
+    /// long-running service uses per submission; the batch API keeps
+    /// its run-to-completion semantics.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Cancelled`] — the handle was cancelled (before the
+    ///   job started, or the job observed the flag and stopped);
+    /// * [`Error::Timeout`] — the job hit its event/deadline budget;
+    /// * [`Error::WorkerPanic`] — the job's closure panicked.
+    pub fn run_job(&self, job: Job, handle: &JobHandle) -> Result<CompletedJob, Error> {
+        if handle.is_cancelled() {
+            return Err(Error::Cancelled { label: job.label });
+        }
+        let started = Instant::now();
+        let result = self.run_inner(job, Some(handle.token()));
+        self.stats.lock().expect("stats lock").wall_time += started.elapsed();
+        result
+    }
+
     fn run_one(&self, job: Job, progress: &Mutex<BatchProgress>) -> Result<PaperMetrics, Error> {
+        let done = self.run_inner(job, None)?;
+        self.progress_tick(progress, &done.label, done.cached);
+        Ok(done.metrics)
+    }
+
+    fn run_inner(&self, job: Job, cancel: Option<&CancelToken>) -> Result<CompletedJob, Error> {
         let Job {
             label,
             fingerprint,
@@ -417,6 +536,7 @@ impl Runner {
         let budget = JobBudget {
             max_events: self.max_events,
             deadline: self.max_wall.map(|d| started + d),
+            cancel: cancel.cloned(),
         };
         let panic_label = label.clone();
         let run_caught = move || match catch_unwind(AssertUnwindSafe(move || run(&budget))) {
@@ -456,8 +576,13 @@ impl Runner {
                 return Err(Error::WorkerPanic { label });
             }
             Err((timeout, label)) => {
-                // A watchdog stop is a real (partial) execution: count
-                // it, journal it, and surface the partial counters.
+                // A watchdog (or cancellation) stop is a real partial
+                // execution: count it, journal it, and surface the
+                // partial counters. The budget reports *where* it
+                // stopped; the token decides *why* — a cancelled run is
+                // classified as such even though it surfaces through
+                // the same early-stop path as a budget trip.
+                let cancelled = cancel.is_some_and(CancelToken::is_cancelled);
                 let counters = timeout.counters.map(|mut c| {
                     c.wall_ms = elapsed.as_millis() as u64;
                     c
@@ -475,14 +600,19 @@ impl Runner {
                     &label,
                     &fingerprint,
                     false,
-                    true,
+                    !cancelled,
+                    cancelled,
                     elapsed,
                     counters.as_deref().copied(),
                 );
-                return Err(Error::Timeout {
-                    label,
-                    phase: timeout.phase,
-                    counters,
+                return Err(if cancelled {
+                    Error::Cancelled { label }
+                } else {
+                    Error::Timeout {
+                        label,
+                        phase: timeout.phase,
+                        counters,
+                    }
                 });
             }
         };
@@ -505,17 +635,32 @@ impl Runner {
                 stats.counters.merge(c);
             }
         }
-        self.journal_record(&label, &fingerprint, cached, false, elapsed, counters);
-        self.progress_tick(progress, &label, cached);
-        Ok(output.metrics)
+        self.journal_record(
+            &label,
+            &fingerprint,
+            cached,
+            false,
+            false,
+            elapsed,
+            counters,
+        );
+        Ok(CompletedJob {
+            label,
+            metrics: output.metrics,
+            counters,
+            cached,
+            elapsed,
+        })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn journal_record(
         &self,
         label: &str,
         fingerprint: &Option<String>,
         cached: bool,
         timed_out: bool,
+        cancelled: bool,
         elapsed: Duration,
         counters: Option<RunCounters>,
     ) {
@@ -525,6 +670,7 @@ impl Runner {
             fingerprint: fingerprint.clone(),
             cached,
             timed_out,
+            cancelled,
             elapsed_ms: elapsed.as_secs_f64() * 1e3,
             counters,
         };
@@ -571,6 +717,15 @@ impl Runner {
         if self.progress_style() == Some(true) {
             eprint!("\r{:78}\r", "");
             let _ = std::io::stderr().flush();
+        }
+    }
+
+    /// Flushes the journal file to the OS (no-op without a journal).
+    /// A draining service calls this after its last in-flight job so no
+    /// partially-written line is left behind.
+    pub fn flush_journal(&self) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.lock().expect("journal lock").flush();
         }
     }
 

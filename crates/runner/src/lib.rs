@@ -59,5 +59,6 @@ pub use cache::{RunCache, SCHEMA_VERSION};
 pub use config::{init_global, RunnerConfig};
 pub use error::Error;
 pub use executor::{
-    global, Job, JobBudget, JobFn, JobOutput, JobTimeout, ProgressMode, Runner, RunnerStats,
+    global, CancelToken, CompletedJob, Job, JobBudget, JobFn, JobHandle, JobOutput, JobTimeout,
+    ProgressMode, Runner, RunnerStats,
 };

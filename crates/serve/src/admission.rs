@@ -1,0 +1,288 @@
+//! Admission control: bounded pending queue, per-client quotas, and
+//! drain-aware backpressure.
+//!
+//! Admission sits *in front of* the executor's watchdog budgets: the
+//! budgets bound a run that was admitted, admission bounds what gets in
+//! at all. Three independent gates, checked in order:
+//!
+//! 1. **drain** — a draining service refuses every submission (503);
+//! 2. **queue depth** — total pending runs are capped; overflow is
+//!    backpressure (429 + `Retry-After`), not an error;
+//! 3. **per-client quotas** — concurrent jobs and a cumulative
+//!    simulation-event budget per API key (429).
+//!
+//! Cached runs charge zero events (the run did not happen), so a
+//! client re-submitting warmed specs effectively never exhausts its
+//! event budget — exactly the economics a shared cache should have.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The service is draining and takes no new work.
+    Draining,
+    /// The pending-run queue is full; retry later.
+    QueueFull,
+    /// The client is at its concurrent-job cap.
+    ConcurrencyQuota,
+    /// The client has exhausted its cumulative event budget.
+    EventBudgetQuota,
+}
+
+impl RejectReason {
+    /// The wire name (also the `admission_reject` trace reason).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectReason::Draining => "draining",
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::ConcurrencyQuota => "concurrency_quota",
+            RejectReason::EventBudgetQuota => "event_budget_quota",
+        }
+    }
+
+    /// The HTTP status the rejection maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            RejectReason::Draining => 503,
+            _ => 429,
+        }
+    }
+}
+
+/// Admission limits. `None` disables the corresponding gate.
+#[derive(Debug, Clone)]
+pub struct AdmissionLimits {
+    /// Cap on queued (admitted, not yet started) runs.
+    pub max_queued_runs: usize,
+    /// Cap on one client's concurrently active jobs.
+    pub max_jobs_per_client: Option<usize>,
+    /// Cap on one client's cumulative charged simulation events.
+    pub event_budget_per_client: Option<u64>,
+}
+
+impl Default for AdmissionLimits {
+    fn default() -> Self {
+        AdmissionLimits {
+            max_queued_runs: 1024,
+            max_jobs_per_client: Some(64),
+            event_budget_per_client: None,
+        }
+    }
+}
+
+/// Per-client accounting, exposed on the stats endpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Jobs currently active (admitted, not yet terminal).
+    pub active_jobs: u64,
+    /// Jobs admitted over the client's lifetime.
+    pub admitted_jobs: u64,
+    /// Simulation events charged (executed runs only).
+    pub events_charged: u64,
+    /// Submissions refused at admission.
+    pub rejected: u64,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionInner {
+    queued_runs: usize,
+    draining: bool,
+    clients: HashMap<String, ClientStats>,
+}
+
+/// The admission controller.
+#[derive(Debug)]
+pub struct Admission {
+    limits: AdmissionLimits,
+    inner: Mutex<AdmissionInner>,
+}
+
+impl Admission {
+    /// A controller with the given limits.
+    pub fn new(limits: AdmissionLimits) -> Self {
+        Admission {
+            limits,
+            inner: Mutex::new(AdmissionInner::default()),
+        }
+    }
+
+    /// Puts the controller into drain mode: every subsequent
+    /// [`admit`](Self::admit) is refused with
+    /// [`RejectReason::Draining`].
+    pub fn start_drain(&self) {
+        self.inner.lock().expect("admission lock").draining = true;
+    }
+
+    /// `true` once draining has begun.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().expect("admission lock").draining
+    }
+
+    /// Decides a submission of `runs` runs by `client`. On admission
+    /// the queue depth and the client's active-job count are charged;
+    /// the caller must pair this with [`job_finished`](Self::job_finished)
+    /// and per-run [`run_started`](Self::run_started) calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] when any gate refuses.
+    pub fn admit(&self, client: &str, runs: usize) -> Result<(), RejectReason> {
+        let mut inner = self.inner.lock().expect("admission lock");
+        let reject = |inner: &mut AdmissionInner, reason| {
+            inner
+                .clients
+                .entry(client.to_string())
+                .or_default()
+                .rejected += 1;
+            Err(reason)
+        };
+        if inner.draining {
+            return reject(&mut inner, RejectReason::Draining);
+        }
+        if inner.queued_runs + runs > self.limits.max_queued_runs {
+            return reject(&mut inner, RejectReason::QueueFull);
+        }
+        let stats = inner.clients.entry(client.to_string()).or_default();
+        if let Some(cap) = self.limits.max_jobs_per_client {
+            if stats.active_jobs >= cap as u64 {
+                return reject(&mut inner, RejectReason::ConcurrencyQuota);
+            }
+        }
+        if let Some(budget) = self.limits.event_budget_per_client {
+            if stats.events_charged >= budget {
+                return reject(&mut inner, RejectReason::EventBudgetQuota);
+            }
+        }
+        let stats = inner.clients.entry(client.to_string()).or_default();
+        stats.active_jobs += 1;
+        stats.admitted_jobs += 1;
+        inner.queued_runs += runs;
+        Ok(())
+    }
+
+    /// Releases one queued run (an executor worker picked it up, or it
+    /// was discarded by a cancellation).
+    pub fn run_started(&self) {
+        let mut inner = self.inner.lock().expect("admission lock");
+        inner.queued_runs = inner.queued_runs.saturating_sub(1);
+    }
+
+    /// Charges simulation events a client's run actually consumed
+    /// (cache hits charge zero).
+    pub fn charge_events(&self, client: &str, events: u64) {
+        let mut inner = self.inner.lock().expect("admission lock");
+        inner
+            .clients
+            .entry(client.to_string())
+            .or_default()
+            .events_charged += events;
+    }
+
+    /// Releases a client's active-job slot when its job goes terminal.
+    pub fn job_finished(&self, client: &str) {
+        let mut inner = self.inner.lock().expect("admission lock");
+        let stats = inner.clients.entry(client.to_string()).or_default();
+        stats.active_jobs = stats.active_jobs.saturating_sub(1);
+    }
+
+    /// Current queued-run count (the stats endpoint's queue depth).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock().expect("admission lock").queued_runs
+    }
+
+    /// Per-client counters, sorted by client name for stable output.
+    pub fn client_stats(&self) -> Vec<(String, ClientStats)> {
+        let inner = self.inner.lock().expect("admission lock");
+        let mut stats: Vec<(String, ClientStats)> = inner
+            .clients
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        stats.sort_by(|a, b| a.0.cmp(&b.0));
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admission(
+        max_queued: usize,
+        max_jobs: Option<usize>,
+        event_budget: Option<u64>,
+    ) -> Admission {
+        Admission::new(AdmissionLimits {
+            max_queued_runs: max_queued,
+            max_jobs_per_client: max_jobs,
+            event_budget_per_client: event_budget,
+        })
+    }
+
+    #[test]
+    fn queue_overflow_is_backpressure() {
+        let a = admission(4, None, None);
+        assert!(a.admit("alice", 3).is_ok());
+        assert_eq!(a.admit("bob", 2), Err(RejectReason::QueueFull));
+        assert_eq!(RejectReason::QueueFull.status(), 429);
+        // Workers picking runs up frees capacity.
+        a.run_started();
+        a.run_started();
+        assert!(a.admit("bob", 2).is_ok());
+        assert_eq!(a.queue_depth(), 3);
+    }
+
+    #[test]
+    fn concurrency_quota_is_per_client() {
+        let a = admission(100, Some(2), None);
+        assert!(a.admit("alice", 1).is_ok());
+        assert!(a.admit("alice", 1).is_ok());
+        assert_eq!(a.admit("alice", 1), Err(RejectReason::ConcurrencyQuota));
+        // Another client is unaffected.
+        assert!(a.admit("bob", 1).is_ok());
+        // Finishing a job frees the slot.
+        a.job_finished("alice");
+        assert!(a.admit("alice", 1).is_ok());
+    }
+
+    #[test]
+    fn event_budget_refuses_once_exhausted() {
+        let a = admission(100, None, Some(1000));
+        assert!(a.admit("alice", 1).is_ok());
+        a.charge_events("alice", 999);
+        assert!(a.admit("alice", 1).is_ok(), "under budget");
+        a.charge_events("alice", 1);
+        assert_eq!(a.admit("alice", 1), Err(RejectReason::EventBudgetQuota));
+        // Cached runs charge nothing, so a warmed client stays under.
+        a.charge_events("bob", 0);
+        assert!(a.admit("bob", 1).is_ok());
+    }
+
+    #[test]
+    fn draining_refuses_everything() {
+        let a = admission(100, None, None);
+        assert!(a.admit("alice", 1).is_ok());
+        a.start_drain();
+        assert!(a.is_draining());
+        assert_eq!(a.admit("alice", 1), Err(RejectReason::Draining));
+        assert_eq!(RejectReason::Draining.status(), 503);
+    }
+
+    #[test]
+    fn rejections_are_counted_per_client() {
+        let a = admission(1, None, None);
+        assert!(a.admit("alice", 1).is_ok());
+        let _ = a.admit("bob", 1);
+        let _ = a.admit("bob", 1);
+        let stats = a.client_stats();
+        assert_eq!(stats.len(), 2);
+        let bob = &stats.iter().find(|(k, _)| k == "bob").unwrap().1;
+        assert_eq!(bob.rejected, 2);
+        assert_eq!(bob.active_jobs, 0);
+        let alice = &stats.iter().find(|(k, _)| k == "alice").unwrap().1;
+        assert_eq!(alice.admitted_jobs, 1);
+        assert_eq!(alice.active_jobs, 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! `bgpsim-loadtest`: a concurrent smoke/load driver for the
+//! `bgpsim serve` daemon.
+//!
+//! N client threads each submit a rotation of small quick-sweep specs
+//! and stream the results to completion, measuring end-to-end latency
+//! (submit through last result line). Reports throughput, latency
+//! percentiles, status-code counts, and the daemon's cache hit-rate
+//! delta; exits nonzero on any 5xx. With `--warm` the whole burst runs
+//! twice and the second pass must be served entirely from the run
+//! cache (zero newly executed runs).
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bgpsim_serve::client::{request, Response};
+
+const USAGE: &str = "\
+bgpsim-loadtest: concurrent load driver for the bgpsim serve daemon
+
+USAGE:
+    bgpsim-loadtest [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT    daemon address [default: 127.0.0.1:8355]
+    --requests N        total requests across all clients [default: 200]
+    --clients N         concurrent client threads [default: 8]
+    --warm              run the burst twice; require a 100% cache
+                        hit-rate (zero executed runs) on the rerun
+    --report FILE       write the report as JSON to FILE
+    -h, --help          print this help
+";
+
+/// The spec rotation: a handful of distinct quick scenarios, so a
+/// burst exercises both cold execution and shared-cache hits.
+fn spec_body(slot: usize) -> String {
+    let size = 4 + (slot % 4); // clique:4 .. clique:7
+    let event = if slot.is_multiple_of(2) { "tdown" } else { "tlong" };
+    format!("{{\"topology\":\"clique:{size}\",\"event\":\"{event}\",\"seeds\":[1,2]}}")
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    ok_2xx: AtomicU64,
+    client_4xx: AtomicU64,
+    rejected_429: AtomicU64,
+    server_5xx: AtomicU64,
+    other: AtomicU64,
+}
+
+impl Counters {
+    fn record(&self, status: u16) {
+        match status {
+            200..=299 => &self.ok_2xx,
+            429 => &self.rejected_429,
+            400..=499 => &self.client_4xx,
+            500..=599 => &self.server_5xx,
+            _ => &self.other,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Options {
+    addr: String,
+    requests: usize,
+    clients: usize,
+    warm: bool,
+    report: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:8355".into(),
+        requests: 200,
+        clients: 8,
+        warm: false,
+        report: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => options.addr = expect_value(&mut args, "--addr")?,
+            "--requests" => options.requests = parse_num(&expect_value(&mut args, "--requests")?)?,
+            "--clients" => options.clients = parse_num(&expect_value(&mut args, "--clients")?)?,
+            "--warm" => options.warm = true,
+            "--report" => options.report = Some(expect_value(&mut args, "--report")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if options.requests == 0 || options.clients == 0 {
+        return Err("--requests and --clients must be positive".into());
+    }
+    Ok(options)
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num(text: &str) -> Result<usize, String> {
+    text.parse().map_err(|_| format!("bad number {text:?}"))
+}
+
+/// Pulls a counter out of the (flat-enough) stats JSON by scanning for
+/// `"name":<digits>` — avoids a JSON tree walk for two fields.
+fn stat_field(stats_json: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let at = stats_json.find(&needle)? + needle.len();
+    let digits: String = stats_json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn fetch_stats(addr: &str) -> Result<String, String> {
+    let resp =
+        request(addr, "GET", "/v1/stats", &[], b"").map_err(|e| format!("stats fetch: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("stats endpoint returned {}", resp.status));
+    }
+    Ok(resp.text())
+}
+
+/// One client request: submit the spec, then stream the results to the
+/// end. Returns the terminal status code of the submit (the streamed
+/// GET's status folds into the counters too).
+fn one_request(addr: &str, api_key: &str, slot: usize, counters: &Counters) -> Result<(), String> {
+    let body = spec_body(slot);
+    let resp = request(
+        addr,
+        "POST",
+        "/v1/jobs",
+        &[("x-api-key", api_key)],
+        body.as_bytes(),
+    )
+    .map_err(|e| format!("submit: {e}"))?;
+    counters.record(resp.status);
+    if resp.status != 201 {
+        return Ok(()); // rejection (429/503) is a valid outcome, counted above
+    }
+    let id = stat_field(&resp.text(), "id")
+        .ok_or_else(|| format!("submit response without id: {}", resp.text()))?;
+    let stream: Response = request(
+        addr,
+        "GET",
+        &format!("/v1/jobs/{id}/results"),
+        &[("x-api-key", api_key)],
+        b"",
+    )
+    .map_err(|e| format!("stream: {e}"))?;
+    counters.record(stream.status);
+    Ok(())
+}
+
+struct Burst {
+    latencies_us: Vec<u64>,
+    elapsed_secs: f64,
+}
+
+fn run_burst(options: &Options, counters: &Arc<Counters>) -> Result<Burst, String> {
+    let started = Instant::now();
+    let per_client = options.requests.div_ceil(options.clients);
+    let mut handles = Vec::new();
+    for client_idx in 0..options.clients {
+        let addr = options.addr.clone();
+        let counters = Arc::clone(counters);
+        let first = client_idx * per_client;
+        let count = per_client.min(options.requests.saturating_sub(first));
+        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let api_key = format!("load-{client_idx}");
+            let mut latencies = Vec::with_capacity(count);
+            for i in 0..count {
+                let begun = Instant::now();
+                one_request(&addr, &api_key, first + i, &counters)?;
+                latencies.push(begun.elapsed().as_micros() as u64);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies_us = Vec::with_capacity(options.requests);
+    for handle in handles {
+        latencies_us.extend(handle.join().map_err(|_| "client thread panicked")??);
+    }
+    Ok(Burst {
+        latencies_us,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 * p).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1000.0
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let before = match fetch_stats(&options.addr) {
+        Ok(stats) => stats,
+        Err(err) => {
+            eprintln!("error: {err} (is the daemon running at {}?)", options.addr);
+            std::process::exit(1);
+        }
+    };
+    let executed_before = stat_field(&before, "executed").unwrap_or(0);
+    let hits_before = stat_field(&before, "cache_hits").unwrap_or(0);
+
+    let counters = Arc::new(Counters::default());
+    let cold = match run_burst(&options, &counters) {
+        Ok(burst) => burst,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    // Warm pass: identical burst; every run must come from the cache.
+    let mut warm_executed_delta = None;
+    let mut warm = None;
+    if options.warm {
+        let mid = fetch_stats(&options.addr).unwrap_or_default();
+        let executed_mid = stat_field(&mid, "executed").unwrap_or(0);
+        match run_burst(&options, &counters) {
+            Ok(burst) => warm = Some(burst),
+            Err(err) => {
+                eprintln!("error: warm pass: {err}");
+                std::process::exit(1);
+            }
+        }
+        let after = fetch_stats(&options.addr).unwrap_or_default();
+        warm_executed_delta = Some(
+            stat_field(&after, "executed")
+                .unwrap_or(0)
+                .saturating_sub(executed_mid),
+        );
+    }
+
+    let after = fetch_stats(&options.addr).unwrap_or_default();
+    let executed_delta = stat_field(&after, "executed")
+        .unwrap_or(0)
+        .saturating_sub(executed_before);
+    let hits_delta = stat_field(&after, "cache_hits")
+        .unwrap_or(0)
+        .saturating_sub(hits_before);
+    let runs_delta = executed_delta + hits_delta;
+    let hit_rate = if runs_delta == 0 {
+        0.0
+    } else {
+        100.0 * hits_delta as f64 / runs_delta as f64
+    };
+
+    let mut all_latencies: Vec<u64> = cold.latencies_us.clone();
+    if let Some(warm) = &warm {
+        all_latencies.extend_from_slice(&warm.latencies_us);
+    }
+    all_latencies.sort_unstable();
+    let total_requests = all_latencies.len();
+    let total_secs = cold.elapsed_secs + warm.as_ref().map_or(0.0, |w| w.elapsed_secs);
+    let throughput = total_requests as f64 / total_secs.max(1e-9);
+    let p50 = percentile(&all_latencies, 0.50);
+    let p90 = percentile(&all_latencies, 0.90);
+    let p99 = percentile(&all_latencies, 0.99);
+
+    let ok_2xx = counters.ok_2xx.load(Ordering::Relaxed);
+    let rejected = counters.rejected_429.load(Ordering::Relaxed);
+    let client_4xx = counters.client_4xx.load(Ordering::Relaxed);
+    let server_5xx = counters.server_5xx.load(Ordering::Relaxed);
+
+    println!("bgpsim-loadtest against {}", options.addr);
+    println!(
+        "  requests: {total_requests} over {} clients in {total_secs:.2}s ({throughput:.1} req/s)",
+        options.clients
+    );
+    println!("  latency ms: p50={p50:.2} p90={p90:.2} p99={p99:.2}");
+    println!("  status: 2xx={ok_2xx} 429={rejected} other-4xx={client_4xx} 5xx={server_5xx}");
+    println!("  runs: executed={executed_delta} cache_hits={hits_delta} hit_rate={hit_rate:.1}%");
+    if let Some(delta) = warm_executed_delta {
+        println!("  warm rerun: newly executed runs = {delta} (want 0)");
+    }
+
+    let report = format!(
+        "{{\"addr\":\"{}\",\"requests\":{total_requests},\"clients\":{},\
+         \"elapsed_secs\":{total_secs:.3},\"throughput_rps\":{throughput:.3},\
+         \"latency_ms\":{{\"p50\":{p50:.3},\"p90\":{p90:.3},\"p99\":{p99:.3}}},\
+         \"status\":{{\"ok_2xx\":{ok_2xx},\"rejected_429\":{rejected},\
+         \"other_4xx\":{client_4xx},\"server_5xx\":{server_5xx}}},\
+         \"runs\":{{\"executed\":{executed_delta},\"cache_hits\":{hits_delta},\
+         \"hit_rate_percent\":{hit_rate:.3}}},\
+         \"warm_executed_delta\":{}}}",
+        options.addr,
+        options.clients,
+        warm_executed_delta.map_or("null".to_string(), |d| d.to_string()),
+    );
+    if let Some(path) = &options.report {
+        match std::fs::File::create(path).and_then(|mut f| writeln!(f, "{report}")) {
+            Ok(()) => println!("  report written to {path}"),
+            Err(err) => {
+                eprintln!("error: writing report {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if server_5xx > 0 {
+        eprintln!("FAIL: {server_5xx} server errors (5xx)");
+        std::process::exit(1);
+    }
+    if let Some(delta) = warm_executed_delta {
+        if delta > 0 {
+            eprintln!("FAIL: warm rerun executed {delta} runs (expected a 100% cache hit-rate)");
+            std::process::exit(1);
+        }
+    }
+}

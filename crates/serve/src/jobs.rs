@@ -1,0 +1,350 @@
+//! The job registry: submission state, ordered result streams, and
+//! cooperative cancellation.
+//!
+//! Every submission fans out to one executor run per seed. Result
+//! lines are *revealed in submission order* regardless of completion
+//! order — a reader streaming `GET /v1/jobs/{id}/results` observes the
+//! longest completed prefix, which makes the stream a pure function of
+//! the submitted spec. Two clients submitting the identical spec
+//! therefore receive byte-identical streams, whether their runs
+//! executed or came out of the shared run cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use bgpsim_runner::JobHandle;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted; runs are waiting for an executor worker.
+    Queued,
+    /// At least one run has started.
+    Running,
+    /// Every run completed; the full result stream is available.
+    Done,
+    /// Cancelled via `DELETE` (or drain); the stream ends early.
+    Cancelled,
+    /// A run failed (budget timeout, panic); carries the reason.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// The wire name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+
+    /// `true` once no further result lines can appear.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
+}
+
+#[derive(Debug)]
+struct JobInner {
+    /// One slot per run, filled as runs complete (out of order).
+    slots: Vec<Option<String>>,
+    /// Longest complete prefix of `slots` — what readers may see.
+    revealed: usize,
+    /// Runs finished (successfully), regardless of order.
+    done_runs: usize,
+    /// Runs served from the shared cache.
+    cached_runs: u64,
+    /// Simulation events charged to this job (executed runs only).
+    events_charged: u64,
+    status: JobStatus,
+}
+
+/// One submitted job.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// Registry-assigned id.
+    pub id: u64,
+    /// Submitting client (API key or `"anonymous"`).
+    pub client: String,
+    /// Human-readable label of the submission.
+    pub label: String,
+    /// Total runs (seeds) in the submission.
+    pub total_runs: usize,
+    /// Cancellation handle threaded into every run's budget.
+    pub handle: JobHandle,
+    inner: Mutex<JobInner>,
+    progress: Condvar,
+    /// Guards the one-time release of the client's active-job slot.
+    released: std::sync::atomic::AtomicBool,
+}
+
+/// A point-in-time view of a job for the status endpoint.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Registry-assigned id.
+    pub id: u64,
+    /// Submitting client.
+    pub client: String,
+    /// Submission label.
+    pub label: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Total runs in the submission.
+    pub total_runs: usize,
+    /// Runs completed.
+    pub done_runs: usize,
+    /// Runs served from the shared cache.
+    pub cached_runs: u64,
+    /// Simulation events charged to this job.
+    pub events_charged: u64,
+}
+
+impl JobEntry {
+    fn new(id: u64, client: String, label: String, total_runs: usize) -> Self {
+        JobEntry {
+            id,
+            client,
+            label,
+            total_runs,
+            handle: JobHandle::new(),
+            inner: Mutex::new(JobInner {
+                slots: vec![None; total_runs],
+                revealed: 0,
+                done_runs: 0,
+                cached_runs: 0,
+                events_charged: 0,
+                status: JobStatus::Queued,
+            }),
+            progress: Condvar::new(),
+            released: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the one-time right to release this job's admission slot.
+    /// Returns `true` exactly once per job, no matter how many paths
+    /// (final run, failure, cancellation) race to the terminal state.
+    pub fn take_release(&self) -> bool {
+        !self
+            .released
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Marks the first run as started.
+    pub fn mark_running(&self) {
+        let mut inner = self.inner.lock().expect("job lock");
+        if inner.status == JobStatus::Queued {
+            inner.status = JobStatus::Running;
+        }
+    }
+
+    /// Records run `index` as complete with its result line, revealing
+    /// any newly contiguous prefix to stream readers.
+    pub fn complete_run(&self, index: usize, line: String, cached: bool, events: u64) {
+        let mut inner = self.inner.lock().expect("job lock");
+        if inner.slots[index].is_none() {
+            inner.slots[index] = Some(line);
+            inner.done_runs += 1;
+            if cached {
+                inner.cached_runs += 1;
+            }
+            inner.events_charged += events;
+        }
+        while inner.revealed < inner.slots.len() && inner.slots[inner.revealed].is_some() {
+            inner.revealed += 1;
+        }
+        if inner.done_runs == self.total_runs && !inner.status.is_terminal() {
+            inner.status = JobStatus::Done;
+        }
+        drop(inner);
+        self.progress.notify_all();
+    }
+
+    /// Moves the job to a terminal failure/cancellation state.
+    pub fn finish_with(&self, status: JobStatus) {
+        debug_assert!(status.is_terminal());
+        let mut inner = self.inner.lock().expect("job lock");
+        if !inner.status.is_terminal() {
+            inner.status = status;
+        }
+        drop(inner);
+        self.progress.notify_all();
+    }
+
+    /// Requests cancellation. Returns `false` when the job was already
+    /// terminal (nothing to cancel).
+    pub fn cancel(&self) -> bool {
+        let mut inner = self.inner.lock().expect("job lock");
+        if inner.status.is_terminal() {
+            return false;
+        }
+        inner.status = JobStatus::Cancelled;
+        drop(inner);
+        // The flag stops queued runs at pickup and a mid-run scenario
+        // at its next watchdog poll point.
+        self.handle.cancel();
+        self.progress.notify_all();
+        true
+    }
+
+    /// A snapshot for the status endpoint.
+    pub fn snapshot(&self) -> JobSnapshot {
+        let inner = self.inner.lock().expect("job lock");
+        JobSnapshot {
+            id: self.id,
+            client: self.client.clone(),
+            label: self.label.clone(),
+            status: inner.status.clone(),
+            total_runs: self.total_runs,
+            done_runs: inner.done_runs,
+            cached_runs: inner.cached_runs,
+            events_charged: inner.events_charged,
+        }
+    }
+
+    /// Blocks until a result line past `from` is revealed or the job
+    /// reaches a terminal state; returns the newly visible lines and
+    /// the current status.
+    ///
+    /// A terminal status with no new lines means the stream is over.
+    pub fn wait_results(&self, from: usize, timeout: Duration) -> (Vec<String>, JobStatus) {
+        let mut inner = self.inner.lock().expect("job lock");
+        while inner.revealed <= from && !inner.status.is_terminal() {
+            let (guard, wait) = self
+                .progress
+                .wait_timeout(inner, timeout)
+                .expect("job lock");
+            inner = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let lines = inner.slots[from..inner.revealed]
+            .iter()
+            .map(|slot| slot.clone().expect("revealed prefix is complete"))
+            .collect();
+        (lines, inner.status.clone())
+    }
+}
+
+/// The id-indexed registry of every submission the daemon has seen.
+///
+/// Entries are retained after completion so results remain readable;
+/// the daemon's lifetime is bounded by its drain, not by job count.
+#[derive(Debug, Default)]
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobEntry>>>,
+}
+
+impl JobRegistry {
+    /// An empty registry; ids start at 1.
+    pub fn new() -> Self {
+        JobRegistry {
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates and registers a job.
+    pub fn create(&self, client: &str, label: String, total_runs: usize) -> Arc<JobEntry> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(JobEntry::new(id, client.to_string(), label, total_runs));
+        self.jobs
+            .lock()
+            .expect("registry lock")
+            .insert(id, Arc::clone(&entry));
+        entry
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<JobEntry>> {
+        self.jobs.lock().expect("registry lock").get(&id).cloned()
+    }
+
+    /// Jobs currently in a non-terminal state.
+    pub fn active(&self) -> Vec<Arc<JobEntry>> {
+        self.jobs
+            .lock()
+            .expect("registry lock")
+            .values()
+            .filter(|entry| !entry.snapshot().status.is_terminal())
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_reveal_in_submission_order() {
+        let registry = JobRegistry::new();
+        let job = registry.create("alice", "test x3".into(), 3);
+        // Completing out of order reveals nothing until the prefix is
+        // contiguous.
+        job.complete_run(2, "line-2".into(), false, 10);
+        let (lines, status) = job.wait_results(0, Duration::from_millis(1));
+        assert!(lines.is_empty());
+        assert_eq!(status, JobStatus::Queued);
+        job.complete_run(0, "line-0".into(), true, 0);
+        let (lines, _) = job.wait_results(0, Duration::from_millis(1));
+        assert_eq!(lines, vec!["line-0".to_string()]);
+        job.complete_run(1, "line-1".into(), false, 5);
+        let (lines, status) = job.wait_results(1, Duration::from_millis(1));
+        assert_eq!(lines, vec!["line-1".to_string(), "line-2".to_string()]);
+        assert_eq!(status, JobStatus::Done);
+        let snap = job.snapshot();
+        assert_eq!(snap.done_runs, 3);
+        assert_eq!(snap.cached_runs, 1);
+        assert_eq!(snap.events_charged, 15);
+    }
+
+    #[test]
+    fn cancel_is_terminal_and_idempotent() {
+        let registry = JobRegistry::new();
+        let job = registry.create("bob", "test".into(), 2);
+        assert!(job.cancel());
+        assert!(job.handle.is_cancelled());
+        assert!(!job.cancel(), "second cancel is a no-op");
+        assert_eq!(job.snapshot().status, JobStatus::Cancelled);
+        // A completed job cannot be cancelled.
+        let done = registry.create("bob", "test".into(), 1);
+        done.complete_run(0, "line".into(), false, 1);
+        assert_eq!(done.snapshot().status, JobStatus::Done);
+        assert!(!done.cancel());
+    }
+
+    #[test]
+    fn registry_assigns_unique_ids_and_tracks_active() {
+        let registry = JobRegistry::new();
+        let a = registry.create("x", "a".into(), 1);
+        let b = registry.create("x", "b".into(), 1);
+        assert_ne!(a.id, b.id);
+        assert_eq!(registry.active().len(), 2);
+        a.complete_run(0, "done".into(), false, 0);
+        assert_eq!(registry.active().len(), 1);
+        assert!(registry.get(b.id).is_some());
+        assert!(registry.get(9999).is_none());
+    }
+
+    #[test]
+    fn failed_status_carries_reason() {
+        let registry = JobRegistry::new();
+        let job = registry.create("x", "a".into(), 2);
+        job.complete_run(0, "ok".into(), false, 1);
+        job.finish_with(JobStatus::Failed("watchdog timeout".into()));
+        let snap = job.snapshot();
+        assert_eq!(snap.status.name(), "failed");
+        assert!(snap.status.is_terminal());
+        // The stream still serves the completed prefix, then ends.
+        let (lines, status) = job.wait_results(0, Duration::from_millis(1));
+        assert_eq!(lines.len(), 1);
+        assert!(status.is_terminal());
+    }
+}

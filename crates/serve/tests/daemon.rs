@@ -1,0 +1,275 @@
+//! End-to-end tests booting the daemon on an ephemeral port and
+//! driving it over real sockets with the crate's own HTTP client.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bgpsim_runner::RunnerConfig;
+use bgpsim_serve::client::{request, Response};
+use bgpsim_serve::{AdmissionLimits, ServeConfig, Server};
+
+/// A unique scratch directory per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgpsim-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn boot(tag: &str, workers: usize, limits: AdmissionLimits) -> (Server, String, PathBuf) {
+    let dir = scratch(tag);
+    let runner = RunnerConfig::new()
+        .jobs(1)
+        .cache_dir(dir.join("cache"))
+        .journal(dir.join("journal.jsonl"))
+        .build()
+        .expect("build runner");
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            exec_workers: workers,
+            limits,
+            max_connections: 64,
+        },
+        Arc::new(runner),
+    )
+    .expect("start server");
+    let addr = server.local_addr().to_string();
+    (server, addr, dir)
+}
+
+fn get(addr: &str, path: &str) -> Response {
+    request(addr, "GET", path, &[], b"").expect("GET")
+}
+
+fn post(addr: &str, path: &str, api_key: &str, body: &str) -> Response {
+    request(
+        addr,
+        "POST",
+        path,
+        &[("x-api-key", api_key)],
+        body.as_bytes(),
+    )
+    .expect("POST")
+}
+
+/// Extracts `"name":<digits>` from flat JSON.
+fn field(json: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let at = json.find(&needle)? + needle.len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+const QUICK_SPEC: &str = r#"{"topology":"clique:5","event":"tdown","seeds":[7,8]}"#;
+
+#[test]
+fn concurrent_identical_submissions_share_the_cache_and_stream_identically() {
+    let (server, addr, _dir) = boot("concurrent", 2, AdmissionLimits::default());
+
+    let streams: Vec<(u16, String)> = {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let api_key = format!("client-{i}");
+                    let resp = post(&addr, "/v1/jobs", &api_key, QUICK_SPEC);
+                    assert_eq!(resp.status, 201, "submit failed: {}", resp.text());
+                    let id = field(&resp.text(), "id").expect("submit returns an id");
+                    let stream = request(
+                        &addr,
+                        "GET",
+                        &format!("/v1/jobs/{id}/results"),
+                        &[("x-api-key", &api_key)],
+                        b"",
+                    )
+                    .expect("stream results");
+                    (stream.status, stream.text())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+
+    let (first_status, first_body) = &streams[0];
+    assert_eq!(*first_status, 200);
+    assert_eq!(
+        first_body.lines().count(),
+        2,
+        "two seeds, two result lines: {first_body:?}"
+    );
+    for line in first_body.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSONL: {line:?}"
+        );
+        assert!(line.contains("\"experiment\":"), "metrics row: {line:?}");
+    }
+    for (status, body) in &streams[1..] {
+        assert_eq!(*status, 200);
+        assert_eq!(body, first_body, "all clients see byte-identical streams");
+    }
+
+    // 4 jobs x 2 seeds = 8 runs over 2 distinct scenarios: at least 3
+    // (in practice 6) must have come from the shared run cache.
+    let stats = get(&addr, "/v1/stats");
+    assert_eq!(stats.status, 200);
+    let hits = field(&stats.text(), "cache_hits").expect("stats has cache_hits");
+    assert!(
+        hits >= 3,
+        "expected >=3 shared-cache hits, got {hits}: {}",
+        stats.text()
+    );
+    assert_eq!(field(&stats.text(), "jobs_submitted"), Some(4));
+
+    // Unknown paths and malformed specs are clean errors, not hangs.
+    assert_eq!(get(&addr, "/v1/jobs/9999").status, 404);
+    assert_eq!(get(&addr, "/nope").status, 404);
+    assert_eq!(post(&addr, "/v1/jobs", "x", "{not json").status, 400);
+    assert_eq!(
+        post(&addr, "/v1/jobs", "x", r#"{"topology":"moebius:5"}"#).status,
+        400
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn delete_cancels_a_queued_job() {
+    // One executor worker: a heavy first job keeps the second queued
+    // long enough to cancel it deterministically.
+    let (server, addr, _dir) = boot("cancel", 1, AdmissionLimits::default());
+
+    let heavy = r#"{"topology":"clique:16","event":"tdown","seeds":[1,2,3,4]}"#;
+    let resp = post(&addr, "/v1/jobs", "alice", heavy);
+    assert_eq!(resp.status, 201);
+
+    let resp = post(&addr, "/v1/jobs", "bob", QUICK_SPEC);
+    assert_eq!(resp.status, 201);
+    let victim = field(&resp.text(), "id").unwrap();
+
+    let resp = request(&addr, "DELETE", &format!("/v1/jobs/{victim}"), &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.text().contains("\"cancelled\":true"),
+        "{}",
+        resp.text()
+    );
+
+    let status = get(&addr, &format!("/v1/jobs/{victim}"));
+    assert!(
+        status.text().contains("\"status\":\"cancelled\""),
+        "{}",
+        status.text()
+    );
+
+    // Cancelling again is a no-op; the stream for the cancelled job
+    // terminates instead of hanging.
+    let resp = request(&addr, "DELETE", &format!("/v1/jobs/{victim}"), &[], b"").unwrap();
+    assert!(
+        resp.text().contains("\"cancelled\":false"),
+        "{}",
+        resp.text()
+    );
+    let stream = get(&addr, &format!("/v1/jobs/{victim}/results"));
+    assert_eq!(stream.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn quota_and_queue_rejections_are_429_with_retry_after() {
+    // A queue that holds one run: any 2-seed submission overflows it.
+    let limits = AdmissionLimits {
+        max_queued_runs: 1,
+        max_jobs_per_client: Some(64),
+        event_budget_per_client: None,
+    };
+    let (server, addr, _dir) = boot("backpressure", 1, limits);
+
+    let resp = post(&addr, "/v1/jobs", "alice", QUICK_SPEC);
+    assert_eq!(resp.status, 429, "2 runs > queue cap of 1: {}", resp.text());
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.text().contains("queue_full"), "{}", resp.text());
+
+    let stats = get(&addr, "/v1/stats");
+    assert!(stats.text().contains("\"rejected\":1"), "{}", stats.text());
+    server.shutdown();
+
+    // An event budget of 1: the first (executed) job exhausts it.
+    let limits = AdmissionLimits {
+        max_queued_runs: 1024,
+        max_jobs_per_client: Some(64),
+        event_budget_per_client: Some(1),
+    };
+    let (server, addr, _dir) = boot("eventbudget", 1, limits);
+    let resp = post(&addr, "/v1/jobs", "alice", QUICK_SPEC);
+    assert_eq!(resp.status, 201);
+    let id = field(&resp.text(), "id").unwrap();
+    // Streaming to the end guarantees the job is terminal and charged.
+    let stream = get(&addr, &format!("/v1/jobs/{id}/results"));
+    assert_eq!(stream.status, 200);
+    assert_eq!(stream.text().lines().count(), 2);
+
+    let resp = post(&addr, "/v1/jobs", "alice", QUICK_SPEC);
+    assert_eq!(resp.status, 429, "{}", resp.text());
+    assert!(
+        resp.text().contains("event_budget_quota"),
+        "{}",
+        resp.text()
+    );
+    // Another client has its own budget.
+    let resp = post(&addr, "/v1/jobs", "bob", QUICK_SPEC);
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    server.shutdown();
+}
+
+#[test]
+fn drain_refuses_new_work_and_leaves_a_clean_journal() {
+    let (server, addr, dir) = boot("drain", 2, AdmissionLimits::default());
+
+    for i in 0..3 {
+        let spec = format!(
+            r#"{{"topology":"clique:{}","event":"tdown","seeds":[1,2]}}"#,
+            4 + i
+        );
+        let resp = post(&addr, "/v1/jobs", "alice", &spec);
+        assert_eq!(resp.status, 201, "{}", resp.text());
+    }
+
+    let resp = post(&addr, "/v1/drain", "alice", "");
+    assert_eq!(resp.status, 202);
+    assert!(resp.text().contains("\"draining\":true"));
+
+    // New submissions are refused while status endpoints keep working.
+    let resp = post(&addr, "/v1/jobs", "alice", QUICK_SPEC);
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(resp.text().contains("draining"), "{}", resp.text());
+    let health = get(&addr, "/v1/healthz");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.text().contains("\"draining\":true"),
+        "{}",
+        health.text()
+    );
+
+    // In-process drain blocks until in-flight jobs finish and the
+    // journal is flushed; every journal line must be complete JSON.
+    server.drain();
+    let journal = std::fs::read_to_string(dir.join("journal.jsonl")).expect("journal exists");
+    assert!(!journal.is_empty(), "6 executed runs journal something");
+    assert!(journal.ends_with('\n'), "no truncated trailing line");
+    for line in journal.lines() {
+        let parsed: Result<serde::value::Value, _> = serde_json::from_str(line);
+        assert!(parsed.is_ok(), "journal line parses: {line:?}");
+        assert!(
+            line.contains("\"cancelled\":false"),
+            "line has cancel flag: {line:?}"
+        );
+    }
+
+    server.shutdown();
+}

@@ -32,12 +32,16 @@ pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
 /// Watchdog limits for a budgeted run (see
 /// [`ConvergenceExperiment::run_budgeted`]). The default has no limits
 /// beyond the experiment's own per-phase event budget.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunBudget {
     /// Maximum total engine events across both phases.
     pub max_events: Option<u64>,
     /// Wall-clock deadline, checked between event chunks.
     pub deadline: Option<Instant>,
+    /// Cooperative stop flag, checked between event chunks like the
+    /// deadline. The simulator only observes it — who sets it (a
+    /// cancelling client, a draining service) is the caller's business.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl RunBudget {
@@ -55,6 +59,14 @@ impl RunBudget {
     /// Sets a wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative stop flag: when it reads `true` at a
+    /// chunk boundary, the run stops as a budget trip of the current
+    /// phase.
+    pub fn with_cancel(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 }
@@ -256,6 +268,11 @@ fn drive_phase<P: bgpsim_core::decision::RoutePolicy>(
         }
         if let Some(deadline) = limit.deadline {
             if Instant::now() >= deadline {
+                return Err(phase);
+            }
+        }
+        if let Some(cancel) = &limit.cancel {
+            if cancel.load(std::sync::atomic::Ordering::Relaxed) {
                 return Err(phase);
             }
         }

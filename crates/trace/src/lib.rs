@@ -192,6 +192,38 @@ pub enum TraceEvent {
         /// Why the entry was rejected.
         detail: String,
     },
+    /// One HTTP request handled by the experiment service.
+    ///
+    /// Infrastructure event (no meaningful seed or simulation time;
+    /// both serialize as zero). `runs` counts the scenario runs the
+    /// request admitted into the executor — zero for reads, the
+    /// submitted job's run count for an accepted `POST /v1/jobs` — so a
+    /// validator can reconcile `run_summary` lines against accepted
+    /// work.
+    ServeRequest {
+        /// Client identity (API key, or `"anonymous"`).
+        client: String,
+        /// HTTP method.
+        method: String,
+        /// Request path.
+        path: String,
+        /// Response status code.
+        status: u16,
+        /// Wall-clock handling time, microseconds.
+        wall_us: u64,
+        /// Scenario runs admitted by this request.
+        runs: u64,
+    },
+    /// The experiment service refused a submission at admission
+    /// control (infrastructure event; seed/t serialize as zero).
+    AdmissionReject {
+        /// Client identity (API key, or `"anonymous"`).
+        client: String,
+        /// Why admission was refused (e.g. `"queue_full"`,
+        /// `"concurrency_quota"`, `"event_budget_quota"`,
+        /// `"draining"`).
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -210,6 +242,8 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::SessionReset { .. } => "session_reset",
             TraceEvent::CacheQuarantine { .. } => "cache_quarantine",
+            TraceEvent::ServeRequest { .. } => "serve_request",
+            TraceEvent::AdmissionReject { .. } => "admission_reject",
         }
     }
 
@@ -227,7 +261,9 @@ impl TraceEvent {
             | TraceEvent::MeasureSummary { seed, .. }
             | TraceEvent::FaultInjected { seed, .. }
             | TraceEvent::SessionReset { seed, .. } => seed,
-            TraceEvent::CacheQuarantine { .. } => 0,
+            TraceEvent::CacheQuarantine { .. }
+            | TraceEvent::ServeRequest { .. }
+            | TraceEvent::AdmissionReject { .. } => 0,
         }
     }
 }
@@ -369,6 +405,29 @@ impl serde::Serialize for TraceEvent {
                 put("t", Value::UInt(0));
                 put("path", Value::Str(path.clone()));
                 put("detail", Value::Str(detail.clone()));
+            }
+            TraceEvent::ServeRequest {
+                client,
+                method,
+                path,
+                status,
+                wall_us,
+                runs,
+            } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("client", Value::Str(client.clone()));
+                put("method", Value::Str(method.clone()));
+                put("path", Value::Str(path.clone()));
+                put("status", Value::UInt(u64::from(*status)));
+                put("wall_us", Value::UInt(*wall_us));
+                put("runs", Value::UInt(*runs));
+            }
+            TraceEvent::AdmissionReject { client, reason } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("client", Value::Str(client.clone()));
+                put("reason", Value::Str(reason.clone()));
             }
         }
         Value::Object(fields)
@@ -783,6 +842,18 @@ mod tests {
             TraceEvent::CacheQuarantine {
                 path: "/tmp/cache/deadbeef.json".into(),
                 detail: "parse error".into(),
+            },
+            TraceEvent::ServeRequest {
+                client: "anonymous".into(),
+                method: "POST".into(),
+                path: "/v1/jobs".into(),
+                status: 201,
+                wall_us: 4200,
+                runs: 3,
+            },
+            TraceEvent::AdmissionReject {
+                client: "loadtest-7".into(),
+                reason: "queue_full".into(),
             },
         ];
         for ev in events {

@@ -6,14 +6,27 @@
 //! ```
 
 use bgpsim::bgp::BgpConfig;
-use bgpsim::cli::{parse_args, CliOptions};
+use bgpsim::cli::{parse_args, parse_serve_args, CliOptions, ServeOptions};
 use bgpsim::metrics::MetricsRow;
 use bgpsim::netsim::time::SimDuration;
 use bgpsim::prelude::*;
 use bgpsim::runner::RunnerConfig;
+use bgpsim::serve::{AdmissionLimits, ServeConfig, Server};
 
 fn main() {
-    let opts = match parse_args(std::env::args().skip(1)) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        let opts = match parse_serve_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        };
+        serve(&opts);
+        return;
+    }
+    let opts = match parse_args(args) {
         Ok(opts) => opts,
         Err(err) => {
             eprintln!("{err}");
@@ -21,6 +34,59 @@ fn main() {
         }
     };
     run(&opts);
+    bgpsim::trace::flush_global();
+}
+
+/// Boots the daemon and blocks until a drain is requested over the
+/// API, then finishes in-flight work and exits cleanly.
+fn serve(opts: &ServeOptions) {
+    let mut config = RunnerConfig::from_env();
+    if let Some(jobs) = opts.jobs {
+        config = config.jobs(jobs);
+    }
+    if let Some(dir) = &opts.cache_dir {
+        config = config.cache_dir(dir);
+    }
+    if let Some(path) = &opts.journal {
+        config = config.journal(path);
+    }
+    if let Some(path) = &opts.trace_out {
+        config = config.trace(path);
+    }
+    let runner = match config.build() {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("runner setup failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(
+        ServeConfig {
+            addr: opts.addr.clone(),
+            exec_workers: opts.exec_workers,
+            limits: AdmissionLimits {
+                max_queued_runs: opts.max_queued_runs,
+                max_jobs_per_client: opts.max_jobs_per_client,
+                event_budget_per_client: opts.event_budget,
+            },
+            max_connections: 64,
+        },
+        std::sync::Arc::new(runner),
+    ) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("cannot bind {}: {err}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("bgpsim serve listening on {}", server.local_addr());
+    // No signal handling in this workspace: the daemon runs until a
+    // client POSTs /v1/drain, then finishes in-flight work and exits.
+    while !server.is_draining() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+    println!("drain requested; finishing in-flight jobs");
+    server.shutdown();
     bgpsim::trace::flush_global();
 }
 

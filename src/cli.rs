@@ -95,6 +95,143 @@ OPTIONS:
   --help                show this text
 ";
 
+/// A parsed `bgpsim serve` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Listen address (`host:port`; port `0` = ephemeral).
+    pub addr: String,
+    /// Executor worker threads draining the run queue.
+    pub exec_workers: usize,
+    /// Runner worker count override (`None` = `BGPSIM_JOBS` / auto).
+    pub jobs: Option<usize>,
+    /// Run-cache directory override (`None` = `BGPSIM_CACHE_DIR`).
+    pub cache_dir: Option<String>,
+    /// Journal file override (`None` = `BGPSIM_JOURNAL`).
+    pub journal: Option<String>,
+    /// Trace output override (`None` = `BGPSIM_TRACE`).
+    pub trace_out: Option<String>,
+    /// Cap on queued (admitted, not yet started) runs.
+    pub max_queued_runs: usize,
+    /// Per-client concurrent-job quota (`None` = unlimited).
+    pub max_jobs_per_client: Option<usize>,
+    /// Per-client cumulative event budget (`None` = unlimited).
+    pub event_budget: Option<u64>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:8355".to_string(),
+            exec_workers: 2,
+            jobs: None,
+            cache_dir: None,
+            journal: None,
+            trace_out: None,
+            max_queued_runs: 1024,
+            max_jobs_per_client: Some(64),
+            event_budget: None,
+        }
+    }
+}
+
+/// The usage text for `bgpsim serve`.
+pub const SERVE_USAGE: &str = "\
+bgpsim serve — long-running experiment service over the batch runner
+
+USAGE:
+  bgpsim serve [OPTIONS]
+
+OPTIONS:
+  --addr <HOST:PORT>      listen address            (default 127.0.0.1:8355)
+  --exec-workers <N>      executor threads          (default 2)
+  --jobs <N>              runner worker count       (default: $BGPSIM_JOBS,
+                          else available parallelism)
+  --cache-dir <DIR>       shared run cache in DIR   (default: $BGPSIM_CACHE_DIR)
+  --journal <FILE>        per-job JSONL journal     (default: $BGPSIM_JOURNAL)
+  --trace-out <FILE>      JSONL trace events        (default: $BGPSIM_TRACE)
+  --max-queued-runs <N>   pending-run queue cap     (default 1024)
+  --max-jobs-per-client <N>
+                          concurrent jobs per API key (default 64; 0 = off)
+  --event-budget <N>      cumulative simulation-event budget per API key
+                          (default unlimited)
+  --help                  show this text
+
+The daemon drains (finishes in-flight jobs, flushes the journal, then
+exits) on POST /v1/drain; there is no signal-based shutdown.
+";
+
+/// Parses the arguments of the `serve` subcommand (without the program
+/// name or the `serve` token itself).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the offending argument.
+pub fn parse_serve_args<I, S>(args: I) -> Result<ServeOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut opts = ServeOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        match arg {
+            "--addr" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.addr = v.as_ref().to_string();
+            }
+            "--exec-workers" => {
+                let v = expect_value(&mut iter, arg)?;
+                let n = parse_num(v.as_ref(), arg)? as usize;
+                if n == 0 {
+                    return Err(CliError("--exec-workers must be at least 1".to_string()));
+                }
+                opts.exec_workers = n;
+            }
+            "--jobs" => {
+                let v = expect_value(&mut iter, arg)?;
+                let n = parse_num(v.as_ref(), arg)? as usize;
+                if n == 0 {
+                    return Err(CliError("--jobs must be at least 1".to_string()));
+                }
+                opts.jobs = Some(n);
+            }
+            "--cache-dir" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.cache_dir = Some(v.as_ref().to_string());
+            }
+            "--journal" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.journal = Some(v.as_ref().to_string());
+            }
+            "--trace-out" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.trace_out = Some(v.as_ref().to_string());
+            }
+            "--max-queued-runs" => {
+                let v = expect_value(&mut iter, arg)?;
+                let n = parse_num(v.as_ref(), arg)? as usize;
+                if n == 0 {
+                    return Err(CliError("--max-queued-runs must be at least 1".to_string()));
+                }
+                opts.max_queued_runs = n;
+            }
+            "--max-jobs-per-client" => {
+                let v = expect_value(&mut iter, arg)?;
+                let n = parse_num(v.as_ref(), arg)? as usize;
+                opts.max_jobs_per_client = if n == 0 { None } else { Some(n) };
+            }
+            "--event-budget" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.event_budget = Some(parse_num(v.as_ref(), arg)?);
+            }
+            "--help" | "-h" => return Err(CliError(SERVE_USAGE.to_string())),
+            other => return Err(CliError(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(opts)
+}
+
 /// Parses an argument list (without the program name).
 ///
 /// # Errors
@@ -293,5 +430,62 @@ mod tests {
     fn help_surfaces_usage() {
         let err = parse_args(["--help"]).unwrap_err();
         assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn serve_defaults_when_empty() {
+        let opts = parse_serve_args(Vec::<&str>::new()).unwrap();
+        assert_eq!(opts, ServeOptions::default());
+        assert_eq!(opts.addr, "127.0.0.1:8355");
+        assert_eq!(opts.exec_workers, 2);
+    }
+
+    #[test]
+    fn serve_full_invocation() {
+        let opts = parse_serve_args([
+            "--addr",
+            "0.0.0.0:9000",
+            "--exec-workers",
+            "4",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            "/tmp/cache",
+            "--journal",
+            "/tmp/journal.jsonl",
+            "--trace-out",
+            "/tmp/trace.jsonl",
+            "--max-queued-runs",
+            "16",
+            "--max-jobs-per-client",
+            "3",
+            "--event-budget",
+            "100000",
+        ])
+        .unwrap();
+        assert_eq!(opts.addr, "0.0.0.0:9000");
+        assert_eq!(opts.exec_workers, 4);
+        assert_eq!(opts.jobs, Some(2));
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/cache"));
+        assert_eq!(opts.journal.as_deref(), Some("/tmp/journal.jsonl"));
+        assert_eq!(opts.trace_out.as_deref(), Some("/tmp/trace.jsonl"));
+        assert_eq!(opts.max_queued_runs, 16);
+        assert_eq!(opts.max_jobs_per_client, Some(3));
+        assert_eq!(opts.event_budget, Some(100_000));
+    }
+
+    #[test]
+    fn serve_zero_quota_means_unlimited_but_zero_workers_is_an_error() {
+        let opts = parse_serve_args(["--max-jobs-per-client", "0"]).unwrap();
+        assert_eq!(opts.max_jobs_per_client, None);
+        assert!(parse_serve_args(["--exec-workers", "0"]).is_err());
+        assert!(parse_serve_args(["--max-queued-runs", "0"]).is_err());
+        assert!(parse_serve_args(["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn serve_help_surfaces_usage() {
+        let err = parse_serve_args(["--help"]).unwrap_err();
+        assert!(err.to_string().contains("bgpsim serve"));
     }
 }

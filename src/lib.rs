@@ -19,6 +19,7 @@
 //! | [`metrics`] | `bgpsim-metrics` | the paper's metrics + loop census + export |
 //! | [`experiments`] | `bgpsim-experiments` | scenarios, sweeps, Figures 4–9 |
 //! | [`runner`] | `bgpsim-runner` | parallel executor, run cache, progress/journal, [`RunnerConfig`](bgpsim_runner::RunnerConfig) |
+//! | [`serve`] | `bgpsim-serve` | HTTP experiment daemon: admission control, quotas, streaming results |
 //! | [`trace`] | `bgpsim-trace` | structured run observability: trace events, sinks, counters |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@ pub use bgpsim_faults as faults;
 pub use bgpsim_metrics as metrics;
 pub use bgpsim_netsim as netsim;
 pub use bgpsim_runner as runner;
+pub use bgpsim_serve as serve;
 pub use bgpsim_sim as sim;
 pub use bgpsim_topology as topology;
 pub use bgpsim_trace as trace;

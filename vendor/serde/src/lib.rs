@@ -90,6 +90,21 @@ impl Deserialize for f32 {
     }
 }
 
+// Identity impls: parsing into (or emitting from) a raw `Value` tree,
+// for callers that need to inspect a document before committing to a
+// typed shape (e.g. optional fields in request payloads).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
