@@ -1,0 +1,125 @@
+//! Checkpoint criterion group: what warm-up sharing buys (DESIGN.md
+//! §14).
+//!
+//! The headline pair is the 16-way tail fan-out on a clique-16 —
+//! sixteen `T_long`-style tails (links away from the destination, so
+//! the tail is cheap and the warm-up dominates) executed from scratch
+//! vs forked off one captured quiescence checkpoint. CI gates the
+//! committed `BENCH_checkpoint.json` on the forked variant being at
+//! least 3× faster; the asymptote is the per-variant warm-up/fork
+//! cost ratio (~5× here). The supporting rows price the primitives:
+//! running a warm-up to its snapshot, replaying one forked tail, and
+//! pushing a full checkpoint through its JSON file format.
+//!
+//! Set `BGPSIM_BENCH_JSON=<file>` to emit the machine-readable report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgpsim_checkpoint::Checkpoint;
+use bgpsim_core::Prefix;
+use bgpsim_sim::{ConvergenceExperiment, FailureEvent, SnapshotBeat};
+use bgpsim_topology::{generators, NodeId};
+
+/// Tail fan-out width of the headline A/B pair.
+const FANOUT: u64 = 16;
+
+/// The shared warm-up: a clique-16 announcing from node 0, seed 1.
+/// The failure event is irrelevant until the tail runs, so every
+/// variant below shares this experiment's warm-up fingerprint.
+fn base() -> ConvergenceExperiment {
+    ConvergenceExperiment::new(
+        generators::clique(16),
+        NodeId::new(0),
+        FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        },
+    )
+    .with_seed(1)
+}
+
+/// The i-th tail variant: a `T_long`-style failure of a link between
+/// two non-destination nodes, so alternate paths exist and the tail
+/// converges quickly — the regime where warm-up sharing pays most.
+fn tail_variant(i: u64) -> ConvergenceExperiment {
+    let stride = 1 + i / 14;
+    let a = 1 + (i % 14);
+    let b = 1 + ((i % 14 + stride) % 14);
+    ConvergenceExperiment {
+        failure: FailureEvent::LinkDown {
+            a: NodeId::new(a as u32),
+            b: NodeId::new(b as u32),
+        },
+        ..base()
+    }
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    c.bench_function("checkpoint/warmup_snapshot_clique16", |b| {
+        b.iter(|| {
+            black_box(
+                black_box(&base())
+                    .snapshot_at(SnapshotBeat::Quiescence)
+                    .network
+                    .now(),
+            )
+        })
+    });
+    let checkpoint = Checkpoint::capture(
+        base().snapshot_at(SnapshotBeat::Quiescence),
+        "warmup/bench".to_string(),
+        None,
+    );
+    c.bench_function("checkpoint/fork_tlong_tail_clique16", |b| {
+        let tail = tail_variant(0);
+        b.iter(|| {
+            black_box(
+                bgpsim_checkpoint::fork(black_box(&checkpoint), black_box(&tail))
+                    .sends
+                    .len(),
+            )
+        })
+    });
+    c.bench_function("checkpoint/file_roundtrip_clique16", |b| {
+        let path = std::path::Path::new("bench.ckpt");
+        b.iter(|| {
+            let json = serde_json::to_string(black_box(&checkpoint)).unwrap();
+            black_box(Checkpoint::parse(&json, path).unwrap().header.beat_nanos)
+        })
+    });
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    // Experiment construction (graph generation) is identical on both
+    // sides and not what is under test, so it stays outside the loop.
+    let tails: Vec<ConvergenceExperiment> = (0..FANOUT).map(tail_variant).collect();
+    c.bench_function("checkpoint/fanout16_from_scratch_clique16", |b| {
+        b.iter(|| {
+            let mut sends = 0usize;
+            for tail in &tails {
+                sends += tail.run().sends.len();
+            }
+            black_box(sends)
+        })
+    });
+    c.bench_function("checkpoint/fanout16_forked_clique16", |b| {
+        b.iter(|| {
+            // The whole shared-warm-up pipeline per iteration: one
+            // warm-up, one capture, sixteen forked tails.
+            let checkpoint = Checkpoint::capture(
+                base().snapshot_at(SnapshotBeat::Quiescence),
+                "warmup/bench".to_string(),
+                None,
+            );
+            let mut sends = 0usize;
+            for tail in &tails {
+                sends += bgpsim_checkpoint::fork(&checkpoint, tail).sends.len();
+            }
+            black_box(sends)
+        })
+    });
+}
+
+criterion_group!(checkpoint, bench_primitives, bench_fanout);
+criterion_main!(checkpoint);

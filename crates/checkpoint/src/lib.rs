@@ -1,0 +1,144 @@
+//! # bgpsim-checkpoint
+//!
+//! Deterministic checkpoint/fork of simulator state.
+//!
+//! A [`Checkpoint`] is a portable, schema-versioned capture of one
+//! simulation's complete state — every router's RIBs, MRAI and
+//! damping tables, the event queue with its original `(time, seq)`
+//! ordering keys, per-link loss-model RNG streams, the main RNG, and
+//! the record-in-progress — wrapped around the `bgpsim-sim`
+//! [`RunSnapshot`](bgpsim_sim::RunSnapshot). Restoring one and
+//! draining the run produces a
+//! [`RunRecord`] **bit-identical** to the uninterrupted run (the
+//! snapshot contract of `bgpsim-sim`, enforced here by property
+//! tests over random fault plans and fork beats).
+//!
+//! Two persistence surfaces:
+//!
+//! * **Files** — [`Checkpoint::save`] / [`Checkpoint::load`] /
+//!   [`Checkpoint::inspect`] move single checkpoints around
+//!   explicitly (the `bgpsim checkpoint` CLI subcommand); `inspect`
+//!   reads only the header, so a multi-megabyte state blob can be
+//!   identified cheaply.
+//! * **Store** — [`CheckpointStore`] is a content-addressed directory
+//!   keyed by *warm-up fingerprint*
+//!   (`bgpsim_experiments::ScenarioSpec::warmup_fingerprint`), living
+//!   alongside the run cache and following the same robustness rules:
+//!   schema-versioned names, embedded-key collision guard, atomic
+//!   writes, and **corrupt entries read as misses** (quarantined, like
+//!   `RunCache`).
+//!
+//! Forking is what checkpoints are for: one converged warm-up
+//! captured at quiescence replays any number of post-failure tail
+//! variants via [`fork`] / [`fork_budgeted`], and a mid-run capture is
+//! the crash-resume primitive for long sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod store;
+
+use bgpsim_sim::{BudgetExceeded, ConvergenceExperiment, RunBudget, RunRecord};
+
+pub use file::{Checkpoint, CheckpointHeader, Error, SCHEMA_VERSION};
+pub use store::CheckpointStore;
+
+/// Replays one tail variant from a checkpoint: restores the captured
+/// state and drains `tail`'s post-failure convergence, returning a
+/// record bit-identical to the from-scratch run of `tail`.
+///
+/// For a quiescence checkpoint (`tail_applied == false`) the `tail`
+/// experiment's own failure or fault plan is scheduled against the
+/// restored state — call this N times with N variants to replay N
+/// runs from one warm-up. For a mid-convergence checkpoint the baked-in
+/// tail simply finishes; `tail` must then be the original experiment.
+///
+/// # Panics
+///
+/// Panics if the tail's event budget is exhausted or its fault plan is
+/// invalid.
+pub fn fork(checkpoint: &Checkpoint, tail: &ConvergenceExperiment) -> RunRecord {
+    tail.resume_from(&checkpoint.snapshot)
+}
+
+/// [`fork`] under watchdog `limit`s.
+///
+/// # Errors
+///
+/// Returns the interrupted phase and partial record when the budget
+/// trips while draining the tail.
+pub fn fork_budgeted(
+    checkpoint: &Checkpoint,
+    tail: &ConvergenceExperiment,
+    limit: &RunBudget,
+) -> Result<RunRecord, Box<BudgetExceeded>> {
+    tail.resume_from_budgeted(&checkpoint.snapshot, limit)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use bgpsim_core::BgpConfig;
+    use bgpsim_sim::{ConvergenceExperiment, FailureEvent, SnapshotBeat};
+    use bgpsim_topology::{generators, NodeId};
+
+    use crate::Checkpoint;
+
+    /// A small experiment with a nontrivial warm-up, plus a checkpoint
+    /// of it at quiescence.
+    pub fn sample() -> (ConvergenceExperiment, Checkpoint) {
+        let graph = generators::clique(5);
+        let experiment = ConvergenceExperiment::new(
+            graph,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: bgpsim_core::Prefix::new(0),
+            },
+        )
+        .with_config(BgpConfig::default())
+        .with_seed(11);
+        let snap = experiment.snapshot_at(SnapshotBeat::Quiescence);
+        let checkpoint = Checkpoint::capture(snap, "warmup/test".to_string(), None);
+        (experiment, checkpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::sample;
+
+    #[test]
+    fn fork_matches_from_scratch() {
+        let (experiment, checkpoint) = sample();
+        let forked = fork(&checkpoint, &experiment);
+        let scratch = experiment.run();
+        assert_eq!(forked, scratch, "fork must be bit-identical");
+    }
+
+    #[test]
+    fn one_checkpoint_forks_many_variants() {
+        let (base, checkpoint) = sample();
+        let reset = ConvergenceExperiment {
+            failure: bgpsim_sim::FailureEvent::LinkDown {
+                a: bgpsim_topology::NodeId::new(1),
+                b: bgpsim_topology::NodeId::new(2),
+            },
+            ..base.clone()
+        };
+        let a = fork(&checkpoint, &base);
+        let b = fork(&checkpoint, &reset);
+        assert_eq!(b, reset.run());
+        assert_ne!(a, b, "different tails, different runs");
+    }
+
+    #[test]
+    fn budgeted_fork_reports_partial_record() {
+        let (experiment, checkpoint) = sample();
+        let limit = RunBudget::unlimited().with_max_events(3);
+        let stopped = fork_budgeted(&checkpoint, &experiment, &limit)
+            .expect_err("3 events cannot drain a T_down tail");
+        assert_eq!(stopped.phase, "convergence");
+    }
+}

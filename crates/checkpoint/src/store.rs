@@ -1,0 +1,281 @@
+//! Content-addressed on-disk store of warm-up checkpoints.
+//!
+//! Lives alongside the `bgpsim-runner` run cache and follows the same
+//! robustness rules (see `bgpsim_runner::cache`):
+//!
+//! * entries are named by a 128-bit content hash of the warm-up
+//!   fingerprint and the [`SCHEMA_VERSION`]; the fingerprint is also
+//!   embedded in the entry, so even a hash collision reads as a miss
+//!   rather than resuming the wrong state;
+//! * a corrupt or truncated entry is a **miss**, never a panic — and
+//!   is quarantined into `<dir>/quarantine/` with a
+//!   `cache_quarantine` trace event, exactly like the run cache;
+//! * a schema bump invalidates all previous entries;
+//! * writes are atomic (temp + rename), so concurrent sweeps sharing
+//!   a store directory cannot observe half-written checkpoints.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::file::{write_atomic, Checkpoint, Error, SCHEMA_VERSION};
+
+/// A content-addressed store of checkpoints under one directory,
+/// keyed by warm-up fingerprint.
+///
+/// Cheap to clone (`Arc` inside); all methods take `&self`.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    inner: std::sync::Arc<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    dir: PathBuf,
+    schema: u32,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store directory at the current
+    /// [`SCHEMA_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, Error> {
+        CheckpointStore::with_schema(dir, SCHEMA_VERSION)
+    }
+
+    /// Opens a store pinned to an explicit schema version; entries
+    /// written under any other version are invisible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the directory cannot be created.
+    pub fn with_schema(dir: impl Into<PathBuf>, schema: u32) -> Result<Self, Error> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|source| Error::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        Ok(CheckpointStore {
+            inner: std::sync::Arc::new(StoreInner { dir, schema }),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// The entry file for a warm-up fingerprint (key = hash of
+    /// schema + fingerprint; same double-FNV construction as the run
+    /// cache).
+    pub fn entry_path(&self, fingerprint: &str) -> PathBuf {
+        let seeded = |basis: u64| -> u64 {
+            let mut h = basis ^ u64::from(self.inner.schema).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for &b in fingerprint.as_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        let h1 = seeded(0xcbf2_9ce4_8422_2325);
+        let h2 = seeded(0x6c62_272e_07bb_0142);
+        self.inner.dir.join(format!("{h1:016x}{h2:016x}.ckpt.json"))
+    }
+
+    /// The directory corrupt entries are moved into by
+    /// [`lookup`](Self::lookup).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.inner.dir.join("quarantine")
+    }
+
+    /// Looks up the checkpoint for a warm-up fingerprint, treating
+    /// every failure as a miss.
+    ///
+    /// **Contract: a corrupt entry reads as a miss.** Any unreadable,
+    /// unparseable, wrong-schema, or colliding (embedded fingerprint
+    /// mismatch) entry yields `None`, never a panic — the warm-up is
+    /// simply recomputed and the slot overwritten by the next
+    /// [`store`](Self::store). A corrupt entry is additionally
+    /// quarantined and reported once via a `cache_quarantine` trace
+    /// event and a stderr note, mirroring the run cache.
+    pub fn lookup(&self, fingerprint: &str) -> Option<Checkpoint> {
+        match self.try_lookup(fingerprint) {
+            Ok(found) => found,
+            Err(Error::Corrupt { path, detail }) => {
+                self.quarantine(&path, &detail);
+                None
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Looks up a fingerprint, reporting *why* nothing usable was
+    /// found. A missing entry, a schema mismatch, or a collision is
+    /// `Ok(None)` — those are ordinary misses.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Io`] — the entry exists but cannot be read;
+    /// * [`Error::Corrupt`] — the entry exists but does not parse.
+    pub fn try_lookup(&self, fingerprint: &str) -> Result<Option<Checkpoint>, Error> {
+        let path = self.entry_path(fingerprint);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => return Err(Error::Io { path, source }),
+        };
+        let checkpoint = match Checkpoint::parse(&text, &path) {
+            Ok(cp) => cp,
+            // A foreign schema is a miss (old entries must survive for
+            // builds that still read them), not corruption.
+            Err(Error::Schema { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if checkpoint.header.schema != self.inner.schema
+            || checkpoint.header.fingerprint != fingerprint
+        {
+            return Ok(None);
+        }
+        Ok(Some(checkpoint))
+    }
+
+    /// Stores a checkpoint under its own warm-up fingerprint
+    /// (atomically via temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] or [`Error::Corrupt`] on failure; callers
+    /// may treat a failed store as non-fatal (the warm-up simply stays
+    /// unstored).
+    pub fn store(&self, checkpoint: &Checkpoint) -> Result<(), Error> {
+        let path = self.entry_path(&checkpoint.header.fingerprint);
+        let json = serde_json::to_string(checkpoint).map_err(|e| Error::Corrupt {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        write_atomic(&path, json.as_bytes())
+    }
+
+    /// Moves a corrupt entry out of the live store (best-effort) and
+    /// reports it via trace + stderr.
+    fn quarantine(&self, path: &Path, detail: &str) {
+        let qdir = self.quarantine_dir();
+        let moved = std::fs::create_dir_all(&qdir).and_then(|()| {
+            let dest = qdir.join(path.file_name().unwrap_or_default());
+            std::fs::rename(path, &dest).map(|()| dest)
+        });
+        let shown = match &moved {
+            Ok(dest) => dest.clone(),
+            Err(_) => path.to_path_buf(),
+        };
+        bgpsim_trace::TraceHandle::global().emit(|| bgpsim_trace::TraceEvent::CacheQuarantine {
+            path: shown.display().to_string(),
+            detail: detail.to_string(),
+        });
+        match moved {
+            Ok(dest) => eprintln!(
+                "bgpsim-checkpoint: quarantined corrupt checkpoint {} -> {} ({detail}); \
+                 recomputing warm-up",
+                path.display(),
+                dest.display()
+            ),
+            Err(e) => eprintln!(
+                "bgpsim-checkpoint: corrupt checkpoint {} ({detail}); quarantine failed: {e}; \
+                 treating as miss",
+                path.display()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::sample;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bgpsim-checkpoint-store-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn round_trip_hit_and_fork() {
+        let dir = temp_store_dir("roundtrip");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let (experiment, checkpoint) = sample();
+        assert!(store.lookup("warmup/test").is_none());
+        store.store(&checkpoint).unwrap();
+        let hit = store.lookup("warmup/test").expect("stored entry hits");
+        assert_eq!(hit.header, checkpoint.header);
+        assert_eq!(crate::fork(&hit, &experiment), experiment.run());
+        assert!(store.lookup("warmup/other").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_bump_invalidates() {
+        let dir = temp_store_dir("schema");
+        let old = CheckpointStore::with_schema(&dir, SCHEMA_VERSION).unwrap();
+        let (_, checkpoint) = sample();
+        old.store(&checkpoint).unwrap();
+        let newer = CheckpointStore::with_schema(&dir, SCHEMA_VERSION + 1).unwrap();
+        assert!(
+            newer.lookup("warmup/test").is_none(),
+            "new schema must not resume old state"
+        );
+        assert!(old.lookup("warmup/test").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_miss() {
+        let dir = temp_store_dir("quarantine");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let (_, checkpoint) = sample();
+        store.store(&checkpoint).unwrap();
+        let path = store.entry_path("warmup/test");
+        std::fs::write(&path, b"{ mangled state").unwrap();
+        // The strict API surfaces the damage …
+        assert!(matches!(
+            store.try_lookup("warmup/test"),
+            Err(Error::Corrupt { .. })
+        ));
+        // … the lenient API honors the reads-as-miss contract and
+        // parks the file in quarantine/ under the same name.
+        assert!(store.lookup("warmup/test").is_none());
+        assert!(!path.exists(), "corrupt entry must leave the live store");
+        let parked = store.quarantine_dir().join(path.file_name().unwrap());
+        assert_eq!(std::fs::read(&parked).unwrap(), b"{ mangled state");
+        // The slot is reusable.
+        store.store(&checkpoint).unwrap();
+        assert!(store.lookup("warmup/test").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn colliding_name_with_different_fingerprint_is_miss() {
+        let dir = temp_store_dir("collide");
+        let store = CheckpointStore::new(&dir).unwrap();
+        let (_, checkpoint) = sample();
+        store.store(&checkpoint).unwrap();
+        // Simulate a hash collision: copy the entry into another key's
+        // slot.
+        std::fs::copy(
+            store.entry_path("warmup/test"),
+            store.entry_path("warmup/elsewhere"),
+        )
+        .unwrap();
+        assert!(
+            store.lookup("warmup/elsewhere").is_none(),
+            "an entry with a mismatched embedded fingerprint must not resume"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

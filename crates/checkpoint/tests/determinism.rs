@@ -1,0 +1,243 @@
+//! Property-level enforcement of the checkpoint contract: a forked run
+//! is **bit-identical** to the uninterrupted run, across random fault
+//! plans (link events, session resets, withdrawals, jittered flap
+//! trains, lossy links) and fork beats (quiescence and mid-convergence,
+//! including beats landing in the middle of a flap train), with every
+//! checkpoint pushed through its JSON serialization first so the
+//! property also covers the file format, not just the in-memory
+//! snapshot.
+
+use proptest::prelude::*;
+
+use bgpsim_checkpoint::{fork, Checkpoint, CheckpointStore};
+use bgpsim_core::{BgpConfig, Prefix};
+use bgpsim_experiments::{EventKind, ScenarioSpec, TopologySpec};
+use bgpsim_netsim::time::{SimDuration, SimTime};
+use bgpsim_sim::{
+    ConvergenceExperiment, FailureEvent, FaultPlan, FlapTrain, RunRecord, SnapshotBeat,
+};
+use bgpsim_topology::{generators, NodeId};
+
+/// The experiment under test: an `n`-clique warm-up, a T_down tail
+/// (withdraw of prefix 0 at the origin), plus an optional fault plan
+/// anchored alongside it.
+fn experiment(n: u32, seed: u64, plan: Option<FaultPlan>) -> ConvergenceExperiment {
+    let exp = ConvergenceExperiment::new(
+        generators::clique(n as usize),
+        NodeId::new(0),
+        FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        },
+    )
+    .with_config(BgpConfig::default())
+    .with_seed(seed);
+    match plan {
+        Some(plan) => exp.with_faults(plan),
+        None => exp,
+    }
+}
+
+/// Decodes raw proptest integers into a valid fault plan on an
+/// `n`-clique. Returns `None` when the draw produced no faults at all
+/// (an empty plan is invalid by contract — the experiment then runs
+/// with its bare failure event).
+fn plan_from(
+    n: u32,
+    events: &[(u8, u64, u32, u32)],
+    flap: Option<(u64, u64, u32)>,
+    loss: Option<u32>,
+) -> Option<FaultPlan> {
+    // Map an arbitrary pair of draws onto a real (distinct) clique edge.
+    let pair = |a: u32, b: u32| {
+        let a = a % n;
+        let b = b % n;
+        let b = if a == b { (b + 1) % n } else { b };
+        (NodeId::new(a), NodeId::new(b))
+    };
+    if events.is_empty() && flap.is_none() && loss.is_none() {
+        return None;
+    }
+    let mut plan = FaultPlan::new();
+    for &(kind, at, a, b) in events {
+        let at = SimDuration::from_secs(1 + at);
+        let (a, b) = pair(a, b);
+        plan = match kind % 4 {
+            0 => plan.link_down(at, a, b),
+            1 => plan.session_reset(at, a, b),
+            2 => plan.withdraw(at, NodeId::new(0), Prefix::new(0)),
+            // A down/up pulse, so LinkUp always has something to restore.
+            _ => plan
+                .link_down(at, a, b)
+                .link_up(at + SimDuration::from_secs(2), a, b),
+        };
+    }
+    if let Some((start, period, count)) = flap {
+        let (a, b) = pair(1, 2);
+        plan = plan.flap(
+            FlapTrain::new(a, b)
+                .starting_at(SimDuration::from_secs(start))
+                .with_period(SimDuration::from_secs(period))
+                .with_count(count)
+                .with_jitter(0.2),
+        );
+    }
+    if let Some(p) = loss {
+        let (a, b) = pair(2, 3);
+        // Keep loss light so every generated run still converges.
+        plan = plan.loss(a, b, f64::from(p % 25) / 100.0);
+    }
+    plan.validate().expect("generated plans are valid");
+    Some(plan)
+}
+
+/// Pushes a checkpoint through its JSON document and back, in memory.
+fn json_roundtrip(checkpoint: &Checkpoint) -> Checkpoint {
+    let json = serde_json::to_string(checkpoint).expect("checkpoint state serializes");
+    let value: serde::Value = serde_json::from_str(&json).expect("document parses");
+    serde::Deserialize::from_value(&value).expect("checkpoint deserializes")
+}
+
+/// A capture beat `frac`% of the way through the post-failure
+/// convergence window of `scratch`.
+fn beat_within(scratch: &RunRecord, frac: u64) -> SimTime {
+    let from = scratch
+        .failure_at
+        .expect("every experiment schedules a failure")
+        .as_nanos();
+    let until = scratch
+        .convergence_end()
+        .map_or(
+            from + SimDuration::from_secs(1).as_nanos(),
+            SimTime::as_nanos,
+        )
+        .max(from);
+    SimTime::from_nanos(from + (until - from) * frac.clamp(0, 100) / 100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A quiescence checkpoint saved to disk, loaded back, and forked
+    /// reproduces the from-scratch run exactly — over random fault
+    /// plans mixing discrete events, a flap train, and a loss model.
+    #[test]
+    fn quiescence_fork_is_bit_identical(
+        (n, seed) in (4u32..7, 0u64..1_000_000),
+        events in proptest::collection::vec((0u8..4, 0u64..8, 0u32..16, 0u32..16), 0..4),
+        flap in proptest::option::of((1u64..3, 2u64..5, 2u32..4)),
+        loss in proptest::option::of(1u32..25),
+    ) {
+        let exp = experiment(n, seed, plan_from(n, &events, flap, loss));
+        let scratch = exp.run();
+        let snap = exp.snapshot_at(SnapshotBeat::Quiescence);
+        prop_assert!(!snap.tail_applied, "quiescence capture precedes the tail");
+        let checkpoint = json_roundtrip(&Checkpoint::capture(
+            snap,
+            format!("prop/quiescence/{n}/{seed}"),
+            None,
+        ));
+        prop_assert_eq!(fork(&checkpoint, &exp), scratch);
+    }
+
+    /// A mid-convergence checkpoint — taken anywhere in the
+    /// failure-to-convergence window of a jittered flap train, i.e.
+    /// with flaps already spent and flaps still pending — resumes into
+    /// exactly the from-scratch record.
+    #[test]
+    fn mid_convergence_resume_is_bit_identical(
+        (n, seed) in (4u32..7, 0u64..1_000_000),
+        (start, period, count) in (1u64..3, 2u64..5, 2u32..5),
+        frac in 0u64..101,
+    ) {
+        let plan = FaultPlan::new().flap(
+            FlapTrain::new(NodeId::new(1), NodeId::new(2))
+                .starting_at(SimDuration::from_secs(start))
+                .with_period(SimDuration::from_secs(period))
+                .with_count(count)
+                .with_jitter(0.25),
+        );
+        let exp = experiment(n, seed, Some(plan));
+        let scratch = exp.run();
+        let beat = beat_within(&scratch, frac);
+        let snap = exp.snapshot_at(SnapshotBeat::At(beat));
+        prop_assert!(snap.tail_applied, "a mid-convergence capture bakes its tail in");
+        let checkpoint = json_roundtrip(&Checkpoint::capture(
+            snap,
+            format!("prop/mid/{n}/{seed}"),
+            None,
+        ));
+        prop_assert_eq!(checkpoint.header.beat_nanos, beat.as_nanos());
+        prop_assert_eq!(fork(&checkpoint, &exp), scratch);
+    }
+}
+
+/// Pin one mid-flap-train beat explicitly (between pulse 2 and 3 of a
+/// 4-pulse train): the restored event queue must still hold the
+/// not-yet-fired flap pulses under their original `(time, seq)` keys.
+#[test]
+fn resume_between_flap_pulses_is_bit_identical() {
+    let plan = FaultPlan::new().flap(
+        FlapTrain::new(NodeId::new(1), NodeId::new(2))
+            .starting_at(SimDuration::from_secs(1))
+            .with_period(SimDuration::from_secs(2))
+            .with_count(4),
+    );
+    let exp = experiment(5, 77, Some(plan));
+    let scratch = exp.run();
+    let failure_at = scratch.failure_at.expect("failure is scheduled");
+    let beat = failure_at + SimDuration::from_secs(4);
+    assert!(
+        scratch.convergence_end().is_some_and(|end| end > beat),
+        "the train must still be running at the capture beat"
+    );
+    let snap = exp.snapshot_at(SnapshotBeat::At(beat));
+    let checkpoint = json_roundtrip(&Checkpoint::capture(snap, "mid-train".into(), None));
+    assert_eq!(fork(&checkpoint, &exp), scratch);
+}
+
+/// The full experiments-layer loop: a warm-up snapshot captured under a
+/// `ScenarioSpec`, content-addressed into a `CheckpointStore` by
+/// warm-up fingerprint with the canonical spec embedded, looked up by a
+/// *sibling* scenario (same warm-up, different seedless tail is not
+/// possible — same spec), and replayed via `run_forked` — equal to the
+/// from-scratch `ScenarioResult` bit for bit.
+#[test]
+fn scenario_store_roundtrip_forks_bit_identically() {
+    let dir = std::env::temp_dir().join(format!(
+        "bgpsim-checkpoint-determinism-{}",
+        std::process::id()
+    ));
+    let store = CheckpointStore::new(&dir).unwrap();
+    let spec = ScenarioSpec::new(TopologySpec::Clique(6), EventKind::TDown).with_seed(9);
+    let fingerprint = spec.warmup_fingerprint();
+
+    assert!(store.lookup(&fingerprint).is_none());
+    let checkpoint = Checkpoint::capture(
+        spec.snapshot_warmup(),
+        fingerprint.clone(),
+        Some(spec.to_canonical_json().unwrap()),
+    );
+    store.store(&checkpoint).unwrap();
+
+    let hit = store
+        .lookup(&fingerprint)
+        .expect("warm-up hits by fingerprint");
+    assert_eq!(
+        hit.header.spec.as_deref(),
+        Some(spec.to_canonical_json().unwrap().as_str()),
+        "the canonical spec travels with the checkpoint"
+    );
+    let forked = spec.run_forked(&hit.snapshot);
+    let scratch = spec.run();
+    assert_eq!(
+        forked.record, scratch.record,
+        "records must be bit-identical"
+    );
+    assert_eq!(
+        format!("{:?}", forked.measurement),
+        format!("{:?}", scratch.measurement),
+        "and so must every derived metric"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -19,7 +19,7 @@ use bgpsim_topology::NodeId;
 use crate::prefix::Prefix;
 
 /// Damping parameters, defaulting to the classic Cisco values.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DampingConfig {
     /// Penalty added per withdrawal flap (default 1000).
     pub withdrawal_penalty: f64,
@@ -82,6 +82,18 @@ struct Entry {
     penalty: f64,
     updated_at: SimTime,
     suppressed: bool,
+}
+
+/// The raw damping state of one `(peer, prefix)` route, as exported by
+/// [`DampingTable::export_entries`] for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DampingEntryState {
+    /// Undecayed penalty as of `updated_at`.
+    pub penalty: f64,
+    /// The instant the penalty was last updated.
+    pub updated_at: SimTime,
+    /// Whether the route is currently suppressed.
+    pub suppressed: bool,
 }
 
 /// Per-`(peer, prefix)` flap-damping state for one router.
@@ -209,6 +221,52 @@ impl DampingTable {
     /// Drops all state for `peer` (session reset clears damping).
     pub fn clear_peer(&mut self, peer: NodeId) {
         self.entries.retain(|&(p, _), _| p != peer);
+    }
+
+    /// Exports the per-route state in ascending key order (checkpoint
+    /// export).
+    pub fn export_entries(&self) -> Vec<((NodeId, Prefix), DampingEntryState)> {
+        self.entries
+            .iter()
+            .map(|(&k, e)| {
+                (
+                    k,
+                    DampingEntryState {
+                        penalty: e.penalty,
+                        updated_at: e.updated_at,
+                        suppressed: e.suppressed,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds a table from exported entries (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn from_entries(
+        config: DampingConfig,
+        entries: Vec<((NodeId, Prefix), DampingEntryState)>,
+    ) -> DampingTable {
+        config.validate();
+        DampingTable {
+            config,
+            entries: entries
+                .into_iter()
+                .map(|(k, e)| {
+                    (
+                        k,
+                        Entry {
+                            penalty: e.penalty,
+                            updated_at: e.updated_at,
+                            suppressed: e.suppressed,
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 }
 

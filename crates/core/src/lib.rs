@@ -59,7 +59,7 @@ pub use config::{BgpConfig, Enhancements, Jitter};
 pub use message::BgpMessage;
 pub use output::{FibEntry, LocRoute, MraiTimerRequest, ReuseTimerRequest, RouterOutput};
 pub use prefix::Prefix;
-pub use router::{Router, RouterStats};
+pub use router::{Router, RouterState, RouterStats};
 
 /// Commonly used types, for glob import.
 pub mod prelude {
@@ -73,7 +73,7 @@ pub mod prelude {
     };
     pub use crate::policy::GaoRexford;
     pub use crate::prefix::Prefix;
-    pub use crate::router::{Router, RouterStats};
+    pub use crate::router::{Router, RouterState, RouterStats};
 }
 
 #[cfg(test)]

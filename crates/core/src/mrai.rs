@@ -92,6 +92,20 @@ impl MraiTable {
         before - self.expiry.len()
     }
 
+    /// Iterates over `((peer, prefix), expiry)` entries in ascending
+    /// key order (checkpoint export).
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeId, Prefix), SimTime)> + '_ {
+        self.expiry.iter().copied()
+    }
+
+    /// Rebuilds a table from exported entries (checkpoint restore);
+    /// later duplicates of a key are dropped.
+    pub fn from_entries(mut entries: Vec<((NodeId, Prefix), SimTime)>) -> MraiTable {
+        entries.sort_by_key(|&(k, _)| k);
+        entries.dedup_by_key(|e| e.0);
+        MraiTable { expiry: entries }
+    }
+
     /// Number of entries currently tracked.
     pub fn len(&self) -> usize {
         self.expiry.len()

@@ -52,7 +52,7 @@ use bgpsim_topology::NodeId;
 
 use crate::aspath::AsPath;
 use crate::config::BgpConfig;
-use crate::damping::{DampingTable, FlapKind};
+use crate::damping::{DampingEntryState, DampingTable, FlapKind};
 use crate::decision::{select_best_entry_where, RoutePolicy, ShortestPath};
 use crate::message::BgpMessage;
 use crate::mrai::MraiTable;
@@ -61,7 +61,7 @@ use crate::prefix::Prefix;
 use crate::rib::RibIn;
 
 /// Counters describing a router's protocol activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct RouterStats {
     /// Announcements sent.
     pub announcements_sent: u64,
@@ -88,6 +88,40 @@ impl RouterStats {
     pub fn messages_sent(&self) -> u64 {
         self.announcements_sent + self.withdrawals_sent
     }
+}
+
+/// A full capture of a [`Router`]'s state for deterministic
+/// checkpointing: every protocol table exported as a sorted vector of
+/// plain data.
+///
+/// The route policy is **not** captured — it is stateless configuration
+/// (e.g. `ShortestPath`), so [`Router::from_state`] takes it as an
+/// argument, exactly like [`Router::with_policy`] does.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RouterState {
+    /// This router's node id.
+    pub id: NodeId,
+    /// Active peers, ascending.
+    pub peers: Vec<NodeId>,
+    /// The protocol configuration.
+    pub config: BgpConfig,
+    /// Per-prefix Adj-RIB-In contents. Empty tables are included: their
+    /// presence decides which prefixes later session events re-decide,
+    /// so dropping them would skew decision counters after restore.
+    pub ribs: Vec<(Prefix, Vec<(NodeId, AsPath)>)>,
+    /// Locally originated prefixes.
+    pub originated: Vec<Prefix>,
+    /// Current selection per prefix.
+    pub loc: Vec<(Prefix, LocRoute)>,
+    /// Last advertisement sent per `(peer, prefix)`.
+    pub adj_out: Vec<((NodeId, Prefix), AsPath)>,
+    /// Pending MRAI expiry per `(peer, prefix)`.
+    pub mrai: Vec<((NodeId, Prefix), SimTime)>,
+    /// Flap-damping state per `(peer, prefix)`; empty when damping is
+    /// disabled in `config`.
+    pub damping: Vec<((NodeId, Prefix), DampingEntryState)>,
+    /// Activity counters.
+    pub stats: RouterStats,
 }
 
 /// A BGP speaker for one AS.
@@ -583,6 +617,70 @@ impl<P: RoutePolicy> Router<P> {
                 self.stats.announcements_sent += 1;
                 self.start_mrai(peer, prefix, now, rng, out);
             }
+        }
+    }
+
+    /// Captures the full router state for checkpointing.
+    pub fn snapshot(&self) -> RouterState {
+        RouterState {
+            id: self.id,
+            peers: self.peers.clone(),
+            config: self.config,
+            ribs: self
+                .ribs
+                .iter()
+                .map(|(&prefix, rib)| {
+                    (
+                        prefix,
+                        rib.iter()
+                            .map(|(peer, path)| (peer, path.clone()))
+                            .collect(),
+                    )
+                })
+                .collect(),
+            originated: self.originated.iter().copied().collect(),
+            loc: self
+                .loc
+                .iter()
+                .map(|(&prefix, route)| (prefix, route.clone()))
+                .collect(),
+            adj_out: self.adj_out.entries.clone(),
+            mrai: self.mrai.iter().collect(),
+            damping: self
+                .damping
+                .as_ref()
+                .map(|d| d.export_entries())
+                .unwrap_or_default(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a router from a captured [`RouterState`] and its
+    /// (stateless) route policy; the restored router processes every
+    /// future input exactly as the original would have.
+    pub fn from_state(state: RouterState, policy: P) -> Router<P> {
+        state.config.validate();
+        let mut adj_out = state.adj_out;
+        adj_out.sort_by_key(|&(k, _)| k);
+        Router {
+            id: state.id,
+            peers: state.peers,
+            config: state.config,
+            policy,
+            ribs: state
+                .ribs
+                .into_iter()
+                .map(|(prefix, entries)| (prefix, RibIn::from_entries(entries)))
+                .collect(),
+            originated: state.originated.into_iter().collect(),
+            loc: state.loc.into_iter().collect(),
+            adj_out: AdjOut { entries: adj_out },
+            mrai: MraiTable::from_entries(state.mrai),
+            damping: state
+                .config
+                .damping
+                .map(|cfg| DampingTable::from_entries(cfg, state.damping)),
+            stats: state.stats,
         }
     }
 
@@ -1124,6 +1222,77 @@ mod tests {
     #[should_panic(expected = "cannot peer with itself")]
     fn self_peering_rejected() {
         let _ = Router::new(n(1), [n(1)], cfg());
+    }
+
+    #[test]
+    fn snapshot_restore_is_behavior_preserving() {
+        // Drive a router mid-convergence (MRAI timers running, multiple
+        // RIB entries, adj-out populated), snapshot it, and check the
+        // restored router produces identical outputs for an identical
+        // tail of inputs.
+        let mut r = Router::new(n(5), [n(3), n(4), n(6)], BgpConfig::default());
+        let mut rg = SimRng::new(11);
+        r.handle_message(n(4), &announce(&[4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(n(6), &announce(&[6, 4, 0]), SimTime::ZERO, &mut rg);
+        r.handle_message(
+            n(3),
+            &announce(&[3, 2, 0]),
+            SimTime::from_millis(500),
+            &mut rg,
+        );
+
+        let state = r.snapshot();
+        let mut restored = Router::from_state(state.clone(), ShortestPath);
+        assert_eq!(restored.snapshot(), state, "snapshot must round-trip");
+        assert_eq!(restored.stats(), r.stats());
+        assert_eq!(restored.best(p()), r.best(p()));
+
+        let mut rg2 = rg.clone();
+        let tail = |r: &mut Router, rg: &mut SimRng| {
+            vec![
+                r.handle_message(n(4), &BgpMessage::withdraw(p()), SimTime::from_secs(1), rg),
+                r.on_mrai_expire(n(6), p(), SimTime::from_secs(30), rg),
+                r.on_peer_down(n(3), SimTime::from_secs(31), rg),
+            ]
+        };
+        let a = tail(&mut r, &mut rg);
+        let b = tail(&mut restored, &mut rg2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sends, y.sends);
+            assert_eq!(x.timers, y.timers);
+            assert_eq!(x.fib_changes, y.fib_changes);
+        }
+        assert_eq!(r.stats(), restored.stats());
+        assert_eq!(r.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_damping_state() {
+        let cfg = BgpConfig::default().with_damping(crate::damping::DampingConfig::default());
+        let mut r = Router::new(n(5), [n(4)], cfg);
+        let mut rg = rng();
+        // Repeated withdrawal flaps suppress the route from peer 4
+        // (two would decay to just under the 2000 threshold).
+        for s in 0..3u64 {
+            r.handle_message(n(4), &announce(&[4, 0]), SimTime::from_secs(2 * s), &mut rg);
+            r.handle_message(
+                n(4),
+                &BgpMessage::withdraw(p()),
+                SimTime::from_secs(2 * s + 1),
+                &mut rg,
+            );
+        }
+        assert!(r.stats().damping_suppressions > 0, "setup must suppress");
+        let state = r.snapshot();
+        assert!(!state.damping.is_empty());
+        let mut restored = Router::from_state(state, ShortestPath);
+        let mut rg2 = rg.clone();
+        let now = SimTime::from_secs(10);
+        let a = r.handle_message(n(4), &announce(&[4, 0]), now, &mut rg);
+        let b = restored.handle_message(n(4), &announce(&[4, 0]), now, &mut rg2);
+        assert_eq!(a.sends, b.sends);
+        assert_eq!(a.reuse_timers, b.reuse_timers);
+        assert_eq!(r.snapshot(), restored.snapshot());
     }
 
     #[test]

@@ -86,7 +86,7 @@ impl FibHistory {
 /// );
 /// assert_eq!(fib.lookup(NodeId::new(2), p, SimTime::ZERO), None);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkFib {
     nodes: Vec<BTreeMap<Prefix, FibHistory>>,
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figN [quick|paper] [--trace <file.jsonl>] [--bench <file.json>]
-//!      [--jobs <n>] [--cache-dir <dir>]
+//!      [--jobs <n>] [--cache-dir <dir>] [--forked]
 //! ```
 //!
 //! The flags are layered *on top of* the `BGPSIM_*` environment
@@ -34,11 +34,14 @@ pub struct BinOptions {
     pub jobs: Option<usize>,
     /// `--cache-dir <dir>`: run cache (overrides `BGPSIM_CACHE_DIR`).
     pub cache_dir: Option<PathBuf>,
+    /// `--forked`: share warm-ups across sweep cells (checkpoint/fork;
+    /// overrides `BGPSIM_FORK`). Results are bit-identical either way.
+    pub forked: bool,
 }
 
 /// The usage string appended to parse errors.
 pub const USAGE: &str = "usage: [quick|paper] [--trace <file.jsonl>] [--bench <file.json>] \
-     [--jobs <n>] [--cache-dir <dir>]";
+     [--jobs <n>] [--cache-dir <dir>] [--forked]";
 
 impl BinOptions {
     /// Parses an argument list (without the program name).
@@ -54,6 +57,7 @@ impl BinOptions {
                 "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
                 "--bench" => opts.bench = Some(PathBuf::from(value("--bench")?)),
                 "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+                "--forked" => opts.forked = true,
                 "--jobs" => {
                     let v = value("--jobs")?;
                     let n: usize = v
@@ -102,6 +106,9 @@ impl BinOptions {
     /// it. Exits with status 1 if the configuration cannot be applied
     /// (unwritable cache dir, trace sink already installed, …).
     pub fn init_runner(&self) -> &'static Runner {
+        if self.forked {
+            crate::forked::set_fork_enabled(true);
+        }
         let mut config = RunnerConfig::from_env();
         if let Some(jobs) = self.jobs {
             config = config.jobs(jobs);
@@ -166,6 +173,7 @@ mod tests {
             "4",
             "--cache-dir",
             "/tmp/c",
+            "--forked",
         ]))
         .unwrap();
         assert_eq!(opts.scale, Some(Scale::Quick));
@@ -176,6 +184,7 @@ mod tests {
             opts.cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/c"))
         );
+        assert!(opts.forked);
     }
 
     #[test]

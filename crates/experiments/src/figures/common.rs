@@ -52,17 +52,20 @@ impl Cell {
 /// Runs every `(cell, seed)` pair as **one batch** on the global
 /// runner and returns the per-cell metrics (`result[i][j]` = cell `i`,
 /// seed `j`). This is the single point where experiment sweeps meet
-/// the execution subsystem.
+/// the execution subsystem. With the fork toggle on (`--forked` /
+/// `BGPSIM_FORK=1`), cells sharing a warm-up fingerprint execute their
+/// warm-up once and fork the tails — results are bit-identical either
+/// way.
 pub fn run_cells(cells: &[Cell], seeds: &[u64]) -> Vec<Vec<PaperMetrics>> {
     if seeds.is_empty() {
         return vec![Vec::new(); cells.len()];
     }
-    let jobs = cells
+    let scenarios = cells
         .iter()
-        .flat_map(|cell| seeds.iter().map(|&seed| cell.scenario(seed).into_job()))
+        .flat_map(|cell| seeds.iter().map(|&seed| cell.scenario(seed)))
         .collect();
     let flat = bgpsim_runner::global()
-        .run_jobs(jobs)
+        .run_jobs(crate::forked::sweep_jobs(scenarios))
         .expect("sweep job failed");
     flat.chunks(seeds.len())
         .map(<[PaperMetrics]>::to_vec)

@@ -19,15 +19,38 @@ use bgpsim_sim::FlapProfile;
 use serde::value::{field, Error, Value};
 use serde::Deserialize;
 
-use crate::scenario::{EventKind, Scenario, TopologySpec};
+use crate::scenario::{EventKind, ScenarioSpec, TopologySpec};
 
 /// Ceiling on seeds per submission — one submission cannot occupy the
 /// whole service. Fan wider submissions out over several jobs.
 pub const MAX_SEEDS_PER_JOB: usize = 256;
 
+/// The newest wire version this build accepts. Version 1 bodies (no
+/// `"v"` field) remain accepted forever; version 2 adds the `"fork"`
+/// stanza.
+pub const JOBSPEC_VERSION: u32 = 2;
+
+/// The `"fork"` stanza of a version-2 submission: replay several tail
+/// events per seed from one shared warm-up.
+///
+/// Each seed's runs share their converged warm-up state whenever their
+/// warm-up fingerprints agree (always on clique/b-clique families;
+/// Internet-like tails regroup by resolved destination), so a
+/// submission of `seeds × tails` runs executes each warm-up once. The
+/// per-run cache fingerprints are unchanged — forked and from-scratch
+/// runs are bit-identical — so result streams stay byte-identical to
+/// the equivalent unforked submissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkSpec {
+    /// The tail events to replay per seed, in stream order.
+    pub tails: Vec<EventKind>,
+}
+
 /// A declarative job submission: one scenario family over many seeds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
+    /// Wire version of the submission (`"v"`, default 1).
+    pub version: u32,
     /// Topology family and size.
     pub topology: TopologySpec,
     /// Event class.
@@ -42,11 +65,15 @@ pub struct JobSpec {
     pub seeds: Vec<u64>,
     /// Flap parameters for [`EventKind::Flap`] submissions.
     pub flap: Option<FlapProfile>,
+    /// Version-2 fork stanza: tail variants sharing one warm-up per
+    /// seed. Replaces `event` when present.
+    pub fork: Option<ForkSpec>,
 }
 
 impl Default for JobSpec {
     fn default() -> Self {
         JobSpec {
+            version: 1,
             topology: TopologySpec::Clique(10),
             event: EventKind::TDown,
             mrai_secs: 30,
@@ -54,6 +81,7 @@ impl Default for JobSpec {
             enhancements: Enhancements::standard(),
             seeds: vec![0],
             flap: None,
+            fork: None,
         }
     }
 }
@@ -72,21 +100,43 @@ impl JobSpec {
 
     /// The number of scenario runs this submission fans out to.
     pub fn run_count(&self) -> usize {
-        self.seeds.len()
+        self.seeds.len() * self.fork.as_ref().map_or(1, |f| f.tails.len())
     }
 
     /// A short label for logs and status lines.
     pub fn label(&self) -> String {
-        format!(
-            "{} {} x{}",
-            self.topology.label(),
-            self.event.label(),
-            self.seeds.len()
-        )
+        match &self.fork {
+            Some(fork) => {
+                let tails: Vec<&str> = fork.tails.iter().map(|t| t.label()).collect();
+                format!(
+                    "{} fork[{}] x{}",
+                    self.topology.label(),
+                    tails.join(","),
+                    self.run_count()
+                )
+            }
+            None => format!(
+                "{} {} x{}",
+                self.topology.label(),
+                self.event.label(),
+                self.seeds.len()
+            ),
+        }
     }
 
-    /// Materializes the scenarios, in seed order.
-    pub fn scenarios(&self) -> Vec<Scenario> {
+    /// The tail events of one seed's fan-out: the fork stanza's tails,
+    /// or the single `event` for an unforked submission.
+    fn tails(&self) -> Vec<EventKind> {
+        match &self.fork {
+            Some(fork) => fork.tails.clone(),
+            None => vec![self.event],
+        }
+    }
+
+    /// Materializes the scenarios, seed-major (every tail of seed 0,
+    /// then every tail of seed 1, …) so forked runs of one warm-up sit
+    /// adjacently in the result stream.
+    pub fn scenarios(&self) -> Vec<ScenarioSpec> {
         let config = BgpConfig::default()
             .with_mrai(SimDuration::from_secs(self.mrai_secs))
             .with_jitter(if self.jitter {
@@ -95,16 +145,19 @@ impl JobSpec {
                 Jitter::NONE
             })
             .with_enhancements(self.enhancements);
+        let tails = self.tails();
         self.seeds
             .iter()
-            .map(|&seed| {
-                let mut s = Scenario::new(self.topology.clone(), self.event)
-                    .with_config(config)
-                    .with_seed(seed);
-                if let Some(flap) = self.flap {
-                    s = s.with_flap(flap);
-                }
-                s
+            .flat_map(|&seed| {
+                tails.iter().map(move |&event| {
+                    let mut s = ScenarioSpec::new(self.topology.clone(), event)
+                        .with_config(config)
+                        .with_seed(seed);
+                    if let Some(flap) = self.flap {
+                        s = s.with_flap(flap);
+                    }
+                    s
+                })
             })
             .collect()
     }
@@ -115,8 +168,8 @@ impl Deserialize for JobSpec {
         let entries = v.as_object().ok_or_else(|| Error::expected("object", v))?;
         for (key, _) in entries {
             match key.as_str() {
-                "topology" | "event" | "mrai_secs" | "jitter" | "enhancement" | "seeds"
-                | "flap" => {}
+                "v" | "topology" | "event" | "mrai_secs" | "jitter" | "enhancement" | "seeds"
+                | "flap" | "fork" => {}
                 other => return Err(Error::new(format!("unknown field {other:?}"))),
             }
         }
@@ -128,13 +181,17 @@ impl Deserialize for JobSpec {
             )?,
             ..JobSpec::default()
         };
+        if let Some(ver) = optional(v, "v") {
+            spec.version = u32::from_value(ver).map_err(|_| Error::new("v must be an integer"))?;
+            if spec.version == 0 || spec.version > JOBSPEC_VERSION {
+                return Err(Error::new(format!(
+                    "unsupported spec version {} (this build accepts 1..={JOBSPEC_VERSION})",
+                    spec.version
+                )));
+            }
+        }
         if let Some(ev) = optional(v, "event") {
-            spec.event = match ev.as_str() {
-                Some("tdown") => EventKind::TDown,
-                Some("tlong") => EventKind::TLong,
-                Some("flap") => EventKind::Flap,
-                _ => return Err(Error::new(format!("unknown event {ev:?}"))),
-            };
+            spec.event = parse_event(ev)?;
         }
         if let Some(mrai) = optional(v, "mrai_secs") {
             spec.mrai_secs = mrai
@@ -170,6 +227,26 @@ impl Deserialize for JobSpec {
         if let Some(flap) = optional(v, "flap") {
             spec.flap = Some(parse_flap(flap)?);
         }
+        if let Some(fork) = optional(v, "fork") {
+            if spec.version < 2 {
+                return Err(Error::new("fork requires \"v\": 2"));
+            }
+            if optional(v, "event").is_some() {
+                return Err(Error::new(
+                    "fork.tails replaces event; drop the event field",
+                ));
+            }
+            spec.fork = Some(parse_fork(fork)?);
+            if spec.run_count() > MAX_SEEDS_PER_JOB {
+                return Err(Error::new(format!(
+                    "a submission is limited to {MAX_SEEDS_PER_JOB} runs, got {} \
+                     ({} seeds x {} tails)",
+                    spec.run_count(),
+                    spec.seeds.len(),
+                    spec.fork.as_ref().map_or(0, |f| f.tails.len()),
+                )));
+            }
+        }
         Ok(spec)
     }
 }
@@ -200,6 +277,38 @@ fn parse_topology(spec: &str) -> Result<TopologySpec, Error> {
         }),
         _ => Err(bad()),
     }
+}
+
+fn parse_event(v: &Value) -> Result<EventKind, Error> {
+    match v.as_str() {
+        Some("tdown") => Ok(EventKind::TDown),
+        Some("tlong") => Ok(EventKind::TLong),
+        Some("flap") => Ok(EventKind::Flap),
+        _ => Err(Error::new(format!("unknown event {v:?}"))),
+    }
+}
+
+/// Parses the version-2 `fork` stanza: `{"tails": ["tdown", ...]}`.
+fn parse_fork(v: &Value) -> Result<ForkSpec, Error> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| Error::new("fork must be an object"))?;
+    for (key, _) in entries {
+        match key.as_str() {
+            "tails" => {}
+            other => return Err(Error::new(format!("unknown fork field {other:?}"))),
+        }
+    }
+    let tails = field(v, "tails")
+        .ok()
+        .and_then(Value::as_array)
+        .ok_or_else(|| Error::new("fork.tails must be an array of events"))?;
+    if tails.is_empty() {
+        return Err(Error::new("fork.tails must not be empty"));
+    }
+    Ok(ForkSpec {
+        tails: tails.iter().map(parse_event).collect::<Result<_, _>>()?,
+    })
 }
 
 fn parse_flap(v: &Value) -> Result<FlapProfile, Error> {
@@ -316,6 +425,94 @@ mod tests {
             let err = JobSpec::parse(body).unwrap_err();
             assert!(err.contains(needle), "body {body:?} -> {err:?}");
         }
+    }
+
+    #[test]
+    fn v1_bodies_parse_as_version_1_with_or_without_the_field() {
+        let bare = JobSpec::parse(r#"{"topology": "clique:5"}"#).unwrap();
+        assert_eq!(bare.version, 1);
+        assert!(bare.fork.is_none());
+        let explicit = JobSpec::parse(r#"{"v": 1, "topology": "clique:5"}"#).unwrap();
+        assert_eq!(explicit.version, 1);
+        assert_eq!(explicit.run_count(), 1);
+    }
+
+    #[test]
+    fn v2_fork_fans_tails_per_seed_sharing_warmups() {
+        let spec = JobSpec::parse(
+            r#"{"v": 2, "topology": "clique:6", "seeds": [1, 2],
+                "fork": {"tails": ["tdown", "flap"]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.version, 2);
+        assert_eq!(spec.run_count(), 4);
+        assert_eq!(spec.label(), "clique-6 fork[Tdown,Flap] x4");
+        let scenarios = spec.scenarios();
+        // Seed-major, tail-minor ordering.
+        assert_eq!(scenarios[0].seed, 1);
+        assert_eq!(scenarios[0].event, EventKind::TDown);
+        assert_eq!(scenarios[1].seed, 1);
+        assert_eq!(scenarios[1].event, EventKind::Flap);
+        assert_eq!(scenarios[2].seed, 2);
+        // Tails of one seed share a warm-up; distinct seeds never do.
+        assert_eq!(
+            scenarios[0].warmup_fingerprint(),
+            scenarios[1].warmup_fingerprint()
+        );
+        assert_ne!(
+            scenarios[0].warmup_fingerprint(),
+            scenarios[2].warmup_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fork_errors_are_descriptive() {
+        for (body, needle) in [
+            (
+                r#"{"topology": "clique:5", "fork": {"tails": ["tdown"]}}"#,
+                "\"v\": 2",
+            ),
+            (r#"{"v": 3, "topology": "clique:5"}"#, "version"),
+            (r#"{"v": 0, "topology": "clique:5"}"#, "version"),
+            (
+                r#"{"v": 2, "topology": "clique:5", "event": "tdown",
+                    "fork": {"tails": ["tdown"]}}"#,
+                "replaces event",
+            ),
+            (
+                r#"{"v": 2, "topology": "clique:5", "fork": {"tails": []}}"#,
+                "empty",
+            ),
+            (
+                r#"{"v": 2, "topology": "clique:5", "fork": {"tails": ["boom"]}}"#,
+                "event",
+            ),
+            (
+                r#"{"v": 2, "topology": "clique:5", "fork": {"bogus": 1}}"#,
+                "fork field",
+            ),
+            (
+                r#"{"v": 2, "topology": "clique:5", "fork": "tdown"}"#,
+                "object",
+            ),
+        ] {
+            let err = JobSpec::parse(body).unwrap_err();
+            assert!(err.contains(needle), "body {body:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn fork_fanout_counts_against_the_run_bound() {
+        let seeds: Vec<String> = (0..MAX_SEEDS_PER_JOB as u64 / 2 + 1)
+            .map(|s| s.to_string())
+            .collect();
+        let body = format!(
+            r#"{{"v": 2, "topology": "clique:5", "seeds": [{}],
+                "fork": {{"tails": ["tdown", "tlong"]}}}}"#,
+            seeds.join(",")
+        );
+        let err = JobSpec::parse(&body).unwrap_err();
+        assert!(err.contains("limited"), "{err}");
     }
 
     #[test]

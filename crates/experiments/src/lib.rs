@@ -28,9 +28,11 @@
 pub mod ablation;
 pub mod artifact;
 pub mod binopts;
+pub mod canonical;
 pub mod chart;
 pub mod churn;
 pub mod figures;
+pub mod forked;
 pub mod jobspec;
 pub mod scenario;
 pub mod sweep;
@@ -40,7 +42,10 @@ pub mod sweep;
 /// it with `BGPSIM_JOBS` / `BGPSIM_CACHE_DIR` / `BGPSIM_JOURNAL`.
 pub use bgpsim_runner as runner;
 
+pub use canonical::CANONICAL_VERSION;
 pub use churn::{ChurnOptions, ChurnPoint, ChurnSweep};
 pub use figures::{ClaimCheck, Scale};
-pub use scenario::{EventKind, Scenario, ScenarioResult, TopologySpec};
+pub use forked::{forked_jobs, plan_forked, warmup_cells, ForkPlan};
+pub use jobspec::{ForkSpec, JobSpec, JOBSPEC_VERSION};
+pub use scenario::{EventKind, Scenario, ScenarioResult, ScenarioSpec, TopologySpec};
 pub use sweep::{aggregate, linear_fit, AggregatedPoint, LinearFit, Series};

@@ -1,17 +1,28 @@
 //! Declarative experiment scenarios.
 //!
-//! A [`Scenario`] pins down everything that defines one run of the
-//! study: the topology family and size, the event class (`T_down` or
-//! `T_long`), the protocol configuration, and the seed. Running it
-//! produces the raw record and the full measurement.
+//! A [`ScenarioSpec`] is the canonical description of one run of the
+//! study — the **single source of truth** for topology, event class,
+//! protocol configuration, physical parameters, fault plan, and seed.
+//! Every path into the sim harness goes through it: the figure
+//! binaries, the root CLI, the `bgpsim-serve` wire format
+//! ([`JobSpec`](crate::jobspec::JobSpec)) and the checkpoint/fork
+//! machinery all construct `ScenarioSpec` values and run them.
+//!
+//! Its canonical serializations key everything downstream:
+//! [`ScenarioSpec::fingerprint`] is the run-cache key,
+//! [`ScenarioSpec::warmup_fingerprint`] groups runs that share a
+//! warm-up for checkpoint forking, and
+//! [`ScenarioSpec::to_canonical_json`] is the portable on-disk /
+//! on-wire form embedded in checkpoint headers.
 
 use bgpsim_core::{BgpConfig, Prefix};
 use bgpsim_dataplane::loopscan::{emit_census, loop_census};
 use bgpsim_metrics::{measure_run, RunMeasurement};
 use bgpsim_netsim::rng::SimRng;
+use bgpsim_runner::SharedWarmup;
 use bgpsim_sim::{
     BudgetExceeded, ConvergenceExperiment, FailureEvent, FaultPlan, FlapProfile, RunBudget,
-    RunRecord, SimParams,
+    RunRecord, RunSnapshot, SimParams, SnapshotBeat,
 };
 use bgpsim_topology::{algo, generators, Graph, NodeId};
 use bgpsim_trace::{RunCounters, TraceEvent, TraceHandle};
@@ -98,8 +109,11 @@ impl EventKind {
 }
 
 /// A fully specified experiment run.
+///
+/// The canonical spec type — see the [module docs](self) for its role
+/// as the single construction path to the sim harness.
 #[derive(Debug, Clone)]
-pub struct Scenario {
+pub struct ScenarioSpec {
     /// The topology family and size.
     pub topology: TopologySpec,
     /// `T_down` or `T_long`.
@@ -118,10 +132,14 @@ pub struct Scenario {
     pub flap: FlapProfile,
 }
 
-impl Scenario {
+/// The pre-redesign name of [`ScenarioSpec`], kept so existing callers
+/// keep compiling; new code should say `ScenarioSpec`.
+pub type Scenario = ScenarioSpec;
+
+impl ScenarioSpec {
     /// Creates a scenario with paper-default configuration.
     pub fn new(topology: TopologySpec, event: EventKind) -> Self {
-        Scenario {
+        ScenarioSpec {
             topology,
             event,
             config: BgpConfig::default(),
@@ -242,6 +260,21 @@ impl Scenario {
         }
         .expect("write to String");
         let _ = write!(s, "|event={}", self.event.label());
+        self.write_config_fragment(&mut s);
+        // Fault fragments are appended only when present so every
+        // pre-existing (fault-free) fingerprint stays byte-identical.
+        if let Some(plan) = &self.faults {
+            let _ = write!(s, "|faults={}", plan.fingerprint());
+        } else if self.event == EventKind::Flap {
+            let _ = write!(s, "|flap={}", self.flap.fingerprint());
+        }
+        s
+    }
+
+    /// The shared `|mrai=…` … `|seed=…` fragment of both fingerprints:
+    /// protocol configuration, physical parameters, and seed.
+    fn write_config_fragment(&self, s: &mut String) {
+        use std::fmt::Write as _;
         let _ = write!(
             s,
             "|mrai={}|jitter={:x},{:x}",
@@ -281,19 +314,62 @@ impl Scenario {
             self.params.proc_delay_hi.as_nanos(),
             self.seed,
         );
-        // Fault fragments are appended only when present so every
-        // pre-existing (fault-free) fingerprint stays byte-identical.
-        if let Some(plan) = &self.faults {
-            let _ = write!(s, "|faults={}", plan.fingerprint());
-        } else if self.event == EventKind::Flap {
-            let _ = write!(s, "|flap={}", self.flap.fingerprint());
+    }
+
+    /// A canonical fingerprint of this scenario's **warm-up phase**
+    /// alone: everything that determines the converged pre-failure
+    /// state, and nothing that only matters afterwards.
+    ///
+    /// Two scenarios with equal warm-up fingerprints run bit-identical
+    /// warm-ups, so a checkpoint captured at quiescence under one is a
+    /// valid fork point for the other. The event kind is deliberately
+    /// excluded — `T_down` vs `T_long` vs flap variants differ only in
+    /// their tail — but the **resolved destination** is included,
+    /// because event kinds that re-pick the destination (`T_long` on
+    /// Internet-like graphs) change the warm-up itself. Fault plans
+    /// and flap profiles never appear: their events are anchored after
+    /// warm-up quiescence.
+    pub fn warmup_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("warmup/v1");
+        match &self.topology {
+            TopologySpec::Clique(n) => {
+                let _ = write!(s, "|topo=clique:{n}");
+            }
+            TopologySpec::BClique(n) => {
+                let _ = write!(s, "|topo=bclique:{n}");
+            }
+            TopologySpec::InternetLike { n, topo_seed } => {
+                let _ = write!(s, "|topo=internet:{n}:{topo_seed}");
+            }
+            TopologySpec::Custom { graph, destination } => {
+                let mut edges: Vec<(u32, u32)> = graph
+                    .edges()
+                    .map(|e| (e.lo().as_u32(), e.hi().as_u32()))
+                    .collect();
+                edges.sort_unstable();
+                let _ = write!(
+                    s,
+                    "|topo=custom:{}:d{}:",
+                    graph.node_count(),
+                    destination.as_u32()
+                );
+                for (a, b) in edges {
+                    let _ = write!(s, "{a}-{b},");
+                }
+            }
         }
+        let (graph, built) = self.topology.build();
+        let destination = self.resolve_destination(&graph, built);
+        let _ = write!(s, "|dest={}", destination.as_u32());
+        self.write_config_fragment(&mut s);
+        s.push_str("|prefix=0");
         s
     }
 
     /// Converts the scenario into a cacheable [`runner
     /// job`](bgpsim_runner::Job) producing the paper metrics of the
-    /// run. The job's fingerprint is [`Scenario::fingerprint`], so
+    /// run. The job's fingerprint is [`ScenarioSpec::fingerprint`], so
     /// identical scenarios are served from the run cache when one is
     /// configured.
     ///
@@ -339,21 +415,30 @@ impl Scenario {
         })
     }
 
-    /// Builds the concrete experiment: graph, destination, failure,
-    /// and — for fault scenarios — the installed plan.
-    fn build_experiment(&self) -> (ConvergenceExperiment, NodeId, FailureEvent) {
-        let (graph, mut destination) = self.topology.build();
-        // A meaningful T_long (or flap train on its link) needs a
-        // destination that stays reachable after one of its links
-        // fails; on Internet-like graphs the lowest-degree node is
-        // often a single-homed stub, so pick the lowest-degree
-        // *multi-homed* node instead (as the paper's setup implies).
+    /// The destination AS this scenario actually uses, resolved on
+    /// `graph`.
+    ///
+    /// Usually the topology's own destination, but a meaningful
+    /// `T_long` (or flap train on its link) needs a destination that
+    /// stays reachable after one of its links fails; on Internet-like
+    /// graphs the lowest-degree node is often a single-homed stub, so
+    /// those events pick the lowest-degree *multi-homed* node instead
+    /// (as the paper's setup implies).
+    fn resolve_destination(&self, graph: &Graph, built: NodeId) -> NodeId {
         if matches!(self.event, EventKind::TLong | EventKind::Flap) {
             if let TopologySpec::InternetLike { topo_seed, .. } = &self.topology {
-                destination = pick_tlong_destination(&graph, *topo_seed)
+                return pick_tlong_destination(graph, *topo_seed)
                     .expect("no multi-homed destination candidate");
             }
         }
+        built
+    }
+
+    /// Builds the concrete experiment: graph, destination, failure,
+    /// and — for fault scenarios — the installed plan.
+    fn build_experiment(&self) -> (ConvergenceExperiment, NodeId, FailureEvent) {
+        let (graph, built) = self.topology.build();
+        let destination = self.resolve_destination(&graph, built);
         let failure = self.failure(&graph, destination);
         let plan = match (&self.faults, self.event, failure) {
             (Some(plan), _, _) => Some(plan.clone()),
@@ -414,6 +499,143 @@ impl Scenario {
             measurement,
             sim_wall_ms,
             measure_wall_ms,
+        })
+    }
+
+    /// Runs this scenario's warm-up to quiescence and captures the
+    /// converged state as a fork point.
+    ///
+    /// Any scenario with an equal [`warmup_fingerprint`]
+    /// (same topology, resolved destination, config, params, seed —
+    /// tails may differ) can [`run_forked`](Self::run_forked) from the
+    /// returned snapshot and produce a result bit-identical to its own
+    /// from-scratch [`run`](Self::run).
+    ///
+    /// [`warmup_fingerprint`]: Self::warmup_fingerprint
+    ///
+    /// # Panics
+    ///
+    /// Panics if warm-up exhausts the default event budget.
+    pub fn snapshot_warmup(&self) -> RunSnapshot {
+        let (experiment, _, _) = self.build_experiment();
+        experiment.snapshot_at(SnapshotBeat::Quiescence)
+    }
+
+    /// [`snapshot_warmup`](Self::snapshot_warmup) under watchdog
+    /// `limit`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interrupted phase and partial record when the budget
+    /// trips during warm-up.
+    pub fn snapshot_warmup_budgeted(
+        &self,
+        limit: &RunBudget,
+    ) -> Result<RunSnapshot, Box<BudgetExceeded>> {
+        let (experiment, _, _) = self.build_experiment();
+        experiment.snapshot_at_budgeted(SnapshotBeat::Quiescence, limit)
+    }
+
+    /// Runs the scenario from a shared warm-up snapshot: the restored
+    /// converged state plays this scenario's own tail (failure or fault
+    /// plan), skipping the warm-up entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was not captured under an equal
+    /// [`warmup_fingerprint`](Self::warmup_fingerprint) scenario, or on
+    /// budget exhaustion.
+    pub fn run_forked(&self, snap: &RunSnapshot) -> ScenarioResult {
+        self.run_forked_budgeted(snap, &RunBudget::unlimited())
+            .expect("unlimited budget")
+    }
+
+    /// [`run_forked`](Self::run_forked) under watchdog `limit`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interrupted phase and partial record when the budget
+    /// trips during the tail.
+    pub fn run_forked_budgeted(
+        &self,
+        snap: &RunSnapshot,
+        limit: &RunBudget,
+    ) -> Result<ScenarioResult, Box<BudgetExceeded>> {
+        let (experiment, destination, failure) = self.build_experiment();
+        let sim_started = std::time::Instant::now();
+        let record = experiment.resume_from_budgeted(snap, limit)?;
+        let sim_wall_ms = sim_started.elapsed().as_millis() as u64;
+        let measure_started = std::time::Instant::now();
+        let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
+        let measure_wall_ms = measure_started.elapsed().as_millis() as u64;
+        Ok(ScenarioResult {
+            destination,
+            failure,
+            record,
+            measurement,
+            sim_wall_ms,
+            measure_wall_ms,
+        })
+    }
+
+    /// Like [`into_job`](Self::into_job), but the job draws its warm-up
+    /// from `warmup`, a [`SharedWarmup`] cell shared by every job of a
+    /// batch with an equal
+    /// [`warmup_fingerprint`](Self::warmup_fingerprint).
+    ///
+    /// The first batch job to miss the run cache builds the warm-up
+    /// snapshot once; the rest fork from it. A batch served entirely
+    /// from cache never builds it, so cache hits keep charging zero
+    /// simulation work. The job's cache fingerprint is the unchanged
+    /// [`fingerprint`](Self::fingerprint) — forked and from-scratch
+    /// runs are bit-identical, so they share cache entries.
+    pub fn into_forked_job(self, warmup: SharedWarmup) -> bgpsim_runner::Job {
+        let label = format!(
+            "{} {} seed {} (forked)",
+            self.topology.label(),
+            self.event.label(),
+            self.seed
+        );
+        let fingerprint = Some(self.fingerprint());
+        let seed = self.seed;
+        bgpsim_runner::Job::budgeted(label, fingerprint, move |budget| {
+            let mut limit = RunBudget::unlimited();
+            if let Some(n) = budget.max_events {
+                limit = limit.with_max_events(n);
+            }
+            if let Some(deadline) = budget.deadline {
+                limit = limit.with_deadline(deadline);
+            }
+            if let Some(token) = &budget.cancel {
+                limit = limit.with_cancel(token.flag());
+            }
+            type WarmupResult = Result<RunSnapshot, Box<BudgetExceeded>>;
+            let shared: std::sync::Arc<WarmupResult> =
+                warmup.get_or_build(|| self.snapshot_warmup_budgeted(&limit));
+            let outcome = match shared.as_ref() {
+                Ok(snap) => self.run_forked_budgeted(snap, &limit),
+                // A budget-tripped warm-up is shared too: every fork of
+                // this batch would trip identically, so report the stop
+                // without re-running it.
+                Err(stopped) => Err(Box::new(BudgetExceeded {
+                    phase: stopped.phase,
+                    record: stopped.record.clone(),
+                })),
+            };
+            match outcome {
+                Ok(result) => {
+                    result.emit_trace(seed);
+                    let counters = result.counters();
+                    Ok(bgpsim_runner::JobOutput::with_counters(
+                        result.measurement.metrics,
+                        counters,
+                    ))
+                }
+                Err(stopped) => Err(bgpsim_runner::JobTimeout {
+                    phase: stopped.phase,
+                    counters: Some(Box::new(partial_counters(&stopped.record))),
+                }),
+            }
         })
     }
 }
@@ -581,6 +803,74 @@ mod tests {
         assert_ne!(base.fingerprint(), other_cfg.fingerprint());
         let other_topo = Scenario::new(TopologySpec::Clique(6), EventKind::TDown).with_seed(1);
         assert_ne!(base.fingerprint(), other_topo.fingerprint());
+    }
+
+    #[test]
+    fn warmup_fingerprint_is_tail_blind_but_warmup_sensitive() {
+        let tdown = Scenario::new(TopologySpec::Clique(5), EventKind::TDown).with_seed(1);
+        let tlong = Scenario::new(TopologySpec::Clique(5), EventKind::TLong).with_seed(1);
+        // Tail-only inputs — the event kind, a fault plan, a flap
+        // profile — must not split warm-up batches.
+        assert_eq!(tdown.warmup_fingerprint(), tlong.warmup_fingerprint());
+        let faulted = tdown.clone().with_faults(FaultPlan::new().session_reset(
+            bgpsim_netsim::time::SimDuration::ZERO,
+            NodeId::new(1),
+            NodeId::new(2),
+        ));
+        assert_eq!(tdown.warmup_fingerprint(), faulted.warmup_fingerprint());
+        let flap = Scenario::new(TopologySpec::Clique(5), EventKind::Flap)
+            .with_seed(1)
+            .with_flap(FlapProfile {
+                count: 9,
+                ..Default::default()
+            });
+        assert_eq!(tdown.warmup_fingerprint(), flap.warmup_fingerprint());
+        // Warm-up inputs must split them.
+        assert_ne!(
+            tdown.warmup_fingerprint(),
+            tdown.clone().with_seed(2).warmup_fingerprint()
+        );
+        assert_ne!(
+            tdown.warmup_fingerprint(),
+            tdown
+                .clone()
+                .with_config(
+                    bgpsim_core::BgpConfig::default()
+                        .with_enhancements(bgpsim_core::Enhancements::ssld())
+                )
+                .warmup_fingerprint()
+        );
+        assert_ne!(
+            tdown.warmup_fingerprint(),
+            Scenario::new(TopologySpec::Clique(6), EventKind::TDown)
+                .with_seed(1)
+                .warmup_fingerprint()
+        );
+    }
+
+    #[test]
+    fn warmup_fingerprint_tracks_resolved_destination() {
+        // On Internet-like graphs T_long re-picks a multi-homed
+        // destination, changing the warm-up itself; the fingerprint
+        // must record the destination actually used.
+        let topo = TopologySpec::InternetLike {
+            n: 48,
+            topo_seed: 4,
+        };
+        let tdown = Scenario::new(topo.clone(), EventKind::TDown).with_seed(1);
+        let tlong = Scenario::new(topo.clone(), EventKind::TLong).with_seed(1);
+        let flap = Scenario::new(topo.clone(), EventKind::Flap).with_seed(1);
+        let dest_of = |s: &Scenario| {
+            let fp = s.warmup_fingerprint();
+            let dest = fp.split("|dest=").nth(1).unwrap();
+            dest.split('|').next().unwrap().parse::<u32>().unwrap()
+        };
+        let (graph, built) = topo.build();
+        assert_eq!(dest_of(&tdown), built.as_u32());
+        let repicked = super::pick_tlong_destination(&graph, 4).unwrap();
+        assert_eq!(dest_of(&tlong), repicked.as_u32());
+        // Both re-picking event kinds share the warm-up.
+        assert_eq!(tlong.warmup_fingerprint(), flap.warmup_fingerprint());
     }
 
     #[test]

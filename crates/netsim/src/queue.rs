@@ -31,6 +31,16 @@ impl EventId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its [`as_u64`](Self::as_u64) value.
+    ///
+    /// Exists for checkpoint restore, where ids captured alongside a
+    /// queue snapshot must stay valid against the restored queue
+    /// (sequence numbers are preserved verbatim). A fabricated id is
+    /// harmless: cancelling it is a no-op unless it names a live event.
+    pub fn from_raw(raw: u64) -> EventId {
+        EventId(raw)
+    }
 }
 
 /// A heap key: the event's delivery time and sequence number. Payloads
@@ -101,6 +111,15 @@ impl LiveBits {
     fn clear(&mut self) {
         self.words.clear();
         self.count = 0;
+    }
+
+    /// Marks `seq` live in a pre-sized bit vector. The restore path
+    /// uses this instead of [`insert`](Self::insert) because snapshot
+    /// sequence numbers are sparse (delivered and cancelled seqs are
+    /// gone), so the dense in-order growth assumption does not hold.
+    fn set(&mut self, seq: u64) {
+        self.words[(seq >> 6) as usize] |= 1 << (seq & 63);
+        self.count += 1;
     }
 }
 
@@ -260,6 +279,67 @@ impl<E> EventQueue<E> {
         self.live.clear();
         self.payloads.clear();
         self.base_seq = self.next_seq;
+    }
+
+    /// The live pending entries as `(time, seq, payload)` in delivery
+    /// order, plus the next sequence number to issue — everything a
+    /// checkpoint needs to rebuild this queue exactly.
+    pub(crate) fn snapshot_entries(&self) -> (u64, Vec<(SimTime, u64, E)>)
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(SimTime, u64, E)> = self
+            .heap
+            .iter()
+            .filter(|key| self.live.contains(key.seq))
+            .map(|key| {
+                let payload = self.payloads[(key.seq - self.base_seq) as usize]
+                    .as_ref()
+                    .expect("live seq without payload")
+                    .clone();
+                (key.time, key.seq, payload)
+            })
+            .collect();
+        entries.sort_by_key(|&(time, seq, _)| (time, seq));
+        (self.next_seq, entries)
+    }
+
+    /// Rebuilds a queue from captured entries, preserving the original
+    /// sequence numbers — so ids captured alongside the snapshot (e.g.
+    /// pending MRAI [`EventId`]s) stay valid, same-instant delivery
+    /// order is unchanged, and events scheduled after restore continue
+    /// the original sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's seq is `>= next_seq` or duplicated.
+    pub(crate) fn restore_entries(next_seq: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
+        let base_seq = entries
+            .iter()
+            .map(|&(_, seq, _)| seq)
+            .min()
+            .unwrap_or(next_seq);
+        let mut payloads: VecDeque<Option<E>> = (base_seq..next_seq).map(|_| None).collect();
+        let mut live = LiveBits {
+            words: vec![0; (next_seq as usize).div_ceil(64)],
+            count: 0,
+        };
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (time, seq, payload) in entries {
+            assert!(seq < next_seq, "snapshot seq {seq} >= next_seq {next_seq}");
+            let slot = &mut payloads[(seq - base_seq) as usize];
+            assert!(slot.is_none(), "duplicate seq {seq} in snapshot");
+            *slot = Some(payload);
+            live.set(seq);
+            heap.push(Key { time, seq });
+        }
+        EventQueue {
+            heap,
+            live,
+            payloads,
+            base_seq,
+            next_seq,
+        }
     }
 }
 

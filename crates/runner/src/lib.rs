@@ -54,6 +54,7 @@ pub mod config;
 pub mod error;
 pub mod executor;
 mod retry;
+pub mod warmup;
 
 pub use cache::{RunCache, SCHEMA_VERSION};
 pub use config::{init_global, RunnerConfig};
@@ -62,3 +63,4 @@ pub use executor::{
     global, CancelToken, CompletedJob, Job, JobBudget, JobFn, JobHandle, JobOutput, JobTimeout,
     ProgressMode, Runner, RunnerStats,
 };
+pub use warmup::SharedWarmup;

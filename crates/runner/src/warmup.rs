@@ -1,0 +1,170 @@
+//! Lazily shared warm-up state for forked job batches.
+//!
+//! Checkpoint-aware sweeps (see `bgpsim-checkpoint` and the
+//! `bgpsim-experiments` forked planner) split each run into a warm-up
+//! everyone in a batch shares and a per-variant tail. The warm-up must
+//! be computed **at most once per batch, and only if some job actually
+//! runs** — a batch fully served from the run cache must charge zero
+//! simulation work, exactly like an individual cache hit does.
+//!
+//! [`SharedWarmup`] is that contract as a type: a thread-safe lazy
+//! cell the planner hands to every job of a batch. The first job that
+//! misses the cache builds the warm-up; later jobs (possibly on other
+//! workers) reuse it; if every job hits the cache the closure never
+//! runs.
+//!
+//! The cell is deliberately untyped (`Arc<dyn Any>`) so this crate
+//! stays independent of the simulator: the experiments layer stores
+//! its own snapshot type and downcasts on the way out.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+/// A value every job of the cell's batch can reach.
+pub type SharedAny = Arc<dyn Any + Send + Sync>;
+
+/// A once-per-batch lazy cell for shared warm-up state.
+///
+/// Cloning is cheap and shares the underlying cell — clone one
+/// `SharedWarmup` into every job closure of a batch.
+///
+/// # Examples
+///
+/// ```
+/// use bgpsim_runner::SharedWarmup;
+///
+/// let cell = SharedWarmup::new();
+/// let a: std::sync::Arc<u64> = cell.get_or_build(|| 42u64);
+/// let b: std::sync::Arc<u64> = cell.get_or_build(|| unreachable!("already built"));
+/// assert_eq!(*a, 42);
+/// assert_eq!(*b, 42);
+/// assert_eq!(cell.build_count(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct SharedWarmup {
+    state: Arc<Mutex<WarmupState>>,
+}
+
+#[derive(Default)]
+struct WarmupState {
+    value: Option<SharedAny>,
+    builds: u64,
+}
+
+impl std::fmt::Debug for SharedWarmup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("warm-up cell poisoned");
+        f.debug_struct("SharedWarmup")
+            .field("built", &state.value.is_some())
+            .field("builds", &state.builds)
+            .finish()
+    }
+}
+
+impl SharedWarmup {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        SharedWarmup::default()
+    }
+
+    /// Returns the shared value, building it with `build` if this is
+    /// the first call. The lock is held across `build`, so concurrent
+    /// first callers serialize and exactly one build happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous `get_or_build` stored a value of a
+    /// different type `T` — a planner bug, not a runtime condition —
+    /// or if a previous builder panicked (poisoned cell).
+    pub fn get_or_build<T, F>(&self, build: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        let mut state = self.state.lock().expect("warm-up cell poisoned");
+        if state.value.is_none() {
+            state.value = Some(Arc::new(build()) as SharedAny);
+            state.builds += 1;
+        }
+        state
+            .value
+            .as_ref()
+            .expect("just built")
+            .clone()
+            .downcast::<T>()
+            .expect("SharedWarmup type mismatch across a batch")
+    }
+
+    /// How many times a builder actually ran (0 or 1; the counter
+    /// exists so tests and the planner can assert cache-hit batches
+    /// charged zero warm-ups).
+    pub fn build_count(&self) -> u64 {
+        self.state.lock().expect("warm-up cell poisoned").builds
+    }
+
+    /// `true` once a value is stored.
+    pub fn is_built(&self) -> bool {
+        self.state
+            .lock()
+            .expect("warm-up cell poisoned")
+            .value
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn builds_exactly_once() {
+        let cell = SharedWarmup::new();
+        assert!(!cell.is_built());
+        let calls = AtomicU64::new(0);
+        for _ in 0..5 {
+            let v: Arc<String> = cell.get_or_build(|| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                "warm".to_string()
+            });
+            assert_eq!(*v, "warm");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cell.build_count(), 1);
+        assert!(cell.is_built());
+    }
+
+    #[test]
+    fn unused_cell_never_builds() {
+        let cell = SharedWarmup::new();
+        let _clone = cell.clone();
+        assert_eq!(cell.build_count(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_value() {
+        let cell = SharedWarmup::new();
+        let other = cell.clone();
+        let a: Arc<u32> = cell.get_or_build(|| 7);
+        let b: Arc<u32> = other.get_or_build(|| panic!("must reuse"));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_first_callers_build_once() {
+        let cell = SharedWarmup::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cell = cell.clone();
+                std::thread::spawn(move || {
+                    let v: Arc<u64> = cell.get_or_build(|| 99);
+                    *v
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 99);
+        }
+        assert_eq!(cell.build_count(), 1);
+    }
+}

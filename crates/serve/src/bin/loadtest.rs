@@ -36,7 +36,11 @@ OPTIONS:
 /// burst exercises both cold execution and shared-cache hits.
 fn spec_body(slot: usize) -> String {
     let size = 4 + (slot % 4); // clique:4 .. clique:7
-    let event = if slot.is_multiple_of(2) { "tdown" } else { "tlong" };
+    let event = if slot.is_multiple_of(2) {
+        "tdown"
+    } else {
+        "tlong"
+    };
     format!("{{\"topology\":\"clique:{size}\",\"event\":\"{event}\",\"seeds\":[1,2]}}")
 }
 

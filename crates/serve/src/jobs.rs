@@ -75,6 +75,8 @@ pub struct JobEntry {
     pub label: String,
     /// Total runs (seeds) in the submission.
     pub total_runs: usize,
+    /// Wire version of the submitted spec (1 = legacy, 2 = fork-aware).
+    pub spec_version: u32,
     /// Cancellation handle threaded into every run's budget.
     pub handle: JobHandle,
     inner: Mutex<JobInner>,
@@ -96,6 +98,8 @@ pub struct JobSnapshot {
     pub status: JobStatus,
     /// Total runs in the submission.
     pub total_runs: usize,
+    /// Wire version of the submitted spec.
+    pub spec_version: u32,
     /// Runs completed.
     pub done_runs: usize,
     /// Runs served from the shared cache.
@@ -105,12 +109,13 @@ pub struct JobSnapshot {
 }
 
 impl JobEntry {
-    fn new(id: u64, client: String, label: String, total_runs: usize) -> Self {
+    fn new(id: u64, client: String, label: String, total_runs: usize, spec_version: u32) -> Self {
         JobEntry {
             id,
             client,
             label,
             total_runs,
+            spec_version,
             handle: JobHandle::new(),
             inner: Mutex::new(JobInner {
                 slots: vec![None; total_runs],
@@ -200,6 +205,7 @@ impl JobEntry {
             label: self.label.clone(),
             status: inner.status.clone(),
             total_runs: self.total_runs,
+            spec_version: self.spec_version,
             done_runs: inner.done_runs,
             cached_runs: inner.cached_runs,
             events_charged: inner.events_charged,
@@ -250,10 +256,23 @@ impl JobRegistry {
         }
     }
 
-    /// Creates and registers a job.
-    pub fn create(&self, client: &str, label: String, total_runs: usize) -> Arc<JobEntry> {
+    /// Creates and registers a job submitted under `spec_version` of
+    /// the wire format.
+    pub fn create(
+        &self,
+        client: &str,
+        label: String,
+        total_runs: usize,
+        spec_version: u32,
+    ) -> Arc<JobEntry> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let entry = Arc::new(JobEntry::new(id, client.to_string(), label, total_runs));
+        let entry = Arc::new(JobEntry::new(
+            id,
+            client.to_string(),
+            label,
+            total_runs,
+            spec_version,
+        ));
         self.jobs
             .lock()
             .expect("registry lock")
@@ -285,7 +304,7 @@ mod tests {
     #[test]
     fn results_reveal_in_submission_order() {
         let registry = JobRegistry::new();
-        let job = registry.create("alice", "test x3".into(), 3);
+        let job = registry.create("alice", "test x3".into(), 3, 1);
         // Completing out of order reveals nothing until the prefix is
         // contiguous.
         job.complete_run(2, "line-2".into(), false, 10);
@@ -308,13 +327,13 @@ mod tests {
     #[test]
     fn cancel_is_terminal_and_idempotent() {
         let registry = JobRegistry::new();
-        let job = registry.create("bob", "test".into(), 2);
+        let job = registry.create("bob", "test".into(), 2, 1);
         assert!(job.cancel());
         assert!(job.handle.is_cancelled());
         assert!(!job.cancel(), "second cancel is a no-op");
         assert_eq!(job.snapshot().status, JobStatus::Cancelled);
         // A completed job cannot be cancelled.
-        let done = registry.create("bob", "test".into(), 1);
+        let done = registry.create("bob", "test".into(), 1, 1);
         done.complete_run(0, "line".into(), false, 1);
         assert_eq!(done.snapshot().status, JobStatus::Done);
         assert!(!done.cancel());
@@ -323,8 +342,8 @@ mod tests {
     #[test]
     fn registry_assigns_unique_ids_and_tracks_active() {
         let registry = JobRegistry::new();
-        let a = registry.create("x", "a".into(), 1);
-        let b = registry.create("x", "b".into(), 1);
+        let a = registry.create("x", "a".into(), 1, 1);
+        let b = registry.create("x", "b".into(), 1, 1);
         assert_ne!(a.id, b.id);
         assert_eq!(registry.active().len(), 2);
         a.complete_run(0, "done".into(), false, 0);
@@ -336,7 +355,7 @@ mod tests {
     #[test]
     fn failed_status_carries_reason() {
         let registry = JobRegistry::new();
-        let job = registry.create("x", "a".into(), 2);
+        let job = registry.create("x", "a".into(), 2, 1);
         job.complete_run(0, "ok".into(), false, 1);
         job.finish_with(JobStatus::Failed("watchdog timeout".into()));
         let snap = job.snapshot();

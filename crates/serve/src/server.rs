@@ -28,9 +28,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bgpsim_experiments::jobspec::JobSpec;
-use bgpsim_experiments::scenario::Scenario;
+use bgpsim_experiments::scenario::ScenarioSpec;
+use bgpsim_experiments::warmup_cells;
 use bgpsim_metrics::MetricsRow;
-use bgpsim_runner::{Error as RunnerError, Runner};
+use bgpsim_runner::{Error as RunnerError, Runner, SharedWarmup};
 use bgpsim_trace::{TraceEvent, TraceHandle};
 use serde::value::Value;
 
@@ -67,10 +68,15 @@ impl Default for ServeConfig {
 struct QueuedRun {
     entry: Arc<JobEntry>,
     index: usize,
-    scenario: Scenario,
+    scenario: ScenarioSpec,
     /// Node count of the topology, precomputed at admission so result
     /// lines need no graph rebuild.
     nodes: f64,
+    /// The warm-up cell shared by this run's fork batch (version-2
+    /// `fork` submissions only): the first batch run to miss the cache
+    /// builds the warm-up once, siblings fork from it. `None` runs
+    /// from scratch.
+    warmup: Option<SharedWarmup>,
 }
 
 struct Shared {
@@ -361,17 +367,30 @@ fn submit_job(shared: &Arc<Shared>, request: &Request) -> Routed {
             runs: 0,
         };
     }
-    let entry = shared.registry.create(&client, spec.label(), runs);
+    let entry = shared
+        .registry
+        .create(&client, spec.label(), runs, spec.version);
     shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
     let nodes = spec.topology.build().0.node_count() as f64;
+    let scenarios = spec.scenarios();
+    // A fork stanza opts the submission into warm-up sharing: runs
+    // whose warm-up fingerprints agree get one shared cell. Results
+    // stay byte-identical (forked == from-scratch), so the stream is
+    // unchanged.
+    let warmups = if spec.fork.is_some() {
+        warmup_cells(&scenarios)
+    } else {
+        vec![None; scenarios.len()]
+    };
     {
         let mut queue = shared.queue.lock().expect("queue lock");
-        for (index, scenario) in spec.scenarios().into_iter().enumerate() {
+        for (index, (scenario, warmup)) in scenarios.into_iter().zip(warmups).enumerate() {
             queue.push_back(QueuedRun {
                 entry: Arc::clone(&entry),
                 index,
                 scenario,
                 nodes,
+                warmup,
             });
         }
     }
@@ -431,7 +450,10 @@ fn executor_loop(shared: &Arc<Shared>) {
             continue;
         }
         run.entry.mark_running();
-        let job = run.scenario.clone().into_job();
+        let job = match &run.warmup {
+            Some(cell) => run.scenario.clone().into_forked_job(cell.clone()),
+            None => run.scenario.clone().into_job(),
+        };
         match shared.runner.run_job(job, &run.entry.handle) {
             Ok(done) => {
                 let events = done.counters.map_or(0, |c| c.events);
@@ -524,8 +546,9 @@ fn healthz_body(shared: &Arc<Shared>) -> String {
 fn status_body(entry: &Arc<JobEntry>) -> String {
     let snap = entry.snapshot();
     let mut body = format!(
-        "{{\"id\":{},\"status\":{},\"label\":{},\"client\":{},\"runs\":{},\"done\":{},\"cached\":{},\"events_charged\":{}",
+        "{{\"id\":{},\"spec_version\":{},\"status\":{},\"label\":{},\"client\":{},\"runs\":{},\"done\":{},\"cached\":{},\"events_charged\":{}",
         snap.id,
+        snap.spec_version,
         json_string(snap.status.name()),
         json_string(&snap.label),
         json_string(&snap.client),

@@ -138,6 +138,69 @@ fn concurrent_identical_submissions_share_the_cache_and_stream_identically() {
 }
 
 #[test]
+fn v2_fork_submission_streams_identically_to_its_unforked_equivalents() {
+    // Two isolated daemons (separate run caches), so the forked
+    // submission actually executes its warm-up + forks rather than
+    // reading results the unforked runs cached.
+    let (ref_server, ref_addr, _ref_dir) = boot("fork-ref", 2, AdmissionLimits::default());
+    let (server, addr, _dir) = boot("fork", 2, AdmissionLimits::default());
+
+    // Unforked v1 submissions for the two tails, seed-major order.
+    let tdown = r#"{"topology":"clique:6","event":"tdown","seeds":[5]}"#;
+    let flap = r#"{"topology":"clique:6","event":"flap","seeds":[5]}"#;
+    let mut reference = String::new();
+    for spec in [tdown, flap] {
+        let resp = post(&ref_addr, "/v1/jobs", "alice", spec);
+        assert_eq!(resp.status, 201, "{}", resp.text());
+        let id = field(&resp.text(), "id").unwrap();
+        reference.push_str(&get(&ref_addr, &format!("/v1/jobs/{id}/results")).text());
+    }
+    ref_server.shutdown();
+
+    // The same runs as one v2 fork submission: one warm-up, two tails.
+    let forked = r#"{"v":2,"topology":"clique:6","seeds":[5],"fork":{"tails":["tdown","flap"]}}"#;
+    let resp = post(&addr, "/v1/jobs", "bob", forked);
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    assert_eq!(field(&resp.text(), "runs"), Some(2));
+    let id = field(&resp.text(), "id").unwrap();
+    let stream = get(&addr, &format!("/v1/jobs/{id}/results"));
+    assert_eq!(stream.status, 200);
+    assert_eq!(
+        stream.text(),
+        reference,
+        "a fork stanza must not change the stream, byte for byte"
+    );
+
+    let status = get(&addr, &format!("/v1/jobs/{id}"));
+    assert!(
+        status.text().contains("\"spec_version\":2"),
+        "{}",
+        status.text()
+    );
+    // A v1 job reports version 1.
+    let resp = post(&addr, "/v1/jobs", "alice", tdown);
+    let v1_id = field(&resp.text(), "id").unwrap();
+    let status = get(&addr, &format!("/v1/jobs/{v1_id}"));
+    assert!(
+        status.text().contains("\"spec_version\":1"),
+        "{}",
+        status.text()
+    );
+
+    // A fork body without v:2 is a 400 naming the fix.
+    let resp = post(
+        &addr,
+        "/v1/jobs",
+        "bob",
+        r#"{"topology":"clique:6","fork":{"tails":["tdown"]}}"#,
+    );
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("\\\"v\\\": 2"), "{}", resp.text());
+
+    server.shutdown();
+}
+
+#[test]
 fn delete_cancels_a_queued_job() {
     // One executor worker: a heavy first job keeps the second queued
     // long enough to cancel it deterministically.

@@ -15,7 +15,7 @@ use bgpsim_core::Prefix;
 use bgpsim_topology::NodeId;
 
 /// A topology or policy change injected into a running simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum FailureEvent {
     /// The origin withdraws `prefix` — the canonical `T_down` trigger
     /// (Labovitz et al.'s "route withdrawn" event).

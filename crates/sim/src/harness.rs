@@ -20,8 +20,10 @@ use bgpsim_faults::FaultPlan;
 use bgpsim_netsim::time::SimDuration;
 use bgpsim_topology::{Graph, NodeId};
 
+use bgpsim_netsim::time::SimTime;
+
 use crate::failure::FailureEvent;
-use crate::network::{RunOutcome, SimNetwork};
+use crate::network::{NetworkSnapshot, RunOutcome, SimNetwork};
 use crate::params::SimParams;
 use crate::record::RunRecord;
 
@@ -100,6 +102,40 @@ impl std::error::Error for BudgetExceeded {}
 /// wall-clock deadlines are honored promptly, large enough that the
 /// chunking overhead is invisible.
 const BUDGET_CHUNK: u64 = 8192;
+
+/// When [`ConvergenceExperiment::snapshot_at`] captures the state of a
+/// two-phase run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotBeat {
+    /// After warm-up drains, *before* the failure (or fault plan) is
+    /// scheduled. The canonical fork point: one warm-up snapshot can be
+    /// resumed under many different tail events.
+    Quiescence,
+    /// At an absolute simulation instant during the convergence phase
+    /// (the failure is already scheduled/applied). Must not precede the
+    /// end of warm-up; beats beyond quiescence shift the recorded
+    /// quiescence instant and break bit-identity with an uninterrupted
+    /// run.
+    At(SimTime),
+}
+
+/// A captured two-phase run, produced by
+/// [`ConvergenceExperiment::snapshot_at`].
+///
+/// Holds the full [`NetworkSnapshot`] plus whether the tail (failure
+/// or fault plan) was already applied at capture time — a
+/// [`SnapshotBeat::Quiescence`] capture has `tail_applied == false`
+/// and accepts any tail on resume; a [`SnapshotBeat::At`] capture has
+/// the original tail baked in.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunSnapshot {
+    /// The complete simulation state at the beat.
+    pub network: NetworkSnapshot,
+    /// `true` when the failure / fault plan was scheduled before the
+    /// capture (so [`ConvergenceExperiment::resume_from`] must not
+    /// schedule another).
+    pub tail_applied: bool,
+}
 
 /// A declarative two-phase convergence run.
 #[derive(Debug, Clone)]
@@ -240,6 +276,190 @@ impl ConvergenceExperiment {
             }));
         }
         Ok(net.into_record())
+    }
+
+    /// Runs the experiment up to `beat` and captures a [`RunSnapshot`]
+    /// there instead of finishing the run.
+    ///
+    /// Resuming the snapshot with [`ConvergenceExperiment::resume_from`]
+    /// (same experiment, or — for a [`SnapshotBeat::Quiescence`]
+    /// capture — an experiment that differs only in its tail
+    /// failure/faults) yields a [`RunRecord`] bit-identical to running
+    /// that experiment from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on budget exhaustion, an origin not in the graph, an
+    /// invalid fault plan, or an [`SnapshotBeat::At`] instant that
+    /// precedes the end of warm-up.
+    pub fn snapshot_at(&self, beat: SnapshotBeat) -> RunSnapshot {
+        match self.snapshot_at_budgeted(beat, &RunBudget::unlimited()) {
+            Ok(snap) => snap,
+            Err(e) if e.phase == "warmup" => panic!("warm-up exhausted the event budget"),
+            Err(_) => panic!("post-failure convergence exhausted the event budget"),
+        }
+    }
+
+    /// [`snapshot_at`](Self::snapshot_at) under watchdog `limit`s; on a
+    /// budget trip the partial record is returned instead of a
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configuration errors (origin not in graph, invalid
+    /// fault plan, beat before the end of warm-up).
+    pub fn snapshot_at_budgeted(
+        &self,
+        beat: SnapshotBeat,
+        limit: &RunBudget,
+    ) -> Result<RunSnapshot, Box<BudgetExceeded>> {
+        assert!(
+            self.graph.contains(self.origin),
+            "origin {} not in graph",
+            self.origin
+        );
+        let mut net = SimNetwork::new(&self.graph, self.config, self.params, self.seed);
+        if let Some(tracer) = &self.tracer {
+            net = net.with_tracer(tracer.clone());
+        }
+        net.originate(self.origin, self.prefix);
+        if let Err(phase) = drive_phase(&mut net, self.event_budget, limit, "warmup") {
+            return Err(Box::new(BudgetExceeded {
+                phase,
+                record: net.into_record(),
+            }));
+        }
+        let at = match beat {
+            SnapshotBeat::Quiescence => {
+                return Ok(RunSnapshot {
+                    network: net.snapshot(),
+                    tail_applied: false,
+                });
+            }
+            SnapshotBeat::At(at) => at,
+        };
+        assert!(
+            at >= net.now(),
+            "snapshot beat {at} precedes the end of warm-up ({})",
+            net.now()
+        );
+        match &self.faults {
+            Some(plan) => {
+                let anchor = net.now() + SimDuration::from_secs(1);
+                if let Err(e) = net.apply_fault_plan(plan, anchor) {
+                    panic!("invalid fault plan: {e}");
+                }
+            }
+            None => net.schedule_failure(SimDuration::from_secs(1), self.failure),
+        }
+        if let Err(phase) = drive_until(&mut net, at, self.event_budget, limit, "convergence") {
+            return Err(Box::new(BudgetExceeded {
+                phase,
+                record: net.into_record(),
+            }));
+        }
+        Ok(RunSnapshot {
+            network: net.snapshot(),
+            tail_applied: true,
+        })
+    }
+
+    /// Resumes a captured run to completion, returning the full
+    /// [`RunRecord`] — bit-identical to the record an uninterrupted
+    /// [`ConvergenceExperiment::run`] of this experiment produces.
+    ///
+    /// When `snap` was captured at [`SnapshotBeat::Quiescence`], this
+    /// experiment's own failure/fault plan is scheduled against the
+    /// restored state — so one warm-up snapshot forks into arbitrarily
+    /// many tail variants. When the tail was already applied at capture
+    /// time, the experiment's tail fields are ignored and the run
+    /// simply drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics on budget exhaustion or an invalid fault plan.
+    pub fn resume_from(&self, snap: &RunSnapshot) -> RunRecord {
+        match self.resume_from_budgeted(snap, &RunBudget::unlimited()) {
+            Ok(rec) => rec,
+            Err(_) => panic!("post-failure convergence exhausted the event budget"),
+        }
+    }
+
+    /// [`resume_from`](Self::resume_from) under watchdog `limit`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault plan is rejected (a configuration error).
+    pub fn resume_from_budgeted(
+        &self,
+        snap: &RunSnapshot,
+        limit: &RunBudget,
+    ) -> Result<RunRecord, Box<BudgetExceeded>> {
+        let mut net = SimNetwork::restore(snap.network.clone());
+        if let Some(tracer) = &self.tracer {
+            net = net.with_tracer(tracer.clone());
+        }
+        if !snap.tail_applied {
+            match &self.faults {
+                Some(plan) => {
+                    let anchor = net.now() + SimDuration::from_secs(1);
+                    if let Err(e) = net.apply_fault_plan(plan, anchor) {
+                        panic!("invalid fault plan: {e}");
+                    }
+                }
+                None => net.schedule_failure(SimDuration::from_secs(1), self.failure),
+            }
+        }
+        if let Err(phase) = drive_phase(&mut net, self.event_budget, limit, "convergence") {
+            return Err(Box::new(BudgetExceeded {
+                phase,
+                record: net.into_record(),
+            }));
+        }
+        Ok(net.into_record())
+    }
+}
+
+/// Drives `net` forward to the absolute instant `at` in chunks,
+/// honoring the per-phase event budget and the watchdog `limit`.
+/// Pending events strictly after `at` stay queued; the clock lands
+/// exactly on `at` (chunked [`SimNetwork::run_for`] semantics, which
+/// are observationally identical to an uninterrupted drain).
+fn drive_until<P: bgpsim_core::decision::RoutePolicy>(
+    net: &mut SimNetwork<P>,
+    at: SimTime,
+    phase_budget: u64,
+    limit: &RunBudget,
+    phase: &'static str,
+) -> Result<(), &'static str> {
+    let phase_start = net.events_dispatched();
+    loop {
+        let phase_spent = net.events_dispatched() - phase_start;
+        if phase_spent >= phase_budget {
+            return Err(phase);
+        }
+        let mut step = BUDGET_CHUNK.min(phase_budget - phase_spent);
+        if let Some(max) = limit.max_events {
+            let total = net.events_dispatched();
+            if total >= max {
+                return Err(phase);
+            }
+            step = step.min(max - total);
+        }
+        if let Some(deadline) = limit.deadline {
+            if Instant::now() >= deadline {
+                return Err(phase);
+            }
+        }
+        if let Some(cancel) = &limit.cancel {
+            if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(phase);
+            }
+        }
+        match net.run_for(at - net.now(), step) {
+            RunOutcome::Quiescent => return Ok(()),
+            RunOutcome::BudgetExhausted => {}
+        }
     }
 }
 
@@ -476,6 +696,110 @@ mod tests {
         )
         .with_faults(FaultPlan::new());
         let _ = exp.run();
+    }
+
+    #[test]
+    fn quiescence_snapshot_forks_into_different_tails() {
+        let (g, layout) = generators::bclique(3);
+        let base = ConvergenceExperiment::new(
+            g,
+            layout.destination,
+            FailureEvent::LinkDown {
+                a: layout.destination,
+                b: layout.core_gateway,
+            },
+        )
+        .with_seed(14);
+        // One warm-up, two tails.
+        let snap = base.snapshot_at(SnapshotBeat::Quiescence);
+        assert!(!snap.tail_applied);
+        let linkdown_forked = base.resume_from(&snap);
+        let withdraw = ConvergenceExperiment {
+            failure: FailureEvent::WithdrawPrefix {
+                origin: layout.destination,
+                prefix: Prefix::new(0),
+            },
+            ..base.clone()
+        };
+        let withdraw_forked = withdraw.resume_from(&snap);
+        // Each fork is bit-identical to the from-scratch run of its
+        // variant.
+        assert_eq!(linkdown_forked, base.run());
+        assert_eq!(withdraw_forked, withdraw.run());
+        assert_ne!(linkdown_forked.sends, withdraw_forked.sends);
+    }
+
+    #[test]
+    fn mid_convergence_snapshot_resumes_bit_identically() {
+        let g = generators::clique(6);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(15);
+        let full = exp.run();
+        let fail_at = full.failure_at.expect("failure fired");
+        // A beat strictly inside the convergence window.
+        let beat = fail_at + (full.quiescent_at - fail_at) / 2;
+        let snap = exp.snapshot_at(SnapshotBeat::At(beat));
+        assert!(snap.tail_applied);
+        assert_eq!(snap.network.now(), beat);
+        assert_eq!(exp.resume_from(&snap), full);
+    }
+
+    #[test]
+    fn mid_flap_train_snapshot_resumes_bit_identically() {
+        let (g, layout) = generators::bclique(3);
+        let exp = ConvergenceExperiment::new(
+            g,
+            layout.destination,
+            FailureEvent::LinkDown {
+                a: layout.destination,
+                b: layout.core_gateway,
+            },
+        )
+        .with_seed(16)
+        .with_faults(
+            FaultPlan::new().flap(
+                FlapTrain::new(layout.destination, layout.core_gateway)
+                    .with_period(SimDuration::from_secs(60))
+                    .with_count(3),
+            ),
+        );
+        let full = exp.run();
+        assert_eq!(full.faults_injected, 6);
+        let fail_at = full.failure_at.expect("first flap fired");
+        // Land between flap cycles: one period past the first fault.
+        let beat = fail_at + SimDuration::from_secs(61);
+        assert!(beat < full.quiescent_at, "beat inside the train");
+        let snap = exp.snapshot_at(SnapshotBeat::At(beat));
+        let resumed = exp.resume_from(&snap);
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn budgeted_snapshot_reports_partial_record() {
+        let g = generators::clique(6);
+        let exp = ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(2);
+        let err = exp
+            .snapshot_at_budgeted(
+                SnapshotBeat::Quiescence,
+                &RunBudget::unlimited().with_max_events(10),
+            )
+            .expect_err("10 events cannot complete warm-up");
+        assert_eq!(err.phase, "warmup");
     }
 
     #[test]

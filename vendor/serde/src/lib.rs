@@ -187,6 +187,22 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            Error::new(format!("expected array of {N} elements, got {len}"))
+        })
+    }
+}
+
 impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
