@@ -1,0 +1,87 @@
+//! Parallel criterion group: the sharded conservative-parallel engine
+//! vs the serial oracle on the same experiments (DESIGN.md §15).
+//!
+//! The headline A/B pair is a clique-32 `T_down` — the paper's regime
+//! where update fan-out saturates the event queue — run serially and
+//! at 2 and 4 shards; an internet-like 33-AS topology covers the
+//! sparser realistic case. Shard workers are real OS threads, so the
+//! measured speedup is a property of the *machine*: the committed
+//! `BENCH_parallel.json` records the core count it was captured under,
+//! and CI only gates the ≥1.8× four-shard speedup when the runner
+//! actually has ≥4 cores (on fewer cores the conservative sync
+//! barriers make sharding a deliberate slowdown, which is still worth
+//! recording).
+//!
+//! Set `BGPSIM_BENCH_JSON=<file>` to emit the machine-readable report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgpsim_core::Prefix;
+use bgpsim_experiments::TopologySpec;
+use bgpsim_sim::{ConvergenceExperiment, FailureEvent};
+use bgpsim_topology::{generators, NodeId};
+
+/// Shard counts the A/B rows cover, serial (1) included.
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+/// The dense headline experiment: clique-32 `T_down`, seed 1.
+fn clique32() -> ConvergenceExperiment {
+    ConvergenceExperiment::new(
+        generators::clique(32),
+        NodeId::new(0),
+        FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        },
+    )
+    .with_seed(1)
+}
+
+/// The sparse counterpart: an internet-like 33-AS topology.
+fn internet33() -> ConvergenceExperiment {
+    let (graph, destination) = TopologySpec::InternetLike {
+        n: 33,
+        topo_seed: 3,
+    }
+    .build();
+    ConvergenceExperiment::new(
+        graph,
+        destination,
+        FailureEvent::WithdrawPrefix {
+            origin: destination,
+            prefix: Prefix::new(0),
+        },
+    )
+    .with_seed(1)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("parallel: {cores} core(s) available to this process");
+    for (label, exp) in [
+        ("clique32_tdown", clique32()),
+        ("internet33_tdown", internet33()),
+    ] {
+        for k in SHARD_COUNTS {
+            let name = if k == 1 {
+                format!("parallel/{label}_serial")
+            } else {
+                format!("parallel/{label}_shards{k}")
+            };
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    let record = if k == 1 {
+                        black_box(&exp).run()
+                    } else {
+                        black_box(&exp).run_sharded(k)
+                    };
+                    black_box(record.events_dispatched)
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(parallel, bench_parallel);
+criterion_main!(parallel);

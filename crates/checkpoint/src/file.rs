@@ -26,7 +26,12 @@ use serde::{Deserialize, Serialize, Value};
 /// reachable from it) changes shape or meaning, so stale checkpoints
 /// cannot resume into a simulator that would interpret them
 /// differently.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`NetworkSnapshot`](bgpsim_sim::NetworkSnapshot) carries the
+/// per-node RNG lanes (and their draw counters) introduced for the
+/// sharded engine; v1 snapshots hold a single-stream RNG whose draws
+/// a lane-split simulator would replay differently.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Errors of the checkpoint file and store layer.
 #[derive(Debug)]

@@ -9,7 +9,9 @@
 //! preceded by at least as many `loop_onset`s for the same seed, and
 //! the `run_summary` loop counts of each seed sum to the number of
 //! onsets observed for that seed (a sweep may run several scenarios
-//! under one seed; their events all attribute to it). Exits non-zero
+//! under one seed; their events all attribute to it), and the
+//! per-shard event counters of every `shard_summary` reconcile
+//! against the seed's `run_summary` dispatch totals. Exits non-zero
 //! on any violation.
 
 use std::collections::BTreeMap;
@@ -26,6 +28,7 @@ const KNOWN_KINDS: &[&str] = &[
     "loop_onset",
     "loop_offset",
     "run_summary",
+    "shard_summary",
     "measure_summary",
     "fault_injected",
     "session_reset",
@@ -40,6 +43,9 @@ struct SeedLoops {
     offsets: u64,
     summaries: u64,
     summary_loops_sum: u64,
+    summary_events_sum: u64,
+    shard_summaries: u64,
+    shard_events_sum: u64,
 }
 
 /// Reconciliation state for daemon traces: executed runs must be
@@ -102,9 +108,49 @@ fn check_line(
                 .get("loops")
                 .and_then(|v| v.as_u64())
                 .ok_or_else(|| err("run_summary missing \"loops\"".into()))?;
+            let events = raw
+                .get("events")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("run_summary missing \"events\"".into()))?;
             loops.summaries += 1;
             loops.summary_loops_sum += n;
+            loops.summary_events_sum += events;
             serve.run_summaries += 1;
+        }
+        "shard_summary" => {
+            let num = |name: &str| {
+                raw.get(name)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| err(format!("shard_summary missing numeric \"{name}\"")))
+            };
+            let shards = num("shards")?;
+            if shards < 2 {
+                return Err(err(format!(
+                    "shard_summary reports {shards} shard(s); the engine only \
+                     emits one for genuinely sharded runs (>= 2)"
+                )));
+            }
+            num("null_msgs")?;
+            num("sync_rounds")?;
+            num("barrier_wait_us")?;
+            let events = raw
+                .get("events")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| err("shard_summary missing \"events\" array".into()))?;
+            if events.len() as u64 != shards {
+                return Err(err(format!(
+                    "shard_summary has {} per-shard event counter(s) for {shards} shard(s)",
+                    events.len()
+                )));
+            }
+            let mut total = 0u64;
+            for v in events {
+                total += v
+                    .as_u64()
+                    .ok_or_else(|| err("shard_summary \"events\" entry is not a u64".into()))?;
+            }
+            loops.shard_summaries += 1;
+            loops.shard_events_sum += total;
         }
         "serve_request" => {
             serve.seen = true;
@@ -203,6 +249,27 @@ fn main() -> ExitCode {
                 loops.summaries, loops.summary_loops_sum, loops.onsets
             );
             violations += 1;
+        }
+        // Sharded runs must account for every dispatched event: the
+        // per-shard counters of each shard_summary sum to its run's
+        // run_summary `events`. When every run under a seed was
+        // sharded the totals match exactly; a mixed trace (some runs
+        // serial) only bounds them from above.
+        if loops.shard_summaries > 0 {
+            let exact = loops.shard_summaries == loops.summaries;
+            if (exact && loops.shard_events_sum != loops.summary_events_sum)
+                || loops.shard_events_sum > loops.summary_events_sum
+            {
+                eprintln!(
+                    "seed {seed}: {} shard_summary line(s) account for {} event(s) \
+                     but {} run_summary line(s) dispatched {}",
+                    loops.shard_summaries,
+                    loops.shard_events_sum,
+                    loops.summaries,
+                    loops.summary_events_sum
+                );
+                violations += 1;
+            }
         }
     }
     let onsets: u64 = per_seed.values().map(|l| l.onsets).sum();

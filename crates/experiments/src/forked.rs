@@ -49,11 +49,18 @@ pub fn set_fork_enabled(on: bool) {
     FORK_OVERRIDE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
-/// Scenarios as sweep jobs, honoring the process fork toggle: shared
+/// Scenarios as sweep jobs, honoring the process fork toggle (shared
 /// warm-ups when [`fork_enabled`], classic per-scenario jobs
-/// otherwise. The single call sites in `figures::common` and the churn
-/// sweep route through here.
+/// otherwise) and the process shard count
+/// ([`configured_shards`](crate::shards::configured_shards) — forked
+/// tails stay serial, everything else runs sharded). The single call
+/// sites in `figures::common` and the churn sweep route through here.
 pub fn sweep_jobs(scenarios: Vec<ScenarioSpec>) -> Vec<Job> {
+    let shards = crate::shards::configured_shards();
+    let scenarios: Vec<ScenarioSpec> = scenarios
+        .into_iter()
+        .map(|s| s.with_shards(shards))
+        .collect();
     if fork_enabled() {
         forked_jobs(scenarios)
     } else {

@@ -35,6 +35,7 @@ pub mod figures;
 pub mod forked;
 pub mod jobspec;
 pub mod scenario;
+pub mod shards;
 pub mod sweep;
 
 /// The execution subsystem all sweeps run on: worker pool, run cache,
@@ -48,4 +49,5 @@ pub use figures::{ClaimCheck, Scale};
 pub use forked::{forked_jobs, plan_forked, warmup_cells, ForkPlan};
 pub use jobspec::{ForkSpec, JobSpec, JOBSPEC_VERSION};
 pub use scenario::{EventKind, Scenario, ScenarioResult, ScenarioSpec, TopologySpec};
+pub use shards::{configured_shards, set_shards};
 pub use sweep::{aggregate, linear_fit, AggregatedPoint, LinearFit, Series};

@@ -130,6 +130,11 @@ pub struct ScenarioSpec {
     /// Flap parameters used when `event` is [`EventKind::Flap`] and no
     /// explicit plan is set.
     pub flap: FlapProfile,
+    /// Worker shards for the conservative-parallel engine; `1` (the
+    /// default) runs the serial engine. Deliberately **excluded from
+    /// the fingerprint**: sharded and serial runs are byte-identical,
+    /// so they share run-cache entries and checkpoint fork points.
+    pub shards: u32,
 }
 
 /// The pre-redesign name of [`ScenarioSpec`], kept so existing callers
@@ -147,6 +152,7 @@ impl ScenarioSpec {
             seed: 0,
             faults: None,
             flap: FlapProfile::default(),
+            shards: 1,
         }
     }
 
@@ -173,6 +179,16 @@ impl ScenarioSpec {
     /// Sets the flap parameters used by [`EventKind::Flap`] scenarios.
     pub fn with_flap(mut self, flap: FlapProfile) -> Self {
         self.flap = flap;
+        self
+    }
+
+    /// Runs the simulation on `shards` conservative-parallel workers
+    /// (`1` = serial engine). Results are byte-identical either way, so
+    /// the knob never appears in [`fingerprint`](Self::fingerprint).
+    /// Forked runs ([`run_forked`](Self::run_forked)) always play their
+    /// tail on the serial engine regardless of this setting.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -458,10 +474,19 @@ impl ScenarioSpec {
     }
 
     /// Runs the scenario: warm-up, failure (or fault plan), measurement.
+    /// Executes on the sharded engine when [`shards`](Self::shards) is
+    /// greater than one; the record is byte-identical either way.
     pub fn run(&self) -> ScenarioResult {
         let (experiment, destination, failure) = self.build_experiment();
         let sim_started = std::time::Instant::now();
-        let record = experiment.run();
+        let (record, shard_queue_hiwater) = if self.shards > 1 {
+            let (record, stats) = experiment.run_sharded_stats(self.shards);
+            (record, stats.queue_hiwater)
+        } else {
+            let record = experiment.run();
+            let hiwater = record.max_queue_depth;
+            (record, hiwater)
+        };
         let sim_wall_ms = sim_started.elapsed().as_millis() as u64;
         let measure_started = std::time::Instant::now();
         let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
@@ -473,6 +498,7 @@ impl ScenarioSpec {
             measurement,
             sim_wall_ms,
             measure_wall_ms,
+            shard_queue_hiwater,
         }
     }
 
@@ -487,7 +513,14 @@ impl ScenarioSpec {
     pub fn run_budgeted(&self, limit: &RunBudget) -> Result<ScenarioResult, Box<BudgetExceeded>> {
         let (experiment, destination, failure) = self.build_experiment();
         let sim_started = std::time::Instant::now();
-        let record = experiment.run_budgeted(limit)?;
+        let (record, shard_queue_hiwater) = if self.shards > 1 {
+            let (record, stats) = experiment.run_sharded_budgeted(self.shards, limit)?;
+            (record, stats.queue_hiwater)
+        } else {
+            let record = experiment.run_budgeted(limit)?;
+            let hiwater = record.max_queue_depth;
+            (record, hiwater)
+        };
         let sim_wall_ms = sim_started.elapsed().as_millis() as u64;
         let measure_started = std::time::Instant::now();
         let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
@@ -499,6 +532,7 @@ impl ScenarioSpec {
             measurement,
             sim_wall_ms,
             measure_wall_ms,
+            shard_queue_hiwater,
         })
     }
 
@@ -568,6 +602,7 @@ impl ScenarioSpec {
         let measure_started = std::time::Instant::now();
         let measurement = measure_run(&record, destination, Prefix::new(0), self.seed);
         let measure_wall_ms = measure_started.elapsed().as_millis() as u64;
+        let shard_queue_hiwater = record.max_queue_depth;
         Ok(ScenarioResult {
             destination,
             failure,
@@ -575,6 +610,7 @@ impl ScenarioSpec {
             measurement,
             sim_wall_ms,
             measure_wall_ms,
+            shard_queue_hiwater,
         })
     }
 
@@ -656,6 +692,8 @@ fn partial_counters(record: &RunRecord) -> RunCounters {
         measure_ms: 0,
         replay_packets: 0,
         replay_memo_hits: 0,
+        peak_rss_kb: bgpsim_trace::peak_rss_kb(),
+        shard_queue_hiwater: record.max_queue_depth,
     }
 }
 
@@ -697,6 +735,10 @@ pub struct ScenarioResult {
     pub sim_wall_ms: u64,
     /// Wall-clock spent in the measurement pipeline, milliseconds.
     pub measure_wall_ms: u64,
+    /// High-water mark of any single worker's event queue: equal to
+    /// `record.max_queue_depth` for serial runs, the per-shard maximum
+    /// for sharded runs.
+    pub shard_queue_hiwater: u64,
 }
 
 impl ScenarioResult {
@@ -716,6 +758,8 @@ impl ScenarioResult {
             measure_ms: self.measure_wall_ms,
             replay_packets: self.measurement.replay.packets,
             replay_memo_hits: self.measurement.replay.memo_hits,
+            peak_rss_kb: bgpsim_trace::peak_rss_kb(),
+            shard_queue_hiwater: self.shard_queue_hiwater,
         }
     }
 

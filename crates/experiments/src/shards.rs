@@ -1,0 +1,51 @@
+//! Process-wide shard-count selection for the sharded engine.
+//!
+//! Mirrors the [`forked`](crate::forked) toggle: figure binaries set
+//! the count from their `--shards` flag, everything else falls back to
+//! the `BGPSIM_SHARDS` environment variable, and the default of 1 runs
+//! the classic serial engine. Sharding never changes results — sharded
+//! and serial runs are byte-identical (the `shard_equivalence`
+//! integration suite enforces it) — so the knob is pure execution
+//! policy and never reaches a fingerprint.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Process-wide shard override: 0 = follow `BGPSIM_SHARDS`, anything
+/// else is the count forced by [`set_shards`].
+static SHARDS_OVERRIDE: AtomicU32 = AtomicU32::new(0);
+
+/// The shard count sweeps should run scenarios on: the
+/// [`set_shards`] override when set, else `BGPSIM_SHARDS` (ignored
+/// unless a positive integer), else 1 (serial).
+pub fn configured_shards() -> u32 {
+    match SHARDS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::env::var("BGPSIM_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Forces the shard count for this process, overriding `BGPSIM_SHARDS`
+/// (the `--shards` flag of the figure binaries). Zero is clamped to 1.
+pub fn set_shards(shards: u32) {
+    SHARDS_OVERRIDE.store(shards.max(1), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_zero_clamps() {
+        // Note: mutates process-global state; keep this the only test
+        // that touches the override so ordering cannot matter.
+        assert_eq!(SHARDS_OVERRIDE.load(Ordering::Relaxed), 0);
+        set_shards(4);
+        assert_eq!(configured_shards(), 4);
+        set_shards(0);
+        assert_eq!(configured_shards(), 1, "zero shards means serial");
+    }
+}

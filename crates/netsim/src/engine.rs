@@ -62,7 +62,7 @@ pub enum StopReason {
 
 /// A full capture of an [`Engine`]'s state for deterministic
 /// checkpointing: the clock, the statistics, and every live pending
-/// event with its original `(time, seq)` ordering key.
+/// event with its original `(time, order, seq)` ordering key.
 ///
 /// Sequence numbers are preserved verbatim so that [`EventId`]s held
 /// outside the engine (e.g. pending MRAI timers) stay valid against the
@@ -76,8 +76,9 @@ pub struct EngineSnapshot<E> {
     pub stats: EngineStats,
     /// The next sequence number the queue would issue.
     pub next_seq: u64,
-    /// Live pending events as `(time, seq, payload)` in delivery order.
-    pub events: Vec<(SimTime, u64, E)>,
+    /// Live pending events as `(time, order, seq, payload)` in delivery
+    /// order.
+    pub events: Vec<(SimTime, u64, u64, E)>,
 }
 
 // Manual impls: the vendored serde derive does not support generics.
@@ -205,6 +206,51 @@ impl<E> Engine<E> {
         Ok(id)
     }
 
+    /// Schedules `payload` at absolute time `at` under an explicit
+    /// total-order tag (see [`EventQueue::schedule_ordered`]): ties on
+    /// `at` deliver in ascending `order` instead of local scheduling
+    /// order. The sharded engine derives the tag from a
+    /// shard-independent rule so per-shard queues agree with the global
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PastEventError`] when `at` is before the current time;
+    /// the engine is untouched.
+    pub fn try_schedule_at_ordered(
+        &mut self,
+        at: SimTime,
+        order: u64,
+        payload: E,
+    ) -> Result<EventId, PastEventError> {
+        if at < self.now {
+            return Err(PastEventError { at, now: self.now });
+        }
+        self.stats.scheduled += 1;
+        let id = self.queue.schedule_ordered(at, order, payload);
+        self.stats.max_pending = self.stats.max_pending.max(self.queue.len() as u64);
+        Ok(id)
+    }
+
+    /// Panicking form of [`try_schedule_at_ordered`]
+    /// (Self::try_schedule_at_ordered); see [`schedule_at`]
+    /// (Self::schedule_at) for the rationale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at_ordered(&mut self, at: SimTime, order: u64, payload: E) -> EventId {
+        match self.try_schedule_at_ordered(at, order, payload) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Returns `true` if `id` names a still-pending event. O(1).
+    pub fn is_live(&self, id: EventId) -> bool {
+        self.queue.is_live(id)
+    }
+
     /// Schedules `payload` for delivery `delay` after the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, payload: E) -> EventId {
         let at = self.now + delay;
@@ -238,11 +284,17 @@ impl<E> Engine<E> {
     /// Removes and returns the next event, advancing the clock to its
     /// delivery time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (time, _, payload) = self.queue.pop()?;
+        self.pop_keyed().map(|(time, _, payload)| (time, payload))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the event's order tag —
+    /// the full `(time, order)` key the sharded merge sorts on.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
+        let (time, order, _, payload) = self.queue.pop_keyed()?;
         debug_assert!(time >= self.now, "event queue returned a past event");
         self.now = time;
         self.stats.delivered += 1;
-        Some((time, payload))
+        Some((time, order, payload))
     }
 
     /// Like [`pop`](Self::pop), but only delivers events scheduled at
@@ -253,6 +305,26 @@ impl<E> Engine<E> {
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         match self.next_event_time() {
             Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Like [`pop_until`](Self::pop_until), but with the full
+    /// `(time, order)` key.
+    pub fn pop_until_keyed(&mut self, horizon: SimTime) -> Option<(SimTime, u64, E)> {
+        match self.next_event_time() {
+            Some(t) if t <= horizon => self.pop_keyed(),
+            _ => None,
+        }
+    }
+
+    /// Like [`pop_until_keyed`](Self::pop_until_keyed) with a *strict*
+    /// horizon: only events with `time < horizon` are delivered. This
+    /// is the conservative-window pop — events at exactly the window
+    /// edge belong to the next window.
+    pub fn pop_before_keyed(&mut self, horizon: SimTime) -> Option<(SimTime, u64, E)> {
+        match self.next_event_time() {
+            Some(t) if t < horizon => self.pop_keyed(),
             _ => None,
         }
     }

@@ -1,9 +1,15 @@
 //! Deterministic pending-event queue.
 //!
-//! Events are ordered by `(time, sequence)`: ties on time are broken by
-//! scheduling order, so two events scheduled for the same instant are
-//! delivered in the order they were scheduled. This makes every run with
-//! the same seed bit-for-bit reproducible.
+//! Events are ordered by `(time, order)`: ties on time are broken by an
+//! explicit *order* tag. [`EventQueue::schedule`] uses the local
+//! sequence number as the tag, so two events scheduled for the same
+//! instant are delivered in the order they were scheduled — the classic
+//! serial behavior. [`EventQueue::schedule_ordered`] lets the caller
+//! supply the tag instead; the sharded simulation uses this to give
+//! every event a *shard-independent* key, so K per-shard queues pop
+//! their slices of the event stream in exactly the order one global
+//! queue would have. This makes every run with the same seed
+//! bit-for-bit reproducible, serial or sharded.
 //!
 //! Cancellation is lazy: the queue keeps one *live* bit per issued
 //! sequence number — set on schedule, cleared on delivery or
@@ -38,17 +44,20 @@ impl EventId {
     /// queue snapshot must stay valid against the restored queue
     /// (sequence numbers are preserved verbatim). A fabricated id is
     /// harmless: cancelling it is a no-op unless it names a live event.
-    pub fn from_raw(raw: u64) -> EventId {
+    pub const fn from_raw(raw: u64) -> EventId {
         EventId(raw)
     }
 }
 
-/// A heap key: the event's delivery time and sequence number. Payloads
-/// live outside the heap (see `EventQueue::payloads`), so sift
-/// operations move 16-byte `Copy` keys instead of full events.
+/// A heap key: the event's delivery time, its total-order tag, and its
+/// local sequence number. Payloads live outside the heap (see
+/// `EventQueue::payloads`), so sift operations move 24-byte `Copy` keys
+/// instead of full events. Delivery order is `(time, order)`; `seq`
+/// only locates the payload and live bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Key {
     time: SimTime,
+    order: u64,
     seq: u64,
 }
 
@@ -61,10 +70,12 @@ impl PartialOrd for Key {
 impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest
-        // (time, seq) at the top.
+        // (time, order) at the top. `seq` breaks any remaining tie so
+        // keys have a total order even if a caller reuses order tags.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.order.cmp(&self.order))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -176,14 +187,32 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` for delivery at `time` and returns an id that
-    /// can be passed to [`cancel`](Self::cancel).
+    /// can be passed to [`cancel`](Self::cancel). The order tag is the
+    /// local sequence number, so same-instant events deliver in
+    /// scheduling order.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.schedule_ordered(time, seq, payload)
+    }
+
+    /// Schedules `payload` at `time` under an explicit total-order tag.
+    ///
+    /// Same-instant events deliver in ascending `order`; the sharded
+    /// engine assigns tags from a shard-independent rule so K partial
+    /// queues agree with the one global queue on delivery order.
+    pub fn schedule_ordered(&mut self, time: SimTime, order: u64, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.live.insert(seq);
         self.payloads.push_back(Some(payload));
-        self.heap.push(Key { time, seq });
+        self.heap.push(Key { time, order, seq });
         EventId(seq)
+    }
+
+    /// Returns `true` if the event with this id is still pending
+    /// (scheduled and neither delivered nor cancelled). O(1).
+    pub fn is_live(&self, id: EventId) -> bool {
+        id.0 < self.next_seq && self.live.contains(id.0)
     }
 
     /// Frees the payload slot for `seq` (which must be occupied) and
@@ -232,10 +261,18 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest pending event, skipping cancelled
     /// entries.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.pop_keyed()
+            .map(|(time, _, id, payload)| (time, id, payload))
+    }
+
+    /// Like [`pop`](Self::pop), but also returns the event's order tag —
+    /// the sharded merge needs the full `(time, order)` key of every
+    /// dispatch.
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, EventId, E)> {
         while let Some(key) = self.heap.pop() {
             if self.live.remove(key.seq) {
                 let payload = self.take_payload(key.seq);
-                return Some((key.time, EventId(key.seq), payload));
+                return Some((key.time, key.order, EventId(key.seq), payload));
             }
             // Not live: cancelled earlier; discard the dead key.
         }
@@ -281,14 +318,14 @@ impl<E> EventQueue<E> {
         self.base_seq = self.next_seq;
     }
 
-    /// The live pending entries as `(time, seq, payload)` in delivery
-    /// order, plus the next sequence number to issue — everything a
-    /// checkpoint needs to rebuild this queue exactly.
-    pub(crate) fn snapshot_entries(&self) -> (u64, Vec<(SimTime, u64, E)>)
+    /// The live pending entries as `(time, order, seq, payload)` in
+    /// delivery order, plus the next sequence number to issue —
+    /// everything a checkpoint needs to rebuild this queue exactly.
+    pub(crate) fn snapshot_entries(&self) -> (u64, Vec<(SimTime, u64, u64, E)>)
     where
         E: Clone,
     {
-        let mut entries: Vec<(SimTime, u64, E)> = self
+        let mut entries: Vec<(SimTime, u64, u64, E)> = self
             .heap
             .iter()
             .filter(|key| self.live.contains(key.seq))
@@ -297,10 +334,10 @@ impl<E> EventQueue<E> {
                     .as_ref()
                     .expect("live seq without payload")
                     .clone();
-                (key.time, key.seq, payload)
+                (key.time, key.order, key.seq, payload)
             })
             .collect();
-        entries.sort_by_key(|&(time, seq, _)| (time, seq));
+        entries.sort_by_key(|&(time, order, seq, _)| (time, order, seq));
         (self.next_seq, entries)
     }
 
@@ -313,10 +350,10 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if an entry's seq is `>= next_seq` or duplicated.
-    pub(crate) fn restore_entries(next_seq: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
+    pub(crate) fn restore_entries(next_seq: u64, entries: Vec<(SimTime, u64, u64, E)>) -> Self {
         let base_seq = entries
             .iter()
-            .map(|&(_, seq, _)| seq)
+            .map(|&(_, _, seq, _)| seq)
             .min()
             .unwrap_or(next_seq);
         let mut payloads: VecDeque<Option<E>> = (base_seq..next_seq).map(|_| None).collect();
@@ -325,13 +362,13 @@ impl<E> EventQueue<E> {
             count: 0,
         };
         let mut heap = BinaryHeap::with_capacity(entries.len());
-        for (time, seq, payload) in entries {
+        for (time, order, seq, payload) in entries {
             assert!(seq < next_seq, "snapshot seq {seq} >= next_seq {next_seq}");
             let slot = &mut payloads[(seq - base_seq) as usize];
             assert!(slot.is_none(), "duplicate seq {seq} in snapshot");
             *slot = Some(payload);
             live.set(seq);
-            heap.push(Key { time, seq });
+            heap.push(Key { time, order, seq });
         }
         EventQueue {
             heap,
@@ -512,6 +549,69 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn explicit_order_tags_override_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_ordered(t, 30, 'c');
+        q.schedule_ordered(t, 10, 'a');
+        q.schedule_ordered(t, 20, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn pop_keyed_returns_the_order_tag() {
+        let mut q = EventQueue::new();
+        q.schedule_ordered(SimTime::from_secs(1), 77, "x");
+        let (t, order, _, ev) = q.pop_keyed().unwrap();
+        assert_eq!((t, order, ev), (SimTime::from_secs(1), 77, "x"));
+    }
+
+    #[test]
+    fn is_live_tracks_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        let b = q.schedule(SimTime::from_secs(2), 2);
+        assert!(q.is_live(a) && q.is_live(b));
+        q.cancel(a);
+        assert!(!q.is_live(a));
+        q.pop();
+        assert!(!q.is_live(b));
+        assert!(!q.is_live(EventId(99)), "unissued ids are not live");
+    }
+
+    #[test]
+    fn partitioned_queues_agree_with_one_global_queue() {
+        // The sharded-engine invariant in miniature: the same keyed
+        // events spread over two queues pop, merged by (time, order),
+        // in exactly the global queue's order.
+        let events: Vec<(u64, u64, u32)> = vec![
+            (5, 3, 0),
+            (5, 1, 1),
+            (2, 9, 2),
+            (5, 2, 3),
+            (2, 4, 4),
+            (7, 0, 5),
+        ];
+        let mut global = EventQueue::new();
+        let mut parts = [EventQueue::new(), EventQueue::new()];
+        for &(t, order, val) in &events {
+            global.schedule_ordered(SimTime::from_secs(t), order, val);
+            parts[(val % 2) as usize].schedule_ordered(SimTime::from_secs(t), order, val);
+        }
+        let serial: Vec<u32> = std::iter::from_fn(|| global.pop().map(|(_, _, e)| e)).collect();
+        let mut merged: Vec<(u64, u64, u32)> = Vec::new();
+        for q in parts.iter_mut() {
+            while let Some((t, order, _, e)) = q.pop_keyed() {
+                merged.push((t.as_nanos(), order, e));
+            }
+        }
+        merged.sort_by_key(|&(t, order, _)| (t, order));
+        let sharded: Vec<u32> = merged.into_iter().map(|(_, _, e)| e).collect();
+        assert_eq!(serial, sharded);
     }
 
     proptest! {

@@ -1,0 +1,252 @@
+//! # bgpsim-parallel
+//!
+//! Synchronization primitives for the sharded (conservative-parallel)
+//! simulation engine. The actual sharded event loop lives in
+//! `bgpsim-sim`'s `sharded` module, which needs access to simulation
+//! internals; this crate holds the pieces that are pure coordination —
+//! a reusable spin barrier, the window-decision encoding the barrier
+//! leader publishes through an atomic, and the per-run synchronization
+//! statistics surfaced as the `shard_summary` trace event.
+//!
+//! ## The window protocol, in one paragraph
+//!
+//! Each of `K` workers owns a partition of the AS graph and runs its
+//! own discrete-event engine. Rounds are synchronous: every worker
+//! publishes its *earliest output time* (EOT — a lower bound on when
+//! anything it still holds could affect another shard), a barrier is
+//! crossed, the leader takes the minimum as the window end `W`, a
+//! second barrier publishes the decision, every worker executes all
+//! its events with `t < W` and deposits cross-shard messages into
+//! mailboxes, and a third barrier makes the deposits visible. Because
+//! the minimum link delay is strictly positive, `W` always lies
+//! strictly beyond the global minimum pending event time, so every
+//! round makes progress and no message ever arrives in a shard's past.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::redundant_clone)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Iterations of busy-spinning before a waiting thread starts yielding
+/// its time slice. Small: on machines with fewer cores than shards
+/// (including the single-core CI container) yielding quickly is what
+/// lets the other workers reach the barrier at all.
+const SPIN_LIMIT: u32 = 64;
+
+/// A reusable sense-reversing barrier for a fixed party count.
+///
+/// Unlike `std::sync::Barrier`, waiting is spin-then-yield (no futex
+/// round-trip on the fast path — window rounds are microseconds) and
+/// the barrier tracks the total wall-clock its parties spent blocked,
+/// which the sharded engine reports in the `shard_summary` trace
+/// event.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    wait_ns: AtomicU64,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until all parties have called `wait`. Returns `true` on
+    /// exactly one thread per crossing (the last arriver), which lets
+    /// callers run leader-only work between two crossings.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let pos = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if pos == self.parties {
+            // Reset the arrival count before releasing the generation:
+            // a released thread may immediately re-enter wait() for the
+            // next crossing.
+            self.arrived.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            return true;
+        }
+        let start = Instant::now();
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        self.wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        false
+    }
+
+    /// Total wall-clock nanoseconds parties have spent blocked in
+    /// [`wait`](Self::wait) so far, summed over threads.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// The barrier leader's per-round verdict, encoded into one `u64` so
+/// it can be published through a single atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowDecision {
+    /// Execute all events strictly before this time (nanoseconds).
+    Advance(u64),
+    /// Every shard is idle and no messages are in flight: the run is
+    /// complete.
+    Done,
+    /// A budget, deadline, or cancellation tripped: stop at the
+    /// current window boundary and merge the partial state.
+    Abort,
+}
+
+const DONE_SENTINEL: u64 = u64::MAX;
+const ABORT_SENTINEL: u64 = u64::MAX - 1;
+
+impl WindowDecision {
+    /// Encodes the decision for an `AtomicU64`. `Advance` times at or
+    /// above the sentinel range are unrepresentable — they would be
+    /// ~584 years of simulated time.
+    pub fn encode(self) -> u64 {
+        match self {
+            WindowDecision::Advance(w) => {
+                assert!(w < ABORT_SENTINEL, "window end collides with sentinels");
+                w
+            }
+            WindowDecision::Done => DONE_SENTINEL,
+            WindowDecision::Abort => ABORT_SENTINEL,
+        }
+    }
+
+    /// Decodes a value produced by [`encode`](Self::encode).
+    pub fn decode(raw: u64) -> Self {
+        match raw {
+            DONE_SENTINEL => WindowDecision::Done,
+            ABORT_SENTINEL => WindowDecision::Abort,
+            w => WindowDecision::Advance(w),
+        }
+    }
+}
+
+/// The minimum of a slice of per-shard EOTs (`u64::MAX` = idle shard).
+/// Returns [`WindowDecision::Done`] when every shard is idle.
+pub fn window_from_eots(eots: &[u64]) -> WindowDecision {
+    match eots.iter().copied().min() {
+        None | Some(u64::MAX) => WindowDecision::Done,
+        Some(w) => WindowDecision::Advance(w),
+    }
+}
+
+/// Synchronization statistics of one sharded run, reported via the
+/// `shard_summary` trace event and the run counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Number of shards the run executed on.
+    pub shards: u32,
+    /// Events dispatched by each shard (sums to the run's event
+    /// count).
+    pub per_shard_events: Vec<u64>,
+    /// Conservative windows executed (barrier rounds).
+    pub sync_rounds: u64,
+    /// Rounds in which a shard had nothing to send (null messages),
+    /// summed over shards.
+    pub null_msgs: u64,
+    /// Wall-clock spent blocked at window barriers, microseconds,
+    /// summed over shards.
+    pub barrier_wait_us: u64,
+    /// High-water mark of any single shard's event queue.
+    pub queue_hiwater: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes_and_elects_one_leader_per_crossing() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(SpinBarrier::new(PARTIES));
+        let leaders = Arc::new(AtomicU64::new(0));
+        let phase_sum = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..PARTIES {
+            let barrier = Arc::clone(&barrier);
+            let leaders = Arc::clone(&leaders);
+            let phase_sum = Arc::clone(&phase_sum);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    phase_sum.fetch_add(round as u64, Ordering::Relaxed);
+                    if barrier.wait() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                        // Between the two crossings the leader sees all
+                        // parties' contributions for this round.
+                        let expect: u64 = (0..=round as u64).map(|r| r * PARTIES as u64).sum();
+                        assert_eq!(phase_sum.load(Ordering::Relaxed), expect);
+                    }
+                    if barrier.wait() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Two crossings per round; each elects exactly one leader.
+        assert_eq!(leaders.load(Ordering::Relaxed), 2 * ROUNDS as u64);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait(), "sole party is always the leader");
+        }
+        assert_eq!(b.total_wait_ns(), 0);
+    }
+
+    #[test]
+    fn decision_encoding_round_trips() {
+        for d in [
+            WindowDecision::Advance(0),
+            WindowDecision::Advance(123_456_789),
+            WindowDecision::Done,
+            WindowDecision::Abort,
+        ] {
+            assert_eq!(WindowDecision::decode(d.encode()), d);
+        }
+    }
+
+    #[test]
+    fn window_is_min_eot_and_all_idle_means_done() {
+        assert_eq!(
+            window_from_eots(&[5, 3, u64::MAX]),
+            WindowDecision::Advance(3)
+        );
+        assert_eq!(
+            window_from_eots(&[u64::MAX, u64::MAX]),
+            WindowDecision::Done
+        );
+        assert_eq!(window_from_eots(&[]), WindowDecision::Done);
+    }
+}

@@ -42,7 +42,15 @@ use crate::error::Error;
 /// scenarios gained fault fields that participate in the fingerprint,
 /// and fault-free runs now traverse new dispatch paths. Counters from
 /// v2 entries would not be comparable.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the sharded engine splits the per-run RNG into per-node lanes
+/// so shard workers draw identical jitter regardless of partitioning.
+/// The lane split changes every run's draw sequence, so v3 metrics
+/// (timings, loop censuses) no longer match a fresh run under the
+/// same spec. Note `shards` itself is *not* part of the fingerprint:
+/// serial and sharded runs produce identical results by construction
+/// and deliberately share cache entries.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Serializable mirror of [`PaperMetrics`] (durations as nanoseconds).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -583,6 +583,7 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         .collect();
     format!(
         "{{\"jobs_submitted\":{},\"jobs_active\":{},\"queue_depth\":{},\"draining\":{},\"requests\":{},\
+         \"peak_rss_kb\":{},\
          \"runner\":{{\"jobs\":{},\"cache_hits\":{},\"executed\":{},\"hit_rate_percent\":{:.3}}},\
          \"clients\":[{}]}}",
         shared.jobs_submitted.load(Ordering::Relaxed),
@@ -590,6 +591,7 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         shared.admission.queue_depth(),
         shared.admission.is_draining(),
         shared.requests.load(Ordering::Relaxed),
+        bgpsim_trace::peak_rss_kb(),
         runner.jobs,
         runner.cache_hits,
         runner.executed,

@@ -124,6 +124,9 @@ fn concurrent_identical_submissions_share_the_cache_and_stream_identically() {
         stats.text()
     );
     assert_eq!(field(&stats.text(), "jobs_submitted"), Some(4));
+    let rss = field(&stats.text(), "peak_rss_kb").expect("stats has peak_rss_kb");
+    // VmHWM of a live daemon on Linux; 0 only where /proc is masked.
+    assert!(rss == 0 || rss >= 64, "implausible peak_rss_kb {rss}");
 
     // Unknown paths and malformed specs are clean errors, not hangs.
     assert_eq!(get(&addr, "/v1/jobs/9999").status, 404);
@@ -134,6 +137,34 @@ fn concurrent_identical_submissions_share_the_cache_and_stream_identically() {
         400
     );
 
+    server.shutdown();
+}
+
+#[test]
+fn sharded_submission_streams_identically_to_serial() {
+    // Isolated caches so the sharded daemon actually simulates instead
+    // of replaying the serial daemon's cached results.
+    let (ref_server, ref_addr, _ref_dir) = boot("shard-ref", 2, AdmissionLimits::default());
+    let (server, addr, _dir) = boot("shard", 2, AdmissionLimits::default());
+
+    let serial = r#"{"topology":"clique:8","event":"tdown","seeds":[5]}"#;
+    let resp = post(&ref_addr, "/v1/jobs", "alice", serial);
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let id = field(&resp.text(), "id").unwrap();
+    let reference = get(&ref_addr, &format!("/v1/jobs/{id}/results")).text();
+    ref_server.shutdown();
+
+    let sharded = r#"{"topology":"clique:8","event":"tdown","seeds":[5],"shards":3}"#;
+    let resp = post(&addr, "/v1/jobs", "bob", sharded);
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let id = field(&resp.text(), "id").unwrap();
+    let stream = get(&addr, &format!("/v1/jobs/{id}/results"));
+    assert_eq!(stream.status, 200);
+    assert_eq!(
+        stream.text(),
+        reference,
+        "shards must not change the result stream, byte for byte"
+    );
     server.shutdown();
 }
 

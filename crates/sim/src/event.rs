@@ -3,7 +3,7 @@
 use bgpsim_core::{BgpMessage, Prefix};
 use bgpsim_topology::NodeId;
 
-use crate::failure::FailureEvent;
+use crate::failure::FailureHalf;
 
 /// Events dispatched by the network simulation loop.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -47,12 +47,16 @@ pub enum NetEvent {
         /// The prefix concerned.
         prefix: Prefix,
     },
-    /// A scheduled failure fires.
-    Failure(FailureEvent),
-    /// A fault from an installed fault plan fires. Behaves like
-    /// [`NetEvent::Failure`] but is counted and traced as injected
-    /// churn (`fault_injected` events).
-    Fault(FailureEvent),
+    /// One scheduled failure half fires. Failures are split into
+    /// per-node halves at scheduling time (see
+    /// [`FailureEvent::halves`](crate::FailureEvent::halves)) so every
+    /// event touches a single node; the halves of one failure carry
+    /// adjacent order keys and fire back-to-back.
+    Failure(FailureHalf),
+    /// A fault-plan half fires. Behaves like [`NetEvent::Failure`] but
+    /// its primary half is counted and traced as injected churn
+    /// (`fault_injected` events).
+    Fault(FailureHalf),
     /// A live data packet takes its next hop (event-driven data plane,
     /// used to cross-validate the replay engine).
     PacketHop {
@@ -81,6 +85,20 @@ impl NetEvent {
             NetEvent::Failure(_) => "failure",
             NetEvent::Fault(_) => "fault",
             NetEvent::PacketHop { .. } => "packet_hop",
+        }
+    }
+
+    /// The node the event is dispatched on. Every event is local to
+    /// exactly one node; under sharded execution this determines the
+    /// owning shard, and it also selects the per-node RNG lane whose
+    /// counter orders the events the dispatch schedules.
+    pub fn node(&self) -> NodeId {
+        match self {
+            NetEvent::MessageArrival { to, .. } | NetEvent::MessageProcessed { to, .. } => *to,
+            NetEvent::MraiExpiry { node, .. }
+            | NetEvent::DampingReuse { node, .. }
+            | NetEvent::PacketHop { node, .. } => *node,
+            NetEvent::Failure(half) | NetEvent::Fault(half) => half.node(),
         }
     }
 }

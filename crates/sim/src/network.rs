@@ -22,9 +22,28 @@ use bgpsim_topology::{Graph, NodeId};
 use bgpsim_trace::{TraceEvent, TraceHandle};
 
 use crate::event::NetEvent;
-use crate::failure::FailureEvent;
+use crate::failure::{FailureEvent, FailureHalf, HalfAction};
 use crate::params::SimParams;
 use crate::record::{PathChange, RunRecord, UpdateSend};
+use crate::sharded::ShardCtx;
+
+/// Stream tag for per-node RNG lanes, disjoint from the fault-plan
+/// stream tags (`0x1055…`, `0xF1A9…`, …). Lane `i` draws from
+/// `fork(LANE_STREAM_TAG | i)` of the run seed, so a node's draws are
+/// a pure function of `(seed, node)` — independent of how events from
+/// different nodes interleave, which is what lets shards replay the
+/// exact serial draw sequences without sharing an RNG.
+const LANE_STREAM_TAG: u64 = 0x7A9E_0000_0000_0000;
+
+/// Bits reserved for the per-lane counter inside an event order key:
+/// `order = lane << ORDER_CTR_BITS | counter`. 2^40 events per lane
+/// and 2^24 lanes comfortably exceed any run the budget allows.
+const ORDER_CTR_BITS: u32 = 40;
+
+/// The [`EventId`] returned for events that another shard owns: the
+/// local engine never saw them, so cancellation and liveness checks on
+/// this id are harmless no-ops.
+const FOREIGN_EVENT: EventId = EventId::from_raw(u64::MAX);
 
 /// One node's record of its latest scheduled MRAI expiry event for a
 /// `(peer, prefix)` pair.
@@ -61,8 +80,13 @@ pub struct NetworkSnapshot {
     pub links: Vec<(NodeId, NodeId, LinkSnapshot)>,
     /// Per-node serial processors, indexed by node id.
     pub processors: Vec<ProcessorSnapshot>,
-    /// The main simulation RNG, mid-stream.
+    /// The root RNG (loss-stream fork source), mid-stream.
     pub rng: SimRngState,
+    /// Per-node RNG lanes, mid-stream, indexed by node id.
+    pub rng_lanes: Vec<SimRngState>,
+    /// Per-lane order counters (`node_count + 1` entries; the last is
+    /// the harness lane).
+    pub lane_ctrs: Vec<u64>,
     /// Physical parameters.
     pub params: SimParams,
     /// The recorded FIB history as `(node, prefix, time, entry)`
@@ -142,7 +166,23 @@ pub struct SimNetwork<P: RoutePolicy = ShortestPath> {
     /// global ordered map on the per-send lookup.
     links: Vec<Vec<(NodeId, Link)>>,
     processors: Vec<Processor>,
-    rng: SimRng,
+    /// Root RNG: never drawn from directly, only forked for per-link
+    /// loss streams (forks are pure functions of the seed, so they are
+    /// position-independent).
+    rng_root: SimRng,
+    /// Per-node RNG lanes (`fork(LANE_STREAM_TAG | node)`): every draw
+    /// a node's router or processor makes comes from its own lane, so
+    /// the draw sequence each node sees is independent of global event
+    /// interleaving.
+    rng_lanes: Vec<SimRng>,
+    /// Per-lane order counters (one per node plus the harness lane at
+    /// index `node_count`); see [`Self::next_order`].
+    lane_ctrs: Vec<u64>,
+    /// The lane charged for events scheduled right now: the node whose
+    /// dispatch is executing, or the harness lane between dispatches.
+    sched_lane: u32,
+    /// Sharded-execution context; `None` for serial runs.
+    shard: Option<Box<ShardCtx>>,
     params: SimParams,
     fib: NetworkFib,
     sends: Vec<UpdateSend>,
@@ -222,12 +262,20 @@ impl<P: RoutePolicy> SimNetwork<P> {
         for adj in &mut links {
             adj.sort_by_key(|&(to, _)| to);
         }
+        let rng_root = SimRng::new(seed);
+        let rng_lanes = (0..n)
+            .map(|i| rng_root.fork(LANE_STREAM_TAG | i as u64))
+            .collect();
         SimNetwork {
             engine: Engine::new(),
             routers,
             links,
             processors: vec![Processor::new(); n],
-            rng: SimRng::new(seed),
+            rng_root,
+            rng_lanes,
+            lane_ctrs: vec![0; n + 1],
+            sched_lane: n as u32,
+            shard: None,
             params,
             fib: NetworkFib::new(n),
             sends: Vec::new(),
@@ -287,23 +335,112 @@ impl<P: RoutePolicy> SimNetwork<P> {
         self.failure_at
     }
 
+    /// The lane index used for events scheduled by harness code (as
+    /// opposed to events scheduled from inside a node's dispatch).
+    fn harness_lane(&self) -> u32 {
+        self.routers.len() as u32
+    }
+
+    /// Assigns the next shard-independent order key on the current
+    /// lane. A node's events pop in `(time, order)` order on every
+    /// engine, so each lane's counter advances through the identical
+    /// sequence whether the run is serial or sharded — which is what
+    /// makes the keys (and therefore the merged event order) agree.
+    fn next_order(&mut self) -> u64 {
+        let lane = self.sched_lane;
+        let ctr = self.lane_ctrs[lane as usize];
+        self.lane_ctrs[lane as usize] = ctr + 1;
+        debug_assert!(ctr < 1 << ORDER_CTR_BITS, "lane counter overflow");
+        (u64::from(lane) << ORDER_CTR_BITS) | ctr
+    }
+
+    /// Schedules `ev` at `at` under the current lane's next order key,
+    /// routing by ownership when sharded: events for foreign nodes go
+    /// to the outbox (windowed execution) or are dropped (replicated
+    /// harness phases, where the owning shard schedules its own copy).
+    /// The lane counter advances in every case — that is what keeps
+    /// the counters synchronized across shards.
+    fn schedule_event(&mut self, at: SimTime, ev: NetEvent) -> EventId {
+        let order = self.next_order();
+        let is_arrival = matches!(ev, NetEvent::MessageArrival { .. });
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.note_push();
+            let target = ctx.owner[ev.node().index()];
+            if target != ctx.shard_id {
+                if !ctx.replicating {
+                    ctx.outbox.push((target, at, order, ev));
+                }
+                return FOREIGN_EVENT;
+            }
+        }
+        let id = self.engine.schedule_at_ordered(at, order, ev);
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.note_pending(at, order, id.as_u64(), is_arrival);
+        }
+        id
+    }
+
+    /// Cancels a pending event, keeping the sharded depth-replay log
+    /// consistent (a hit removes one pending event from the global
+    /// queue the serial oracle would have had).
+    fn cancel_event(&mut self, id: EventId) {
+        let hit = self.engine.cancel(id);
+        if hit {
+            if let Some(ctx) = self.shard.as_mut() {
+                ctx.note_cancel();
+            }
+        }
+    }
+
     /// Makes `origin` start originating `prefix` at the current time.
     pub fn originate(&mut self, origin: NodeId, prefix: Prefix) {
+        self.sched_lane = self.harness_lane();
         let now = self.engine.now();
-        let out = self.routers[origin.index()].originate(prefix, now, &mut self.rng);
+        let out = self.routers[origin.index()].originate(
+            prefix,
+            now,
+            &mut self.rng_lanes[origin.index()],
+        );
         self.apply_output(origin, out, now);
+    }
+
+    /// Splits `failure` into per-node halves using the routers'
+    /// current peer lists (relevant only for `NodeDown`).
+    fn split_failure(&self, failure: FailureEvent) -> Vec<FailureHalf> {
+        failure.halves(|node| self.routers[node.index()].peers().collect())
     }
 
     /// Schedules `failure` to fire `delay` after the current time.
     pub fn schedule_failure(&mut self, delay: SimDuration, failure: FailureEvent) {
-        self.engine
-            .schedule_after(delay, NetEvent::Failure(failure));
+        let at = self.engine.now() + delay;
+        self.schedule_failure_at(at, failure);
+    }
+
+    /// Schedules `failure` to fire at the absolute time `at`. The
+    /// failure is split into per-node halves *now* (so the halves get
+    /// consecutive order keys and stay adjacent in the global event
+    /// order); they all fire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_failure_at(&mut self, at: SimTime, failure: FailureEvent) {
+        self.sched_lane = self.harness_lane();
+        for half in self.split_failure(failure) {
+            self.schedule_event(at, NetEvent::Failure(half));
+        }
     }
 
     /// Injects `failure` at the current time.
     pub fn inject_failure(&mut self, failure: FailureEvent) {
         let now = self.engine.now();
-        self.apply_failure(failure, now);
+        for half in self.split_failure(failure) {
+            // Mirror dispatch: each half acts under its own node's
+            // lane, exactly as if it had been scheduled and popped.
+            self.sched_lane = half.node().as_u32();
+            self.apply_half(half, now, false);
+        }
+        self.sched_lane = self.harness_lane();
     }
 
     /// Total engine events dispatched so far (monotone over the run).
@@ -356,12 +493,13 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 continue;
             }
             for (x, y) in [(l.a, l.b), (l.b, l.a)] {
-                let rng = self.rng.fork(FaultPlan::loss_stream(x, y));
+                let rng = self.rng_root.fork(FaultPlan::loss_stream(x, y));
                 self.link_mut(x, y)
                     .expect("loss link checked above")
                     .set_loss(l.probability, rng);
             }
         }
+        self.sched_lane = self.harness_lane();
         for ev in events {
             let failure = match ev.kind {
                 FaultKind::LinkDown { a, b } => FailureEvent::LinkDown { a, b },
@@ -371,12 +509,11 @@ impl<P: RoutePolicy> SimNetwork<P> {
                     FailureEvent::WithdrawPrefix { origin, prefix }
                 }
             };
-            self.engine
-                .try_schedule_at(anchor + ev.at, NetEvent::Fault(failure))
-                .map_err(|e| FaultError::EventInPast {
-                    at: e.at,
-                    now: e.now,
-                })?;
+            // Every event time was checked against the clock above, so
+            // the panicking schedule path is unreachable-in-error here.
+            for half in self.split_failure(failure) {
+                self.schedule_event(anchor + ev.at, NetEvent::Fault(half));
+            }
         }
         Ok(())
     }
@@ -388,7 +525,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
     ///
     /// Panics if the packet's send time is in the past.
     pub fn inject_packet(&mut self, packet: Packet) {
-        self.engine.schedule_at(
+        self.sched_lane = self.harness_lane();
+        self.schedule_event(
             packet.sent_at,
             NetEvent::PacketHop {
                 id: packet.id,
@@ -400,14 +538,30 @@ impl<P: RoutePolicy> SimNetwork<P> {
         );
     }
 
+    /// Pops one event (advancing the clock), dispatches it, and does
+    /// the per-dispatch bookkeeping shared by every run loop.
+    fn step(&mut self, now: SimTime, order: u64, ev: NetEvent) {
+        self.events_dispatched += 1;
+        self.sched_lane = ev.node().as_u32();
+        self.trace_dispatch(&ev, now);
+        self.dispatch(ev, now);
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.end_dispatch(
+                now,
+                order,
+                self.sends.len(),
+                self.path_changes.len(),
+                self.live_fates.len(),
+            );
+        }
+    }
+
     /// Runs the event loop until no events remain, or until `budget`
     /// events have been dispatched.
     pub fn run_to_quiescence(&mut self, budget: u64) -> RunOutcome {
         let mut remaining = budget;
-        while let Some((now, ev)) = self.engine.pop() {
-            self.events_dispatched += 1;
-            self.trace_dispatch(&ev, now);
-            self.dispatch(ev, now);
+        while let Some((now, order, ev)) = self.engine.pop_keyed() {
+            self.step(now, order, ev);
             remaining -= 1;
             if remaining == 0 {
                 return RunOutcome::BudgetExhausted;
@@ -425,10 +579,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
     pub fn run_for(&mut self, duration: SimDuration, budget: u64) -> RunOutcome {
         let horizon = self.engine.now() + duration;
         let mut remaining = budget;
-        while let Some((now, ev)) = self.engine.pop_until(horizon) {
-            self.events_dispatched += 1;
-            self.trace_dispatch(&ev, now);
-            self.dispatch(ev, now);
+        while let Some((now, order, ev)) = self.engine.pop_until_keyed(horizon) {
+            self.step(now, order, ev);
             remaining -= 1;
             if remaining == 0 {
                 return RunOutcome::BudgetExhausted;
@@ -494,7 +646,9 @@ impl<P: RoutePolicy> SimNetwork<P> {
             routers: self.routers.iter().map(|r| r.snapshot()).collect(),
             links,
             processors: self.processors.iter().map(|p| p.snapshot()).collect(),
-            rng: self.rng.capture(),
+            rng: self.rng_root.capture(),
+            rng_lanes: self.rng_lanes.iter().map(|r| r.capture()).collect(),
+            lane_ctrs: self.lane_ctrs.clone(),
             params: self.params,
             fib_changes: self.fib.iter_changes().collect(),
             sends: self.sends.clone(),
@@ -536,6 +690,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
         let n = snap.routers.len();
         assert_eq!(snap.processors.len(), n, "one processor per node");
         assert_eq!(snap.mrai_pending.len(), n, "one MRAI slot list per node");
+        assert_eq!(snap.rng_lanes.len(), n, "one RNG lane per node");
+        assert_eq!(snap.lane_ctrs.len(), n + 1, "node lanes plus harness lane");
         let routers: Vec<Router<P>> = snap
             .routers
             .into_iter()
@@ -564,7 +720,11 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 .into_iter()
                 .map(Processor::from_snapshot)
                 .collect(),
-            rng: SimRng::restore(snap.rng),
+            rng_root: SimRng::restore(snap.rng),
+            rng_lanes: snap.rng_lanes.into_iter().map(SimRng::restore).collect(),
+            lane_ctrs: snap.lane_ctrs,
+            sched_lane: n as u32,
+            shard: None,
             params: snap.params,
             fib,
             sends: snap.sends,
@@ -594,63 +754,94 @@ impl<P: RoutePolicy> SimNetwork<P> {
         }
     }
 
+    /// Records a trace event: emitted immediately for serial runs,
+    /// buffered per-shard for sharded runs (the merge re-emits every
+    /// shard's buffer in global event order, so the final stream is
+    /// byte-identical to the serial one).
+    fn push_trace(&mut self, ev: TraceEvent) {
+        match self.shard.as_mut() {
+            Some(ctx) => ctx.trace_buf.push(ev),
+            None => self.tracer.emit(|| ev),
+        }
+    }
+
     #[inline]
-    fn trace_dispatch(&self, ev: &NetEvent, now: SimTime) {
-        self.tracer.emit(|| TraceEvent::EventDispatch {
+    fn trace_dispatch(&mut self, ev: &NetEvent, now: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        // Queue depth is a global-queue property: a shard only knows
+        // its local depth, so sharded runs emit a placeholder that the
+        // merge overwrites with the replayed serial depth.
+        let queue_depth = match self.shard {
+            Some(_) => 0,
+            None => self.engine.pending() as u64,
+        };
+        let tev = TraceEvent::EventDispatch {
             seed: self.seed,
             t: now.as_nanos(),
             class: ev.class(),
-            queue_depth: self.engine.pending() as u64,
-        });
+            queue_depth,
+        };
+        self.push_trace(tev);
     }
 
     fn dispatch(&mut self, ev: NetEvent, now: SimTime) {
         match ev {
             NetEvent::MessageArrival { to, from, msg } => {
-                let service = self
-                    .rng
+                let service = self.rng_lanes[to.index()]
                     .uniform_duration(self.params.proc_delay_lo, self.params.proc_delay_hi);
                 let done = self.processors[to.index()].admit(now, service);
-                self.engine
-                    .schedule_at(done, NetEvent::MessageProcessed { to, from, msg });
+                self.schedule_event(done, NetEvent::MessageProcessed { to, from, msg });
             }
             NetEvent::MessageProcessed { to, from, msg } => {
-                self.tracer.emit(|| TraceEvent::UpdateRx {
-                    seed: self.seed,
-                    t: now.as_nanos(),
-                    node: to.as_u32(),
-                    from: from.as_u32(),
-                    withdraw: msg.is_withdraw(),
-                });
-                let out = self.routers[to.index()].handle_message(from, &msg, now, &mut self.rng);
+                if self.tracer.is_enabled() {
+                    let tev = TraceEvent::UpdateRx {
+                        seed: self.seed,
+                        t: now.as_nanos(),
+                        node: to.as_u32(),
+                        from: from.as_u32(),
+                        withdraw: msg.is_withdraw(),
+                    };
+                    self.push_trace(tev);
+                }
+                let out = self.routers[to.index()].handle_message(
+                    from,
+                    &msg,
+                    now,
+                    &mut self.rng_lanes[to.index()],
+                );
                 self.apply_output(to, out, now);
             }
             NetEvent::MraiExpiry { node, peer, prefix } => {
-                self.tracer.emit(|| TraceEvent::MraiFired {
-                    seed: self.seed,
-                    t: now.as_nanos(),
-                    node: node.as_u32(),
-                    peer: peer.as_u32(),
-                });
-                let out =
-                    self.routers[node.index()].on_mrai_expire(peer, prefix, now, &mut self.rng);
+                if self.tracer.is_enabled() {
+                    let tev = TraceEvent::MraiFired {
+                        seed: self.seed,
+                        t: now.as_nanos(),
+                        node: node.as_u32(),
+                        peer: peer.as_u32(),
+                    };
+                    self.push_trace(tev);
+                }
+                let out = self.routers[node.index()].on_mrai_expire(
+                    peer,
+                    prefix,
+                    now,
+                    &mut self.rng_lanes[node.index()],
+                );
                 self.apply_output(node, out, now);
             }
             NetEvent::DampingReuse { node, peer, prefix } => {
-                let out =
-                    self.routers[node.index()].on_damping_reuse(peer, prefix, now, &mut self.rng);
+                let out = self.routers[node.index()].on_damping_reuse(
+                    peer,
+                    prefix,
+                    now,
+                    &mut self.rng_lanes[node.index()],
+                );
                 self.apply_output(node, out, now);
             }
-            NetEvent::Failure(f) => self.apply_failure(f, now),
-            NetEvent::Fault(f) => {
-                self.faults_injected += 1;
-                self.tracer.emit(|| TraceEvent::FaultInjected {
-                    seed: self.seed,
-                    t: now.as_nanos(),
-                    fault: f.describe(),
-                });
-                self.apply_failure(f, now);
-            }
+            NetEvent::Failure(half) => self.apply_half(half, now, false),
+            NetEvent::Fault(half) => self.apply_half(half, now, true),
             NetEvent::PacketHop {
                 id,
                 node,
@@ -661,42 +852,88 @@ impl<P: RoutePolicy> SimNetwork<P> {
         }
     }
 
-    fn apply_failure(&mut self, failure: FailureEvent, now: SimTime) {
+    /// Applies one failure half. The primary half (the one carrying
+    /// `origin_event`) does the per-failure bookkeeping — counters and
+    /// `fault_injected` / `session_reset` trace lines — exactly once
+    /// per injected failure; every half stamps `failure_at`, so the
+    /// stamp lands at the failure instant regardless of which half of
+    /// it runs first.
+    fn apply_half(&mut self, half: FailureHalf, now: SimTime, from_plan: bool) {
         if self.failure_at.is_none() {
             self.failure_at = Some(now);
         }
-        match failure {
-            FailureEvent::WithdrawPrefix { origin, prefix } => {
-                let out = self.routers[origin.index()].withdraw_origin(prefix, now, &mut self.rng);
-                self.apply_output(origin, out, now);
-            }
-            FailureEvent::LinkDown { a, b } => self.fail_link(a, b, now),
-            FailureEvent::NodeDown { node } => {
-                let neighbors: Vec<NodeId> = self.routers[node.index()].peers().collect();
-                for m in neighbors {
-                    self.fail_link(node, m, now);
+        if let Some(origin) = half.origin_event {
+            if from_plan {
+                self.faults_injected += 1;
+                if self.tracer.is_enabled() {
+                    let tev = TraceEvent::FaultInjected {
+                        seed: self.seed,
+                        t: now.as_nanos(),
+                        fault: origin.describe(),
+                    };
+                    self.push_trace(tev);
                 }
             }
-            FailureEvent::LinkUp { a, b } => self.restore_link(a, b, now),
-            FailureEvent::SessionReset { a, b } => self.reset_session(a, b, now),
+            if let FailureEvent::SessionReset { a, b } = origin {
+                self.session_resets += 1;
+                if self.tracer.is_enabled() {
+                    let tev = TraceEvent::SessionReset {
+                        seed: self.seed,
+                        t: now.as_nanos(),
+                        a: a.as_u32(),
+                        b: b.as_u32(),
+                    };
+                    self.push_trace(tev);
+                }
+            }
         }
-    }
-
-    /// Applies a session reset: both endpoints flush and immediately
-    /// re-advertise. The links are untouched, so in-flight messages
-    /// still arrive (and are then judged by the post-reset RIBs).
-    fn reset_session(&mut self, a: NodeId, b: NodeId, now: SimTime) {
-        self.session_resets += 1;
-        self.tracer.emit(|| TraceEvent::SessionReset {
-            seed: self.seed,
-            t: now.as_nanos(),
-            a: a.as_u32(),
-            b: b.as_u32(),
-        });
-        let out_a = self.routers[a.index()].reset_peer(b, now, &mut self.rng);
-        self.apply_output(a, out_a, now);
-        let out_b = self.routers[b.index()].reset_peer(a, now, &mut self.rng);
-        self.apply_output(b, out_b, now);
+        match half.action {
+            HalfAction::Withdraw { origin, prefix } => {
+                let out = self.routers[origin.index()].withdraw_origin(
+                    prefix,
+                    now,
+                    &mut self.rng_lanes[origin.index()],
+                );
+                self.apply_output(origin, out, now);
+            }
+            HalfAction::PeerDown { node, peer } => {
+                if node == peer {
+                    // Degenerate bookkeeping half for an isolated
+                    // NodeDown: nothing to fail.
+                    return;
+                }
+                if let Some(link) = self.link_mut(node, peer) {
+                    link.fail();
+                }
+                let out = self.routers[node.index()].on_peer_down(
+                    peer,
+                    now,
+                    &mut self.rng_lanes[node.index()],
+                );
+                self.apply_output(node, out, now);
+            }
+            HalfAction::PeerUp { node, peer } => {
+                if let Some(link) = self.link_mut(node, peer) {
+                    link.restore();
+                }
+                let out = self.routers[node.index()].on_peer_up(
+                    peer,
+                    now,
+                    &mut self.rng_lanes[node.index()],
+                );
+                self.apply_output(node, out, now);
+            }
+            HalfAction::ResetPeer { node, peer } => {
+                // The link stays up, so in-flight messages still
+                // arrive (and are then judged by the post-reset RIBs).
+                let out = self.routers[node.index()].reset_peer(
+                    peer,
+                    now,
+                    &mut self.rng_lanes[node.index()],
+                );
+                self.apply_output(node, out, now);
+            }
+        }
     }
 
     /// The directed link `from -> to`, if the edge exists.
@@ -708,42 +945,21 @@ impl<P: RoutePolicy> SimNetwork<P> {
         }
     }
 
-    fn fail_link(&mut self, a: NodeId, b: NodeId, now: SimTime) {
-        for (x, y) in [(a, b), (b, a)] {
-            if let Some(link) = self.link_mut(x, y) {
-                link.fail();
-            }
-        }
-        let out_a = self.routers[a.index()].on_peer_down(b, now, &mut self.rng);
-        self.apply_output(a, out_a, now);
-        let out_b = self.routers[b.index()].on_peer_down(a, now, &mut self.rng);
-        self.apply_output(b, out_b, now);
-    }
-
-    fn restore_link(&mut self, a: NodeId, b: NodeId, now: SimTime) {
-        for (x, y) in [(a, b), (b, a)] {
-            if let Some(link) = self.link_mut(x, y) {
-                link.restore();
-            }
-        }
-        let out_a = self.routers[a.index()].on_peer_up(b, now, &mut self.rng);
-        self.apply_output(a, out_a, now);
-        let out_b = self.routers[b.index()].on_peer_up(a, now, &mut self.rng);
-        self.apply_output(b, out_b, now);
-    }
-
     fn apply_output(&mut self, node: NodeId, out: RouterOutput, now: SimTime) {
         for (prefix, entry) in out.fib_changes {
             self.fib.record(node, prefix, now, entry);
             let path = self.routers[node.index()]
                 .best(prefix)
                 .map(|r| r.path.clone());
-            self.tracer.emit(|| TraceEvent::RibChange {
-                seed: self.seed,
-                t: now.as_nanos(),
-                node: node.as_u32(),
-                path: path.as_ref().map(|p| p.ids().collect()).unwrap_or_default(),
-            });
+            if self.tracer.is_enabled() {
+                let tev = TraceEvent::RibChange {
+                    seed: self.seed,
+                    t: now.as_nanos(),
+                    node: node.as_u32(),
+                    path: path.as_ref().map(|p| p.ids().collect()).unwrap_or_default(),
+                };
+                self.push_trace(tev);
+            }
             self.path_changes.push(crate::record::PathChange {
                 at: now,
                 node,
@@ -752,14 +968,17 @@ impl<P: RoutePolicy> SimNetwork<P> {
             });
         }
         for (to, msg) in out.sends {
-            self.tracer.emit(|| TraceEvent::UpdateTx {
-                seed: self.seed,
-                t: now.as_nanos(),
-                node: node.as_u32(),
-                to: to.as_u32(),
-                withdraw: msg.is_withdraw(),
-                path_len: msg.path().map_or(0, |p| p.len() as u64),
-            });
+            if self.tracer.is_enabled() {
+                let tev = TraceEvent::UpdateTx {
+                    seed: self.seed,
+                    t: now.as_nanos(),
+                    node: node.as_u32(),
+                    to: to.as_u32(),
+                    withdraw: msg.is_withdraw(),
+                    path_len: msg.path().map_or(0, |p| p.len() as u64),
+                };
+                self.push_trace(tev);
+            }
             self.sends.push(UpdateSend {
                 at: now,
                 from: node,
@@ -771,7 +990,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
                 .link_mut(node, to)
                 .unwrap_or_else(|| panic!("no link {node} -> {to}"));
             if let Some(arrival) = link.transmit(now) {
-                self.engine.schedule_at(
+                self.schedule_event(
                     arrival,
                     NetEvent::MessageArrival {
                         to,
@@ -785,7 +1004,7 @@ impl<P: RoutePolicy> SimNetwork<P> {
             self.schedule_mrai(node, timer.peer, timer.prefix, timer.at, now);
         }
         for timer in out.reuse_timers {
-            self.engine.schedule_at(
+            self.schedule_event(
                 timer.at,
                 NetEvent::DampingReuse {
                     node,
@@ -827,12 +1046,10 @@ impl<P: RoutePolicy> SimNetwork<P> {
         if let Some(i) = idx {
             let slot = self.mrai_pending[node.index()][i];
             if slot.at <= now {
-                self.engine.cancel(slot.event);
+                self.cancel_event(slot.event);
             }
         }
-        let event = self
-            .engine
-            .schedule_at(at, NetEvent::MraiExpiry { node, peer, prefix });
+        let event = self.schedule_event(at, NetEvent::MraiExpiry { node, peer, prefix });
         let slots = &mut self.mrai_pending[node.index()];
         match idx {
             Some(i) => {
@@ -872,8 +1089,8 @@ impl<P: RoutePolicy> SimNetwork<P> {
                         .push((id, PacketFate::TtlExhausted { at: now, node }));
                     return;
                 }
-                self.engine.schedule_after(
-                    self.params.link_delay,
+                self.schedule_event(
+                    now + self.params.link_delay,
                     NetEvent::PacketHop {
                         id,
                         node: next,
@@ -883,6 +1100,147 @@ impl<P: RoutePolicy> SimNetwork<P> {
                     },
                 );
             }
+        }
+    }
+}
+
+// ---- sharded-execution hooks (crate-internal; see `crate::sharded`) ----
+impl<P: RoutePolicy> SimNetwork<P> {
+    /// Attaches a sharded-execution context: from here on this network
+    /// is the worker for `ctx.shard_id`, scheduling only events whose
+    /// node it owns and logging dispatches for the deterministic merge.
+    pub(crate) fn attach_shard(&mut self, ctx: Box<ShardCtx>) {
+        assert!(self.shard.is_none(), "shard context already attached");
+        assert_eq!(ctx.owner.len(), self.routers.len());
+        self.shard = Some(ctx);
+    }
+
+    /// Switches replicated-harness mode: while replicating, every
+    /// shard executes the same harness calls and foreign-node events
+    /// are dropped instead of outboxed (the owner schedules its own
+    /// copy).
+    pub(crate) fn set_replicating(&mut self, on: bool) {
+        self.shard
+            .as_mut()
+            .expect("replication requires a shard context")
+            .replicating = on;
+    }
+
+    /// Closes the current harness segment (originate / failure
+    /// scheduling), recording its push bookkeeping and output cursors
+    /// for the merge.
+    pub(crate) fn end_harness_segment(&mut self) {
+        let sends = self.sends.len();
+        let paths = self.path_changes.len();
+        let fates = self.live_fates.len();
+        self.shard
+            .as_mut()
+            .expect("harness segment requires a shard context")
+            .end_harness_segment(sends, paths, fates);
+    }
+
+    /// Marks the end of a window-driven phase in the dispatch log.
+    pub(crate) fn end_phase(&mut self) {
+        self.shard
+            .as_mut()
+            .expect("phase marker requires a shard context")
+            .end_phase();
+    }
+
+    /// Pops and dispatches every pending event with `time < horizon`
+    /// (the conservative window), returning the number dispatched.
+    /// Cross-shard events accumulate in the context's outbox.
+    pub(crate) fn run_window(&mut self, horizon: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some((now, order, ev)) = self.engine.pop_before_keyed(horizon) {
+            self.step(now, order, ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// Inserts an event received from another shard. The key keeps the
+    /// order assigned by the scheduling shard; lane counters and push
+    /// bookkeeping are untouched (the scheduling shard counted it).
+    pub(crate) fn insert_remote(&mut self, at: SimTime, order: u64, ev: NetEvent) {
+        let is_arrival = matches!(ev, NetEvent::MessageArrival { .. });
+        let id = self.engine.schedule_at_ordered(at, order, ev);
+        self.shard
+            .as_mut()
+            .expect("remote insert requires a shard context")
+            .note_pending(at, order, id.as_u64(), is_arrival);
+    }
+
+    /// Drains the cross-shard outbox accumulated by the last window.
+    pub(crate) fn take_outbox(&mut self) -> Vec<(u32, SimTime, u64, NetEvent)> {
+        std::mem::take(
+            &mut self
+                .shard
+                .as_mut()
+                .expect("outbox requires a shard context")
+                .outbox,
+        )
+    }
+
+    /// This shard's earliest-output time (EOT) in nanoseconds: a lower
+    /// bound on the arrival time of any cross-shard message it can
+    /// still produce. `u64::MAX` when the shard is idle.
+    ///
+    /// Two pending-event classes bound it:
+    /// * a *sendable* event at `t` (anything but a message arrival)
+    ///   can put a message on a link at `t`, arriving at `t + link`;
+    /// * an *arrival* at `t` must first clear the node's processor
+    ///   (`≥ proc_delay_lo`), so its effects reach other shards no
+    ///   earlier than `t + proc_delay_lo + link`.
+    ///
+    /// Same-time local cascades never lower either bound, because
+    /// every spawned event fires no earlier than its parent.
+    pub(crate) fn shard_eot(&mut self) -> u64 {
+        let ctx = self.shard.as_mut().expect("EOT requires a shard context");
+        let link = self.params.link_delay;
+        let proc_lo = self.params.proc_delay_lo;
+        let min_sendable = ctx.min_pending_sendable(&self.engine);
+        let min_arrival = ctx.min_pending_arrival(&self.engine);
+        let from_sendable = min_sendable.map(|t| (t + link).as_nanos());
+        let from_arrival = min_arrival.map(|t| (t + proc_lo + link).as_nanos());
+        match (from_sendable, from_arrival) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => u64::MAX,
+        }
+    }
+
+    /// Consumes the worker network and returns everything the merge
+    /// needs.
+    pub(crate) fn into_shard_parts(self) -> crate::sharded::ShardParts {
+        let ctx = *self.shard.expect("worker network has a shard context");
+        crate::sharded::ShardParts {
+            shard_id: ctx.shard_id,
+            now: self.engine.now(),
+            queue_hiwater: self.engine.stats().max_pending,
+            router_stats: self.routers.iter().map(|r| r.stats()).collect(),
+            link_lost: self
+                .links
+                .iter()
+                .enumerate()
+                .flat_map(|(i, adj)| {
+                    adj.iter()
+                        .map(move |(to, link)| (NodeId::new(i as u32), *to, link.stats().lost))
+                })
+                .collect(),
+            fib_changes: self.fib.iter_changes().collect(),
+            sends: self.sends,
+            path_changes: self.path_changes,
+            live_fates: self.live_fates,
+            failure_at: self.failure_at,
+            events_dispatched: self.events_dispatched,
+            faults_injected: self.faults_injected,
+            session_resets: self.session_resets,
+            log: ctx.log,
+            segs: ctx.segs,
+            phase_log_ends: ctx.phase_log_ends,
+            trace_buf: ctx.trace_buf,
         }
     }
 }

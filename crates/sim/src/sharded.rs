@@ -1,0 +1,775 @@
+//! Sharded conservative-parallel execution of a single run.
+//!
+//! The serial engine pops one global `(time, order)`-keyed queue. This
+//! module runs the *same* simulation on `K` worker threads, one per
+//! graph partition, and merges the per-shard observations back into a
+//! [`RunRecord`] that is **byte-identical** to the serial engine's —
+//! the serial path stays the oracle (see `tests/shard_equivalence.rs`
+//! and DESIGN.md §15).
+//!
+//! Three properties make that possible:
+//!
+//! 1. **Shard-independent order keys.** Every scheduled event carries
+//!    `order = lane << 40 | counter` where the lane is the node whose
+//!    dispatch scheduled it. A node's dispatches run on exactly one
+//!    shard, in the same relative order as serial, so the counters —
+//!    and therefore the global `(time, order)` sort — agree with the
+//!    serial queue without any cross-shard coordination.
+//! 2. **Per-node RNG lanes.** Each node draws from its own fork of the
+//!    run seed, so the draw sequence a node sees is a pure function of
+//!    `(seed, node)` — independent of how other shards interleave.
+//! 3. **Conservative windows.** Rounds are synchronous: each shard
+//!    publishes its earliest-output time (EOT), the barrier leader
+//!    takes the minimum as the window end `W`, every shard executes
+//!    its events with `t < W`, and cross-shard messages deposited into
+//!    mailboxes become visible at the round's closing barrier. Because
+//!    the minimum link delay is strictly positive, `W` strictly
+//!    exceeds the earliest pending event anywhere, so every round
+//!    makes progress and no message arrives in a shard's past.
+//!
+//! Harness operations (originate, failure scheduling, fault plans) are
+//! *replicated*: every shard executes them identically against its own
+//! full-width network, and events for foreign nodes are dropped (the
+//! owner schedules its own copy). That keeps lane counters, RNG lanes,
+//! and link state synchronized without messaging.
+//!
+//! The merge replays the per-dispatch log in global `(time, order)`
+//! order to reconstruct serial-exact queue depths (the one observable
+//! a shard cannot know locally), stitches sends / path changes / trace
+//! events back into chronological order, and takes per-node state from
+//! each node's owning shard.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bgpsim_core::{FibEntry, Prefix, RouterStats};
+use bgpsim_dataplane::{NetworkFib, PacketFate};
+use bgpsim_netsim::engine::Engine;
+use bgpsim_netsim::queue::EventId;
+use bgpsim_netsim::time::{SimDuration, SimTime};
+use bgpsim_topology::NodeId;
+use bgpsim_trace::{TraceEvent, TraceHandle};
+
+pub use bgpsim_parallel::ShardRunStats;
+use bgpsim_parallel::{window_from_eots, SpinBarrier, WindowDecision};
+
+use crate::event::NetEvent;
+use crate::harness::{BudgetExceeded, ConvergenceExperiment, RunBudget};
+use crate::network::SimNetwork;
+use crate::record::{PathChange, RunRecord, UpdateSend};
+
+/// One dispatched event's contribution to the global queue-depth
+/// replay, plus cursors into the shard's output streams.
+///
+/// Queue depth is the only serial observable a shard cannot compute
+/// locally: the serial engine's high-water mark counts *all* pending
+/// events at once. Each dispatch therefore logs its net effect on the
+/// global queue (`delta`) and the intra-dispatch peak (`push_peak`),
+/// and the merge replays the log in global `(time, order)` order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DispatchEntry {
+    pub(crate) time: SimTime,
+    pub(crate) order: u64,
+    /// Net pushes minus cancel hits during this dispatch. Pushes are
+    /// counted on the *scheduling* shard even for foreign targets, so
+    /// summing deltas in merge order tracks the serial queue exactly.
+    pub(crate) delta: i64,
+    /// Maximum of the running delta taken after each push — the
+    /// serial queue only updates its high-water mark on pushes.
+    pub(crate) push_peak: i64,
+    pub(crate) sends_end: usize,
+    pub(crate) paths_end: usize,
+    pub(crate) fates_end: usize,
+    pub(crate) trace_end: usize,
+}
+
+/// Push bookkeeping for one replicated harness segment (originate,
+/// failure scheduling). Same shape as [`DispatchEntry`] minus the pop:
+/// harness code schedules without dispatching.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HarnessSeg {
+    pub(crate) delta: i64,
+    pub(crate) push_peak: i64,
+    pub(crate) sends_end: usize,
+    pub(crate) paths_end: usize,
+    pub(crate) fates_end: usize,
+    pub(crate) trace_end: usize,
+}
+
+/// Per-worker sharded-execution state, attached to a [`SimNetwork`]
+/// via `attach_shard`. Holds the ownership map, the cross-shard
+/// outbox, the dispatch log for the merge, and two lazy min-heaps over
+/// pending events for O(log n) EOT computation.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    pub(crate) shard_id: u32,
+    /// Node → owning shard.
+    pub(crate) owner: Vec<u32>,
+    /// While `true` (replicated harness phases) foreign-node events
+    /// are dropped instead of outboxed — every shard runs the same
+    /// harness call, so the owner schedules its own copy.
+    pub(crate) replicating: bool,
+    /// Cross-shard events produced by the current window, as
+    /// `(target shard, time, order, event)`.
+    pub(crate) outbox: Vec<(u32, SimTime, u64, NetEvent)>,
+    /// Trace events buffered for post-merge emission in global order.
+    pub(crate) trace_buf: Vec<TraceEvent>,
+    pub(crate) log: Vec<DispatchEntry>,
+    pub(crate) segs: Vec<HarnessSeg>,
+    /// `log.len()` at the end of each window-driven phase, so the
+    /// merge can interleave harness segments at phase boundaries.
+    pub(crate) phase_log_ends: Vec<usize>,
+    /// Running push/cancel delta of the current dispatch or segment.
+    cur_delta: i64,
+    /// Max of `cur_delta` observed right after a push.
+    cur_peak: i64,
+    /// Pending non-arrival events as `(time, order, raw id)`: anything
+    /// here can emit a cross-shard message `link_delay` after its own
+    /// time. Lazily pruned against engine liveness at peek.
+    sendables: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    /// Pending `MessageArrival`s: these must clear the node's
+    /// processor (≥ `proc_delay_lo`) before any output can leave.
+    arrivals: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+}
+
+impl ShardCtx {
+    pub(crate) fn new(shard_id: u32, owner: Vec<u32>) -> Self {
+        ShardCtx {
+            shard_id,
+            owner,
+            replicating: false,
+            outbox: Vec::new(),
+            trace_buf: Vec::new(),
+            log: Vec::new(),
+            segs: Vec::new(),
+            phase_log_ends: Vec::new(),
+            cur_delta: 0,
+            cur_peak: 0,
+            sendables: BinaryHeap::new(),
+            arrivals: BinaryHeap::new(),
+        }
+    }
+
+    /// Records one logical push against the global queue. Called for
+    /// every schedule — owned, outboxed, or replication-dropped — so
+    /// the replayed depth matches the serial queue.
+    pub(crate) fn note_push(&mut self) {
+        self.cur_delta += 1;
+        if self.cur_delta > self.cur_peak {
+            self.cur_peak = self.cur_delta;
+        }
+    }
+
+    /// Records a cancel that removed a pending event.
+    pub(crate) fn note_cancel(&mut self) {
+        self.cur_delta -= 1;
+    }
+
+    /// Indexes a locally pending event for EOT computation.
+    pub(crate) fn note_pending(&mut self, at: SimTime, order: u64, raw_id: u64, is_arrival: bool) {
+        let heap = if is_arrival {
+            &mut self.arrivals
+        } else {
+            &mut self.sendables
+        };
+        heap.push(Reverse((at, order, raw_id)));
+    }
+
+    fn min_live(
+        heap: &mut BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+        engine: &Engine<NetEvent>,
+    ) -> Option<SimTime> {
+        // Popped and cancelled events read not-live; prune them lazily
+        // so each is visited at most once after it dies.
+        while let Some(&Reverse((t, _, raw))) = heap.peek() {
+            if engine.is_live(EventId::from_raw(raw)) {
+                return Some(t);
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// Earliest pending non-arrival event, or `None` when idle.
+    pub(crate) fn min_pending_sendable(&mut self, engine: &Engine<NetEvent>) -> Option<SimTime> {
+        Self::min_live(&mut self.sendables, engine)
+    }
+
+    /// Earliest pending `MessageArrival`, or `None` when idle.
+    pub(crate) fn min_pending_arrival(&mut self, engine: &Engine<NetEvent>) -> Option<SimTime> {
+        Self::min_live(&mut self.arrivals, engine)
+    }
+
+    /// Closes the current dispatch's log entry.
+    pub(crate) fn end_dispatch(
+        &mut self,
+        time: SimTime,
+        order: u64,
+        sends: usize,
+        paths: usize,
+        fates: usize,
+    ) {
+        self.log.push(DispatchEntry {
+            time,
+            order,
+            delta: self.cur_delta,
+            push_peak: self.cur_peak,
+            sends_end: sends,
+            paths_end: paths,
+            fates_end: fates,
+            trace_end: self.trace_buf.len(),
+        });
+        self.cur_delta = 0;
+        self.cur_peak = 0;
+    }
+
+    /// Closes the current replicated harness segment.
+    pub(crate) fn end_harness_segment(&mut self, sends: usize, paths: usize, fates: usize) {
+        self.segs.push(HarnessSeg {
+            delta: self.cur_delta,
+            push_peak: self.cur_peak,
+            sends_end: sends,
+            paths_end: paths,
+            fates_end: fates,
+            trace_end: self.trace_buf.len(),
+        });
+        self.cur_delta = 0;
+        self.cur_peak = 0;
+    }
+
+    /// Marks the end of a window-driven phase.
+    pub(crate) fn end_phase(&mut self) {
+        self.phase_log_ends.push(self.log.len());
+    }
+}
+
+/// Everything the merge needs from one worker, extracted by
+/// `SimNetwork::into_shard_parts`.
+#[derive(Debug)]
+pub(crate) struct ShardParts {
+    pub(crate) shard_id: u32,
+    pub(crate) now: SimTime,
+    pub(crate) queue_hiwater: u64,
+    pub(crate) router_stats: Vec<RouterStats>,
+    /// Loss counters per directed link row `(from, to, lost)`.
+    pub(crate) link_lost: Vec<(NodeId, NodeId, u64)>,
+    pub(crate) fib_changes: Vec<(NodeId, Prefix, SimTime, Option<FibEntry>)>,
+    pub(crate) sends: Vec<UpdateSend>,
+    pub(crate) path_changes: Vec<PathChange>,
+    pub(crate) live_fates: Vec<(u64, PacketFate)>,
+    pub(crate) failure_at: Option<SimTime>,
+    pub(crate) events_dispatched: u64,
+    pub(crate) faults_injected: u64,
+    pub(crate) session_resets: u64,
+    pub(crate) log: Vec<DispatchEntry>,
+    pub(crate) segs: Vec<HarnessSeg>,
+    pub(crate) phase_log_ends: Vec<usize>,
+    pub(crate) trace_buf: Vec<TraceEvent>,
+}
+
+/// Shared synchronization state of one sharded run: the window
+/// barrier, per-shard published values, and the `K × K` mailbox grid.
+struct SyncState {
+    k: usize,
+    barrier: SpinBarrier,
+    /// Per-shard earliest-output time, published before each round.
+    eots: Vec<AtomicU64>,
+    /// Per-shard cumulative dispatched-event counts (budget checks).
+    pops: Vec<AtomicU64>,
+    /// Per-shard clocks, exchanged at the warm-up/failure boundary to
+    /// compute the global quiescence instant for the failure anchor.
+    nows: Vec<AtomicU64>,
+    /// The leader's encoded [`WindowDecision`] for the current round.
+    window: AtomicU64,
+    sync_rounds: AtomicU64,
+    /// Executed rounds in which a shard had nothing to send.
+    null_msgs: AtomicU64,
+    /// Mailbox `src → dst` at index `src * k + dst`.
+    mailboxes: Vec<Mutex<Vec<(SimTime, u64, NetEvent)>>>,
+}
+
+impl SyncState {
+    fn new(k: usize) -> Self {
+        SyncState {
+            k,
+            barrier: SpinBarrier::new(k),
+            eots: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            pops: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            nows: (0..k).map(|_| AtomicU64::new(0)).collect(),
+            window: AtomicU64::new(0),
+            sync_rounds: AtomicU64::new(0),
+            null_msgs: AtomicU64::new(0),
+            mailboxes: (0..k * k).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn mailbox(&self, src: usize, dst: usize) -> &Mutex<Vec<(SimTime, u64, NetEvent)>> {
+        &self.mailboxes[src * self.k + dst]
+    }
+}
+
+/// Drives one shard through conservative windows until the run
+/// completes (`Ok`) or a budget trips (`Err`). Three barrier crossings
+/// per round: publish EOTs → leader decides → execute window and
+/// deposit mailboxes → drain inboxes.
+fn window_loop<P: bgpsim_core::decision::RoutePolicy>(
+    net: &mut SimNetwork<P>,
+    s: usize,
+    sync: &SyncState,
+    limit: &RunBudget,
+    phase_budget: u64,
+    phase_start: u64,
+    pops: &mut u64,
+) -> Result<(), ()> {
+    let k = sync.k;
+    loop {
+        sync.eots[s].store(net.shard_eot(), Ordering::Release);
+        sync.pops[s].store(*pops, Ordering::Release);
+        if sync.barrier.wait() {
+            let eots: Vec<u64> = (0..k)
+                .map(|i| sync.eots[i].load(Ordering::Acquire))
+                .collect();
+            let mut decision = window_from_eots(&eots);
+            // A finished run is a finished run: budgets only abort
+            // rounds that would still execute events, mirroring the
+            // serial driver where a drained phase returns Ok without a
+            // further budget check.
+            if decision != WindowDecision::Done {
+                let total: u64 = (0..k).map(|i| sync.pops[i].load(Ordering::Acquire)).sum();
+                let over = total - phase_start >= phase_budget
+                    || limit.max_events.is_some_and(|m| total >= m)
+                    || limit.deadline.is_some_and(|d| Instant::now() >= d)
+                    || limit
+                        .cancel
+                        .as_ref()
+                        .is_some_and(|c| c.load(Ordering::Relaxed));
+                if over {
+                    decision = WindowDecision::Abort;
+                }
+            }
+            sync.window.store(decision.encode(), Ordering::Release);
+            sync.sync_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        sync.barrier.wait();
+        match WindowDecision::decode(sync.window.load(Ordering::Acquire)) {
+            WindowDecision::Done => return Ok(()),
+            WindowDecision::Abort => return Err(()),
+            WindowDecision::Advance(w) => {
+                *pops += net.run_window(SimTime::from_nanos(w));
+                let out = net.take_outbox();
+                if out.is_empty() {
+                    sync.null_msgs.fetch_add(1, Ordering::Relaxed);
+                }
+                for (dst, at, order, ev) in out {
+                    sync.mailbox(s, dst as usize)
+                        .lock()
+                        .expect("mailbox poisoned")
+                        .push((at, order, ev));
+                }
+                sync.barrier.wait();
+                for src in 0..k {
+                    let msgs = std::mem::take(
+                        &mut *sync.mailbox(src, s).lock().expect("mailbox poisoned"),
+                    );
+                    for (at, order, ev) in msgs {
+                        net.insert_remote(at, order, ev);
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct WorkerOut {
+    parts: ShardParts,
+    tripped: Option<&'static str>,
+}
+
+/// One shard's complete run: replicated originate, warm-up windows,
+/// replicated failure scheduling anchored at the *global* quiescence
+/// instant, convergence windows.
+fn worker(
+    exp: &ConvergenceExperiment,
+    owner: &[u32],
+    s: usize,
+    sync: &SyncState,
+    limit: &RunBudget,
+    tracer: &TraceHandle,
+) -> WorkerOut {
+    let k = sync.k;
+    // The tracer is attached for its enable gate only: sharded
+    // networks buffer trace events instead of emitting them.
+    let mut net =
+        SimNetwork::new(&exp.graph, exp.config, exp.params, exp.seed).with_tracer(tracer.clone());
+    net.attach_shard(Box::new(ShardCtx::new(s as u32, owner.to_vec())));
+
+    net.set_replicating(true);
+    net.originate(exp.origin, exp.prefix);
+    net.set_replicating(false);
+    net.end_harness_segment();
+
+    let mut pops = 0u64;
+    let mut tripped = None;
+    if window_loop(&mut net, s, sync, limit, exp.event_budget, 0, &mut pops).is_err() {
+        tripped = Some("warmup");
+    }
+    net.end_phase();
+
+    if tripped.is_none() {
+        // The serial driver schedules the failure one second past
+        // quiescence; the global quiescence instant is the latest of
+        // the shard clocks (each clock is its shard's last event).
+        sync.nows[s].store(net.now().as_nanos(), Ordering::Release);
+        sync.barrier.wait();
+        let global_now = (0..k)
+            .map(|i| sync.nows[i].load(Ordering::Acquire))
+            .max()
+            .expect("at least one shard");
+        let anchor = SimTime::from_nanos(global_now) + SimDuration::from_secs(1);
+        net.set_replicating(true);
+        match &exp.faults {
+            Some(plan) => {
+                if let Err(e) = net.apply_fault_plan(plan, anchor) {
+                    panic!("invalid fault plan: {e}");
+                }
+            }
+            None => net.schedule_failure_at(anchor, exp.failure),
+        }
+        net.set_replicating(false);
+        net.end_harness_segment();
+        let phase_start: u64 = (0..k).map(|i| sync.pops[i].load(Ordering::Acquire)).sum();
+        if window_loop(
+            &mut net,
+            s,
+            sync,
+            limit,
+            exp.event_budget,
+            phase_start,
+            &mut pops,
+        )
+        .is_err()
+        {
+            tripped = Some("convergence");
+        }
+        net.end_phase();
+    }
+    WorkerOut {
+        parts: net.into_shard_parts(),
+        tripped,
+    }
+}
+
+/// Replays the merged dispatch logs into a serial-identical
+/// [`RunRecord`], emitting buffered trace events in global order with
+/// their queue depths patched to the serial values.
+fn merge(
+    parts: &[ShardParts],
+    owner: &[u32],
+    node_count: usize,
+    tracer: &TraceHandle,
+    completed: bool,
+) -> RunRecord {
+    let k = parts.len();
+    let traced = tracer.is_enabled();
+    let phases = parts[0].phase_log_ends.len();
+
+    let mut sends: Vec<UpdateSend> = Vec::new();
+    let mut path_changes: Vec<PathChange> = Vec::new();
+    let mut live_fates: Vec<(u64, PacketFate)> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut max_depth: i64 = 0;
+
+    #[derive(Clone, Copy, Default)]
+    struct Cursor {
+        send: usize,
+        path: usize,
+        fate: usize,
+        trace: usize,
+        log: usize,
+    }
+    let mut cur = vec![Cursor::default(); k];
+
+    let copy_outputs = |sends: &mut Vec<UpdateSend>,
+                        path_changes: &mut Vec<PathChange>,
+                        live_fates: &mut Vec<(u64, PacketFate)>,
+                        p: &ShardParts,
+                        c: &mut Cursor,
+                        se: usize,
+                        pe: usize,
+                        fe: usize| {
+        sends.extend_from_slice(&p.sends[c.send..se]);
+        path_changes.extend_from_slice(&p.path_changes[c.path..pe]);
+        live_fates.extend_from_slice(&p.live_fates[c.fate..fe]);
+        c.send = se;
+        c.path = pe;
+        c.fate = fe;
+    };
+
+    for phase in 0..phases {
+        // Replicated harness segment: every shard logged the same
+        // pushes and recorded the same outputs; shard 0 speaks for
+        // all, the rest just advance their cursors.
+        for (s, p) in parts.iter().enumerate() {
+            let seg = p.segs[phase];
+            if s == 0 {
+                copy_outputs(
+                    &mut sends,
+                    &mut path_changes,
+                    &mut live_fates,
+                    p,
+                    &mut cur[0],
+                    seg.sends_end,
+                    seg.paths_end,
+                    seg.fates_end,
+                );
+                if traced {
+                    for ev in &p.trace_buf[cur[0].trace..seg.trace_end] {
+                        let ev = ev.clone();
+                        tracer.emit(|| ev);
+                    }
+                }
+                max_depth = max_depth.max(depth + seg.push_peak);
+                depth += seg.delta;
+            }
+            cur[s].send = seg.sends_end;
+            cur[s].path = seg.paths_end;
+            cur[s].fate = seg.fates_end;
+            cur[s].trace = seg.trace_end;
+        }
+        // K-way merge of this phase's dispatch entries by the global
+        // (time, order) key.
+        loop {
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (s, p) in parts.iter().enumerate() {
+                if cur[s].log < p.phase_log_ends[phase] {
+                    let e = &p.log[cur[s].log];
+                    if best.is_none_or(|(t, o, _)| (e.time, e.order) < (t, o)) {
+                        best = Some((e.time, e.order, s));
+                    }
+                }
+            }
+            let Some((_, _, s)) = best else { break };
+            let p = &parts[s];
+            let e = p.log[cur[s].log];
+            cur[s].log += 1;
+            // The pop itself: the serial queue shrinks by one before
+            // the dispatch trace reads its depth.
+            depth -= 1;
+            if traced {
+                let lo = cur[s].trace;
+                for (i, ev) in p.trace_buf[lo..e.trace_end].iter().enumerate() {
+                    let mut ev = ev.clone();
+                    if i == 0 {
+                        if let TraceEvent::EventDispatch { queue_depth, .. } = &mut ev {
+                            *queue_depth = depth as u64;
+                        }
+                    }
+                    tracer.emit(|| ev);
+                }
+            }
+            cur[s].trace = e.trace_end;
+            max_depth = max_depth.max(depth + e.push_peak);
+            depth += e.delta;
+            copy_outputs(
+                &mut sends,
+                &mut path_changes,
+                &mut live_fates,
+                p,
+                &mut cur[s],
+                e.sends_end,
+                e.paths_end,
+                e.fates_end,
+            );
+        }
+    }
+    debug_assert!(
+        !completed || depth == 0,
+        "completed run left {depth} pending"
+    );
+
+    // Per-node state comes from each node's owner: only the owner
+    // dispatched the node's events past the replicated harness calls.
+    let mut fib = NetworkFib::new(node_count);
+    for (s, p) in parts.iter().enumerate() {
+        for &(node, prefix, time, entry) in &p.fib_changes {
+            if owner[node.index()] as usize == s {
+                fib.record(node, prefix, time, entry);
+            }
+        }
+    }
+    let router_stats: Vec<RouterStats> = (0..node_count)
+        .map(|i| parts[owner[i] as usize].router_stats[i])
+        .collect();
+    let mut messages_lost = 0;
+    for (s, p) in parts.iter().enumerate() {
+        for &(from, _to, lost) in &p.link_lost {
+            if owner[from.index()] as usize == s {
+                messages_lost += lost;
+            }
+        }
+    }
+
+    RunRecord {
+        node_count,
+        failure_at: parts.iter().filter_map(|p| p.failure_at).min(),
+        quiescent_at: parts.iter().map(|p| p.now).max().unwrap_or(SimTime::ZERO),
+        sends,
+        fib,
+        path_changes,
+        live_fates,
+        router_stats,
+        events_dispatched: parts.iter().map(|p| p.events_dispatched).sum(),
+        max_queue_depth: max_depth as u64,
+        faults_injected: parts.iter().map(|p| p.faults_injected).sum(),
+        session_resets: parts.iter().map(|p| p.session_resets).sum(),
+        messages_lost,
+    }
+}
+
+fn serial_stats(rec: &RunRecord) -> ShardRunStats {
+    ShardRunStats {
+        shards: 1,
+        per_shard_events: vec![rec.events_dispatched],
+        sync_rounds: 0,
+        null_msgs: 0,
+        barrier_wait_us: 0,
+        queue_hiwater: rec.max_queue_depth,
+    }
+}
+
+/// Runs `exp` on `shards` worker threads. Falls back to the serial
+/// engine when sharding cannot help or cannot be conservative: fewer
+/// than two effective shards, or a zero link delay (the window
+/// protocol's lookahead *is* the link delay).
+pub(crate) fn run_sharded_budgeted(
+    exp: &ConvergenceExperiment,
+    shards: u32,
+    limit: &RunBudget,
+) -> Result<(RunRecord, ShardRunStats), Box<BudgetExceeded>> {
+    let n = exp.graph.node_count();
+    let k = shards.min(n as u32);
+    if k <= 1 || exp.params.link_delay == SimDuration::ZERO {
+        let rec = exp.run_budgeted(limit)?;
+        let stats = serial_stats(&rec);
+        return Ok((rec, stats));
+    }
+    assert!(
+        exp.graph.contains(exp.origin),
+        "origin {} not in graph",
+        exp.origin
+    );
+    let owner = bgpsim_topology::partition::partition(&exp.graph, k);
+    let ku = k as usize;
+    let sync = SyncState::new(ku);
+    let tracer = exp
+        .tracer
+        .clone()
+        .unwrap_or_else(bgpsim_trace::TraceHandle::global);
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ku)
+            .map(|s| {
+                let sync = &sync;
+                let owner = &owner;
+                let tracer = &tracer;
+                scope.spawn(move || worker(exp, owner, s, sync, limit, tracer))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Budget decisions are broadcast, so every worker agrees.
+    let tripped = outs[0].tripped;
+    debug_assert!(outs.iter().all(|o| o.tripped == tripped));
+    let parts: Vec<ShardParts> = outs.into_iter().map(|o| o.parts).collect();
+    assert!(
+        parts
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.shard_id as usize == i),
+        "worker join order must match shard ids"
+    );
+    let record = merge(&parts, &owner, n, &tracer, tripped.is_none());
+    if let Some(phase) = tripped {
+        return Err(Box::new(BudgetExceeded { phase, record }));
+    }
+    let stats = ShardRunStats {
+        shards: k,
+        per_shard_events: parts.iter().map(|p| p.events_dispatched).collect(),
+        sync_rounds: sync.sync_rounds.load(Ordering::Relaxed),
+        null_msgs: sync.null_msgs.load(Ordering::Relaxed),
+        barrier_wait_us: sync.barrier.total_wait_ns() / 1_000,
+        queue_hiwater: parts.iter().map(|p| p.queue_hiwater).max().unwrap_or(0),
+    };
+    if tracer.is_enabled() {
+        let summary = TraceEvent::ShardSummary {
+            seed: exp.seed,
+            t: record.quiescent_at.as_nanos(),
+            shards: u64::from(stats.shards),
+            events: stats.per_shard_events.clone(),
+            null_msgs: stats.null_msgs,
+            sync_rounds: stats.sync_rounds,
+            barrier_wait_us: stats.barrier_wait_us,
+        };
+        tracer.emit(|| summary);
+    }
+    Ok((record, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::failure::FailureEvent;
+    use crate::harness::ConvergenceExperiment;
+    use bgpsim_core::Prefix;
+    use bgpsim_topology::{generators, NodeId};
+
+    fn tdown(nodes: u32) -> ConvergenceExperiment {
+        let g = generators::clique(nodes as usize);
+        ConvergenceExperiment::new(
+            g,
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(42)
+    }
+
+    #[test]
+    fn sharded_clique_matches_serial_byte_for_byte() {
+        let serial = tdown(8).run();
+        for k in [2u32, 3, 4] {
+            let (sharded, stats) = tdown(8).run_sharded_stats(k);
+            assert_eq!(serial, sharded, "k={k} diverged from serial");
+            assert_eq!(stats.shards, k);
+            assert_eq!(
+                stats.per_shard_events.iter().sum::<u64>(),
+                serial.events_dispatched
+            );
+            assert!(stats.sync_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn one_shard_falls_back_to_serial() {
+        let serial = tdown(5).run();
+        let (sharded, stats) = tdown(5).run_sharded_stats(1);
+        assert_eq!(serial, sharded);
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.sync_rounds, 0);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_clamps() {
+        let serial = tdown(3).run();
+        let (sharded, stats) = tdown(3).run_sharded_stats(64);
+        assert_eq!(serial, sharded);
+        assert_eq!(stats.shards, 3);
+    }
+}

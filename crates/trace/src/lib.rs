@@ -161,6 +161,32 @@ pub enum TraceEvent {
         /// FIB epoch boundaries the replay index covered.
         epochs: u64,
     },
+    /// Sharded-run synchronization summary, emitted once per sharded
+    /// run after the deterministic cross-shard merge. Carries the
+    /// conservative-window bookkeeping a serial run has no use for:
+    /// how events spread over shards, how many synchronization rounds
+    /// (time windows) the run took, and how much wall-clock the
+    /// workers spent waiting at window barriers.
+    ShardSummary {
+        /// The run's RNG seed.
+        seed: u64,
+        /// Simulation time of quiescence, nanoseconds.
+        t: u64,
+        /// Number of shards the run executed on.
+        shards: u64,
+        /// Events dispatched by each shard, indexed by shard id. The
+        /// per-shard totals sum to the run's `events` counter.
+        events: Vec<u64>,
+        /// Barrier rounds in which a shard had no cross-shard payload
+        /// to exchange (its window publication was a pure null
+        /// message), summed over shards.
+        null_msgs: u64,
+        /// Conservative time windows executed (barrier rounds).
+        sync_rounds: u64,
+        /// Wall-clock spent blocked at window barriers, microseconds,
+        /// summed over shards.
+        barrier_wait_us: u64,
+    },
     /// A planned fault fired inside the simulator.
     FaultInjected {
         /// The run's RNG seed.
@@ -239,6 +265,7 @@ impl TraceEvent {
             TraceEvent::LoopOffset { .. } => "loop_offset",
             TraceEvent::RunSummary { .. } => "run_summary",
             TraceEvent::MeasureSummary { .. } => "measure_summary",
+            TraceEvent::ShardSummary { .. } => "shard_summary",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::SessionReset { .. } => "session_reset",
             TraceEvent::CacheQuarantine { .. } => "cache_quarantine",
@@ -259,6 +286,7 @@ impl TraceEvent {
             | TraceEvent::LoopOffset { seed, .. }
             | TraceEvent::RunSummary { seed, .. }
             | TraceEvent::MeasureSummary { seed, .. }
+            | TraceEvent::ShardSummary { seed, .. }
             | TraceEvent::FaultInjected { seed, .. }
             | TraceEvent::SessionReset { seed, .. } => seed,
             TraceEvent::CacheQuarantine { .. }
@@ -387,6 +415,26 @@ impl serde::Serialize for TraceEvent {
                 put("walks", Value::UInt(*walks));
                 put("epochs", Value::UInt(*epochs));
             }
+            TraceEvent::ShardSummary {
+                seed,
+                t,
+                shards,
+                events,
+                null_msgs,
+                sync_rounds,
+                barrier_wait_us,
+            } => {
+                put("seed", Value::UInt(*seed));
+                put("t", Value::UInt(*t));
+                put("shards", Value::UInt(*shards));
+                put(
+                    "events",
+                    Value::Array(events.iter().map(|&e| Value::UInt(e)).collect()),
+                );
+                put("null_msgs", Value::UInt(*null_msgs));
+                put("sync_rounds", Value::UInt(*sync_rounds));
+                put("barrier_wait_us", Value::UInt(*barrier_wait_us));
+            }
             TraceEvent::FaultInjected { seed, t, fault } => {
                 put("seed", Value::UInt(*seed));
                 put("t", Value::UInt(*t));
@@ -465,11 +513,22 @@ pub struct RunCounters {
     pub replay_packets: u64,
     /// Replayed packets whose fate came from the batched-replay memo.
     pub replay_memo_hits: u64,
+    /// Peak resident-set size of the process at the time the counters
+    /// were taken, in KiB (`VmHWM` on Linux, 0 elsewhere). Process-wide
+    /// and monotone, so later runs in the same process report values at
+    /// least as large as earlier ones.
+    pub peak_rss_kb: u64,
+    /// High-water mark of any single shard's event queue. Equals
+    /// `max_queue_depth` for serial runs; for sharded runs it is the
+    /// per-shard maximum, which is what bounds worker memory.
+    pub shard_queue_hiwater: u64,
 }
 
 impl RunCounters {
     /// Folds another run's counters into an aggregate: sums every
-    /// field except `max_queue_depth`, which takes the maximum.
+    /// field except `max_queue_depth`, `peak_rss_kb`, and
+    /// `shard_queue_hiwater`, which take the maximum (they are
+    /// high-water marks, not volumes).
     pub fn merge(&mut self, other: &RunCounters) {
         self.events += other.events;
         self.updates_sent += other.updates_sent;
@@ -482,6 +541,35 @@ impl RunCounters {
         self.measure_ms += other.measure_ms;
         self.replay_packets += other.replay_packets;
         self.replay_memo_hits += other.replay_memo_hits;
+        self.peak_rss_kb = self.peak_rss_kb.max(other.peak_rss_kb);
+        self.shard_queue_hiwater = self.shard_queue_hiwater.max(other.shard_queue_hiwater);
+    }
+}
+
+/// Peak resident-set size of the current process in KiB.
+///
+/// Reads `VmHWM` from `/proc/self/status` on Linux and returns 0 on
+/// platforms (or sandboxes) where that file is unavailable or
+/// unparsable. The value is a process-lifetime high-water mark, so it
+/// never decreases between calls.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+                    if let Ok(kb) = digits.parse::<u64>() {
+                        return kb;
+                    }
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 
@@ -882,6 +970,8 @@ mod tests {
                 measure_ms: 4,
                 replay_packets: 40,
                 replay_memo_hits: 30,
+                peak_rss_kb: 2048,
+                shard_queue_hiwater: 5,
             },
         };
         let raw: RawEvent = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
@@ -892,6 +982,42 @@ mod tests {
             raw.get("replay_memo_hits").and_then(|v| v.as_u64()),
             Some(30)
         );
+    }
+
+    #[test]
+    fn shard_summary_serializes_flat_with_event_array() {
+        let ev = TraceEvent::ShardSummary {
+            seed: 7,
+            t: 42,
+            shards: 3,
+            events: vec![10, 20, 30],
+            null_msgs: 4,
+            sync_rounds: 9,
+            barrier_wait_us: 123,
+        };
+        assert_eq!(ev.kind(), "shard_summary");
+        assert_eq!(ev.seed(), 7);
+        let raw: RawEvent = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        assert_eq!(raw.kind(), Some("shard_summary"));
+        assert_eq!(raw.get("shards").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(raw.get("sync_rounds").and_then(|v| v.as_u64()), Some(9));
+        let events: Vec<u64> = match raw.get("events") {
+            Some(Value::Array(items)) => items.iter().filter_map(|v| v.as_u64()).collect(),
+            other => panic!("events should be an array, got {other:?}"),
+        };
+        assert_eq!(events, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn peak_rss_probe_is_sane() {
+        let rss = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            // Any live process has touched at least a page; /proc may
+            // be masked in exotic sandboxes, where 0 is the contract.
+            assert!(rss == 0 || rss >= 64, "implausible VmHWM: {rss} KiB");
+        } else {
+            assert_eq!(rss, 0);
+        }
     }
 
     #[test]
@@ -908,6 +1034,8 @@ mod tests {
             measure_ms: 2,
             replay_packets: 8,
             replay_memo_hits: 3,
+            peak_rss_kb: 1024,
+            shard_queue_hiwater: 4,
         };
         let json = serde_json::to_string(&a).unwrap();
         let back: RunCounters = serde_json::from_str(&json).unwrap();
@@ -924,6 +1052,8 @@ mod tests {
         assert_eq!(total.replay_packets, 8);
         assert_eq!(total.replay_memo_hits, 3);
         assert_eq!(total.max_queue_depth, 9, "merge keeps the maximum depth");
+        assert_eq!(total.peak_rss_kb, 1024, "merge keeps the maximum RSS");
+        assert_eq!(total.shard_queue_hiwater, 4);
         total.merge(&RunCounters {
             max_queue_depth: 20,
             ..Default::default()

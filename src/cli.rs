@@ -36,6 +36,10 @@ pub struct CliOptions {
     pub jobs: Option<usize>,
     /// Run-cache directory override (`None` = `BGPSIM_CACHE_DIR`).
     pub cache_dir: Option<String>,
+    /// Conservative-parallel worker shards for the single run
+    /// (`None` = `BGPSIM_SHARDS`, else serial). Results are
+    /// byte-identical at any count.
+    pub shards: Option<u32>,
 }
 
 impl Default for CliOptions {
@@ -52,6 +56,7 @@ impl Default for CliOptions {
             trace_out: None,
             jobs: None,
             cache_dir: None,
+            shards: None,
         }
     }
 }
@@ -92,6 +97,9 @@ OPTIONS:
                         else available parallelism; 1 = serial)
   --cache-dir <DIR>     reuse run results cached in DIR
                         (default: $BGPSIM_CACHE_DIR, else uncached)
+  --shards <K>          run the simulation on K conservative-parallel
+                        worker shards — byte-identical to serial
+                        (default: $BGPSIM_SHARDS, else 1)
   --help                show this text
 
 SUBCOMMANDS:
@@ -408,6 +416,14 @@ where
                 let v = expect_value(&mut iter, arg)?;
                 opts.cache_dir = Some(v.as_ref().to_string());
             }
+            "--shards" => {
+                let v = expect_value(&mut iter, arg)?;
+                let n = parse_num(v.as_ref(), "--shards")? as u32;
+                if n == 0 {
+                    return Err(CliError("--shards must be at least 1".to_string()));
+                }
+                opts.shards = Some(n);
+            }
             "--help" | "-h" => return Err(CliError(USAGE.to_string())),
             other => return Err(CliError(format!("unknown option {other:?}"))),
         }
@@ -487,6 +503,8 @@ mod tests {
             "4",
             "--cache-dir",
             "/tmp/bgpsim-cache",
+            "--shards",
+            "4",
         ])
         .unwrap();
         assert_eq!(opts.topology, TopologySpec::BClique(10));
@@ -500,11 +518,14 @@ mod tests {
         assert_eq!(opts.trace_out.as_deref(), Some("/tmp/run.jsonl"));
         assert_eq!(opts.jobs, Some(4));
         assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/bgpsim-cache"));
+        assert_eq!(opts.shards, Some(4));
     }
 
     #[test]
     fn jobs_rejects_zero() {
         let err = parse_args(["--jobs", "0"]).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
+        let err = parse_args(["--shards", "0"]).unwrap_err();
         assert!(err.to_string().contains("at least 1"));
     }
 

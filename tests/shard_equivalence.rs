@@ -1,0 +1,275 @@
+//! Serial/sharded equivalence: the conservative-parallel engine is a
+//! pure execution policy, so a sharded run must reproduce the serial
+//! simulator **byte for byte** — the full `RunRecord` (send timeline,
+//! FIB history, queue-depth high-water), every derived paper metric,
+//! the trace stream, and checkpoint forks — on the paper's topologies,
+//! under fault plans, and across random graphs and shard counts.
+
+use std::sync::Arc;
+
+use bgpsim::checkpoint::{fork, Checkpoint};
+use bgpsim::netsim::rng::SimRng;
+use bgpsim::netsim::time::SimDuration;
+use bgpsim::prelude::*;
+use bgpsim::trace::{MemorySink, TraceEvent, TraceHandle, TraceSink};
+use proptest::prelude::*;
+
+/// Asserts two scenario results are indistinguishable: the raw run
+/// record bit for bit, and everything measured from it.
+fn assert_same_result(serial: &ScenarioResult, sharded: &ScenarioResult, label: &str) {
+    assert_eq!(serial.record, sharded.record, "{label}: run records differ");
+    assert_eq!(
+        serial.measurement.metrics, sharded.measurement.metrics,
+        "{label}: paper metrics differ"
+    );
+    assert_eq!(
+        serial.measurement.census, sharded.measurement.census,
+        "{label}: loop censuses differ"
+    );
+}
+
+/// The three paper topologies under their canonical failure events,
+/// serial vs every interesting shard count.
+#[test]
+fn paper_topologies_shard_byte_identically() {
+    for (spec, event) in [
+        (TopologySpec::Clique(8), EventKind::TDown),
+        (TopologySpec::BClique(5), EventKind::TLong),
+        (
+            TopologySpec::InternetLike {
+                n: 29,
+                topo_seed: 3,
+            },
+            EventKind::TDown,
+        ),
+    ] {
+        let base = Scenario::new(spec.clone(), event).with_seed(77);
+        let serial = base.clone().run();
+        for k in [2u32, 3, 4] {
+            let sharded = base.clone().with_shards(k).run();
+            assert_same_result(&serial, &sharded, &format!("{} @ {k} shards", spec.label()));
+        }
+    }
+}
+
+/// Fault plans exercise the replicated harness phases (scheduled
+/// resets, loss models, withdraw pulses) — all of which must land on
+/// identical beats regardless of partitioning.
+#[test]
+fn fault_plans_shard_byte_identically() {
+    let plan = FaultPlan::new()
+        .withdraw(SimDuration::ZERO, NodeId::new(0), Prefix::new(0))
+        .session_reset(SimDuration::from_secs(2), NodeId::new(1), NodeId::new(2))
+        .link_down(SimDuration::from_secs(3), NodeId::new(3), NodeId::new(4))
+        .link_up(SimDuration::from_secs(6), NodeId::new(3), NodeId::new(4))
+        .loss(NodeId::new(2), NodeId::new(5), 0.15)
+        .flap(
+            FlapTrain::new(NodeId::new(5), NodeId::new(6))
+                .starting_at(SimDuration::from_secs(1))
+                .with_period(SimDuration::from_secs(2))
+                .with_count(3)
+                .with_jitter(0.2),
+        );
+    plan.validate().expect("plan is valid on an 8-clique");
+    let base = Scenario::new(TopologySpec::Clique(8), EventKind::TDown)
+        .with_seed(41)
+        .with_faults(plan);
+    let serial = base.clone().run();
+    assert!(serial.record.faults_injected > 0);
+    for k in [2u32, 3, 4] {
+        let sharded = base.clone().with_shards(k).run();
+        assert_same_result(&serial, &sharded, &format!("faulty clique @ {k} shards"));
+    }
+}
+
+/// The merged trace stream is the serial stream: same events, same
+/// order — plus exactly one `shard_summary` whose per-shard counters
+/// account for every dispatched event.
+#[test]
+fn sharded_trace_stream_matches_serial() {
+    let capture = |run: &dyn Fn(&ConvergenceExperiment) -> RunRecord| {
+        let sink = Arc::new(MemorySink::new());
+        let exp = ConvergenceExperiment::new(
+            generators::clique(8),
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_seed(13)
+        .with_tracer(TraceHandle::new(sink.clone() as Arc<dyn TraceSink>));
+        let record = run(&exp);
+        (record, sink.events())
+    };
+    let (serial_rec, serial_events) = capture(&|e| e.run());
+    let (sharded_rec, sharded_events) = capture(&|e| e.run_sharded(3));
+    assert_eq!(serial_rec, sharded_rec);
+
+    let summaries: Vec<&TraceEvent> = sharded_events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ShardSummary { .. }))
+        .collect();
+    assert_eq!(summaries.len(), 1, "one shard_summary per sharded run");
+    if let TraceEvent::ShardSummary { shards, events, .. } = summaries[0] {
+        assert_eq!(*shards, 3);
+        assert_eq!(
+            events.iter().sum::<u64>(),
+            sharded_rec.events_dispatched,
+            "per-shard counters must account for every dispatched event"
+        );
+    }
+    let filtered: Vec<&TraceEvent> = sharded_events
+        .iter()
+        .filter(|e| !matches!(e, TraceEvent::ShardSummary { .. }))
+        .collect();
+    let serial_refs: Vec<&TraceEvent> = serial_events.iter().collect();
+    assert_eq!(
+        filtered, serial_refs,
+        "merged trace must equal the serial stream event for event"
+    );
+}
+
+/// Fig 5's quick-scale sweep drives the committed `BENCH_trace.json`
+/// queue-depth baseline; the sharded engine must report the *same*
+/// `max_queue_depth` at every MRAI point, or the figure's counters
+/// stop being comparable across engines.
+#[test]
+fn fig5_queue_depth_survives_sharding() {
+    for mrai in [5u64, 15, 30] {
+        let base = Scenario::new(TopologySpec::Clique(8), EventKind::TDown)
+            .with_config(
+                BgpConfig::default()
+                    .with_mrai(SimDuration::from_secs(mrai))
+                    .with_enhancements(Enhancements::standard()),
+            )
+            .with_seed(0);
+        let serial = base.clone().run();
+        assert!(serial.record.max_queue_depth > 0);
+        for k in [2u32, 4] {
+            let sharded = base.clone().with_shards(k).run();
+            assert_eq!(
+                serial.record.max_queue_depth, sharded.record.max_queue_depth,
+                "MRAI {mrai}s @ {k} shards: queue-depth high-water diverged"
+            );
+        }
+    }
+}
+
+/// Degenerate shard counts fall back to (or clamp onto) the serial
+/// engine rather than misbehaving: `k` ≤ 1 is serial by definition,
+/// and `k` beyond the node count clamps to one node per shard.
+#[test]
+fn degenerate_shard_counts_are_serial() {
+    let base = Scenario::new(TopologySpec::Clique(5), EventKind::TDown).with_seed(7);
+    let serial = base.clone().run();
+    for k in [1u32, 5, 64] {
+        let sharded = base.clone().with_shards(k).run();
+        assert_same_result(&serial, &sharded, &format!("clique-5 @ {k} shards"));
+    }
+    // `with_shards(0)` clamps to 1 rather than panicking downstream.
+    let zero = Scenario::new(TopologySpec::Clique(5), EventKind::TDown)
+        .with_seed(7)
+        .with_shards(0);
+    assert_same_result(&serial, &zero.run(), "clique-5 @ 0 shards");
+}
+
+/// Checkpoints and shards compose: the shard count is excluded from
+/// the scenario fingerprint (it cannot change results), a warm-up
+/// captured under a sharded spec round-trips through the file format,
+/// and forking from it reproduces both the serial and the sharded
+/// from-scratch runs bit for bit.
+#[test]
+fn checkpoint_fork_round_trips_identically_under_sharding() {
+    let serial_spec = Scenario::new(TopologySpec::Clique(8), EventKind::TDown).with_seed(9);
+    let sharded_spec = serial_spec.clone().with_shards(3);
+    assert_eq!(
+        serial_spec.fingerprint(),
+        sharded_spec.fingerprint(),
+        "shards are execution policy, not scenario identity"
+    );
+    assert_eq!(
+        serial_spec.warmup_fingerprint(),
+        sharded_spec.warmup_fingerprint()
+    );
+
+    let ckpt = Checkpoint::capture(
+        sharded_spec.snapshot_warmup(),
+        sharded_spec.warmup_fingerprint(),
+        Some(sharded_spec.to_canonical_json().unwrap()),
+    );
+    let path = std::env::temp_dir().join(format!("bgpsim-shard-eq-{}.ckpt", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    ckpt.save(path_str).unwrap();
+    let loaded = Checkpoint::load(path_str).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let scratch_serial = serial_spec.run();
+    let scratch_sharded = sharded_spec.run();
+    assert_same_result(&scratch_serial, &scratch_sharded, "clique-8 scratch");
+    // Forked tails always play serially; the fork must still equal
+    // both from-scratch runs (which are themselves equal).
+    let forked = sharded_spec.run_forked(&loaded.snapshot);
+    assert_same_result(&scratch_sharded, &forked, "fork of sharded spec");
+}
+
+/// A mid-convergence checkpoint taken from a serial run forks into
+/// exactly what the sharded engine computes from scratch.
+#[test]
+fn mid_convergence_fork_equals_sharded_scratch() {
+    let exp = ConvergenceExperiment::new(
+        generators::clique(6),
+        NodeId::new(0),
+        FailureEvent::WithdrawPrefix {
+            origin: NodeId::new(0),
+            prefix: Prefix::new(0),
+        },
+    )
+    .with_seed(21);
+    let scratch = exp.run_sharded(3);
+    let failure_at = scratch.failure_at.expect("failure is scheduled");
+    let snap = exp.snapshot_at(SnapshotBeat::At(failure_at + SimDuration::from_secs(3)));
+    let ckpt = Checkpoint::capture(snap, "shard-eq/mid".into(), None);
+    assert_eq!(fork(&ckpt, &exp), scratch);
+}
+
+/// A connected random graph (retry over seeds until connected).
+fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    for attempt in 0..50 {
+        let g = generators::random_gnp(n, p, &mut SimRng::new(seed + attempt * 1000));
+        if algo::is_connected(&g) {
+            return g;
+        }
+    }
+    generators::ring(n.max(3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The core property behind everything above: on arbitrary
+    /// connected graphs, any shard count reproduces the serial run
+    /// record bit for bit.
+    #[test]
+    fn random_graphs_shard_byte_identically(
+        n in 4usize..12,
+        p in 0.4f64..0.9,
+        seed in 0u64..1_000_000,
+        k in 2u32..6,
+        mrai in 1u64..15,
+    ) {
+        let exp = ConvergenceExperiment::new(
+            connected_gnp(n, p, seed),
+            NodeId::new(0),
+            FailureEvent::WithdrawPrefix {
+                origin: NodeId::new(0),
+                prefix: Prefix::new(0),
+            },
+        )
+        .with_config(BgpConfig::default().with_mrai(SimDuration::from_secs(mrai)))
+        .with_seed(seed);
+        let serial = exp.run();
+        let sharded = exp.run_sharded(k);
+        prop_assert_eq!(&serial, &sharded);
+    }
+}
