@@ -256,6 +256,21 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), Error> {
         path: path.to_path_buf(),
         source,
     };
+    // Deterministic fault injection (`BGPSIM_FAILPOINT=checkpoint_write:...`):
+    // Err fails the write outright; Torn bypasses the temp+rename
+    // discipline and leaves a half-written final file, which a later
+    // load must detect as corrupt.
+    match bgpsim_trace::failpoint::check("checkpoint_write", &path.to_string_lossy()) {
+        Some(bgpsim_trace::failpoint::FailpointAction::Err) => {
+            return Err(io_err(bgpsim_trace::failpoint::injected_error(
+                "checkpoint_write",
+            )));
+        }
+        Some(bgpsim_trace::failpoint::FailpointAction::Torn) => {
+            return std::fs::write(path, &bytes[..bytes.len() / 2]).map_err(io_err);
+        }
+        _ => {}
+    }
     std::fs::write(&tmp, bytes).map_err(io_err)?;
     match std::fs::rename(&tmp, path) {
         Ok(()) => Ok(()),

@@ -35,6 +35,12 @@ const KNOWN_KINDS: &[&str] = &[
     "cache_quarantine",
     "serve_request",
     "admission_reject",
+    "worker_crash",
+    "job_retry",
+    "recovery_replay",
+    "failpoint_hit",
+    "circuit_breaker",
+    "quarantine_evict",
 ];
 
 #[derive(Default)]
@@ -60,11 +66,24 @@ struct ServeRecon {
     run_summaries: u64,
 }
 
+/// Reconciliation state for crash-tolerance traces: every crashed
+/// attempt that was not terminal must have scheduled a retry.
+#[derive(Default)]
+struct CrashRecon {
+    /// `worker_crash` lines with `poisoned: false` (retryable).
+    retryable_crashes: u64,
+    /// `worker_crash` lines with `poisoned: true` (terminal).
+    poisoned_crashes: u64,
+    /// `job_retry` lines.
+    retries: u64,
+}
+
 fn check_line(
     no: usize,
     line: &str,
     per_seed: &mut BTreeMap<u64, SeedLoops>,
     serve: &mut ServeRecon,
+    crashes: &mut CrashRecon,
 ) -> Result<(), String> {
     let err = |msg: String| format!("line {no}: {msg}");
     let raw: RawEvent =
@@ -181,6 +200,109 @@ fn check_line(
                     .ok_or_else(|| err(format!("admission_reject missing \"{name}\"")))?;
             }
         }
+        "worker_crash" => {
+            for name in ["label", "fingerprint", "detail"] {
+                raw.get(name)
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| err(format!("worker_crash missing \"{name}\"")))?;
+            }
+            let attempt = raw
+                .get("attempt")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("worker_crash missing numeric \"attempt\"".into()))?;
+            if attempt == 0 {
+                return Err(err("worker_crash attempts are 1-based".into()));
+            }
+            let poisoned = raw
+                .get("poisoned")
+                .and_then(|v| v.as_bool())
+                .ok_or_else(|| err("worker_crash missing boolean \"poisoned\"".into()))?;
+            if poisoned {
+                crashes.poisoned_crashes += 1;
+            } else {
+                crashes.retryable_crashes += 1;
+            }
+        }
+        "job_retry" => {
+            for name in ["label", "fingerprint"] {
+                raw.get(name)
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| err(format!("job_retry missing \"{name}\"")))?;
+            }
+            let attempt = raw
+                .get("attempt")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("job_retry missing numeric \"attempt\"".into()))?;
+            if attempt < 2 {
+                return Err(err("job_retry \"attempt\" must be >= 2 (it follows a crash)".into()));
+            }
+            raw.get("backoff_ms")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("job_retry missing numeric \"backoff_ms\"".into()))?;
+            crashes.retries += 1;
+        }
+        "recovery_replay" => {
+            raw.get("journal")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| err("recovery_replay missing \"journal\"".into()))?;
+            let num = |name: &str| {
+                raw.get(name)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| err(format!("recovery_replay missing numeric \"{name}\"")))
+            };
+            let started = num("started")?;
+            num("lines")?;
+            num("completed")?;
+            let interrupted = num("interrupted")?;
+            let recovered = num("recovered")?;
+            num("tmp_swept")?;
+            if interrupted > started {
+                return Err(err(format!(
+                    "recovery_replay reports {interrupted} interrupted job(s) from only \
+                     {started} started intent(s)"
+                )));
+            }
+            if recovered > interrupted {
+                return Err(err(format!(
+                    "recovery_replay reports {recovered} recovered job(s) but only \
+                     {interrupted} were interrupted"
+                )));
+            }
+        }
+        "failpoint_hit" => {
+            for name in ["site", "action"] {
+                raw.get(name)
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| err(format!("failpoint_hit missing \"{name}\"")))?;
+            }
+            let hit = raw
+                .get("hit")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("failpoint_hit missing numeric \"hit\"".into()))?;
+            if hit == 0 {
+                return Err(err("failpoint_hit counters are 1-based".into()));
+            }
+        }
+        "circuit_breaker" => {
+            let state = raw
+                .get("state")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| err("circuit_breaker missing \"state\"".into()))?;
+            if !["closed", "open", "half_open"].contains(&state) {
+                return Err(err(format!("circuit_breaker in unknown state {state:?}")));
+            }
+            raw.get("crashes")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("circuit_breaker missing numeric \"crashes\"".into()))?;
+        }
+        "quarantine_evict" => {
+            raw.get("path")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| err("quarantine_evict missing \"path\"".into()))?;
+            raw.get("bytes")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| err("quarantine_evict missing numeric \"bytes\"".into()))?;
+        }
         "measure_summary" => {
             let field = |name: &str| {
                 raw.get(name)
@@ -218,6 +340,7 @@ fn main() -> ExitCode {
     };
     let mut per_seed: BTreeMap<u64, SeedLoops> = BTreeMap::new();
     let mut serve = ServeRecon::default();
+    let mut crashes = CrashRecon::default();
     let mut lines = 0usize;
     let mut violations = 0usize;
     for (i, line) in content.lines().enumerate() {
@@ -225,10 +348,22 @@ fn main() -> ExitCode {
             continue;
         }
         lines += 1;
-        if let Err(msg) = check_line(i + 1, line, &mut per_seed, &mut serve) {
+        if let Err(msg) = check_line(i + 1, line, &mut per_seed, &mut serve, &mut crashes) {
             eprintln!("{msg}");
             violations += 1;
         }
+    }
+    // Crash-tolerance reconciliation: every retryable worker crash
+    // schedules exactly one retry; poisoned (terminal) crashes
+    // schedule none. A mismatch means a job was lost between crash and
+    // retry, or a retry fired without a recorded crash.
+    if crashes.retryable_crashes != crashes.retries {
+        eprintln!(
+            "crash reconciliation broken: {} retryable worker_crash line(s) but \
+             {} job_retry line(s)",
+            crashes.retryable_crashes, crashes.retries
+        );
+        violations += 1;
     }
     // A daemon trace must not report more executed runs than its
     // accepted submissions admitted (cache hits skip run_summary, so

@@ -403,6 +403,15 @@ impl ScenarioSpec {
         );
         let fingerprint = Some(self.fingerprint());
         let seed = self.seed;
+        // Portable form for process isolation: scenarios with a
+        // canonical JSON spec can run in a supervised `bgpsim worker`
+        // child (custom topologies cannot, and stay in-process).
+        // Forked jobs never carry a payload — they need the batch's
+        // shared in-process warm-up state.
+        let payload = self
+            .to_canonical_json()
+            .ok()
+            .map(|scenario| bgpsim_runner::WorkerPayload { scenario, seed });
         bgpsim_runner::Job::budgeted(label, fingerprint, move |budget| {
             let mut limit = RunBudget::unlimited();
             if let Some(n) = budget.max_events {
@@ -429,6 +438,7 @@ impl ScenarioSpec {
                 }),
             }
         })
+        .with_worker_payload(payload)
     }
 
     /// The destination AS this scenario actually uses, resolved on

@@ -53,8 +53,13 @@ use crate::error::Error;
 pub const SCHEMA_VERSION: u32 = 4;
 
 /// Serializable mirror of [`PaperMetrics`] (durations as nanoseconds).
+///
+/// Also the wire form the supervisor/worker protocol uses
+/// (`crate::supervisor`): the JSON float formatting is
+/// shortest-round-trip, so metrics that cross a process boundary stay
+/// bit-identical to an in-process run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-struct CachedMetrics {
+pub(crate) struct CachedMetrics {
     convergence_nanos: Option<u64>,
     looping_nanos: Option<u64>,
     ttl_exhaustions: u64,
@@ -67,7 +72,7 @@ struct CachedMetrics {
 }
 
 impl CachedMetrics {
-    fn from_metrics(m: &PaperMetrics) -> Self {
+    pub(crate) fn from_metrics(m: &PaperMetrics) -> Self {
         CachedMetrics {
             convergence_nanos: m.convergence_time.map(SimDuration::as_nanos),
             looping_nanos: m.overall_looping_duration.map(SimDuration::as_nanos),
@@ -81,7 +86,7 @@ impl CachedMetrics {
         }
     }
 
-    fn to_metrics(&self) -> PaperMetrics {
+    pub(crate) fn to_metrics(&self) -> PaperMetrics {
         PaperMetrics {
             convergence_time: self.convergence_nanos.map(SimDuration::from_nanos),
             overall_looping_duration: self.looping_nanos.map(SimDuration::from_nanos),
@@ -121,6 +126,22 @@ pub struct RunCache {
 struct CacheInner {
     dir: PathBuf,
     schema: u32,
+    /// Size cap for the quarantine directory, bytes. When a fresh
+    /// quarantine pushes the directory above the cap, the oldest
+    /// parked entries are evicted first.
+    quarantine_cap: u64,
+}
+
+/// Default quarantine size cap: 16 MiB of parked corrupt entries.
+/// Override with `BGPSIM_QUARANTINE_CAP` (bytes) or
+/// [`RunCache::with_quarantine_cap`].
+pub const DEFAULT_QUARANTINE_CAP: u64 = 16 * 1024 * 1024;
+
+fn quarantine_cap_from_env() -> u64 {
+    std::env::var("BGPSIM_QUARANTINE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_QUARANTINE_CAP)
 }
 
 impl RunCache {
@@ -148,8 +169,25 @@ impl RunCache {
             source,
         })?;
         Ok(RunCache {
-            inner: std::sync::Arc::new(CacheInner { dir, schema }),
+            inner: std::sync::Arc::new(CacheInner {
+                dir,
+                schema,
+                quarantine_cap: quarantine_cap_from_env(),
+            }),
         })
+    }
+
+    /// Returns the cache with an explicit quarantine size cap (bytes);
+    /// `0` disables the cap. Overrides `BGPSIM_QUARANTINE_CAP`.
+    #[must_use]
+    pub fn with_quarantine_cap(self, cap: u64) -> Self {
+        RunCache {
+            inner: std::sync::Arc::new(CacheInner {
+                dir: self.inner.dir.clone(),
+                schema: self.inner.schema,
+                quarantine_cap: cap,
+            }),
+        }
     }
 
     /// The cache directory.
@@ -239,6 +277,72 @@ impl RunCache {
                 path.display()
             ),
         }
+        self.quarantine_gc();
+    }
+
+    /// Evicts the oldest parked entries until the quarantine directory
+    /// fits under its size cap. Best-effort: unreadable metadata or a
+    /// failed removal is skipped, never an error. Returns the number of
+    /// entries evicted; each eviction emits a `quarantine_evict` trace
+    /// event.
+    pub fn quarantine_gc(&self) -> u64 {
+        let cap = self.inner.quarantine_cap;
+        if cap == 0 {
+            return 0;
+        }
+        let Ok(entries) = std::fs::read_dir(self.quarantine_dir()) else {
+            return 0;
+        };
+        // (mtime, size, path), oldest first; ties broken by name so the
+        // eviction order is deterministic.
+        let mut files: Vec<(std::time::SystemTime, u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                meta.is_file().then(|| {
+                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    (mtime, meta.len(), e.path())
+                })
+            })
+            .collect();
+        files.sort();
+        let mut total: u64 = files.iter().map(|(_, size, _)| size).sum();
+        let mut evicted = 0;
+        for (_, size, path) in files {
+            if total <= cap {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+                evicted += 1;
+                bgpsim_trace::TraceHandle::global().emit(|| {
+                    bgpsim_trace::TraceEvent::QuarantineEvict {
+                        path: path.display().to_string(),
+                        bytes: size,
+                    }
+                });
+            }
+        }
+        evicted
+    }
+
+    /// Removes stale atomic-write temp files (`*.tmp.<pid>.<seq>`)
+    /// left behind by writers that died between `write` and `rename`.
+    /// Only safe when no writer is active — recovery runs it at
+    /// startup. Returns the number of files swept.
+    pub fn sweep_stale_tmp(&self) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.inner.dir) else {
+            return 0;
+        };
+        let mut swept = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_tmp = name.to_str().is_some_and(|n| n.contains(".tmp."));
+            if is_tmp && entry.path().is_file() && std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        swept
     }
 
     /// Looks up the result of a spec, reporting *why* nothing usable
@@ -287,6 +391,26 @@ impl RunCache {
             path: path.clone(),
             source: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
         })?;
+        // Deterministic fault injection for crash-recovery tests:
+        // `err` models a full disk, `torn` a writer that died mid-write
+        // and bypassed the atomic rename (the next lookup must detect
+        // and quarantine the fragment).
+        match bgpsim_trace::failpoint::check("cache_write", spec) {
+            Some(bgpsim_trace::failpoint::FailpointAction::Err) => {
+                return Err(Error::Cache {
+                    path,
+                    source: bgpsim_trace::failpoint::injected_error("cache_write"),
+                });
+            }
+            Some(bgpsim_trace::failpoint::FailpointAction::Torn) => {
+                let torn = &json[..json.len() / 2];
+                return std::fs::write(&path, torn).map_err(|source| Error::Cache {
+                    path: path.clone(),
+                    source,
+                });
+            }
+            _ => {}
+        }
         // Unique temp name per process *and* store call: concurrent
         // workers may store the same key (duplicate jobs in a batch).
         static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -442,6 +566,56 @@ mod tests {
         assert!(newer.lookup("spec").is_none());
         assert!(old.lookup("spec").is_some());
         assert!(!newer.quarantine_dir().exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_gc_enforces_size_cap() {
+        let dir = temp_cache_dir("quarantine-gc");
+        let cache = RunCache::new(&dir).unwrap().with_quarantine_cap(64);
+        // Quarantine three corrupt entries of ~40 bytes each; the cap
+        // only fits one, so the GC (run as part of quarantine) evicts
+        // the oldest two.
+        for spec in ["a", "b", "c"] {
+            cache.store(spec, &sample_metrics()).unwrap();
+            std::fs::write(cache.entry_path(spec), format!("{{ corrupt {spec} {:40}", ""))
+                .unwrap();
+            assert!(cache.lookup(spec).is_none());
+        }
+        let remaining: Vec<_> = std::fs::read_dir(cache.quarantine_dir())
+            .unwrap()
+            .flatten()
+            .collect();
+        let total: u64 = remaining
+            .iter()
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(
+            total <= 64,
+            "quarantine dir must fit the cap after GC, got {total} bytes"
+        );
+        assert!(remaining.len() < 3, "oldest entries must be evicted");
+        // A cap of zero disables the GC entirely.
+        let unbounded = RunCache::new(&dir).unwrap().with_quarantine_cap(0);
+        assert_eq!(unbounded.quarantine_gc(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_tmp_files() {
+        let dir = temp_cache_dir("tmp-sweep");
+        let cache = RunCache::new(&dir).unwrap();
+        cache.store("keep", &sample_metrics()).unwrap();
+        std::fs::write(dir.join("deadbeef.tmp.1234.0"), b"{ half-written").unwrap();
+        std::fs::write(dir.join("cafebabe.tmp.1234.7"), b"").unwrap();
+        assert_eq!(cache.sweep_stale_tmp(), 2);
+        assert!(!dir.join("deadbeef.tmp.1234.0").exists());
+        assert_eq!(
+            cache.lookup("keep"),
+            Some(sample_metrics()),
+            "live entries survive the sweep"
+        );
+        assert_eq!(cache.sweep_stale_tmp(), 0, "second sweep finds nothing");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

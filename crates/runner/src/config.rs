@@ -40,6 +40,7 @@ pub struct RunnerConfig {
     progress: Option<ProgressMode>,
     max_events: Option<u64>,
     max_wall: Option<Duration>,
+    isolate: Option<bool>,
 }
 
 impl RunnerConfig {
@@ -59,7 +60,10 @@ impl RunnerConfig {
     /// * `BGPSIM_MAX_EVENTS` — per-job watchdog event budget (ignored
     ///   unless a positive integer);
     /// * `BGPSIM_MAX_WALL_MS` — per-job watchdog wall-clock budget in
-    ///   milliseconds (ignored unless a positive integer).
+    ///   milliseconds (ignored unless a positive integer);
+    /// * `BGPSIM_ISOLATE` — `1` runs each payload-carrying job in a
+    ///   supervised child process (`0` disables; anything else is
+    ///   ignored).
     ///
     /// Settings applied with builder methods afterwards take precedence
     /// over the environment.
@@ -91,6 +95,11 @@ impl RunnerConfig {
                 .and_then(|v| v.parse::<u64>().ok())
                 .filter(|&n| n > 0)
                 .map(Duration::from_millis),
+            isolate: lookup("BGPSIM_ISOLATE").and_then(|v| match v.trim() {
+                "1" => Some(true),
+                "0" => Some(false),
+                _ => None,
+            }),
         }
     }
 
@@ -152,9 +161,24 @@ impl RunnerConfig {
         self
     }
 
+    /// Runs payload-carrying jobs in supervised child processes
+    /// (crash isolation: a panicking or runaway job fails alone
+    /// instead of taking the process down). Off by default for CLI
+    /// one-shots; `bgpsim serve` turns it on unless told otherwise.
+    #[must_use]
+    pub fn isolate(mut self, isolate: bool) -> Self {
+        self.isolate = Some(isolate);
+        self
+    }
+
     /// The configured worker count, if set.
     pub fn jobs_set(&self) -> Option<usize> {
         self.jobs
+    }
+
+    /// The configured isolation switch, if set.
+    pub fn isolate_set(&self) -> Option<bool> {
+        self.isolate
     }
 
     /// The configured cache directory, if set.
@@ -203,6 +227,9 @@ impl RunnerConfig {
         if let Some(d) = self.max_wall {
             runner = runner.with_max_wall(d);
         }
+        if let Some(isolate) = self.isolate {
+            runner = runner.with_isolation(isolate);
+        }
         if let Some(dir) = self.cache_dir {
             runner = runner.with_cache_dir(dir)?;
         }
@@ -226,6 +253,9 @@ impl RunnerConfig {
             }
             if let Some(d) = self.max_wall {
                 runner = runner.with_max_wall(d);
+            }
+            if let Some(isolate) = self.isolate {
+                runner = runner.with_isolation(isolate);
             }
             runner
         };
@@ -364,6 +394,29 @@ mod tests {
         // Builder beats env.
         let cfg = from_map(&map).max_events(9);
         assert_eq!(cfg.max_events_set(), Some(9));
+    }
+
+    #[test]
+    fn isolate_env_parses_strictly() {
+        assert_eq!(
+            from_map(&env_of(&[("BGPSIM_ISOLATE", "1")])).isolate_set(),
+            Some(true)
+        );
+        assert_eq!(
+            from_map(&env_of(&[("BGPSIM_ISOLATE", "0")])).isolate_set(),
+            Some(false)
+        );
+        assert_eq!(
+            from_map(&env_of(&[("BGPSIM_ISOLATE", "yes")])).isolate_set(),
+            None
+        );
+        // Builder beats env; build() wires it into the runner.
+        let runner = from_map(&env_of(&[("BGPSIM_ISOLATE", "0")]))
+            .isolate(true)
+            .jobs(1)
+            .build()
+            .unwrap();
+        assert!(runner.isolates());
     }
 
     #[test]

@@ -60,6 +60,23 @@ pub enum Error {
         /// The label of the job that panicked.
         label: String,
     },
+    /// A process-isolated worker died without producing a result —
+    /// panic, abort, OOM kill, external signal, or an RSS limit
+    /// enforced by the supervisor. The daemon and the rest of the
+    /// batch survive; only this job fails.
+    WorkerCrash {
+        /// The label of the crashed job.
+        label: String,
+        /// What killed the worker (exit status, signal, limit, or a
+        /// stderr excerpt).
+        detail: String,
+        /// Worker attempts made before giving up (1 = no retries).
+        attempts: u32,
+        /// `true` when the job's fingerprint is now quarantined as
+        /// poisoned: resubmissions fail fast instead of crashing a
+        /// fresh worker each time.
+        poisoned: bool,
+    },
     /// A job exceeded its watchdog budget (event count or wall clock)
     /// before converging. The worker pool stays healthy: the run is
     /// stopped cleanly and its partial counters are preserved.
@@ -108,6 +125,19 @@ impl fmt::Display for Error {
                 )
             }
             Error::WorkerPanic { label } => write!(f, "job {label:?} panicked"),
+            Error::WorkerCrash {
+                label,
+                detail,
+                attempts,
+                poisoned,
+            } => {
+                write!(
+                    f,
+                    "job {label:?} crashed its isolated worker after {attempts} attempt(s): \
+                     {detail}{}",
+                    if *poisoned { " (job poisoned)" } else { "" }
+                )
+            }
             Error::Timeout { label, phase, .. } => {
                 write!(f, "job {label:?} exceeded its watchdog budget in {phase}")
             }
@@ -128,6 +158,7 @@ impl std::error::Error for Error {
             | Error::Bench { source, .. } => Some(source),
             Error::CorruptEntry { .. }
             | Error::WorkerPanic { .. }
+            | Error::WorkerCrash { .. }
             | Error::Timeout { .. }
             | Error::Cancelled { .. }
             | Error::GlobalAlreadyInitialized => None,

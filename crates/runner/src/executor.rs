@@ -1,7 +1,7 @@
 //! The parallel executor: worker pool, ordered merge, progress,
 //! journal, and cumulative statistics.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::{IsTerminal, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -10,11 +10,12 @@ use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use bgpsim_metrics::PaperMetrics;
-use bgpsim_trace::RunCounters;
+use bgpsim_trace::{failpoint, RunCounters, TraceEvent, TraceHandle};
 use serde::Serialize;
 
 use crate::cache::RunCache;
 use crate::error::Error;
+use crate::supervisor::{AttemptFailure, IsolationConfig, WorkerPayload};
 
 /// What a job produces: the paper metrics plus optional per-run
 /// counters for the journal and benchmark baseline.
@@ -165,6 +166,11 @@ pub struct Job {
     /// pure function of the fingerprint: two jobs with equal
     /// fingerprints must produce equal metrics.
     pub run: JobFn,
+    /// Portable form of the run, if it has one: lets an isolating
+    /// runner execute the job in a supervised child process instead of
+    /// calling `run`. Both forms must produce identical output —
+    /// isolation is execution policy, never semantics.
+    pub payload: Option<WorkerPayload>,
 }
 
 impl Job {
@@ -181,6 +187,7 @@ impl Job {
             label: label.into(),
             fingerprint,
             run: Box::new(move |_| Ok(run().into())),
+            payload: None,
         }
     }
 
@@ -195,7 +202,16 @@ impl Job {
             label: label.into(),
             fingerprint,
             run: Box::new(run),
+            payload: None,
         }
+    }
+
+    /// Attaches the job's portable form for process isolation. Without
+    /// it the job always runs in-process, even under `--isolate`.
+    #[must_use]
+    pub fn with_worker_payload(mut self, payload: Option<WorkerPayload>) -> Self {
+        self.payload = payload;
+        self
     }
 }
 
@@ -236,6 +252,14 @@ pub struct RunnerStats {
     /// reported them (cache hits contribute nothing — the run did not
     /// happen).
     pub counters: RunCounters,
+    /// Isolated worker processes that died without a result (each
+    /// crash counts, including ones later recovered by a retry).
+    pub worker_crashes: u64,
+    /// Crashed jobs re-attempted in a fresh worker.
+    pub worker_retries: u64,
+    /// Jobs whose retry budget was exhausted; their fingerprints are
+    /// quarantined and resubmissions fail fast.
+    pub jobs_poisoned: u64,
 }
 
 impl RunnerStats {
@@ -249,9 +273,16 @@ impl RunnerStats {
     }
 }
 
-/// JSONL journal line describing one completed job.
+/// JSONL journal commit record: one job reached a terminal state.
+///
+/// Since the journal became a write-ahead intent log, every line
+/// carries an `event` discriminator: `job_started` is flushed+fsynced
+/// *before* execution, `job_done` after the result committed through
+/// the cache, `job_crashed` when a job's worker (or closure) died.
+/// Pre-WAL journals (no `event` field) parse as `job_done` records.
 #[derive(Debug, Clone, Serialize)]
 struct JournalLine {
+    event: &'static str,
     label: String,
     fingerprint: Option<String>,
     cached: bool,
@@ -259,6 +290,37 @@ struct JournalLine {
     cancelled: bool,
     elapsed_ms: f64,
     counters: Option<RunCounters>,
+}
+
+/// JSONL journal intent record, written before a job executes.
+#[derive(Debug, Clone, Serialize)]
+struct JournalIntent {
+    event: &'static str,
+    label: String,
+    fingerprint: Option<String>,
+}
+
+/// JSONL journal crash record: the job's execution vehicle died.
+#[derive(Debug, Clone, Serialize)]
+struct JournalCrash {
+    event: &'static str,
+    label: String,
+    fingerprint: Option<String>,
+    detail: String,
+    attempts: u32,
+    poisoned: bool,
+}
+
+/// Why an isolated job stopped without a result.
+enum IsolatedStop {
+    /// A clean watchdog stop (child verdict or supervisor wall kill).
+    Timeout(JobTimeout),
+    /// Every worker attempt died; the fingerprint may be poisoned.
+    Crashed {
+        detail: String,
+        attempts: u32,
+        poisoned: bool,
+    },
 }
 
 /// The outcome of one job run through [`Runner::run_job`].
@@ -285,6 +347,9 @@ struct StatsInner {
     job_time: Duration,
     wall_time: Duration,
     counters: RunCounters,
+    worker_crashes: u64,
+    worker_retries: u64,
+    jobs_poisoned: u64,
 }
 
 struct BatchProgress {
@@ -307,6 +372,13 @@ pub struct Runner {
     progress: ProgressMode,
     max_events: Option<u64>,
     max_wall: Option<Duration>,
+    isolate: bool,
+    isolation: IsolationConfig,
+    /// Fingerprints whose isolated workers exhausted their retry
+    /// budget; resubmissions fail fast instead of crashing fresh
+    /// workers forever. In-memory only: a process restart (which goes
+    /// through journal recovery) grants crashed jobs a fresh chance.
+    poisoned: Mutex<HashSet<String>>,
     stats: Mutex<StatsInner>,
 }
 
@@ -330,6 +402,9 @@ impl Runner {
             progress: ProgressMode::Never,
             max_events: None,
             max_wall: None,
+            isolate: false,
+            isolation: IsolationConfig::from_env(),
+            poisoned: Mutex::new(HashSet::new()),
             stats: Mutex::new(StatsInner::default()),
         }
     }
@@ -412,6 +487,28 @@ impl Runner {
         Ok(self)
     }
 
+    /// Returns the runner with process isolation on or off. Isolated
+    /// execution applies only to jobs carrying a
+    /// [`WorkerPayload`]; everything else silently runs in-process.
+    #[must_use]
+    pub fn with_isolation(mut self, isolate: bool) -> Self {
+        self.isolate = isolate;
+        self
+    }
+
+    /// Returns the runner with an explicit supervision policy
+    /// (retries, backoff, RSS limit, worker command override).
+    #[must_use]
+    pub fn with_isolation_config(mut self, config: IsolationConfig) -> Self {
+        self.isolation = config;
+        self
+    }
+
+    /// Whether process isolation is enabled.
+    pub fn isolates(&self) -> bool {
+        self.isolate
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -420,6 +517,12 @@ impl Runner {
     /// The cache directory, if caching is enabled.
     pub fn cache_dir(&self) -> Option<&Path> {
         self.cache.as_ref().map(RunCache::dir)
+    }
+
+    /// The run cache handle, if caching is enabled (shared `Arc`
+    /// reference; used by journal recovery at daemon startup).
+    pub fn cache(&self) -> Option<&RunCache> {
+        self.cache.as_ref()
     }
 
     /// Runs a batch of jobs and returns their metrics **in submission
@@ -531,6 +634,7 @@ impl Runner {
             label,
             fingerprint,
             run,
+            payload,
         } = job;
         let started = Instant::now();
         let budget = JobBudget {
@@ -538,21 +642,86 @@ impl Runner {
             deadline: self.max_wall.map(|d| started + d),
             cancel: cancel.cloned(),
         };
-        let panic_label = label.clone();
-        let run_caught = move || match catch_unwind(AssertUnwindSafe(move || run(&budget))) {
-            Ok(result) => result.map_err(|timeout| (timeout, panic_label)),
-            Err(_) => Err((
-                JobTimeout {
-                    phase: "panic",
-                    counters: None,
-                },
-                panic_label,
-            )),
+        // Cache first: a hit needs no execution, no WAL intent record
+        // (a `job_done` line with `cached:true` suffices for replay),
+        // and — crucially for recovery — serves interrupted jobs whose
+        // result committed before the crash.
+        let cached_hit = match (&self.cache, &fingerprint) {
+            (Some(cache), Some(key)) => cache.lookup(key),
+            _ => None,
         };
-        let attempt = match (&self.cache, &fingerprint) {
-            (Some(cache), Some(key)) => match cache.lookup(key) {
-                Some(metrics) => Ok((JobOutput::from(metrics), true)),
-                None => run_caught().map(|output| {
+        if let Some(metrics) = cached_hit {
+            let elapsed = started.elapsed();
+            {
+                let mut stats = self.stats.lock().expect("stats lock");
+                stats.jobs += 1;
+                stats.cache_hits += 1;
+                stats.job_time += elapsed;
+            }
+            self.journal_record(&label, &fingerprint, true, false, false, elapsed, None);
+            return Ok(CompletedJob {
+                label,
+                metrics,
+                counters: None,
+                cached: true,
+                elapsed,
+            });
+        }
+        // Poisoned jobs fail fast: the same fingerprint already burned
+        // its whole worker-retry budget this process lifetime.
+        if self.isolate {
+            if let Some(key) = &fingerprint {
+                if self.poisoned.lock().expect("poison lock").contains(key) {
+                    return Err(Error::WorkerCrash {
+                        label,
+                        detail: "job is poisoned: an earlier submission exhausted its worker \
+                                 retries"
+                            .into(),
+                        attempts: 0,
+                        poisoned: true,
+                    });
+                }
+            }
+        }
+        // WAL intent: `job_started` is durable before any execution,
+        // so a crash between here and the `job_done` record is
+        // recoverable by journal replay.
+        self.journal_started(&label, &fingerprint);
+
+        enum ExecStop {
+            Timeout(JobTimeout),
+            Panic,
+            Crashed {
+                detail: String,
+                attempts: u32,
+                poisoned: bool,
+            },
+        }
+        let outcome: Result<JobOutput, ExecStop> = match payload {
+            Some(payload) if self.isolate => self
+                .run_isolated(&label, &fingerprint, &payload, &budget)
+                .map_err(|stop| match stop {
+                    IsolatedStop::Timeout(timeout) => ExecStop::Timeout(timeout),
+                    IsolatedStop::Crashed {
+                        detail,
+                        attempts,
+                        poisoned,
+                    } => ExecStop::Crashed {
+                        detail,
+                        attempts,
+                        poisoned,
+                    },
+                }),
+            _ => match catch_unwind(AssertUnwindSafe(move || run(&budget))) {
+                Ok(Ok(output)) => Ok(output),
+                Ok(Err(timeout)) => Err(ExecStop::Timeout(timeout)),
+                Err(_) => Err(ExecStop::Panic),
+            },
+        };
+        let elapsed = started.elapsed();
+        let output = match outcome {
+            Ok(output) => {
+                if let (Some(cache), Some(key)) = (&self.cache, &fingerprint) {
                     // Transient store failures (shared FS) are retried
                     // with backoff; a persistent one costs only the
                     // cache entry, not the result.
@@ -564,18 +733,36 @@ impl Runner {
                     if let Err(e) = stored {
                         eprintln!("bgpsim-runner: failed to cache {label:?}: {e} (continuing)");
                     }
-                    (output, false)
-                }),
-            },
-            _ => run_caught().map(|output| (output, false)),
-        };
-        let elapsed = started.elapsed();
-        let (output, cached) = match attempt {
-            Ok(pair) => pair,
-            Err((timeout, label)) if timeout.phase == "panic" => {
+                }
+                output
+            }
+            Err(ExecStop::Panic) => {
+                // In-process panic: the job died with the stack of a
+                // worker thread. Journal it as a crash so replay can
+                // account for the dangling `job_started` intent.
+                self.journal_crashed(&label, &fingerprint, "panic", 1, false);
                 return Err(Error::WorkerPanic { label });
             }
-            Err((timeout, label)) => {
+            Err(ExecStop::Crashed {
+                detail,
+                attempts,
+                poisoned,
+            }) => {
+                {
+                    let mut stats = self.stats.lock().expect("stats lock");
+                    stats.jobs += 1;
+                    stats.executed += 1;
+                    stats.job_time += elapsed;
+                }
+                self.journal_crashed(&label, &fingerprint, &detail, attempts, poisoned);
+                return Err(Error::WorkerCrash {
+                    label,
+                    detail,
+                    attempts,
+                    poisoned,
+                });
+            }
+            Err(ExecStop::Timeout(timeout)) => {
                 // A watchdog (or cancellation) stop is a real partial
                 // execution: count it, journal it, and surface the
                 // partial counters. The budget reports *where* it
@@ -625,32 +812,107 @@ impl Runner {
         {
             let mut stats = self.stats.lock().expect("stats lock");
             stats.jobs += 1;
-            if cached {
-                stats.cache_hits += 1;
-            } else {
-                stats.executed += 1;
-            }
+            stats.executed += 1;
             stats.job_time += elapsed;
             if let Some(c) = &counters {
                 stats.counters.merge(c);
             }
         }
-        self.journal_record(
-            &label,
-            &fingerprint,
-            cached,
-            false,
-            false,
-            elapsed,
-            counters,
-        );
+        self.journal_record(&label, &fingerprint, false, false, false, elapsed, counters);
         Ok(CompletedJob {
             label,
             metrics: output.metrics,
             counters,
-            cached,
+            cached: false,
             elapsed,
         })
+    }
+
+    /// Runs one job in supervised child processes: retry crashed
+    /// attempts with exponential backoff, then poison the fingerprint.
+    fn run_isolated(
+        &self,
+        label: &str,
+        fingerprint: &Option<String>,
+        payload: &WorkerPayload,
+        budget: &JobBudget,
+    ) -> Result<JobOutput, IsolatedStop> {
+        let attempts_max = self.isolation.retries.saturating_add(1);
+        let fp_str = fingerprint.clone().unwrap_or_default();
+        let mut attempt: u32 = 1;
+        loop {
+            match crate::supervisor::run_attempt(
+                &self.isolation,
+                payload,
+                budget.max_events,
+                budget.deadline,
+                budget.cancel.as_ref(),
+            ) {
+                Ok(output) => return Ok(output),
+                Err(AttemptFailure::Cancelled) => {
+                    // Classified by the caller via the cancel token,
+                    // exactly like an in-process budget stop.
+                    return Err(IsolatedStop::Timeout(JobTimeout {
+                        phase: "worker",
+                        counters: None,
+                    }));
+                }
+                Err(AttemptFailure::Timeout(phase)) => {
+                    return Err(IsolatedStop::Timeout(JobTimeout {
+                        phase,
+                        counters: None,
+                    }));
+                }
+                Err(AttemptFailure::Crash(detail)) => {
+                    let exhausted = attempt >= attempts_max;
+                    {
+                        let mut stats = self.stats.lock().expect("stats lock");
+                        stats.worker_crashes += 1;
+                        if exhausted {
+                            stats.jobs_poisoned += 1;
+                        } else {
+                            stats.worker_retries += 1;
+                        }
+                    }
+                    TraceHandle::global().emit(|| TraceEvent::WorkerCrash {
+                        label: label.to_string(),
+                        fingerprint: fp_str.clone(),
+                        detail: detail.clone(),
+                        attempt: u64::from(attempt),
+                        poisoned: exhausted,
+                    });
+                    eprintln!(
+                        "bgpsim-runner: worker for {label:?} crashed \
+                         (attempt {attempt}/{attempts_max}): {detail}"
+                    );
+                    if exhausted {
+                        if let Some(key) = fingerprint {
+                            self.poisoned
+                                .lock()
+                                .expect("poison lock")
+                                .insert(key.clone());
+                        }
+                        return Err(IsolatedStop::Crashed {
+                            detail,
+                            attempts: attempt,
+                            poisoned: true,
+                        });
+                    }
+                    let backoff = self
+                        .isolation
+                        .backoff
+                        .saturating_mul(1 << (attempt - 1).min(16));
+                    TraceHandle::global().emit(|| TraceEvent::JobRetry {
+                        label: label.to_string(),
+                        fingerprint: fp_str.clone(),
+                        attempt: u64::from(attempt) + 1,
+                        backoff_ms: backoff.as_millis() as u64,
+                    });
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                }
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -664,8 +926,8 @@ impl Runner {
         elapsed: Duration,
         counters: Option<RunCounters>,
     ) {
-        let Some(journal) = &self.journal else { return };
         let line = JournalLine {
+            event: "job_done",
             label: label.to_string(),
             fingerprint: fingerprint.clone(),
             cached,
@@ -675,8 +937,78 @@ impl Runner {
             counters,
         };
         if let Ok(json) = serde_json::to_string(&line) {
-            let mut file = journal.lock().expect("journal lock");
-            let _ = writeln!(file, "{json}");
+            self.journal_write(&json);
+        }
+    }
+
+    /// Writes the WAL intent record for a job about to execute,
+    /// durable (flushed + fsynced) before the run starts.
+    fn journal_started(&self, label: &str, fingerprint: &Option<String>) {
+        let line = JournalIntent {
+            event: "job_started",
+            label: label.to_string(),
+            fingerprint: fingerprint.clone(),
+        };
+        if let Ok(json) = serde_json::to_string(&line) {
+            self.journal_write(&json);
+        }
+    }
+
+    /// Writes the WAL crash record: the job's execution vehicle died,
+    /// accounting for its dangling `job_started` intent.
+    fn journal_crashed(
+        &self,
+        label: &str,
+        fingerprint: &Option<String>,
+        detail: &str,
+        attempts: u32,
+        poisoned: bool,
+    ) {
+        let line = JournalCrash {
+            event: "job_crashed",
+            label: label.to_string(),
+            fingerprint: fingerprint.clone(),
+            detail: detail.to_string(),
+            attempts,
+            poisoned,
+        };
+        if let Ok(json) = serde_json::to_string(&line) {
+            self.journal_write(&json);
+        }
+    }
+
+    /// Appends one journal line and makes it durable (`sync_data`,
+    /// unless `BGPSIM_NO_FSYNC=1`). Journal I/O failures are warnings,
+    /// never errors: correctness rests on the cache's atomic commits,
+    /// the journal only optimizes recovery.
+    fn journal_write(&self, json: &str) {
+        let Some(journal) = &self.journal else { return };
+        let mut file = journal.lock().expect("journal lock");
+        match failpoint::check("journal_append", json) {
+            Some(failpoint::FailpointAction::Err) => {
+                eprintln!("bgpsim-runner: journal append failed (injected); line dropped");
+                return;
+            }
+            Some(failpoint::FailpointAction::Torn) => {
+                // A torn append: half the line, no newline — exactly
+                // what a mid-write kill leaves behind. Replay must
+                // tolerate it.
+                let _ = file.write_all(&json.as_bytes()[..json.len() / 2]);
+                return;
+            }
+            _ => {
+                let _ = writeln!(file, "{json}");
+            }
+        }
+        if no_fsync() {
+            return;
+        }
+        if failpoint::check("journal_fsync", json).is_some() {
+            eprintln!("bgpsim-runner: journal fsync failed (injected); continuing unsynced");
+            return;
+        }
+        if let Err(e) = file.sync_data() {
+            eprintln!("bgpsim-runner: journal fsync failed: {e}; continuing unsynced");
         }
     }
 
@@ -739,6 +1071,9 @@ impl Runner {
             job_time: inner.job_time,
             wall_time: inner.wall_time,
             counters: inner.counters,
+            worker_crashes: inner.worker_crashes,
+            worker_retries: inner.worker_retries,
+            jobs_poisoned: inner.jobs_poisoned,
         }
     }
 
@@ -801,8 +1136,26 @@ impl Runner {
                 memo_pct,
             ));
         }
+        if s.worker_crashes > 0 {
+            line.push_str(&format!(
+                ", {} worker crashes ({} retried, {} poisoned)",
+                s.worker_crashes, s.worker_retries, s.jobs_poisoned,
+            ));
+        }
         line
     }
+}
+
+/// Whether `BGPSIM_NO_FSYNC=1` disables journal durability (for
+/// benchmarks and tests on slow filesystems). Read once per process.
+fn no_fsync() -> bool {
+    static NO_FSYNC: OnceLock<bool> = OnceLock::new();
+    *NO_FSYNC.get_or_init(|| {
+        std::env::var("BGPSIM_NO_FSYNC").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+    })
 }
 
 fn open_journal(path: &Path) -> Result<std::fs::File, Error> {
@@ -935,7 +1288,14 @@ mod tests {
             })
         ));
         let text = std::fs::read_to_string(&path).unwrap();
-        let line = text.lines().next().unwrap();
+        let mut lines = text.lines();
+        let intent = lines.next().unwrap();
+        assert!(
+            intent.contains("\"event\":\"job_started\""),
+            "WAL intent precedes execution: {intent}"
+        );
+        let line = lines.next().unwrap();
+        assert!(line.contains("\"event\":\"job_done\""), "journal line: {line}");
         assert!(line.contains("\"label\":\"late\""), "journal line: {line}");
         assert!(line.contains("\"timed_out\":true"), "journal line: {line}");
         assert!(line.contains("\"cached\":false"), "journal line: {line}");
@@ -1025,7 +1385,12 @@ mod tests {
         assert_eq!(s.counters.loops, 3);
         assert_eq!(s.counters.max_queue_depth, 15, "merge takes the max");
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(text.lines().count(), 3);
+        // One job_started intent and one job_done commit per job.
+        let done = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"job_done\""))
+            .count();
+        assert_eq!(done, 3, "journal: {text}");
         assert!(
             text.contains("\"events\":1") || text.contains("\"events\": 1"),
             "journal lines carry counters: {text}"
@@ -1101,11 +1466,194 @@ mod tests {
         let _ = runner.run_jobs(jobs_0_to(4)).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
-        for line in lines {
+        // WAL protocol: one job_started intent + one job_done per job.
+        assert_eq!(lines.len(), 8);
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"event\":\"job_started\""))
+                .count(),
+            4
+        );
+        for line in lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"job_done\""))
+        {
             assert!(line.contains("\"label\""), "journal line: {line}");
             assert!(line.contains("\"cached\": false") || line.contains("\"cached\":false"));
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn sh_worker(script: &str) -> IsolationConfig {
+        IsolationConfig {
+            worker_cmd: Some(vec!["/bin/sh".into(), "-c".into(), script.into()]),
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        }
+    }
+
+    fn payload_job(label: &str, fingerprint: &str) -> Job {
+        Job::new(
+            label.to_string(),
+            Some(fingerprint.to_string()),
+            || -> PaperMetrics { panic!("must run in the worker, not in-process") },
+        )
+        .with_worker_payload(Some(WorkerPayload {
+            scenario: "{}".into(),
+            seed: 7,
+        }))
+    }
+
+    #[test]
+    fn isolated_job_runs_in_worker_and_caches() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bgpsim-runner-isolated-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let verdict = crate::supervisor::encode_success(&metrics_for(5), None);
+        let runner = Runner::new(1)
+            .with_cache_dir(&dir)
+            .unwrap()
+            .with_isolation(true)
+            .with_isolation_config(sh_worker(&format!(
+                "cat >/dev/null; printf '%s\\n' '{verdict}'"
+            )));
+        let out = runner
+            .run_jobs(vec![payload_job("iso", "fp-iso")])
+            .unwrap();
+        assert_eq!(out[0], metrics_for(5));
+        // Second submission: served from cache, no worker spawned.
+        let runner2 = Runner::new(1)
+            .with_cache_dir(&dir)
+            .unwrap()
+            .with_isolation(true)
+            .with_isolation_config(sh_worker("exit 99"));
+        let again = runner2
+            .run_jobs(vec![payload_job("iso", "fp-iso")])
+            .unwrap();
+        assert_eq!(again[0], metrics_for(5));
+        assert_eq!(runner2.stats().cache_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashing_worker_is_retried_then_poisoned() {
+        let runner = Runner::new(1)
+            .with_isolation(true)
+            .with_isolation_config(IsolationConfig {
+                retries: 1,
+                ..sh_worker("echo dead >&2; exit 3")
+            });
+        let err = runner
+            .run_jobs(vec![payload_job("doomed", "fp-doomed")])
+            .unwrap_err();
+        match err {
+            Error::WorkerCrash {
+                label,
+                attempts,
+                poisoned,
+                ..
+            } => {
+                assert_eq!(label, "doomed");
+                assert_eq!(attempts, 2, "1 initial + 1 retry");
+                assert!(poisoned);
+            }
+            other => panic!("expected WorkerCrash, got {other}"),
+        }
+        let s = runner.stats();
+        assert_eq!(s.worker_crashes, 2);
+        assert_eq!(s.worker_retries, 1);
+        assert_eq!(s.jobs_poisoned, 1);
+        assert!(runner.render_stats().contains("worker crashes"));
+        // Resubmission fails fast without spawning another worker.
+        let err = runner
+            .run_jobs(vec![payload_job("doomed", "fp-doomed")])
+            .unwrap_err();
+        match err {
+            Error::WorkerCrash {
+                attempts, poisoned, ..
+            } => {
+                assert_eq!(attempts, 0, "poisoned fail-fast spawns nothing");
+                assert!(poisoned);
+            }
+            other => panic!("expected poisoned WorkerCrash, got {other}"),
+        }
+        assert_eq!(runner.stats().worker_crashes, 2, "no new worker crash");
+    }
+
+    #[test]
+    fn worker_crash_recovers_on_retry() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let marker = std::env::temp_dir().join(format!(
+            "bgpsim-runner-retry-marker-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let verdict = crate::supervisor::encode_success(&metrics_for(9), None);
+        // First attempt crashes and drops a marker; the retry sees the
+        // marker and answers properly.
+        let script = format!(
+            "if [ -e {m} ]; then cat >/dev/null; printf '%s\\n' '{verdict}'; \
+             else touch {m}; exit 9; fi",
+            m = marker.display()
+        );
+        let runner = Runner::new(1)
+            .with_isolation(true)
+            .with_isolation_config(IsolationConfig {
+                retries: 2,
+                ..sh_worker(&script)
+            });
+        let out = runner
+            .run_jobs(vec![payload_job("flaky", "fp-flaky")])
+            .unwrap();
+        assert_eq!(out[0], metrics_for(9));
+        let s = runner.stats();
+        assert_eq!(s.worker_crashes, 1);
+        assert_eq!(s.worker_retries, 1);
+        assert_eq!(s.jobs_poisoned, 0);
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn job_without_payload_runs_in_process_under_isolation() {
+        let runner = Runner::new(1).with_isolation(true);
+        assert!(runner.isolates());
+        let out = runner.run_jobs(jobs_0_to(2)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn crashed_job_is_journaled_as_job_crashed() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "bgpsim-runner-crash-journal-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let runner = Runner::new(1)
+            .with_journal_path(&path)
+            .with_isolation(true)
+            .with_isolation_config(IsolationConfig {
+                retries: 0,
+                ..sh_worker("exit 7")
+            });
+        let _ = runner
+            .run_jobs(vec![payload_job("gone", "fp-gone")])
+            .unwrap_err();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"event\":\"job_started\""),
+            "journal: {text}"
+        );
+        let crashed = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"job_crashed\""))
+            .unwrap_or_else(|| panic!("no job_crashed record in: {text}"));
+        assert!(crashed.contains("\"poisoned\":true"), "line: {crashed}");
+        assert!(crashed.contains("\"attempts\":1"), "line: {crashed}");
         std::fs::remove_file(&path).unwrap();
     }
 }

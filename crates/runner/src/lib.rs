@@ -27,7 +27,15 @@
 //! * **Progress & journal** — per-job timing with completed/total and
 //!   an ETA on stderr, plus an optional machine-readable JSONL journal
 //!   whose lines carry each executed run's
-//!   [`RunCounters`](bgpsim_trace::RunCounters).
+//!   [`RunCounters`](bgpsim_trace::RunCounters). The journal doubles
+//!   as a write-ahead log: `job_started` intents are fsynced before
+//!   execution and replayed by [`recover_journal`] after a crash.
+//! * **Crash tolerance** — with [`Runner::with_isolation`] enabled,
+//!   payload-carrying jobs execute in supervised child processes
+//!   ([`supervisor`]): a panicking, aborting, or runaway job is reaped
+//!   as [`Error::WorkerCrash`], retried with backoff, and finally
+//!   poisoned — the supervising process and the rest of the batch
+//!   survive.
 //!
 //! The simulation itself stays single-threaded and deterministic *per
 //! run*; parallelism exists only *across* runs.
@@ -53,7 +61,9 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod executor;
+pub mod recovery;
 mod retry;
+pub mod supervisor;
 pub mod warmup;
 
 pub use cache::{RunCache, SCHEMA_VERSION};
@@ -63,4 +73,6 @@ pub use executor::{
     global, CancelToken, CompletedJob, Job, JobBudget, JobFn, JobHandle, JobOutput, JobTimeout,
     ProgressMode, Runner, RunnerStats,
 };
+pub use recovery::{recover_journal, RecoveryReport};
+pub use supervisor::{IsolationConfig, WorkerPayload, WorkerRequest};
 pub use warmup::SharedWarmup;

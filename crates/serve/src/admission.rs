@@ -17,6 +17,9 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bgpsim_trace::{TraceEvent, TraceHandle};
 
 /// Why a submission was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +32,10 @@ pub enum RejectReason {
     ConcurrencyQuota,
     /// The client has exhausted its cumulative event budget.
     EventBudgetQuota,
+    /// The crash-rate circuit breaker is open: recent jobs kept
+    /// crashing their workers, so the service sheds load while it
+    /// cools down.
+    CircuitOpen,
 }
 
 impl RejectReason {
@@ -39,15 +46,180 @@ impl RejectReason {
             RejectReason::QueueFull => "queue_full",
             RejectReason::ConcurrencyQuota => "concurrency_quota",
             RejectReason::EventBudgetQuota => "event_budget_quota",
+            RejectReason::CircuitOpen => "circuit_open",
         }
     }
 
     /// The HTTP status the rejection maps to.
     pub fn status(&self) -> u16 {
         match self {
-            RejectReason::Draining => 503,
+            RejectReason::Draining | RejectReason::CircuitOpen => 503,
             _ => 429,
         }
+    }
+}
+
+/// Crash-rate circuit breaker: the daemon's last line of graceful
+/// degradation.
+///
+/// Process isolation already contains each crash to its job; the
+/// breaker watches the *rate*. When `threshold` consecutive jobs crash
+/// their workers (a poisoned cache host, a bad deploy, an OOM storm),
+/// the breaker **opens**: submissions are refused with 503
+/// `circuit_open` instead of burning a worker per request. After
+/// `cooldown` it admits one probe job (**half-open**); a clean result
+/// closes the breaker, another crash re-opens it for a fresh cooldown.
+///
+/// State transitions are reported as `circuit_breaker` trace events.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum BreakerGate {
+    #[default]
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Debug, Default)]
+struct BreakerInner {
+    gate: BreakerGate,
+    consecutive: u32,
+    crashes_total: u64,
+    trips: u64,
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight; further submissions wait.
+    probe_out: bool,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive worker
+    /// crashes and probes again after `cooldown`. `threshold` 0
+    /// disables the breaker (it never opens).
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            inner: Mutex::new(BreakerInner::default()),
+        }
+    }
+
+    /// Gate check at submission time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RejectReason::CircuitOpen`] while the breaker sheds
+    /// load. An expired cooldown admits exactly one probe submission.
+    pub fn allow(&self) -> Result<(), RejectReason> {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match inner.gate {
+            BreakerGate::Closed => Ok(()),
+            BreakerGate::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    inner.gate = BreakerGate::HalfOpen;
+                    inner.probe_out = true;
+                    inner.opened_at = Some(Instant::now());
+                    self.emit(&inner);
+                    Ok(())
+                } else {
+                    Err(RejectReason::CircuitOpen)
+                }
+            }
+            BreakerGate::HalfOpen => {
+                // A probe whose outcome never reports back (cancelled
+                // mid-queue, client gone) must not wedge the breaker:
+                // after another cooldown the probe slot is re-lent.
+                let stale = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown);
+                if inner.probe_out && !stale {
+                    Err(RejectReason::CircuitOpen)
+                } else {
+                    inner.probe_out = true;
+                    inner.opened_at = Some(Instant::now());
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// A job produced a result (success or a clean budget stop): the
+    /// execution machinery is healthy. Closes a half-open breaker.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.consecutive = 0;
+        inner.probe_out = false;
+        if inner.gate != BreakerGate::Closed {
+            inner.gate = BreakerGate::Closed;
+            inner.opened_at = None;
+            self.emit(&inner);
+        }
+    }
+
+    /// A job crashed its execution vehicle (worker death or panic).
+    pub fn record_crash(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        inner.crashes_total += 1;
+        inner.consecutive = inner.consecutive.saturating_add(1);
+        let trip = match inner.gate {
+            // A failed probe re-opens immediately, whatever the count.
+            BreakerGate::HalfOpen => true,
+            BreakerGate::Closed => self.threshold > 0 && inner.consecutive >= self.threshold,
+            BreakerGate::Open => false,
+        };
+        if trip {
+            inner.gate = BreakerGate::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.probe_out = false;
+            inner.trips += 1;
+            self.emit(&inner);
+        }
+    }
+
+    /// The state's wire name: `closed`, `open`, or `half_open`.
+    pub fn state_name(&self) -> &'static str {
+        match self.inner.lock().expect("breaker lock").gate {
+            BreakerGate::Closed => "closed",
+            BreakerGate::Open => "open",
+            BreakerGate::HalfOpen => "half_open",
+        }
+    }
+
+    /// `true` while the breaker is fully closed (service not degraded).
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("breaker lock").gate == BreakerGate::Closed
+    }
+
+    /// Worker crashes observed over the breaker's lifetime.
+    pub fn crashes(&self) -> u64 {
+        self.inner.lock().expect("breaker lock").crashes_total
+    }
+
+    /// Times the breaker opened.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().expect("breaker lock").trips
+    }
+
+    fn emit(&self, inner: &BreakerInner) {
+        let state = match inner.gate {
+            BreakerGate::Closed => "closed",
+            BreakerGate::Open => "open",
+            BreakerGate::HalfOpen => "half_open",
+        };
+        let crashes = inner.crashes_total;
+        TraceHandle::global().emit(|| TraceEvent::CircuitBreaker {
+            state: state.to_string(),
+            crashes,
+        });
     }
 }
 
@@ -284,5 +456,82 @@ mod tests {
         let alice = &stats.iter().find(|(k, _)| k == "alice").unwrap().1;
         assert_eq!(alice.admitted_jobs, 1);
         assert_eq!(alice.active_jobs, 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_crashes() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert!(b.allow().is_ok());
+        b.record_crash();
+        b.record_crash();
+        assert!(b.allow().is_ok(), "below threshold stays closed");
+        b.record_crash();
+        assert_eq!(b.state_name(), "open");
+        assert!(!b.is_closed());
+        assert_eq!(b.allow(), Err(RejectReason::CircuitOpen));
+        assert_eq!(RejectReason::CircuitOpen.status(), 503);
+        assert_eq!(b.crashes(), 3);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.record_crash();
+        b.record_success();
+        b.record_crash();
+        assert_eq!(b.state_name(), "closed", "successes break the streak");
+        assert!(b.allow().is_ok());
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_then_closes_on_success() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(40));
+        b.record_crash();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.allow(), Err(RejectReason::CircuitOpen), "still cooling");
+        std::thread::sleep(Duration::from_millis(50));
+        // Cooldown elapsed: the next allow() is the half-open probe.
+        assert!(b.allow().is_ok());
+        assert_eq!(b.state_name(), "half_open");
+        // Probe in flight: everyone else keeps getting shed.
+        assert_eq!(b.allow(), Err(RejectReason::CircuitOpen));
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow().is_ok());
+    }
+
+    #[test]
+    fn lost_probe_is_re_lent_after_another_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(30));
+        b.record_crash();
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow().is_ok(), "first probe lent");
+        // The probe's outcome never arrives (e.g. cancelled); after
+        // another cooldown the slot is lent again instead of wedging.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow().is_ok(), "stale probe slot re-lent");
+        assert_eq!(b.state_name(), "half_open");
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(0));
+        b.record_crash();
+        assert!(b.allow().is_ok(), "probe admitted");
+        b.record_crash();
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.crashes(), 2);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let b = CircuitBreaker::new(0, Duration::from_millis(0));
+        for _ in 0..16 {
+            b.record_crash();
+        }
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow().is_ok());
     }
 }

@@ -29,6 +29,6 @@ pub mod http;
 pub mod jobs;
 pub mod server;
 
-pub use admission::{Admission, AdmissionLimits, ClientStats, RejectReason};
+pub use admission::{Admission, AdmissionLimits, CircuitBreaker, ClientStats, RejectReason};
 pub use jobs::{JobEntry, JobRegistry, JobSnapshot, JobStatus};
 pub use server::{ServeConfig, Server};

@@ -35,7 +35,7 @@ use bgpsim_runner::{Error as RunnerError, Runner, SharedWarmup};
 use bgpsim_trace::{TraceEvent, TraceHandle};
 use serde::value::Value;
 
-use crate::admission::{Admission, AdmissionLimits};
+use crate::admission::{Admission, AdmissionLimits, CircuitBreaker};
 use crate::http::{read_request, write_response, ChunkedBody, ParseError, Request};
 use crate::jobs::{JobEntry, JobRegistry, JobStatus};
 
@@ -51,6 +51,11 @@ pub struct ServeConfig {
     pub limits: AdmissionLimits,
     /// Concurrent-connection cap; overflow is answered 503.
     pub max_connections: usize,
+    /// Consecutive worker crashes before the circuit breaker opens and
+    /// submissions are shed with 503 `circuit_open` (0 disables).
+    pub breaker_threshold: u32,
+    /// How long an open breaker sheds load before admitting a probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +65,8 @@ impl Default for ServeConfig {
             exec_workers: 2,
             limits: AdmissionLimits::default(),
             max_connections: 64,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
         }
     }
 }
@@ -83,6 +90,7 @@ struct Shared {
     runner: Arc<Runner>,
     registry: JobRegistry,
     admission: Admission,
+    breaker: CircuitBreaker,
     queue: Mutex<VecDeque<QueuedRun>>,
     queue_cond: Condvar,
     stop: AtomicBool,
@@ -116,6 +124,7 @@ impl Server {
             runner,
             registry: JobRegistry::new(),
             admission: Admission::new(config.limits.clone()),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             queue: Mutex::new(VecDeque::new()),
             queue_cond: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -355,6 +364,20 @@ fn submit_job(shared: &Arc<Shared>, request: &Request) -> Routed {
         Err(err) => return Routed::plain(400, error_body(&err)),
     };
     let runs = spec.run_count();
+    // The breaker gates before quota accounting: a shed submission
+    // must not consume queue capacity it will never use.
+    if let Err(reason) = shared.breaker.allow() {
+        TraceHandle::global().emit(|| TraceEvent::AdmissionReject {
+            client: client.clone(),
+            reason: reason.name().into(),
+        });
+        return Routed::Plain {
+            status: reason.status(),
+            body: error_body(reason.name()),
+            retry_after: true,
+            runs: 0,
+        };
+    }
     if let Err(reason) = shared.admission.admit(&client, runs) {
         TraceHandle::global().emit(|| TraceEvent::AdmissionReject {
             client: client.clone(),
@@ -456,6 +479,7 @@ fn executor_loop(shared: &Arc<Shared>) {
         };
         match shared.runner.run_job(job, &run.entry.handle) {
             Ok(done) => {
+                shared.breaker.record_success();
                 let events = done.counters.map_or(0, |c| c.events);
                 shared.admission.charge_events(&run.entry.client, events);
                 let line = result_line(&run, &done.metrics);
@@ -469,6 +493,16 @@ fn executor_loop(shared: &Arc<Shared>) {
                 release_job(shared, &run.entry);
             }
             Err(err) => {
+                // Crashed execution vehicles feed the circuit breaker;
+                // other failures (timeouts, cache errors) mean the
+                // machinery itself ran the job to a verdict, which
+                // counts as healthy and closes a probing breaker.
+                match &err {
+                    RunnerError::WorkerCrash { .. } | RunnerError::WorkerPanic { .. } => {
+                        shared.breaker.record_crash();
+                    }
+                    _ => shared.breaker.record_success(),
+                }
                 // One failed run fails the job; cancel its siblings so
                 // queued runs are discarded at pickup.
                 run.entry.handle.cancel();
@@ -538,8 +572,10 @@ fn error_body(message: &str) -> String {
 
 fn healthz_body(shared: &Arc<Shared>) -> String {
     format!(
-        "{{\"ok\":true,\"draining\":{}}}",
-        shared.admission.is_draining()
+        "{{\"ok\":true,\"draining\":{},\"degraded\":{},\"breaker\":{}}}",
+        shared.admission.is_draining(),
+        !shared.breaker.is_closed(),
+        json_string(shared.breaker.state_name()),
     )
 }
 
@@ -584,7 +620,9 @@ fn stats_body(shared: &Arc<Shared>) -> String {
     format!(
         "{{\"jobs_submitted\":{},\"jobs_active\":{},\"queue_depth\":{},\"draining\":{},\"requests\":{},\
          \"peak_rss_kb\":{},\
-         \"runner\":{{\"jobs\":{},\"cache_hits\":{},\"executed\":{},\"hit_rate_percent\":{:.3}}},\
+         \"runner\":{{\"jobs\":{},\"cache_hits\":{},\"executed\":{},\"hit_rate_percent\":{:.3},\
+         \"worker_crashes\":{},\"worker_retries\":{},\"jobs_poisoned\":{}}},\
+         \"breaker\":{{\"state\":{},\"crashes\":{},\"trips\":{}}},\
          \"clients\":[{}]}}",
         shared.jobs_submitted.load(Ordering::Relaxed),
         shared.registry.active().len(),
@@ -596,6 +634,12 @@ fn stats_body(shared: &Arc<Shared>) -> String {
         runner.cache_hits,
         runner.executed,
         runner.hit_rate_percent(),
+        runner.worker_crashes,
+        runner.worker_retries,
+        runner.jobs_poisoned,
+        json_string(shared.breaker.state_name()),
+        shared.breaker.crashes(),
+        shared.breaker.trips(),
         clients.join(","),
     )
 }

@@ -29,7 +29,7 @@ fn boot(tag: &str, workers: usize, limits: AdmissionLimits) -> (Server, String, 
             addr: "127.0.0.1:0".into(),
             exec_workers: workers,
             limits,
-            max_connections: 64,
+            ..ServeConfig::default()
         },
         Arc::new(runner),
     )
@@ -356,14 +356,23 @@ fn drain_refuses_new_work_and_leaves_a_clean_journal() {
     let journal = std::fs::read_to_string(dir.join("journal.jsonl")).expect("journal exists");
     assert!(!journal.is_empty(), "6 executed runs journal something");
     assert!(journal.ends_with('\n'), "no truncated trailing line");
+    let mut started = 0usize;
+    let mut done = 0usize;
     for line in journal.lines() {
         let parsed: Result<serde::value::Value, _> = serde_json::from_str(line);
         assert!(parsed.is_ok(), "journal line parses: {line:?}");
-        assert!(
-            line.contains("\"cancelled\":false"),
-            "line has cancel flag: {line:?}"
-        );
+        if line.contains("\"event\":\"job_started\"") {
+            started += 1;
+        } else {
+            done += 1;
+            assert!(
+                line.contains("\"cancelled\":false"),
+                "completion line has cancel flag: {line:?}"
+            );
+        }
     }
+    assert!(done >= 6, "6 executed runs journal a completion each");
+    assert_eq!(started, done, "a drained journal closes every intent");
 
     server.shutdown();
 }

@@ -34,6 +34,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod failpoint;
+
 use serde::Value;
 use std::fmt;
 use std::fs::File;
@@ -218,6 +220,15 @@ pub enum TraceEvent {
         /// Why the entry was rejected.
         detail: String,
     },
+    /// The quarantine directory exceeded its size cap and the oldest
+    /// parked entry was evicted (infrastructure event; seed/t
+    /// serialize as zero).
+    QuarantineEvict {
+        /// The evicted file path.
+        path: String,
+        /// Bytes freed by the eviction.
+        bytes: u64,
+    },
     /// One HTTP request handled by the experiment service.
     ///
     /// Infrastructure event (no meaningful seed or simulation time;
@@ -247,8 +258,76 @@ pub enum TraceEvent {
         client: String,
         /// Why admission was refused (e.g. `"queue_full"`,
         /// `"concurrency_quota"`, `"event_budget_quota"`,
-        /// `"draining"`).
+        /// `"draining"`, `"circuit_open"`).
         reason: String,
+    },
+    /// A process-isolated worker died without producing a result
+    /// (panic, abort, OOM kill, signal, or a resource limit enforced
+    /// from outside). Infrastructure event; seed/t serialize as zero.
+    WorkerCrash {
+        /// The crashed job's label.
+        label: String,
+        /// The job's fingerprint, or `""` for uncacheable jobs.
+        fingerprint: String,
+        /// What killed the worker (exit status, signal, limit).
+        detail: String,
+        /// Which attempt crashed (1-based).
+        attempt: u64,
+        /// `true` when this crash exhausted the retry budget and the
+        /// fingerprint was quarantined as poisoned.
+        poisoned: bool,
+    },
+    /// The supervisor is about to retry a crashed job in a fresh
+    /// worker. Infrastructure event; seed/t serialize as zero.
+    JobRetry {
+        /// The retried job's label.
+        label: String,
+        /// The job's fingerprint, or `""` for uncacheable jobs.
+        fingerprint: String,
+        /// The attempt about to start (1-based; at least 2).
+        attempt: u64,
+        /// Backoff slept before this attempt, milliseconds.
+        backoff_ms: u64,
+    },
+    /// A write-ahead journal replay completed (`bgpsim recover`, or
+    /// the automatic pass on serve startup). Infrastructure event;
+    /// seed/t serialize as zero.
+    RecoveryReplay {
+        /// The journal that was replayed.
+        journal: String,
+        /// Journal lines scanned (including unparseable tails).
+        lines: u64,
+        /// Distinct jobs with a `job_started` intent record.
+        started: u64,
+        /// Distinct jobs whose `job_done` commit record was found.
+        completed: u64,
+        /// Jobs interrupted mid-execution (started, never committed).
+        interrupted: u64,
+        /// Interrupted jobs whose result was nevertheless found
+        /// committed in the run cache (crash after store, before the
+        /// journal commit record).
+        recovered: u64,
+        /// Stale atomic-write temp files swept from the cache dir.
+        tmp_swept: u64,
+    },
+    /// A deterministic infrastructure failpoint fired
+    /// (`BGPSIM_FAILPOINT`). Infrastructure event; seed/t serialize
+    /// as zero.
+    FailpointHit {
+        /// The instrumented site, e.g. `"cache_write"`.
+        site: String,
+        /// The injected action: `"err"`, `"torn"`, or `"abort"`.
+        action: String,
+        /// How many times this failpoint has matched so far (1-based).
+        hit: u64,
+    },
+    /// The serve crash-rate circuit breaker changed state.
+    /// Infrastructure event; seed/t serialize as zero.
+    CircuitBreaker {
+        /// The new state: `"open"`, `"half_open"`, or `"closed"`.
+        state: String,
+        /// Consecutive worker crashes observed at the transition.
+        crashes: u64,
     },
 }
 
@@ -269,8 +348,14 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::SessionReset { .. } => "session_reset",
             TraceEvent::CacheQuarantine { .. } => "cache_quarantine",
+            TraceEvent::QuarantineEvict { .. } => "quarantine_evict",
             TraceEvent::ServeRequest { .. } => "serve_request",
             TraceEvent::AdmissionReject { .. } => "admission_reject",
+            TraceEvent::WorkerCrash { .. } => "worker_crash",
+            TraceEvent::JobRetry { .. } => "job_retry",
+            TraceEvent::RecoveryReplay { .. } => "recovery_replay",
+            TraceEvent::FailpointHit { .. } => "failpoint_hit",
+            TraceEvent::CircuitBreaker { .. } => "circuit_breaker",
         }
     }
 
@@ -290,8 +375,14 @@ impl TraceEvent {
             | TraceEvent::FaultInjected { seed, .. }
             | TraceEvent::SessionReset { seed, .. } => seed,
             TraceEvent::CacheQuarantine { .. }
+            | TraceEvent::QuarantineEvict { .. }
             | TraceEvent::ServeRequest { .. }
-            | TraceEvent::AdmissionReject { .. } => 0,
+            | TraceEvent::AdmissionReject { .. }
+            | TraceEvent::WorkerCrash { .. }
+            | TraceEvent::JobRetry { .. }
+            | TraceEvent::RecoveryReplay { .. }
+            | TraceEvent::FailpointHit { .. }
+            | TraceEvent::CircuitBreaker { .. } => 0,
         }
     }
 }
@@ -476,6 +567,72 @@ impl serde::Serialize for TraceEvent {
                 put("t", Value::UInt(0));
                 put("client", Value::Str(client.clone()));
                 put("reason", Value::Str(reason.clone()));
+            }
+            TraceEvent::QuarantineEvict { path, bytes } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("path", Value::Str(path.clone()));
+                put("bytes", Value::UInt(*bytes));
+            }
+            TraceEvent::WorkerCrash {
+                label,
+                fingerprint,
+                detail,
+                attempt,
+                poisoned,
+            } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("label", Value::Str(label.clone()));
+                put("fingerprint", Value::Str(fingerprint.clone()));
+                put("detail", Value::Str(detail.clone()));
+                put("attempt", Value::UInt(*attempt));
+                put("poisoned", Value::Bool(*poisoned));
+            }
+            TraceEvent::JobRetry {
+                label,
+                fingerprint,
+                attempt,
+                backoff_ms,
+            } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("label", Value::Str(label.clone()));
+                put("fingerprint", Value::Str(fingerprint.clone()));
+                put("attempt", Value::UInt(*attempt));
+                put("backoff_ms", Value::UInt(*backoff_ms));
+            }
+            TraceEvent::RecoveryReplay {
+                journal,
+                lines,
+                started,
+                completed,
+                interrupted,
+                recovered,
+                tmp_swept,
+            } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("journal", Value::Str(journal.clone()));
+                put("lines", Value::UInt(*lines));
+                put("started", Value::UInt(*started));
+                put("completed", Value::UInt(*completed));
+                put("interrupted", Value::UInt(*interrupted));
+                put("recovered", Value::UInt(*recovered));
+                put("tmp_swept", Value::UInt(*tmp_swept));
+            }
+            TraceEvent::FailpointHit { site, action, hit } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("site", Value::Str(site.clone()));
+                put("action", Value::Str(action.clone()));
+                put("hit", Value::UInt(*hit));
+            }
+            TraceEvent::CircuitBreaker { state, crashes } => {
+                put("seed", Value::UInt(0));
+                put("t", Value::UInt(0));
+                put("state", Value::Str(state.clone()));
+                put("crashes", Value::UInt(*crashes));
             }
         }
         Value::Object(fields)
@@ -942,6 +1099,41 @@ mod tests {
             TraceEvent::AdmissionReject {
                 client: "loadtest-7".into(),
                 reason: "queue_full".into(),
+            },
+            TraceEvent::QuarantineEvict {
+                path: "/tmp/cache/quarantine/deadbeef.json".into(),
+                bytes: 512,
+            },
+            TraceEvent::WorkerCrash {
+                label: "clique 5 seed 3".into(),
+                fingerprint: "scenario/v1|topo=clique5".into(),
+                detail: "signal 6".into(),
+                attempt: 2,
+                poisoned: false,
+            },
+            TraceEvent::JobRetry {
+                label: "clique 5 seed 3".into(),
+                fingerprint: "scenario/v1|topo=clique5".into(),
+                attempt: 2,
+                backoff_ms: 100,
+            },
+            TraceEvent::RecoveryReplay {
+                journal: "/tmp/journal.jsonl".into(),
+                lines: 12,
+                started: 5,
+                completed: 4,
+                interrupted: 1,
+                recovered: 1,
+                tmp_swept: 0,
+            },
+            TraceEvent::FailpointHit {
+                site: "cache_write".into(),
+                action: "torn".into(),
+                hit: 1,
+            },
+            TraceEvent::CircuitBreaker {
+                state: "open".into(),
+                crashes: 5,
             },
         ];
         for ev in events {

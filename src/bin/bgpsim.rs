@@ -8,16 +8,35 @@
 use bgpsim::bgp::BgpConfig;
 use bgpsim::checkpoint::{Checkpoint, CheckpointHeader};
 use bgpsim::cli::{
-    parse_args, parse_checkpoint_args, parse_serve_args, CheckpointCmd, CliOptions, ServeOptions,
+    parse_args, parse_checkpoint_args, parse_recover_args, parse_serve_args, CheckpointCmd,
+    CliOptions, RecoverOptions, ServeOptions,
 };
 use bgpsim::metrics::MetricsRow;
 use bgpsim::netsim::time::SimDuration;
 use bgpsim::prelude::*;
-use bgpsim::runner::RunnerConfig;
+use bgpsim::runner::supervisor::{decode_request, encode_failure, encode_success};
+use bgpsim::runner::{recover_journal, RunCache, RunnerConfig};
+use bgpsim::trace::failpoint::{self, FailpointAction};
+
 use bgpsim::serve::{AdmissionLimits, ServeConfig, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("worker") {
+        worker();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("recover") {
+        let opts = match parse_recover_args(&args[1..]) {
+            Ok(opts) => opts,
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        };
+        recover(&opts);
+        return;
+    }
     if args.first().map(String::as_str) == Some("serve") {
         let opts = match parse_serve_args(&args[1..]) {
             Ok(opts) => opts,
@@ -51,6 +70,101 @@ fn main() {
     bgpsim::trace::flush_global();
 }
 
+/// The hidden `bgpsim worker` mode: executes exactly one scenario run
+/// on behalf of a supervising runner and reports the verdict on
+/// stdout (wire protocol v1, see `bgpsim::runner::supervisor`).
+///
+/// This is plumbing, not a user command: the child prints exactly one
+/// JSON line and exits 0 whether the run succeeded or tripped its
+/// watchdog — a nonzero exit means the worker itself died, which the
+/// supervisor counts as a crash. Inherits `BGPSIM_FAILPOINT` so fault
+/// injection reaches the child (`worker_run` site, ctx `seed=N`).
+fn worker() {
+    use std::io::Read;
+    let mut input = String::new();
+    if std::io::stdin().read_to_string(&mut input).is_err() {
+        eprintln!("bgpsim worker: cannot read request from stdin");
+        std::process::exit(3);
+    }
+    let request = match decode_request(&input) {
+        Ok(request) => request,
+        Err(err) => {
+            println!("{}", encode_failure("worker", &err));
+            return;
+        }
+    };
+    // Deterministic fault injection for crash-tolerance tests: Abort
+    // dies inside check(), Err exits nonzero (spawn-then-die), Torn
+    // truncates the verdict line (lost-result).
+    let injected = failpoint::check("worker_run", &format!("seed={}", request.seed));
+    if matches!(injected, Some(FailpointAction::Err)) {
+        eprintln!("bgpsim worker: injected failure (worker_run)");
+        std::process::exit(3);
+    }
+    let scenario = match Scenario::from_canonical_json(&request.scenario) {
+        Ok(scenario) => scenario,
+        Err(err) => {
+            println!("{}", encode_failure("worker", &err.to_string()));
+            return;
+        }
+    };
+    let mut limit = RunBudget::unlimited();
+    if let Some(n) = request.max_events {
+        limit = limit.with_max_events(n);
+    }
+    match scenario.run_budgeted(&limit) {
+        Ok(result) => {
+            let counters = result.counters();
+            let line = encode_success(&result.measurement.metrics, Some(&counters));
+            if matches!(injected, Some(FailpointAction::Torn)) {
+                use std::io::Write;
+                let half = &line.as_bytes()[..line.len() / 2];
+                let mut out = std::io::stdout();
+                let _ = out.write_all(half);
+                let _ = out.flush();
+            } else {
+                println!("{line}");
+            }
+        }
+        Err(stopped) => {
+            println!("{}", encode_failure(stopped.phase, &stopped.to_string()));
+        }
+    }
+}
+
+/// The `bgpsim recover` subcommand: replays the write-ahead journal,
+/// reconciles intents against completions and the run cache, and
+/// sweeps stale cache temp files. Exit 1 signals interrupted work.
+fn recover(opts: &RecoverOptions) {
+    let journal = opts
+        .journal
+        .clone()
+        .or_else(|| std::env::var("BGPSIM_JOURNAL").ok());
+    let Some(journal) = journal else {
+        eprintln!("no journal to replay: pass --journal or set BGPSIM_JOURNAL");
+        std::process::exit(2);
+    };
+    let cache_dir = opts
+        .cache_dir
+        .clone()
+        .or_else(|| std::env::var("BGPSIM_CACHE_DIR").ok());
+    let cache = match cache_dir {
+        Some(dir) => match RunCache::new(&dir) {
+            Ok(cache) => Some(cache),
+            Err(err) => {
+                eprintln!("cannot open run cache {dir}: {err}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let report = recover_journal(std::path::Path::new(&journal), cache.as_ref());
+    println!("{}", report.render());
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
 /// Boots the daemon and blocks until a drain is requested over the
 /// API, then finishes in-flight work and exits cleanly.
 fn serve(opts: &ServeOptions) {
@@ -67,6 +181,13 @@ fn serve(opts: &ServeOptions) {
     if let Some(path) = &opts.trace_out {
         config = config.trace(path);
     }
+    // Under the daemon, process isolation defaults ON (a crashing job
+    // must not take the service down); `--no-isolate` opts out.
+    config = config.isolate(opts.isolate);
+    let journal = opts
+        .journal
+        .clone()
+        .or_else(|| std::env::var("BGPSIM_JOURNAL").ok());
     let runner = match config.build() {
         Ok(r) => r,
         Err(err) => {
@@ -74,6 +195,16 @@ fn serve(opts: &ServeOptions) {
             std::process::exit(1);
         }
     };
+    // Crash recovery before admission opens: replay the journal the
+    // previous lifetime left behind, sweep stale cache temp files, and
+    // report what was interrupted (those jobs re-run on resubmission;
+    // completed ones are served from the cache).
+    if let Some(path) = &journal {
+        let report = recover_journal(std::path::Path::new(path), runner.cache());
+        if !report.is_clean() || report.lines > 0 {
+            println!("{}", report.render());
+        }
+    }
     let server = match Server::start(
         ServeConfig {
             addr: opts.addr.clone(),
@@ -84,6 +215,7 @@ fn serve(opts: &ServeOptions) {
                 event_budget_per_client: opts.event_budget,
             },
             max_connections: 64,
+            ..ServeConfig::default()
         },
         std::sync::Arc::new(runner),
     ) {
@@ -282,6 +414,9 @@ fn run(opts: &CliOptions) {
         if let Some(path) = &opts.trace_out {
             config = config.trace(path);
         }
+        if let Some(isolate) = opts.isolate {
+            config = config.isolate(isolate);
+        }
         let runner = match config.build() {
             Ok(r) => r,
             Err(err) => {
@@ -294,6 +429,9 @@ fn run(opts: &CliOptions) {
             Ok(mut ms) => ms.pop().expect("one job yields one result"),
             Err(err) => {
                 eprintln!("run failed: {err}");
+                // The failure is already traced (worker_crash etc.);
+                // land it before the early exit.
+                bgpsim::trace::flush_global();
                 std::process::exit(1);
             }
         };

@@ -40,6 +40,10 @@ pub struct CliOptions {
     /// (`None` = `BGPSIM_SHARDS`, else serial). Results are
     /// byte-identical at any count.
     pub shards: Option<u32>,
+    /// Run jobs in supervised child processes (`None` =
+    /// `BGPSIM_ISOLATE`, else in-process). Pure execution policy,
+    /// like shards: results are byte-identical either way.
+    pub isolate: Option<bool>,
 }
 
 impl Default for CliOptions {
@@ -57,6 +61,7 @@ impl Default for CliOptions {
             jobs: None,
             cache_dir: None,
             shards: None,
+            isolate: None,
         }
     }
 }
@@ -100,12 +105,17 @@ OPTIONS:
   --shards <K>          run the simulation on K conservative-parallel
                         worker shards — byte-identical to serial
                         (default: $BGPSIM_SHARDS, else 1)
+  --isolate             run each job in a supervised child process
+                        (crash tolerance; results byte-identical;
+                        default: $BGPSIM_ISOLATE, else off)
   --help                show this text
 
 SUBCOMMANDS:
   bgpsim serve …        long-running experiment service (see serve --help)
   bgpsim checkpoint …   save / inspect / fork warm-up checkpoints
                         (see checkpoint --help)
+  bgpsim recover …      replay the write-ahead journal after a crash
+                        (see recover --help)
 ";
 
 /// A parsed `bgpsim serve` invocation.
@@ -129,6 +139,10 @@ pub struct ServeOptions {
     pub max_jobs_per_client: Option<usize>,
     /// Per-client cumulative event budget (`None` = unlimited).
     pub event_budget: Option<u64>,
+    /// Process isolation for jobs. Defaults to **on** for the daemon
+    /// (a client's crashing job must never kill the service);
+    /// `--no-isolate` opts out.
+    pub isolate: bool,
 }
 
 impl Default for ServeOptions {
@@ -143,6 +157,7 @@ impl Default for ServeOptions {
             max_queued_runs: 1024,
             max_jobs_per_client: Some(64),
             event_budget: None,
+            isolate: true,
         }
     }
 }
@@ -167,10 +182,15 @@ OPTIONS:
                           concurrent jobs per API key (default 64; 0 = off)
   --event-budget <N>      cumulative simulation-event budget per API key
                           (default unlimited)
+  --no-isolate            run jobs in-process instead of supervised child
+                          workers (isolation is ON by default for the
+                          daemon; --isolate restores the default)
   --help                  show this text
 
-The daemon drains (finishes in-flight jobs, flushes the journal, then
-exits) on POST /v1/drain; there is no signal-based shutdown.
+On startup the daemon replays its write-ahead journal (`--journal`)
+against the run cache and reports what a previous crash interrupted,
+then drains (finishes in-flight jobs, flushes the journal, exits) on
+POST /v1/drain; there is no signal-based shutdown.
 ";
 
 /// Parses the arguments of the `serve` subcommand (without the program
@@ -238,6 +258,8 @@ where
                 let v = expect_value(&mut iter, arg)?;
                 opts.event_budget = Some(parse_num(v.as_ref(), arg)?);
             }
+            "--isolate" => opts.isolate = true,
+            "--no-isolate" => opts.isolate = false,
             "--help" | "-h" => return Err(CliError(SERVE_USAGE.to_string())),
             other => return Err(CliError(format!("unknown option {other:?}"))),
         }
@@ -355,6 +377,65 @@ where
     }
 }
 
+/// A parsed `bgpsim recover` invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoverOptions {
+    /// Journal to replay (`None` = `BGPSIM_JOURNAL`).
+    pub journal: Option<String>,
+    /// Run cache to reconcile against (`None` = `BGPSIM_CACHE_DIR`).
+    pub cache_dir: Option<String>,
+}
+
+/// The usage text for `bgpsim recover`.
+pub const RECOVER_USAGE: &str = "\
+bgpsim recover — replay the write-ahead journal after a crash
+
+USAGE:
+  bgpsim recover [--journal <FILE>] [--cache-dir <DIR>]
+
+Replays the JSONL journal (default: $BGPSIM_JOURNAL), reconciles every
+job_started intent against job_done / job_crashed records and the run
+cache (default: $BGPSIM_CACHE_DIR), sweeps stale cache temp files, and
+prints what the previous process lifetime left behind. Idempotent and
+read-only except for the temp-file sweep; `bgpsim serve` runs the same
+pass automatically at startup.
+
+Exit status: 0 on a clean journal, 1 when interrupted work was found
+(re-running the sweep will finish it — completed jobs are served from
+the cache).
+";
+
+/// Parses the arguments of the `recover` subcommand (without the
+/// program name or the `recover` token itself).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the offending argument.
+pub fn parse_recover_args<I, S>(args: I) -> Result<RecoverOptions, CliError>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut opts = RecoverOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let arg = arg.as_ref();
+        match arg {
+            "--journal" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.journal = Some(v.as_ref().to_string());
+            }
+            "--cache-dir" => {
+                let v = expect_value(&mut iter, arg)?;
+                opts.cache_dir = Some(v.as_ref().to_string());
+            }
+            "--help" | "-h" => return Err(CliError(RECOVER_USAGE.to_string())),
+            other => return Err(CliError(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(opts)
+}
+
 /// Parses an argument list (without the program name).
 ///
 /// # Errors
@@ -424,6 +505,8 @@ where
                 }
                 opts.shards = Some(n);
             }
+            "--isolate" => opts.isolate = Some(true),
+            "--no-isolate" => opts.isolate = Some(false),
             "--help" | "-h" => return Err(CliError(USAGE.to_string())),
             other => return Err(CliError(format!("unknown option {other:?}"))),
         }
@@ -505,6 +588,7 @@ mod tests {
             "/tmp/bgpsim-cache",
             "--shards",
             "4",
+            "--isolate",
         ])
         .unwrap();
         assert_eq!(opts.topology, TopologySpec::BClique(10));
@@ -519,6 +603,9 @@ mod tests {
         assert_eq!(opts.jobs, Some(4));
         assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/bgpsim-cache"));
         assert_eq!(opts.shards, Some(4));
+        assert_eq!(opts.isolate, Some(true));
+        let opts = parse_args(["--no-isolate"]).unwrap();
+        assert_eq!(opts.isolate, Some(false));
     }
 
     #[test]
@@ -665,6 +752,7 @@ mod tests {
             "3",
             "--event-budget",
             "100000",
+            "--no-isolate",
         ])
         .unwrap();
         assert_eq!(opts.addr, "0.0.0.0:9000");
@@ -676,6 +764,35 @@ mod tests {
         assert_eq!(opts.max_queued_runs, 16);
         assert_eq!(opts.max_jobs_per_client, Some(3));
         assert_eq!(opts.event_budget, Some(100_000));
+        assert!(!opts.isolate, "--no-isolate opts out");
+    }
+
+    #[test]
+    fn serve_isolates_by_default() {
+        let opts = parse_serve_args(Vec::<&str>::new()).unwrap();
+        assert!(opts.isolate, "the daemon must survive crashing jobs");
+        let opts = parse_serve_args(["--no-isolate", "--isolate"]).unwrap();
+        assert!(opts.isolate, "last flag wins");
+    }
+
+    #[test]
+    fn recover_parses_overrides_and_help() {
+        assert_eq!(
+            parse_recover_args(Vec::<&str>::new()).unwrap(),
+            RecoverOptions::default()
+        );
+        let opts = parse_recover_args([
+            "--journal",
+            "/tmp/j.jsonl",
+            "--cache-dir",
+            "/tmp/cache",
+        ])
+        .unwrap();
+        assert_eq!(opts.journal.as_deref(), Some("/tmp/j.jsonl"));
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/cache"));
+        let err = parse_recover_args(["--help"]).unwrap_err();
+        assert!(err.to_string().contains("bgpsim recover"));
+        assert!(parse_recover_args(["--bogus"]).is_err());
     }
 
     #[test]
